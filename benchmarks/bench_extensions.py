@@ -1,0 +1,30 @@
+"""Benchmarks regenerating the extension experiments (E9-E11)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.experiments import extensions
+
+
+def test_e9_coverage_gains(benchmark, scale, run_once):
+    table = run_once(lambda: extensions.run_coverage_gains(scale))
+    attach_table(benchmark, table)
+    by_mode = {row["mode"]: row for row in table.rows}
+    assert by_mode["coverage"]["io_node_reads"] < by_mode["algorithm1"]["io_node_reads"]
+
+
+def test_e10_fleet_scaling(benchmark, scale, run_once):
+    table = run_once(lambda: extensions.run_fleet_scaling(scale))
+    attach_table(benchmark, table)
+    for clients in set(table.column("clients")):
+        motion = dict(table.series("clients", "bytes", population="motion_aware"))
+        full = dict(
+            table.series("clients", "bytes", population="full_resolution")
+        )
+        assert motion[clients] < full[clients]
+
+
+def test_e11_representation_cost(benchmark, scale, run_once):
+    table = run_once(lambda: extensions.run_representation_cost())
+    attach_table(benchmark, table)
+    assert all(row["ratio"] > 1.0 for row in table.rows)

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 8: data retrieved vs client speed."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.experiments import fig08_speed_retrieval
+
+
+def test_fig08_speed_vs_data(benchmark, scale, run_once):
+    table = run_once(lambda: fig08_speed_retrieval.run(scale))
+    attach_table(benchmark, table)
+    # Sanity: the paper's headline shape must hold or the bench is void.
+    for kind in ("tram", "pedestrian"):
+        series = table.series("speed", "avg_bytes", kind=kind)
+        assert series[0][1] > series[-1][1]

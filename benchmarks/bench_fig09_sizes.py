@@ -1,0 +1,20 @@
+"""Benchmarks regenerating Figure 9: query-size and dataset-size sweeps."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.experiments import fig09_sizes
+
+
+def test_fig09a_query_sizes(benchmark, scale, run_once):
+    table = run_once(lambda: fig09_sizes.run_query_sizes(scale))
+    attach_table(benchmark, table)
+    series = table.series("query_frac", "avg_bytes", speed=0.5)
+    assert series[0][1] < series[-1][1]
+
+
+def test_fig09b_dataset_sizes(benchmark, scale, run_once):
+    table = run_once(lambda: fig09_sizes.run_dataset_sizes(scale))
+    attach_table(benchmark, table)
+    series = table.series("paper_mb", "avg_bytes", speed=0.5)
+    assert series[0][1] < series[-1][1]

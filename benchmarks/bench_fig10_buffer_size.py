@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 10: buffer size vs hit rate/utilisation."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.experiments import fig10_buffer_size
+
+
+def test_fig10_buffer_sizes(benchmark, scale, run_once):
+    table = run_once(lambda: fig10_buffer_size.run(scale))
+    attach_table(benchmark, table)
+    # Motion-aware wins the small-buffer regime on both tour kinds.
+    for kind in ("tram", "pedestrian"):
+        motion = table.series(
+            "buffer_kb", "hit_rate", kind=kind, scheme="motion_aware"
+        )
+        naive = table.series("buffer_kb", "hit_rate", kind=kind, scheme="naive")
+        assert motion[0][1] > naive[0][1]

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 11: speed vs hit rate/utilisation."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.experiments import fig11_buffer_speed
+
+
+def test_fig11_buffer_speed(benchmark, scale, run_once):
+    table = run_once(lambda: fig11_buffer_speed.run(scale))
+    attach_table(benchmark, table)
+    for row in table.rows:
+        assert 0.0 <= row["hit_rate"] <= 1.0
+        assert 0.0 <= row["utilization"] <= 1.0

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 12: index I/O vs speed."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.experiments import fig12_index_speed
+
+
+def test_fig12_index_io_vs_speed(benchmark, scale, run_once):
+    table = run_once(lambda: fig12_index_speed.run(scale))
+    attach_table(benchmark, table)
+    for method in ("motion_aware", "naive"):
+        series = table.series("speed", "avg_node_reads", method=method)
+        assert series[0][1] > series[-1][1]
+    # Motion-aware access method beats the naive index at full detail.
+    assert (
+        table.series("speed", "avg_node_reads", method="motion_aware")[0][1]
+        < table.series("speed", "avg_node_reads", method="naive")[0][1]
+    )

@@ -1,0 +1,22 @@
+"""Benchmarks regenerating Figure 13: index I/O vs query/dataset size."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.experiments import fig13_index_sizes
+
+
+def test_fig13a_query_sizes(benchmark, scale, run_once):
+    table = run_once(lambda: fig13_index_sizes.run_query_sizes(scale))
+    attach_table(benchmark, table)
+    for method in ("motion_aware", "naive"):
+        series = table.series("query_frac", "avg_node_reads", method=method)
+        assert series[0][1] < series[-1][1]
+
+
+def test_fig13b_dataset_sizes(benchmark, scale, run_once):
+    table = run_once(lambda: fig13_index_sizes.run_dataset_sizes(scale))
+    attach_table(benchmark, table)
+    for method in ("motion_aware", "naive"):
+        series = table.series("paper_mb", "avg_node_reads", method=method)
+        assert series[0][1] < series[-1][1]

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 14: overall response time (uniform)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.experiments import fig14_15_response
+
+
+def test_fig14_response_uniform(benchmark, scale, run_once):
+    table = run_once(lambda: fig14_15_response.run(scale, placement="uniform"))
+    attach_table(benchmark, table)
+    # At top speed the motion-aware system must answer faster.
+    for kind in ("tram", "pedestrian"):
+        motion = table.series(
+            "speed", "avg_response_s", kind=kind, system="motion_aware"
+        )[-1][1]
+        naive = table.series(
+            "speed", "avg_response_s", kind=kind, system="naive"
+        )[-1][1]
+        assert motion < naive

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 15: overall response time (Zipf)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_table
+from repro.experiments import fig14_15_response
+
+
+def test_fig15_response_zipf(benchmark, scale, run_once):
+    table = run_once(lambda: fig14_15_response.run(scale, placement="zipf"))
+    attach_table(benchmark, table)
+    for kind in ("tram", "pedestrian"):
+        motion = table.series(
+            "speed", "avg_response_s", kind=kind, system="motion_aware"
+        )[-1][1]
+        naive = table.series(
+            "speed", "avg_response_s", kind=kind, system="naive"
+        )[-1][1]
+        assert motion < naive

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the spatial index layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.index.bulk import bulk_load
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+
+def _items(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0, 1000, size=(n, 2))
+    extents = rng.uniform(0.5, 20, size=(n, 2))
+    return [
+        (Box(c - e / 2, c + e / 2), i)
+        for i, (c, e) in enumerate(zip(centers, extents))
+    ]
+
+
+@pytest.fixture(scope="module")
+def loaded_tree():
+    return bulk_load(_items(20_000), max_entries=20)
+
+
+@pytest.mark.parametrize("tree_class", [RTree, RStarTree], ids=["guttman", "rstar"])
+def test_insert_2000(benchmark, tree_class):
+    items = _items(2000)
+
+    def build():
+        tree = tree_class(max_entries=20)
+        for box, payload in items:
+            tree.insert(box, payload)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(tree) == 2000
+
+
+def test_bulk_load_20000(benchmark):
+    items = _items(20_000)
+    tree = benchmark.pedantic(
+        lambda: bulk_load(items, max_entries=20), rounds=1, iterations=1
+    )
+    assert len(tree) == 20_000
+
+
+def test_window_query(benchmark, loaded_tree):
+    rng = np.random.default_rng(1)
+    queries = [
+        Box(c, c + 50) for c in rng.uniform(0, 950, size=(100, 2))
+    ]
+    state = {"i": 0}
+
+    def run_query():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return loaded_tree.search(q)
+
+    benchmark(run_query)
+
+
+def test_delete_1000(benchmark):
+    items = _items(4000, seed=2)
+
+    def build_and_delete():
+        tree = bulk_load(items, max_entries=20, tree_class=RTree)
+        for box, payload in items[:1000]:
+            tree.delete(box, payload)
+        return tree
+
+    tree = benchmark.pedantic(build_and_delete, rounds=1, iterations=1)
+    assert len(tree) == 3000

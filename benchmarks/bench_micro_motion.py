@@ -1,0 +1,44 @@
+"""Micro-benchmarks of the motion/buffering layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.buffering.cost import allocate_blocks
+from repro.geometry.box import Box
+from repro.geometry.grid import Grid
+from repro.motion.kalman import ConstantVelocityModel2D
+from repro.motion.predictor import KalmanMotionPredictor, visit_probabilities
+
+
+def test_kalman_step(benchmark):
+    kf = ConstantVelocityModel2D().build()
+    rng = np.random.default_rng(0)
+    positions = rng.uniform(0, 100, size=(1000, 2))
+    state = {"i": 0}
+
+    def step():
+        kf.step(positions[state["i"] % 1000])
+        state["i"] += 1
+
+    benchmark(step)
+
+
+def test_visit_probabilities_radius5(benchmark):
+    grid = Grid(Box((0, 0), (1000, 1000)), (25, 25))
+    predictor = KalmanMotionPredictor()
+    for i in range(20):
+        predictor.observe(np.array([100.0 + 10 * i, 500.0]))
+    center = np.array([290.0, 500.0])
+
+    benchmark(
+        lambda: visit_probabilities(
+            predictor, grid, steps=8, radius=5, center=center
+        )
+    )
+
+
+def test_allocate_blocks_8_directions(benchmark):
+    probs = [0.35, 0.2, 0.15, 0.1, 0.08, 0.06, 0.04, 0.02]
+    alloc = benchmark(lambda: allocate_blocks(probs, 64))
+    assert sum(alloc) == 64

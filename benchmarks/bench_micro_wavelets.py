@@ -1,0 +1,54 @@
+"""Micro-benchmarks of the mesh/wavelet layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh.generators import procedural_building
+from repro.mesh.subdivision import midpoint_subdivide, subdivide_times
+from repro.mesh.generators import icosahedron
+from repro.wavelets.analysis import analyze_hierarchy
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return procedural_building(np.random.default_rng(0), levels=4)
+
+
+@pytest.fixture(scope="module")
+def decomposition(hierarchy):
+    return analyze_hierarchy(hierarchy)
+
+
+def test_subdivide_level4_mesh(benchmark):
+    mesh = subdivide_times(icosahedron(), 3)[-1].fine  # 1280 faces
+
+    benchmark.pedantic(lambda: midpoint_subdivide(mesh), rounds=3, iterations=1)
+
+
+def test_analyze_levels4_building(benchmark, hierarchy):
+    dec = benchmark.pedantic(
+        lambda: analyze_hierarchy(hierarchy), rounds=1, iterations=1
+    )
+    assert dec.depth == 4
+
+
+def test_reconstruct_full(benchmark, decomposition):
+    mesh = benchmark.pedantic(
+        lambda: decomposition.reconstruct(0.0), rounds=1, iterations=1
+    )
+    assert mesh.vertex_count > 1000
+
+
+def test_reconstruct_coarse_band(benchmark, decomposition):
+    benchmark.pedantic(
+        lambda: decomposition.reconstruct(0.8), rounds=1, iterations=1
+    )
+
+
+def test_records_flattening(benchmark, decomposition):
+    records = benchmark.pedantic(
+        lambda: decomposition.records(0), rounds=1, iterations=1
+    )
+    assert len(records) == decomposition.detail_count + decomposition.base.vertex_count

@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Figure benchmarks run each experiment exactly once per session
+(``benchmark.pedantic(rounds=1)``): they are macro-benchmarks whose
+point is the produced table, which is attached to the benchmark's
+``extra_info`` and printed.  Set ``REPRO_SCALE`` to grow the workloads
+toward the paper's full size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.config import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale()
+
+
+def attach_table(benchmark, table) -> None:
+    """Record a ResultTable in the benchmark metadata and print it."""
+    benchmark.extra_info["table"] = table.rows
+    benchmark.extra_info["name"] = table.name
+    print()
+    print(table.to_text())
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a zero-arg experiment exactly once under the benchmark timer."""
+
+    def runner(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1)
+
+    return runner

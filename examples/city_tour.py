@@ -1,0 +1,71 @@
+"""An augmented-reality city tour: the paper's motivating scenario.
+
+Simulates a tourist riding a tram through a procedural city with the
+full motion-aware stack -- Kalman-predicted prefetching, multi-
+resolution buffering, support-region indexing -- and compares it
+side-by-side with the naive system (full resolution, LRU, object-level
+index) on the same tour.
+
+Run with::
+
+    python examples/city_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MotionAwareSystem, NaiveSystem, SystemConfig
+from repro.geometry import Box
+from repro.motion import tram_tour
+from repro.server import Server
+from repro.workloads import CityConfig, build_city
+
+
+def main() -> None:
+    space = Box((0.0, 0.0), (1000.0, 1000.0))
+    print("Building the tour city (25 objects, 3 detail levels)...")
+    db = build_city(
+        CityConfig(
+            space=space,
+            object_count=25,
+            levels=3,
+            seed=13,
+            min_size_frac=0.02,
+            max_size_frac=0.045,
+        )
+    )
+    print(f"  dataset: {db.total_bytes / 1024:.0f} KB full resolution\n")
+
+    config = SystemConfig(
+        space=space,
+        grid_shape=(20, 20),
+        buffer_bytes=32 * 1024,
+        query_frac=0.08,
+    )
+
+    print(f"{'speed':>6}  {'system':<13} {'avg resp':>9} {'max resp':>9} "
+          f"{'bytes':>9} {'contacts':>8}")
+    for speed in (0.1, 0.5, 1.0):
+        tour = tram_tour(space, np.random.default_rng(99), speed=speed, steps=150)
+        for name, factory in (
+            ("motion-aware", lambda: MotionAwareSystem(Server(db), config)),
+            ("naive", lambda: NaiveSystem(Server(db), config)),
+        ):
+            result = factory().run(tour)
+            print(
+                f"{speed:>6.2f}  {name:<13} {result.avg_response_s:>8.3f}s "
+                f"{result.max_response_s:>8.3f}s {result.total_bytes:>9} "
+                f"{result.contacts:>8}"
+            )
+        print()
+
+    print(
+        "The naive system's response time grows with speed (more objects\n"
+        "per second, all at full resolution, over a degraded link); the\n"
+        "motion-aware system sheds detail as the tram accelerates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 517 editable installs (which build a wheel) fail.  This
+classic setup.py lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which needs neither.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Motion-aware continuous retrieval of 3D objects (ICDE 2008 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

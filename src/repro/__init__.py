@@ -1,0 +1,43 @@
+"""repro: Motion-Aware Continuous Retrieval of 3D Objects (ICDE 2008).
+
+A from-scratch reproduction of Ali, Zhang, Tanin & Kulik's motion-aware
+system for streaming multi-resolution 3-D objects to mobile clients:
+
+* :mod:`repro.geometry` -- n-D box algebra, grids;
+* :mod:`repro.mesh` -- triangular meshes, subdivision, procedural
+  generators;
+* :mod:`repro.wavelets` -- subdivision-wavelet analysis/synthesis,
+  support regions, wire encoding;
+* :mod:`repro.index` -- R-tree / R*-tree from scratch, STR bulk
+  loading, the naive and motion-aware access methods;
+* :mod:`repro.net` -- simulated wireless link and protocol;
+* :mod:`repro.motion` -- Kalman/RLS motion prediction, tour generators;
+* :mod:`repro.buffering` -- the motion-aware buffer manager and its
+  cost model;
+* :mod:`repro.server` -- the object database and query server;
+* :mod:`repro.core` -- Algorithm 1 and the end-to-end systems;
+* :mod:`repro.workloads` -- synthetic city datasets;
+* :mod:`repro.experiments` -- one module per paper figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import ContinuousRetrievalClient
+    from repro.geometry import Box
+    from repro.net import SimClock, WirelessLink
+    from repro.server import Server
+    from repro.workloads import CityConfig, build_city
+
+    space = Box((0, 0), (1000, 1000))
+    db = build_city(CityConfig(space=space, object_count=20))
+    client = ContinuousRetrievalClient(Server(db), WirelessLink(), SimClock())
+    step = client.step(np.array([500, 500]), speed=0.5,
+                       query_box=Box((450, 450), (550, 550)))
+    print(step.payload_bytes, "bytes at w >=", step.w_min)
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,37 @@
+"""Motion-aware buffer management (Section V)."""
+
+from repro.buffering.cache import BlockCache, CachedBlock
+from repro.buffering.cost import (
+    allocate_blocks,
+    allocate_blocks_best_ordering,
+    mean_residence_time,
+    optimal_left_blocks,
+    optimal_split_position,
+    session_transfer_cost,
+    transfer_cost,
+)
+from repro.buffering.manager import (
+    BufferSessionStats,
+    MotionAwareBufferManager,
+    NaiveBufferManager,
+    TickResult,
+)
+from repro.buffering.partition import direction_probabilities, partition_cells
+
+__all__ = [
+    "BlockCache",
+    "CachedBlock",
+    "transfer_cost",
+    "session_transfer_cost",
+    "optimal_split_position",
+    "optimal_left_blocks",
+    "allocate_blocks",
+    "allocate_blocks_best_ordering",
+    "mean_residence_time",
+    "partition_cells",
+    "direction_probabilities",
+    "TickResult",
+    "BufferSessionStats",
+    "MotionAwareBufferManager",
+    "NaiveBufferManager",
+]

@@ -1,0 +1,238 @@
+"""The client-side block cache.
+
+Blocks are grid cells cached *at a resolution*: a cached block holds all
+coefficients with value ``>= w_min`` for its cell, so a block cached
+with a lower ``w_min`` (more detail) also answers any request for less
+detail.  The cache enforces a byte capacity with a pluggable eviction
+policy:
+
+* ``"lru"`` -- least recently used (the naive system's policy);
+* ``"probability"`` -- evict the block the motion predictor currently
+  considers least likely to be visited (motion-aware policy), falling
+  back to LRU among equals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BufferError_
+from repro.geometry.grid import CellId
+
+__all__ = ["CachedBlock", "BlockCache"]
+
+
+@dataclass
+class CachedBlock:
+    """One cached grid block.
+
+    Attributes
+    ----------
+    cell:
+        Grid cell id.
+    w_min:
+        Resolution held: all coefficients with value >= w_min.
+    size_bytes:
+        Bytes this block occupies in the buffer.
+    prefetched:
+        True when the block entered the cache via prefetching (vs a
+        demand fetch) -- used for the data-utilisation metric.
+    used:
+        True once a query was served (fully or partly) from this block.
+    probability:
+        Latest predicted visit probability (eviction priority).
+    last_used:
+        Logical timestamp of the last touch (LRU ordering).
+    """
+
+    cell: CellId
+    w_min: float
+    size_bytes: int
+    prefetched: bool
+    used: bool = False
+    probability: float = 0.0
+    last_used: int = 0
+
+
+class BlockCache:
+    """Byte-bounded cache of grid blocks."""
+
+    def __init__(self, capacity_bytes: int, *, policy: str = "lru"):
+        if capacity_bytes <= 0:
+            raise BufferError_(f"capacity must be positive, got {capacity_bytes}")
+        if policy not in ("lru", "probability"):
+            raise BufferError_(f"unknown eviction policy {policy!r}")
+        self._capacity = capacity_bytes
+        self._policy = policy
+        self._blocks: dict[CellId, CachedBlock] = {}
+        self._bytes = 0
+        self._tick = 0
+        self._evictions = 0
+        # Utilisation accounting survives eviction of the blocks.
+        self._prefetched_bytes_total = 0
+        self._prefetched_bytes_used = 0
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def prefetched_bytes_total(self) -> int:
+        """All bytes ever prefetched into this cache."""
+        return self._prefetched_bytes_total
+
+    @property
+    def prefetched_bytes_used(self) -> int:
+        """Prefetched bytes that later served a query."""
+        return self._prefetched_bytes_used
+
+    def utilization(self) -> float:
+        """Used fraction of all prefetched data (1.0 when none prefetched)."""
+        if self._prefetched_bytes_total == 0:
+            return 1.0
+        return self._prefetched_bytes_used / self._prefetched_bytes_total
+
+    def __contains__(self, cell: CellId) -> bool:
+        return cell in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, cell: CellId) -> CachedBlock | None:
+        """Look up a block without touching LRU/usage state."""
+        return self._blocks.get(cell)
+
+    def cells(self) -> list[CellId]:
+        return list(self._blocks)
+
+    # -- queries --------------------------------------------------------------------
+
+    def holds(self, cell: CellId, w_min: float) -> bool:
+        """True when the cached block answers resolution ``w_min``.
+
+        A block with more detail (lower cached ``w_min``) satisfies any
+        coarser request.
+        """
+        block = self._blocks.get(cell)
+        return block is not None and block.w_min <= w_min
+
+    def touch(self, cell: CellId) -> None:
+        """Mark a block as used by a query (hit accounting)."""
+        block = self._blocks.get(cell)
+        if block is None:
+            raise BufferError_(f"touch on uncached block {cell}")
+        self._tick += 1
+        block.last_used = self._tick
+        if block.prefetched and not block.used:
+            self._prefetched_bytes_used += block.size_bytes
+        block.used = True
+
+    # -- mutation ---------------------------------------------------------------------
+
+    def put(
+        self,
+        cell: CellId,
+        w_min: float,
+        size_bytes: int,
+        *,
+        prefetched: bool,
+        probability: float = 0.0,
+        protect: set[CellId] | None = None,
+    ) -> bool:
+        """Insert or refine a block, evicting as needed.
+
+        Refining an existing block (lower ``w_min``, larger size)
+        replaces it but keeps its usage flags.  Returns False when the
+        block cannot fit even after evicting everything unprotected.
+        """
+        if size_bytes <= 0:
+            raise BufferError_(f"block size must be positive, got {size_bytes}")
+        if size_bytes > self._capacity:
+            return False
+        protect = protect or set()
+        existing = self._blocks.get(cell)
+        delta = size_bytes - (existing.size_bytes if existing else 0)
+        if not self._make_room(delta, protect | {cell}):
+            return False
+        self._tick += 1
+        if existing is None:
+            block = CachedBlock(
+                cell=cell,
+                w_min=w_min,
+                size_bytes=size_bytes,
+                prefetched=prefetched,
+                probability=probability,
+                last_used=self._tick,
+            )
+            self._blocks[cell] = block
+            self._bytes += size_bytes
+            if prefetched:
+                self._prefetched_bytes_total += size_bytes
+        else:
+            self._bytes += delta
+            if existing.prefetched and delta > 0:
+                self._prefetched_bytes_total += delta
+                if existing.used:
+                    # A used block stays used; count the refinement too.
+                    self._prefetched_bytes_used += delta
+            existing.w_min = min(existing.w_min, w_min)
+            existing.size_bytes = size_bytes
+            existing.probability = probability
+            existing.last_used = self._tick
+        return True
+
+    def update_probability(self, cell: CellId, probability: float) -> None:
+        """Refresh a block's predicted visit probability."""
+        block = self._blocks.get(cell)
+        if block is not None:
+            block.probability = probability
+
+    def _make_room(self, delta: int, protect: set[CellId]) -> bool:
+        if delta <= 0:
+            return True
+        while self._bytes + delta > self._capacity:
+            victim = self._pick_victim(protect)
+            if victim is None:
+                return False
+            self._evict(victim)
+        return True
+
+    def _pick_victim(self, protect: set[CellId]) -> CellId | None:
+        candidates = [c for c in self._blocks if c not in protect]
+        if not candidates:
+            return None
+        if self._policy == "probability":
+            return min(
+                candidates,
+                key=lambda c: (
+                    self._blocks[c].probability,
+                    self._blocks[c].last_used,
+                ),
+            )
+        return min(candidates, key=lambda c: self._blocks[c].last_used)
+
+    def _evict(self, cell: CellId) -> None:
+        block = self._blocks.pop(cell)
+        self._bytes -= block.size_bytes
+        self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every block (accounting totals are kept)."""
+        self._blocks.clear()
+        self._bytes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCache({len(self._blocks)} blocks, {self._bytes}/"
+            f"{self._capacity} bytes, policy={self._policy})"
+        )

@@ -1,0 +1,235 @@
+"""The buffer-management cost model (Section V-A).
+
+Implements:
+
+* eq. (1): total transfer cost of a continuous query,
+  ``C = sum_j (C_c + C_t * B * N(j))`` over local cache misses;
+* eq. (2): the optimal split position ``n_opt`` of a 1-D buffer between
+  a left-move probability ``p_l`` and right-move probability ``p_r``;
+* the recursive extension of eq. (2) to ``k`` directions: repeatedly
+  halve the direction set, splitting the remaining capacity with the
+  1-D optimum at every level;
+* the expected residence time of a +/-1 random walk inside a buffered
+  segment (gambler's-ruin duration), used to validate that the eq. (2)
+  split indeed maximises residence time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Sequence
+
+from repro.errors import BufferError_
+
+__all__ = [
+    "transfer_cost",
+    "session_transfer_cost",
+    "optimal_split_position",
+    "optimal_left_blocks",
+    "allocate_blocks",
+    "allocate_blocks_best_ordering",
+    "mean_residence_time",
+]
+
+
+def transfer_cost(
+    block_counts: Sequence[int],
+    *,
+    connection_cost: float,
+    transfer_cost_per_byte: float,
+    block_bytes: int,
+) -> float:
+    """Eq. (1): total cost of a continuous query.
+
+    ``block_counts[j]`` is ``N(j)``, the blocks fetched at the ``j``-th
+    local miss; each miss pays the connection cost ``C_c`` plus
+    ``C_t * B * N(j)``.
+    """
+    if connection_cost < 0 or transfer_cost_per_byte < 0:
+        raise BufferError_("costs must be non-negative")
+    if block_bytes <= 0:
+        raise BufferError_(f"block size must be positive, got {block_bytes}")
+    total = 0.0
+    for n in block_counts:
+        if n < 0:
+            raise BufferError_(f"negative block count {n}")
+        total += connection_cost + transfer_cost_per_byte * block_bytes * n
+    return total
+
+
+def session_transfer_cost(
+    per_contact_blocks: Sequence[int],
+    *,
+    connection_cost_s: float,
+    bandwidth_bps: float,
+    block_bytes: int,
+) -> float:
+    """Eq. (1) evaluated for a recorded buffer session.
+
+    ``per_contact_blocks`` is the ``N(j)`` series a
+    :class:`~repro.buffering.manager.BufferSessionStats` collects; the
+    transfer cost per byte is derived from the link bandwidth.  Returns
+    the total seconds the session spent fetching.
+    """
+    if bandwidth_bps <= 0:
+        raise BufferError_(f"bandwidth must be positive, got {bandwidth_bps}")
+    seconds_per_byte = 8.0 / bandwidth_bps
+    return transfer_cost(
+        per_contact_blocks,
+        connection_cost=connection_cost_s,
+        transfer_cost_per_byte=seconds_per_byte,
+        block_bytes=block_bytes,
+    )
+
+
+def optimal_split_position(p_l: float, p_r: float, a: int) -> float:
+    """Eq. (2): the continuous optimum ``n_opt`` for an ``a``-cell walk.
+
+    A client inside a 1-D corridor of ``a`` cells (walls at 0 and ``a``)
+    moves left with probability ``p_l`` and right with ``p_r``
+    (``p_l + p_r = 1``); standing at position ``n`` maximises the
+    expected time before hitting a wall when::
+
+        n_opt = log( (rho^a - 1) / (a * ln rho) ) / ln rho,   rho = p_l / p_r
+
+    The expression is singular at ``p_l = p_r``; the analytic limit is
+    ``a / 2`` and the implementation switches to it (and to series-safe
+    forms) near the singularity.
+    """
+    if a < 1:
+        raise BufferError_(f"a must be >= 1, got {a}")
+    if p_l < 0 or p_r < 0:
+        raise BufferError_("probabilities must be non-negative")
+    total = p_l + p_r
+    if total <= 0:
+        return a / 2.0
+    p_l, p_r = p_l / total, p_r / total
+    if p_r == 0.0:
+        return float(a)  # always moves left: stand at the right end
+    if p_l == 0.0:
+        return 0.0
+    log_rho = math.log(p_l / p_r)
+    if abs(log_rho) < 1e-9:
+        return a / 2.0
+    x = a * log_rho
+    # val = (rho^a - 1) / (a ln rho) = expm1(x) / x, computed stably.
+    if x > 700.0:
+        # expm1(x) overflows; log(val) = x - log(x).
+        log_val = x - math.log(x)
+    else:
+        val = math.expm1(x) / x
+        log_val = math.log(val)
+    n_opt = log_val / log_rho
+    return float(min(max(n_opt, 0.0), float(a)))
+
+
+def optimal_left_blocks(p_l: float, p_r: float, capacity: int) -> int:
+    """Blocks to buffer on the *left* out of ``capacity`` surrounding blocks.
+
+    In the paper's model the client buffers ``a - 1`` blocks in total:
+    its own block, ``n - 1`` to the left and ``a - n - 1`` to the right
+    of the optimal standing position ``n``.  With ``capacity`` blocks
+    available for the two sides, ``a = capacity + 2`` and this returns
+    ``round(n_opt) - 1`` clamped into ``[0, capacity]``.
+    """
+    if capacity < 0:
+        raise BufferError_(f"capacity must be >= 0, got {capacity}")
+    if capacity == 0:
+        return 0
+    a = capacity + 2
+    n_opt = optimal_split_position(p_l, p_r, a)
+    left = int(round(n_opt)) - 1
+    return min(max(left, 0), capacity)
+
+
+def allocate_blocks(probs: Sequence[float], capacity: int) -> list[int]:
+    """Split ``capacity`` blocks across ``k`` directions (Section V-A).
+
+    Recursively bisects the direction list: the combined probability of
+    the first half plays ``p_l`` and the second half ``p_r`` in the 1-D
+    optimum, deciding how much capacity each half receives; recursion
+    bottoms out at single directions.  The returned list sums exactly to
+    ``capacity``.
+    """
+    k = len(probs)
+    if k == 0:
+        raise BufferError_("need at least one direction")
+    if capacity < 0:
+        raise BufferError_(f"capacity must be >= 0, got {capacity}")
+    if any(p < 0 for p in probs):
+        raise BufferError_("probabilities must be non-negative")
+    if k == 1:
+        return [capacity]
+    half = k // 2
+    p_left = sum(probs[:half])
+    p_right = sum(probs[half:])
+    left_capacity = optimal_left_blocks(p_left, p_right, capacity)
+    right_capacity = capacity - left_capacity
+    return allocate_blocks(probs[:half], left_capacity) + allocate_blocks(
+        probs[half:], right_capacity
+    )
+
+
+def allocate_blocks_best_ordering(
+    probs: Sequence[float], capacity: int, *, max_directions: int = 7
+) -> list[int]:
+    """Try every ordering of directions and keep the best (Section V-A).
+
+    The paper notes orderings barely matter and this step can be
+    skipped; it is provided for the ablation benchmark.  Guarding
+    ``k! <= max_directions!`` keeps runtime bounded.
+    """
+    k = len(probs)
+    if k > max_directions:
+        raise BufferError_(
+            f"{k}! orderings is too many; raise max_directions explicitly"
+        )
+    best_alloc: list[int] | None = None
+    best_time = -1.0
+    for perm in itertools.permutations(range(k)):
+        ordered = [probs[i] for i in perm]
+        alloc = allocate_blocks(ordered, capacity)
+        # Score: sum of per-direction residence times against the rest.
+        score = 0.0
+        for i in range(k):
+            p_i = ordered[i]
+            p_rest = sum(ordered) - p_i
+            score += mean_residence_time(alloc[i], capacity - alloc[i], p_i, p_rest)
+        if score > best_time:
+            best_time = score
+            # Undo the permutation.
+            unpermuted = [0] * k
+            for slot, direction in enumerate(perm):
+                unpermuted[direction] = alloc[slot]
+            best_alloc = unpermuted
+    assert best_alloc is not None
+    return best_alloc
+
+
+def mean_residence_time(
+    n_left: int, n_right: int, p_l: float, p_r: float
+) -> float:
+    """Expected steps a +/-1 walk stays inside a buffered segment.
+
+    The client starts between ``n_left`` buffered blocks on its left and
+    ``n_right`` on its right and exits when it steps past either end --
+    the classic gambler's-ruin duration with absorbing barriers.
+    """
+    if n_left < 0 or n_right < 0:
+        raise BufferError_("block counts must be non-negative")
+    if p_l < 0 or p_r < 0:
+        raise BufferError_("probabilities must be non-negative")
+    total = p_l + p_r
+    if total <= 0:
+        return math.inf  # the client never moves along this axis
+    q, p = p_l / total, p_r / total  # q: towards the left barrier
+    # Walk on 0..a with absorbing 0 and a, starting at z.
+    z = n_left + 1
+    a = n_left + n_right + 2
+    if abs(p - q) < 1e-12:
+        return float(z * (a - z))
+    ratio = q / p
+    num = 1.0 - ratio**z
+    den = 1.0 - ratio**a
+    return float(z / (q - p) - (a / (q - p)) * (num / den))

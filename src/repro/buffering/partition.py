@@ -1,0 +1,93 @@
+"""Partitioning grid blocks into movement directions (Section V-B).
+
+The plane around the client is split into ``k`` equal sectors; every
+candidate block is assigned to the sector owning the larger share of
+it, approximated by the bearing of the block centre.  Blocks whose
+centre lies exactly on a partition line are "equally owned" -- the
+paper resolves those by alternating assignment between the two
+adjacent sectors, which this module reproduces deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import BufferError_
+from repro.geometry.grid import CellId, Grid
+from repro.geometry.vector import sector_of_angle
+
+__all__ = ["partition_cells", "direction_probabilities"]
+
+_TIE_EPS = 1e-12
+
+
+def partition_cells(
+    grid: Grid,
+    cells: Iterable[CellId],
+    center: np.ndarray,
+    k: int,
+    *,
+    offset: float | None = None,
+) -> dict[int, list[CellId]]:
+    """Assign each cell to one of ``k`` sectors around ``center``.
+
+    Sector ``i`` spans angles ``[offset + i*2pi/k, offset + (i+1)*2pi/k)``.
+    The default offset of ``-pi/k`` centres sector 0 on the +x axis, so
+    with ``k = 4`` the partition lines run along the diagonals exactly
+    as in the paper's Figure 4(b).  Cells whose centre bearing falls
+    exactly on a sector boundary are alternated between the two
+    adjacent sectors (the paper's tie-breaking rule).  The cell
+    containing ``center`` itself (bearing undefined) goes to sector 0.
+    """
+    if k < 1:
+        raise BufferError_(f"need k >= 1 directions, got {k}")
+    if offset is None:
+        offset = -math.pi / k
+    center = np.asarray(center, dtype=float)
+    sector_width = 2.0 * math.pi / k
+    result: dict[int, list[CellId]] = {i: [] for i in range(k)}
+    tie_toggle = False
+    for cell in cells:
+        delta = grid.cell_center(cell) - center
+        if float(np.dot(delta, delta)) == 0.0:
+            result[0].append(cell)
+            continue
+        angle = (math.atan2(float(delta[1]), float(delta[0])) - offset) % (
+            2.0 * math.pi
+        )
+        frac = angle / sector_width
+        nearest_boundary = round(frac)
+        if abs(frac - nearest_boundary) < _TIE_EPS:
+            # Exactly on a partition line: alternate the two owners.
+            upper = int(nearest_boundary) % k
+            lower = (upper - 1) % k
+            result[upper if tie_toggle else lower].append(cell)
+            tie_toggle = not tie_toggle
+        else:
+            result[sector_of_angle(angle, k)].append(cell)
+    return result
+
+
+def direction_probabilities(
+    partition: Mapping[int, list[CellId]],
+    cell_probs: Mapping[CellId, float],
+    k: int,
+) -> list[float]:
+    """Per-direction visit probability: sum of member cells, normalised.
+
+    Directions whose cells carry zero total mass get probability 0; if
+    every direction is empty the distribution is uniform (the client has
+    no information yet).
+    """
+    if k < 1:
+        raise BufferError_(f"need k >= 1 directions, got {k}")
+    sums = []
+    for i in range(k):
+        sums.append(sum(cell_probs.get(cell, 0.0) for cell in partition.get(i, [])))
+    total = sum(sums)
+    if total <= 0.0:
+        return [1.0 / k] * k
+    return [s / total for s in sums]

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``build-city``
+    Generate a procedural city and write it to a binary file using the
+    wire format of :mod:`repro.wavelets.serialization`.
+``inspect``
+    Print the contents of a city file.
+``simulate``
+    Run a motion-aware client along a generated tour over a city
+    (either freshly generated or loaded from a file) and report the
+    traffic and timing.
+``experiment``
+    Run one of the paper's figure experiments and print its table and
+    an ASCII chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import struct
+import sys
+
+import numpy as np
+
+from repro.core.retrieval import ContinuousRetrievalClient
+from repro.errors import ReproError
+from repro.geometry.box import Box
+from repro.motion.trajectory import pedestrian_tour, tram_tour
+from repro.net.link import WirelessLink
+from repro.net.simclock import SimClock
+from repro.server.database import ObjectDatabase
+from repro.server.server import Server
+from repro.wavelets.serialization import (
+    deserialize_decomposition,
+    serialize_decomposition,
+)
+from repro.workloads.cityscape import CityConfig, build_city
+from repro.workloads.config import ExperimentScale
+
+__all__ = ["main", "save_city", "load_city"]
+
+_CITY_MAGIC = b"RPC1"
+
+
+def save_city(db: ObjectDatabase, path: str) -> int:
+    """Write every object of ``db`` to ``path``; returns bytes written."""
+    blobs = [
+        serialize_decomposition(obj.decomposition, obj.object_id)
+        for obj in db.objects
+    ]
+    with open(path, "wb") as f:
+        f.write(_CITY_MAGIC)
+        f.write(struct.pack("<I", len(blobs)))
+        for blob in blobs:
+            f.write(struct.pack("<I", len(blob)))
+        total = 8 + 4 * len(blobs)
+        for blob in blobs:
+            f.write(blob)
+            total += len(blob)
+    return total
+
+
+def load_city(path: str) -> ObjectDatabase:
+    """Read a city file back into a database."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if data[:4] != _CITY_MAGIC:
+        raise ReproError(f"{path} is not a city file")
+    (count,) = struct.unpack_from("<I", data, 4)
+    offset = 8
+    lengths = []
+    for _ in range(count):
+        (length,) = struct.unpack_from("<I", data, offset)
+        lengths.append(length)
+        offset += 4
+    db = ObjectDatabase()
+    for length in lengths:
+        object_id, decomposition = deserialize_decomposition(
+            data[offset : offset + length]
+        )
+        db.add_object(object_id, decomposition)
+        offset += length
+    return db
+
+
+def _cmd_build_city(args: argparse.Namespace) -> int:
+    space = Box((0.0, 0.0), (args.extent, args.extent))
+    config = CityConfig(
+        space=space,
+        object_count=args.objects,
+        levels=args.levels,
+        placement=args.placement,
+        seed=args.seed,
+    )
+    db = build_city(config)
+    written = save_city(db, args.out)
+    print(
+        f"wrote {db.object_count} objects ({db.record_count} records, "
+        f"{written} file bytes) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    db = load_city(args.path)
+    print(f"{args.path}: {db.object_count} objects, {db.record_count} records")
+    print(f"full-resolution size: {db.total_bytes} bytes")
+    for obj in db.objects[: args.limit]:
+        dec = obj.decomposition
+        print(
+            f"  object {obj.object_id}: base {dec.base.vertex_count}v/"
+            f"{dec.base.face_count}f, {dec.detail_count} coefficients, "
+            f"depth {dec.depth}, footprint centre "
+            f"({obj.footprint.center[0]:.1f}, {obj.footprint.center[1]:.1f})"
+        )
+    if db.object_count > args.limit:
+        print(f"  ... and {db.object_count - args.limit} more")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.city:
+        db = load_city(args.city)
+    else:
+        space = Box((0.0, 0.0), (1000.0, 1000.0))
+        db = build_city(
+            CityConfig(
+                space=space,
+                object_count=args.objects,
+                levels=args.levels,
+                seed=args.seed,
+            )
+        )
+    space = Box((0.0, 0.0), (1000.0, 1000.0))
+    generator = tram_tour if args.kind == "tram" else pedestrian_tour
+    tour = generator(
+        space,
+        np.random.default_rng(args.seed),
+        speed=args.speed,
+        steps=args.steps,
+    )
+    server = Server(db)
+    link = WirelessLink()
+    client = ContinuousRetrievalClient(server, link, SimClock(), client_id=0)
+    frame_extent = args.query_frac * 1000.0
+    for i in range(len(tour)):
+        position = tour.positions[i]
+        frame = Box.from_center(position, (frame_extent, frame_extent))
+        client.step(position, args.speed, frame)
+    contacts = sum(1 for s in client.steps if s.contacted_server)
+    print(f"tour: {args.kind}, speed {args.speed}, {len(tour)} frames")
+    print(f"  server contacts : {contacts}")
+    print(f"  bytes retrieved : {client.total_bytes}")
+    print(f"  records         : {client.received_record_count}")
+    print(f"  index I/O       : {client.total_io} node reads")
+    print(f"  link time       : {link.total_time:.2f}s")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        extensions,
+        fig08_speed_retrieval,
+        fig09_sizes,
+        fig10_buffer_size,
+        fig11_buffer_speed,
+        fig12_index_speed,
+        fig13_index_sizes,
+        fig14_15_response,
+    )
+    from repro.experiments.report import table_chart
+
+    scale = ExperimentScale(scale=args.scale)
+    registry = {
+        "fig08": (lambda: fig08_speed_retrieval.run(scale), "speed", "avg_bytes", "kind"),
+        "fig09a": (lambda: fig09_sizes.run_query_sizes(scale), "query_frac", "avg_bytes", "speed"),
+        "fig09b": (lambda: fig09_sizes.run_dataset_sizes(scale), "paper_mb", "avg_bytes", "speed"),
+        "fig10": (lambda: fig10_buffer_size.run(scale), "buffer_kb", "hit_rate", "scheme"),
+        "fig11": (lambda: fig11_buffer_speed.run(scale), "speed", "hit_rate", "scheme"),
+        "fig12": (lambda: fig12_index_speed.run(scale), "speed", "avg_node_reads", "method"),
+        "fig13a": (lambda: fig13_index_sizes.run_query_sizes(scale), "query_frac", "avg_node_reads", "method"),
+        "fig13b": (lambda: fig13_index_sizes.run_dataset_sizes(scale), "paper_mb", "avg_node_reads", "method"),
+        "fig14": (lambda: fig14_15_response.run(scale, placement="uniform"), "speed", "avg_response_s", "system"),
+        "fig15": (lambda: fig14_15_response.run(scale, placement="zipf"), "speed", "avg_response_s", "system"),
+        "e9": (lambda: extensions.run_coverage_gains(scale), "mode", "io_node_reads", None),
+        "e10": (lambda: extensions.run_fleet_scaling(scale), "clients", "avg_response_s", "population"),
+        "e11": (lambda: extensions.run_representation_cost(), "depth", "ratio", None),
+    }
+    if args.name not in registry:
+        print(
+            f"unknown experiment {args.name!r}; choose from "
+            f"{', '.join(sorted(registry))}",
+            file=sys.stderr,
+        )
+        return 2
+    job, x, y, group = registry[args.name]
+    table = job()
+    print(table_chart(table, x, y, group))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Motion-aware continuous retrieval of 3D objects (ICDE 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build-city", help="generate and save a city")
+    build.add_argument("--objects", type=int, default=20)
+    build.add_argument("--levels", type=int, default=3)
+    build.add_argument("--placement", choices=("uniform", "zipf"), default="uniform")
+    build.add_argument("--extent", type=float, default=1000.0)
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument("--out", required=True)
+    build.set_defaults(func=_cmd_build_city)
+
+    inspect = sub.add_parser("inspect", help="describe a saved city")
+    inspect.add_argument("path")
+    inspect.add_argument("--limit", type=int, default=10)
+    inspect.set_defaults(func=_cmd_inspect)
+
+    simulate = sub.add_parser("simulate", help="run a client tour")
+    simulate.add_argument("--city", help="a saved city file (else generated)")
+    simulate.add_argument("--objects", type=int, default=15)
+    simulate.add_argument("--levels", type=int, default=3)
+    simulate.add_argument("--kind", choices=("tram", "pedestrian"), default="tram")
+    simulate.add_argument("--speed", type=float, default=0.5)
+    simulate.add_argument("--steps", type=int, default=120)
+    simulate.add_argument("--query-frac", dest="query_frac", type=float, default=0.1)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    experiment = sub.add_parser("experiment", help="run a paper figure")
+    experiment.add_argument("name", help="fig08 ... fig15")
+    experiment.add_argument("--scale", type=float, default=1.0)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""The paper's primary contribution: motion-aware continuous retrieval.
+
+This package wires the substrates together:
+
+* :mod:`repro.core.resolution` -- speed -> resolution mapping;
+* :mod:`repro.core.retrieval` -- Algorithm 1 (incremental continuous
+  window queries with region difference and duplicate filtering);
+* :mod:`repro.core.system` -- the end-to-end motion-aware and naive
+  systems compared in Section VII-E.
+"""
+
+from repro.core.resolution import (
+    LinearMapper,
+    PowerMapper,
+    SpeedResolutionMapper,
+    SteppedMapper,
+    clamp_speed,
+)
+from repro.core.adaptive import AdaptiveQoSMapper
+from repro.core.coverage import CoverageMap, CoveredRegion
+from repro.core.fleet import FleetConfig, FleetResult, simulate_fleet
+from repro.core.retrieval import ContinuousRetrievalClient, RetrievalStep
+from repro.core.system import (
+    MotionAwareSystem,
+    NaiveSystem,
+    SystemConfig,
+    SystemRunResult,
+)
+from repro.core.view import filter_records_in_view, view_savings, view_wedge
+
+__all__ = [
+    "LinearMapper",
+    "PowerMapper",
+    "SteppedMapper",
+    "SpeedResolutionMapper",
+    "clamp_speed",
+    "ContinuousRetrievalClient",
+    "RetrievalStep",
+    "MotionAwareSystem",
+    "NaiveSystem",
+    "SystemConfig",
+    "SystemRunResult",
+    "view_wedge",
+    "filter_records_in_view",
+    "view_savings",
+    "CoverageMap",
+    "CoveredRegion",
+    "AdaptiveQoSMapper",
+    "FleetConfig",
+    "FleetResult",
+    "simulate_fleet",
+]

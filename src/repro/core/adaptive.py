@@ -1,0 +1,94 @@
+"""Adaptive speed-to-resolution mapping driven by QoS feedback.
+
+The paper states the ``MapSpeedToResolution`` function "is application
+dependent and using a set of quality of service parameters should be
+adjusted by the vendor".  :class:`AdaptiveQoSMapper` is such a vendor
+policy: it starts from the linear mapping and biases it up or down so
+the observed per-frame response time tracks a target.
+
+The bias is a multiplicative exponent adjustment with clamped,
+exponentially smoothed feedback: response times above target coarsen
+the mapping (shed detail), times below refine it, stationary clients
+(speed 0) always receive full detail.
+"""
+
+from __future__ import annotations
+
+from repro.core.resolution import clamp_speed
+from repro.errors import ConfigurationError
+
+__all__ = ["AdaptiveQoSMapper"]
+
+
+class AdaptiveQoSMapper:
+    """A feedback-tuned mapper: ``w_min = speed ** gamma`` with moving gamma.
+
+    Parameters
+    ----------
+    target_response_s:
+        Desired per-frame response time.
+    gamma_bounds:
+        Allowed range of the exponent; ``gamma < 1`` sheds detail
+        aggressively, ``gamma > 1`` favours quality.
+    adaptation_rate:
+        Relative gamma step per observation (0 disables adaptation).
+
+    Usage: call the mapper like any other (``mapper(speed)``) and feed
+    observed frame times back via :meth:`observe_response`.
+    """
+
+    def __init__(
+        self,
+        target_response_s: float = 1.0,
+        *,
+        gamma_bounds: tuple[float, float] = (0.25, 4.0),
+        adaptation_rate: float = 0.1,
+    ):
+        if target_response_s <= 0:
+            raise ConfigurationError("target response time must be positive")
+        low, high = gamma_bounds
+        if not 0 < low <= 1.0 <= high:
+            raise ConfigurationError(
+                f"gamma bounds must straddle 1.0, got {gamma_bounds}"
+            )
+        if adaptation_rate < 0:
+            raise ConfigurationError("adaptation rate must be non-negative")
+        self.target_response_s = target_response_s
+        self._low, self._high = low, high
+        self._rate = adaptation_rate
+        self._gamma = 1.0
+        self._observations = 0
+
+    @property
+    def gamma(self) -> float:
+        """Current exponent (1.0 = the paper's linear mapping)."""
+        return self._gamma
+
+    @property
+    def observations(self) -> int:
+        return self._observations
+
+    def __call__(self, speed: float) -> float:
+        return clamp_speed(speed) ** self._gamma
+
+    def observe_response(self, response_s: float) -> None:
+        """Feed back one observed frame response time."""
+        if response_s < 0:
+            raise ConfigurationError(
+                f"response time must be non-negative, got {response_s}"
+            )
+        self._observations += 1
+        if self._rate == 0.0:
+            return
+        if response_s > self.target_response_s:
+            # Too slow: lower gamma so w_min rises sooner (less detail).
+            self._gamma /= 1.0 + self._rate
+        else:
+            self._gamma *= 1.0 + self._rate
+        self._gamma = min(max(self._gamma, self._low), self._high)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveQoSMapper(target={self.target_response_s}s, "
+            f"gamma={self._gamma:.3f})"
+        )

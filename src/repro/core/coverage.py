@@ -1,0 +1,169 @@
+"""Semantic coverage maps: remembering everything a client ever fetched.
+
+Algorithm 1 diffs the current query frame only against the *previous*
+one; a client that loops back over earlier ground re-requests regions it
+already holds (the server's uid filter stops duplicate bytes, but the
+requests and index I/O still happen).  A :class:`CoverageMap` fixes that
+by maintaining the set of (region, resolution) pairs the client has
+covered -- the "semantic caching" idea of the related work ([8] Zheng &
+Lee), adapted to multi-resolution data.
+
+Internally the map stores disjoint boxes per resolution threshold.
+``missing(region, w_min)`` returns the sub-regions (with bands) still
+needed to cover ``region`` at ``w_min``; ``add`` records new coverage,
+merging where possible.  The structure is conservative: it may report a
+covered region as missing after heavy fragmentation (bounded by the
+``max_fragments`` compaction limit), but never the reverse, so
+correctness of the retrieval is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.geometry.box import Box
+
+__all__ = ["CoveredRegion", "CoverageMap"]
+
+
+@dataclass(frozen=True)
+class CoveredRegion:
+    """One covered box at one resolution threshold."""
+
+    box: Box
+    w_min: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.w_min <= 1.0:
+            raise ProtocolError(f"w_min must be in [0, 1], got {self.w_min}")
+
+
+@dataclass(frozen=True)
+class MissingPiece:
+    """A sub-region and band still to be fetched.
+
+    ``w_max`` is 1.0 for fresh ground; for regions already covered at a
+    coarser threshold it is that old threshold and ``half_open`` is
+    True (only the incremental band is needed).
+    """
+
+    box: Box
+    w_min: float
+    w_max: float
+    half_open: bool
+
+
+class CoverageMap:
+    """Disjoint-region coverage bookkeeping for one client.
+
+    Parameters
+    ----------
+    max_fragments:
+        Compaction threshold: when the map holds more pieces, the
+        lowest-resolution fragments are dropped (conservatively -- the
+        client will simply re-request them if needed).
+    """
+
+    def __init__(self, max_fragments: int = 256):
+        if max_fragments < 1:
+            raise ProtocolError(f"max_fragments must be >= 1, got {max_fragments}")
+        self._regions: list[CoveredRegion] = []
+        self._max_fragments = max_fragments
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    @property
+    def regions(self) -> list[CoveredRegion]:
+        return list(self._regions)
+
+    def covered_volume(self, w_min: float) -> float:
+        """Total volume covered at resolution ``w_min`` or better."""
+        return sum(
+            r.box.volume for r in self._regions if r.w_min <= w_min
+        )
+
+    def covers(self, box: Box, w_min: float) -> bool:
+        """True when ``box`` is fully covered at ``w_min`` or better."""
+        return not self.missing(box, w_min)
+
+    def missing(self, box: Box, w_min: float) -> list[MissingPiece]:
+        """Decompose what is still needed to cover ``box`` at ``w_min``.
+
+        Walks the covered regions: parts of ``box`` inside a region with
+        ``region.w_min <= w_min`` are satisfied; parts inside a coarser
+        region need only the band ``[w_min, region.w_min)``; the rest
+        needs the full band ``[w_min, 1.0]``.
+        """
+        if not 0.0 <= w_min <= 1.0:
+            raise ProtocolError(f"w_min must be in [0, 1], got {w_min}")
+        pending: list[tuple[Box, float]] = [(box, 1.0)]
+        result: list[MissingPiece] = []
+        for region in self._regions:
+            next_pending: list[tuple[Box, float]] = []
+            for piece, ceiling in pending:
+                overlap = piece.intersection(region.box)
+                if overlap is None:
+                    next_pending.append((piece, ceiling))
+                    continue
+                # The part outside this region stays pending.
+                for rest in piece.difference(region.box):
+                    next_pending.append((rest, ceiling))
+                if region.w_min > w_min:
+                    # Covered, but too coarse: the overlap still needs
+                    # the band below the existing threshold.
+                    effective = min(ceiling, region.w_min)
+                    if effective > w_min:
+                        next_pending.append((overlap, effective))
+                # else: fully satisfied; drop the overlap.
+            pending = next_pending
+        for piece, ceiling in pending:
+            if ceiling >= 1.0:
+                result.append(
+                    MissingPiece(piece, w_min, 1.0, half_open=False)
+                )
+            else:
+                result.append(
+                    MissingPiece(piece, w_min, ceiling, half_open=True)
+                )
+        return result
+
+    def add(self, box: Box, w_min: float) -> None:
+        """Record that ``box`` is now covered at ``w_min``.
+
+        Existing regions that become redundant (inside the new box with
+        an equal-or-coarser threshold) are removed; partially covered
+        coarser regions are clipped.
+        """
+        if not 0.0 <= w_min <= 1.0:
+            raise ProtocolError(f"w_min must be in [0, 1], got {w_min}")
+        updated: list[CoveredRegion] = []
+        for region in self._regions:
+            if region.w_min >= w_min and box.contains_box(region.box):
+                continue  # subsumed by the new, finer coverage
+            if region.w_min >= w_min and region.box.intersects(box):
+                # Keep only the part outside the new box.
+                for rest in region.box.difference(box):
+                    updated.append(CoveredRegion(rest, region.w_min))
+                continue
+            updated.append(region)
+        updated.append(CoveredRegion(box, w_min))
+        self._regions = updated
+        self._compact()
+
+    def _compact(self) -> None:
+        if len(self._regions) <= self._max_fragments:
+            return
+        # Drop the smallest, coarsest fragments first: losing them only
+        # costs a potential re-fetch, never correctness.
+        self._regions.sort(key=lambda r: (-r.w_min, r.box.volume))
+        self._regions = self._regions[
+            len(self._regions) - self._max_fragments :
+        ]
+
+    def clear(self) -> None:
+        self._regions.clear()
+
+    def __repr__(self) -> str:
+        return f"CoverageMap({len(self._regions)} regions)"

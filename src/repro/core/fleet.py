@@ -1,0 +1,148 @@
+"""Multi-client simulation: many tourists sharing one server.
+
+The paper's motivation has *many* mobile clients querying the server at
+once; its related work cites the server-side load of large query
+volumes.  This module simulates a fleet of continuous-retrieval clients
+whose responses share the server's finite uplink: exchanges are
+serialised through a single bottleneck, so a client's effective
+response time includes the queueing delay behind other clients'
+transfers.
+
+The headline system property it demonstrates: because motion-aware
+clients ship far fewer bytes, a server sustains many more of them
+before queueing delay explodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.resolution import LinearMapper, SpeedResolutionMapper
+from repro.core.retrieval import ContinuousRetrievalClient
+from repro.errors import ConfigurationError
+from repro.geometry.box import Box
+from repro.motion.trajectory import Trajectory
+from repro.net.link import LinkConfig, WirelessLink
+from repro.net.simclock import SimClock
+from repro.server.server import Server
+
+__all__ = ["FleetConfig", "FleetResult", "simulate_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Parameters of a fleet simulation.
+
+    Attributes
+    ----------
+    query_frac:
+        Query frame side as a fraction of the space side.
+    link:
+        Per-client wireless link parameters.
+    server_uplink_bps:
+        Total bytes-per-second the server can push to all clients
+        combined; transfers queue behind each other once it saturates.
+    tick_seconds:
+        Wall time between consecutive query frames.
+    """
+
+    space: Box
+    query_frac: float = 0.08
+    link: LinkConfig = LinkConfig()
+    server_uplink_bps: float = 1_024_000.0
+    tick_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.space.ndim != 2:
+            raise ConfigurationError("fleet space must be 2-D")
+        if not 0.0 < self.query_frac <= 1.0:
+            raise ConfigurationError("query_frac must be in (0, 1]")
+        if self.server_uplink_bps <= 0:
+            raise ConfigurationError("server uplink must be positive")
+        if self.tick_seconds <= 0:
+            raise ConfigurationError("tick duration must be positive")
+
+
+@dataclass
+class FleetResult:
+    """Aggregates of one fleet run."""
+
+    clients: int = 0
+    ticks: int = 0
+    total_bytes: int = 0
+    total_requests: int = 0
+    response_times: list[float] = field(default_factory=list)
+    max_queue_delay_s: float = 0.0
+
+    @property
+    def avg_response_s(self) -> float:
+        if not self.response_times:
+            return 0.0
+        return float(np.mean(self.response_times))
+
+    @property
+    def p95_response_s(self) -> float:
+        if not self.response_times:
+            return 0.0
+        return float(np.percentile(self.response_times, 95))
+
+
+def simulate_fleet(
+    server: Server,
+    tours: list[Trajectory],
+    config: FleetConfig,
+    *,
+    mapper: SpeedResolutionMapper | None = None,
+    use_coverage: bool = True,
+) -> FleetResult:
+    """Run one client per tour against a shared server uplink.
+
+    All tours advance in lock-step ticks.  Within a tick, clients that
+    need data issue their exchanges in round-robin order; the server's
+    uplink serialises the payloads, so the *n*-th transfer of a busy
+    tick waits for the first *n-1*.  A client's recorded response time
+    is its own exchange time plus that queueing delay.
+    """
+    if not tours:
+        raise ConfigurationError("fleet needs at least one tour")
+    mapper = mapper if mapper is not None else LinearMapper()
+    clients = []
+    for i, tour in enumerate(tours):
+        server.reset_client(i)
+        clients.append(
+            ContinuousRetrievalClient(
+                server,
+                WirelessLink(config.link),
+                SimClock(),
+                client_id=i,
+                mapper=mapper,
+                use_coverage=use_coverage,
+            )
+        )
+    result = FleetResult(clients=len(clients))
+    ticks = min(len(tour) for tour in tours)
+    for t in range(ticks):
+        uplink_backlog_s = 0.0
+        for i, (client, tour) in enumerate(zip(clients, tours)):
+            position = tour.positions[t]
+            frame = Box.from_center(
+                position, config.query_frac * config.space.extents
+            )
+            step = client.step(position, tour.nominal_speed, frame)
+            if not step.contacted_server:
+                result.response_times.append(0.0)
+                continue
+            # The server pushes this payload after the backlog ahead of it.
+            serialisation_s = (
+                step.payload_bytes * 8.0 / config.server_uplink_bps
+            )
+            queue_delay = uplink_backlog_s
+            uplink_backlog_s += serialisation_s
+            result.max_queue_delay_s = max(result.max_queue_delay_s, queue_delay)
+            result.response_times.append(step.elapsed_s + queue_delay)
+            result.total_bytes += step.payload_bytes
+            result.total_requests += 1
+        result.ticks += 1
+    return result

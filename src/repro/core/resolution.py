@@ -1,0 +1,95 @@
+"""Speed-to-resolution mapping.
+
+The client maps its current speed to the resolution it needs
+(Section IV): resolution is expressed directly as the lower coefficient
+bound ``w_min`` -- at speed ``s`` the client retrieves coefficients with
+values in ``[w_min(s), 1.0]``.  ``w_min = 0`` is full detail,
+``w_min = 1`` the coarsest version.
+
+The paper's experiments use the identity mapping (speed 0.5 retrieves
+``[0.5, 1.0]``); the function is explicitly "application dependent" and
+tunable by the vendor, so alternatives are provided.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SpeedResolutionMapper",
+    "LinearMapper",
+    "PowerMapper",
+    "SteppedMapper",
+    "clamp_speed",
+]
+
+
+def clamp_speed(speed: float) -> float:
+    """Clip a normalised speed into ``[0, 1]``."""
+    return min(max(speed, 0.0), 1.0)
+
+
+class SpeedResolutionMapper(Protocol):
+    """Maps a normalised speed to the ``w_min`` retrieval threshold."""
+
+    def __call__(self, speed: float) -> float:
+        ...
+
+
+class LinearMapper:
+    """``w_min = speed`` -- the paper's experimental mapping."""
+
+    def __call__(self, speed: float) -> float:
+        return clamp_speed(speed)
+
+    def __repr__(self) -> str:
+        return "LinearMapper()"
+
+
+class PowerMapper:
+    """``w_min = speed ** gamma``.
+
+    ``gamma > 1`` keeps more detail at moderate speeds (quality-first),
+    ``gamma < 1`` sheds detail earlier (bandwidth-first).
+    """
+
+    def __init__(self, gamma: float):
+        if gamma <= 0:
+            raise ConfigurationError(f"gamma must be positive, got {gamma}")
+        self.gamma = gamma
+
+    def __call__(self, speed: float) -> float:
+        return clamp_speed(speed) ** self.gamma
+
+    def __repr__(self) -> str:
+        return f"PowerMapper(gamma={self.gamma})"
+
+
+class SteppedMapper:
+    """Quantised mapping: a small set of discrete quality levels.
+
+    Real clients switch between a handful of level-of-detail settings
+    rather than a continuum; this maps speed to the smallest threshold
+    in ``levels`` that is >= the linear value.
+    """
+
+    def __init__(self, levels: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0)):
+        values = sorted(levels)
+        if not values:
+            raise ConfigurationError("need at least one level")
+        if values[0] < 0.0 or values[-1] > 1.0:
+            raise ConfigurationError(f"levels must lie in [0, 1], got {values}")
+        self.levels = values
+
+    def __call__(self, speed: float) -> float:
+        s = clamp_speed(speed)
+        for level in self.levels:
+            if level >= s:
+                return level
+        return self.levels[-1]
+
+    def __repr__(self) -> str:
+        return f"SteppedMapper(levels={self.levels})"

@@ -1,0 +1,247 @@
+"""Algorithm 1: ContinuousDataRetrieval.
+
+The client-side incremental retrieval loop of Section IV.  At each
+timestamp the client compares the current query frame ``Q_t`` with the
+previous one and requests only what it is missing:
+
+* overlap ``O_t = Q_t intersect Q_{t-1}`` -- if the required resolution
+  *increased* (lower ``w_min``), fetch just the incremental coefficient
+  band ``[w_t, w_{t-1})`` for the overlap;
+* new region ``N_t = Q_t - Q_{t-1}`` (decomposed into disjoint
+  rectangles, each executed as its own sub-query) at the full band
+  ``[w_t, 1.0]``;
+* no overlap -- fetch all of ``Q_t`` at ``[w_t, 1.0]``.
+
+The client also reports every record uid it already holds so the server
+filters residual duplicates (the Figure 3 filtering step), and feeds
+received coefficients into per-object
+:class:`~repro.wavelets.synthesis.ProgressiveMesh` instances so the
+currently renderable geometry is always materialisable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coverage import CoverageMap
+from repro.core.resolution import LinearMapper, SpeedResolutionMapper, clamp_speed
+from repro.errors import ProtocolError
+from repro.geometry.box import Box
+from repro.net.link import WirelessLink
+from repro.net.messages import RegionRequest, RetrieveResponse
+from repro.net.simclock import SimClock
+from repro.server.server import Server
+from repro.wavelets.synthesis import ProgressiveMesh
+
+__all__ = ["RetrievalStep", "ContinuousRetrievalClient"]
+
+
+@dataclass(frozen=True)
+class RetrievalStep:
+    """Outcome of one query-frame step."""
+
+    timestamp: float
+    query_box: Box
+    speed: float
+    w_min: float
+    sub_queries: int
+    records_received: int
+    payload_bytes: int
+    io_node_reads: int
+    elapsed_s: float
+    filtered_out: int
+
+    @property
+    def contacted_server(self) -> bool:
+        return self.sub_queries > 0
+
+
+class ContinuousRetrievalClient:
+    """A mobile client running Algorithm 1 against a server.
+
+    Parameters
+    ----------
+    server:
+        The data server (shared by many clients in experiments).
+    link:
+        Wireless link model used for time accounting.
+    clock:
+        Simulated clock advanced by each exchange.
+    client_id:
+        Distinguishes this client's state on the server.
+    mapper:
+        Speed -> ``w_min`` mapping (default: the paper's linear one).
+    track_meshes:
+        When True, maintain :class:`ProgressiveMesh` state so the
+        current renderable geometry can be materialised (costs memory;
+        experiments that only need byte accounting switch it off).
+    use_coverage:
+        When True, plan regions against a :class:`CoverageMap` of
+        *everything* fetched so far instead of only the previous frame
+        -- a client looping back over old ground then skips requests
+        entirely (semantic caching; see :mod:`repro.core.coverage`).
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        link: WirelessLink,
+        clock: SimClock,
+        *,
+        client_id: int = 0,
+        mapper: SpeedResolutionMapper | None = None,
+        track_meshes: bool = False,
+        use_coverage: bool = False,
+    ):
+        self._server = server
+        self._link = link
+        self._clock = clock
+        self._client_id = client_id
+        self._mapper = mapper if mapper is not None else LinearMapper()
+        self._track_meshes = track_meshes
+        self._prev_box: Box | None = None
+        self._prev_w_min: float | None = None
+        self._coverage: CoverageMap | None = CoverageMap() if use_coverage else None
+        self._sent_uids: set[tuple[int, int, int]] = set()
+        self._meshes: dict[int, ProgressiveMesh] = {}
+        self._steps: list[RetrievalStep] = []
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def client_id(self) -> int:
+        return self._client_id
+
+    @property
+    def steps(self) -> list[RetrievalStep]:
+        return list(self._steps)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.payload_bytes for s in self._steps)
+
+    @property
+    def total_io(self) -> int:
+        return sum(s.io_node_reads for s in self._steps)
+
+    @property
+    def received_record_count(self) -> int:
+        return len(self._sent_uids)
+
+    def mesh_of(self, object_id: int) -> ProgressiveMesh:
+        """Client-side progressive state of one object."""
+        if object_id not in self._meshes:
+            raise ProtocolError(
+                f"client holds no data for object {object_id} "
+                "(was track_meshes enabled?)"
+            )
+        return self._meshes[object_id]
+
+    def known_objects(self) -> list[int]:
+        return sorted(self._meshes)
+
+    # -- the algorithm ----------------------------------------------------------------
+
+    def plan_regions(self, query_box: Box, w_min: float) -> list[RegionRequest]:
+        """Algorithm 1's region planning (lines 1.1-1.10), side-effect free.
+
+        Returns the list of (region, band) sub-queries to execute; empty
+        when the client provably already has everything it needs.  With
+        coverage enabled, planning diffs against the full fetch history
+        rather than only the previous frame.
+        """
+        if self._coverage is not None:
+            return [
+                RegionRequest(
+                    piece.box, piece.w_min, piece.w_max, half_open=piece.half_open
+                )
+                for piece in self._coverage.missing(query_box, w_min)
+            ]
+        if self._prev_box is None:
+            return [RegionRequest(query_box, w_min, 1.0)]
+        overlap = query_box.intersection(self._prev_box)
+        if overlap is None:
+            return [RegionRequest(query_box, w_min, 1.0)]
+        new_pieces = query_box.difference(self._prev_box)
+        regions = [
+            RegionRequest(piece, w_min, 1.0) for piece in new_pieces
+        ]
+        prev_w = self._prev_w_min if self._prev_w_min is not None else 1.0
+        if w_min < prev_w:
+            # Resolution increased: incremental band for the overlap.
+            regions.append(RegionRequest(overlap, w_min, prev_w, half_open=True))
+        return regions
+
+    def step(self, position: np.ndarray, speed: float, query_box: Box) -> RetrievalStep:
+        """Process one query frame: plan, retrieve, integrate, account."""
+        speed = clamp_speed(speed)
+        w_min = float(self._mapper(speed))
+        regions = self.plan_regions(query_box, w_min)
+        now = self._clock.now
+        if not regions:
+            result = RetrievalStep(
+                timestamp=now,
+                query_box=query_box,
+                speed=speed,
+                w_min=w_min,
+                sub_queries=0,
+                records_received=0,
+                payload_bytes=0,
+                io_node_reads=0,
+                elapsed_s=0.0,
+                filtered_out=0,
+            )
+        else:
+            response = self._server.retrieve(
+                self._client_id,
+                now,
+                regions,
+                exclude_uids=frozenset(self._sent_uids),
+            )
+            self._integrate(response)
+            elapsed = self._link.exchange(
+                response.payload_bytes, speed=speed, now=now
+            )
+            self._clock.advance(elapsed)
+            result = RetrievalStep(
+                timestamp=now,
+                query_box=query_box,
+                speed=speed,
+                w_min=w_min,
+                sub_queries=len(regions),
+                records_received=response.record_count,
+                payload_bytes=response.payload_bytes,
+                io_node_reads=response.io_node_reads,
+                elapsed_s=elapsed,
+                filtered_out=response.filtered_out,
+            )
+        self._prev_box = query_box
+        self._prev_w_min = w_min
+        if self._coverage is not None:
+            self._coverage.add(query_box, w_min)
+        self._steps.append(result)
+        return result
+
+    def _integrate(self, response: RetrieveResponse) -> None:
+        for payload in response.base_meshes:
+            if self._track_meshes:
+                mesh = self._meshes.setdefault(
+                    payload.object_id, ProgressiveMesh(payload.object_id)
+                )
+                mesh.set_base(payload.mesh, payload.size_bytes)
+            else:
+                self._meshes.setdefault(
+                    payload.object_id, ProgressiveMesh(payload.object_id)
+                )
+        for record, displacement in zip(response.records, response.displacements):
+            self._sent_uids.add(record.uid)
+            if not self._track_meshes:
+                continue
+            mesh = self._meshes.setdefault(
+                record.object_id, ProgressiveMesh(record.object_id)
+            )
+            if record.key.is_base:
+                continue  # base geometry arrives via the base mesh payload
+            mesh.receive(record, np.asarray(displacement))

@@ -1,0 +1,75 @@
+"""View-direction-aware querying (the paper's view frustum, optional).
+
+The evaluation drives rectangular query frames, but the introduction's
+scenarios (head-mounted displays) really have a *view direction*.  This
+module lets a client express wedge-shaped interest while reusing the
+box-based access methods: query the wedge's bounding box on the server,
+then drop records whose support region misses the wedge.
+
+The filtering step is sound because a coefficient can only influence
+pixels inside its support region's MBB: discarding records whose MBB
+misses the wedge never removes visible detail.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.vector import heading_angle
+from repro.geometry.wedge import Wedge
+from repro.wavelets.coefficients import CoefficientRecord
+
+__all__ = ["view_wedge", "filter_records_in_view", "view_savings"]
+
+
+def view_wedge(
+    position: Sequence[float],
+    velocity: Sequence[float],
+    *,
+    fov_degrees: float = 110.0,
+    view_range: float = 100.0,
+) -> Wedge:
+    """The wedge a client moving with ``velocity`` is looking into.
+
+    Heading follows the motion direction (the common AR assumption);
+    a zero velocity yields a full disk (the user may look anywhere).
+    """
+    if not 0.0 < fov_degrees <= 360.0:
+        raise GeometryError(f"fov must be in (0, 360], got {fov_degrees}")
+    v = np.asarray(velocity, dtype=float)
+    speed = float(np.linalg.norm(v))
+    if speed == 0.0:
+        return Wedge(position, 0.0, math.pi, view_range)
+    half_angle = min(math.radians(fov_degrees) / 2.0, math.pi)
+    return Wedge(position, heading_angle(v), half_angle, view_range)
+
+
+def filter_records_in_view(
+    records: Sequence[CoefficientRecord], wedge: Wedge
+) -> list[CoefficientRecord]:
+    """Keep only records whose support region can affect the view."""
+    kept = []
+    for record in records:
+        footprint = record.support_box.project((0, 1))
+        if wedge.intersects_box(footprint):
+            kept.append(record)
+    return kept
+
+
+def view_savings(
+    records: Sequence[CoefficientRecord], wedge: Wedge
+) -> tuple[int, int]:
+    """(bytes needed for the wedge, bytes of the full bounding box).
+
+    Quantifies how much a direction-aware client saves over the
+    rectangular frame covering the same view.
+    """
+    in_view = filter_records_in_view(records, wedge)
+    return (
+        sum(r.size_bytes for r in in_view),
+        sum(r.size_bytes for r in records),
+    )

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so applications can catch library failures with a
+single ``except`` clause while letting programming errors (``TypeError``
+and friends raised by Python itself) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (mismatched dimensions, inverted boxes...)."""
+
+
+class MeshError(ReproError):
+    """Invalid mesh topology or an operation unsupported on this mesh."""
+
+
+class WaveletError(ReproError):
+    """Wavelet analysis/synthesis failure (level mismatch, bad subset...)."""
+
+
+class IndexError_(ReproError):
+    """Spatial index misuse (dimension mismatch, invalid capacity...).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError`` while staying greppable.
+    """
+
+
+class NetworkError(ReproError):
+    """Simulated network failure or protocol misuse."""
+
+
+class BufferError_(ReproError):
+    """Buffer-management misuse (zero-size buffer, bad probabilities...)."""
+
+
+class PredictionError(ReproError):
+    """Motion prediction failure (insufficient history, singular fit...)."""
+
+
+class WorkloadError(ReproError):
+    """Workload/dataset construction failure."""
+
+
+class ProtocolError(ReproError):
+    """Client/server protocol violation in the simulated system."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid experiment or system configuration."""

@@ -1,0 +1,24 @@
+"""One experiment module per figure of the paper's evaluation.
+
+Each module exposes ``run(...)`` (or ``run_query_sizes``/
+``run_dataset_sizes`` for two-panel figures) returning a
+:class:`~repro.experiments.runner.ResultTable`; running a module as a
+script prints the table.  ``python -m repro.experiments`` runs the full
+suite.
+"""
+
+from repro.experiments.runner import (
+    ResultTable,
+    city_database,
+    clear_caches,
+    query_box_for,
+    tour_suite,
+)
+
+__all__ = [
+    "ResultTable",
+    "city_database",
+    "tour_suite",
+    "query_box_for",
+    "clear_caches",
+]

@@ -1,0 +1,45 @@
+"""Run the full experiment suite: ``python -m repro.experiments``."""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import (
+    extensions,
+    fig08_speed_retrieval,
+    fig09_sizes,
+    fig10_buffer_size,
+    fig11_buffer_speed,
+    fig12_index_speed,
+    fig13_index_sizes,
+    fig14_15_response,
+)
+
+
+def main() -> None:
+    jobs = [
+        ("fig08", lambda: fig08_speed_retrieval.run()),
+        ("fig09a", lambda: fig09_sizes.run_query_sizes()),
+        ("fig09b", lambda: fig09_sizes.run_dataset_sizes()),
+        ("fig10", lambda: fig10_buffer_size.run()),
+        ("fig11", lambda: fig11_buffer_speed.run()),
+        ("fig12", lambda: fig12_index_speed.run()),
+        ("fig13a", lambda: fig13_index_sizes.run_query_sizes()),
+        ("fig13b", lambda: fig13_index_sizes.run_dataset_sizes()),
+        ("fig14", lambda: fig14_15_response.run(placement="uniform")),
+        ("fig15", lambda: fig14_15_response.run(placement="zipf")),
+        ("E9", lambda: extensions.run_coverage_gains()),
+        ("E10", lambda: extensions.run_fleet_scaling()),
+        ("E11", lambda: extensions.run_representation_cost()),
+    ]
+    for name, job in jobs:
+        start = time.time()
+        table = job()
+        elapsed = time.time() - start
+        print(table.to_text())
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,163 @@
+"""Extension experiments beyond the paper's figures (E9-E11).
+
+These quantify the optional subsystems DESIGN.md lists:
+
+* **E9 coverage gains** -- semantic coverage maps vs plain Algorithm 1
+  on routes that revisit old ground;
+* **E10 fleet scaling** -- average response time vs fleet size for
+  motion-aware and full-resolution client populations sharing one
+  server uplink;
+* **E11 representation compactness** -- wavelet coding vs progressive
+  meshes (Section II's contrast), bytes to full detail across object
+  depths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fleet import FleetConfig, simulate_fleet
+from repro.core.retrieval import ContinuousRetrievalClient
+from repro.experiments.runner import ResultTable, city_database, tour_suite
+from repro.geometry.box import Box
+from repro.mesh.generators import generate_deformed_hierarchy, icosahedron
+from repro.mesh.progressive_pm import simplify_to_progressive
+from repro.net.link import WirelessLink
+from repro.net.simclock import SimClock
+from repro.server.server import Server
+from repro.wavelets.analysis import analyze_hierarchy
+from repro.workloads.config import ExperimentScale
+
+__all__ = ["run_coverage_gains", "run_fleet_scaling", "run_representation_cost"]
+
+
+def _loop_route(space: Box, legs: int = 2, step: float = 50.0) -> list[np.ndarray]:
+    """An out-and-back patrol along a street, repeated ``legs`` times."""
+    y = float(space.center[1])
+    xs: list[float] = []
+    lo = float(space.low[0]) + 100.0
+    hi = float(space.high[0]) - 100.0
+    for _ in range(legs):
+        xs.extend(np.arange(lo, hi, step))
+        xs.extend(np.arange(hi, lo, -step))
+    return [np.array([x, y]) for x in xs]
+
+
+def run_coverage_gains(
+    scale: ExperimentScale | None = None,
+    *,
+    speed: float = 0.5,
+    query_frac: float = 0.10,
+) -> ResultTable:
+    """E9: Algorithm 1 alone vs Algorithm 1 + coverage map on a patrol."""
+    scale = scale if scale is not None else ExperimentScale()
+    db = city_database(scale)
+    server = Server(db)
+    table = ResultTable(
+        name="E9: semantic coverage vs plain Algorithm 1 (patrol route)",
+        columns=["mode", "sub_queries", "io_node_reads", "bytes"],
+        notes="An out-and-back route revisits its own ground twice.",
+    )
+    route = _loop_route(scale.space)
+    frame_extent = query_frac * scale.space.extents
+    for mode, use_coverage in (("algorithm1", False), ("coverage", True)):
+        client_id = 7000 + int(use_coverage)
+        server.reset_client(client_id)
+        client = ContinuousRetrievalClient(
+            server,
+            WirelessLink(),
+            SimClock(),
+            client_id=client_id,
+            use_coverage=use_coverage,
+        )
+        sub_queries = 0
+        for position in route:
+            step_result = client.step(
+                position, speed, Box.from_center(position, frame_extent)
+            )
+            sub_queries += step_result.sub_queries
+        table.add(
+            mode=mode,
+            sub_queries=sub_queries,
+            io_node_reads=client.total_io,
+            bytes=client.total_bytes,
+        )
+    return table
+
+
+def run_fleet_scaling(
+    scale: ExperimentScale | None = None,
+    *,
+    fleet_sizes=(2, 4, 8),
+    speed: float = 0.7,
+    server_uplink_bps: float = 96_000.0,
+) -> ResultTable:
+    """E10: response time vs fleet size, motion-aware vs full-resolution."""
+    scale = scale if scale is not None else ExperimentScale()
+    db = city_database(scale, dense=True)
+    config = FleetConfig(
+        space=scale.space,
+        link=scale.link,
+        server_uplink_bps=server_uplink_bps,
+    )
+
+    class FullResolution:
+        def __call__(self, speed: float) -> float:
+            return 0.0
+
+    table = ResultTable(
+        name="E10: fleet size vs response time (shared server uplink)",
+        columns=["clients", "population", "avg_response_s", "p95_response_s", "bytes"],
+    )
+    for count in fleet_sizes:
+        tours = tour_suite(
+            scale, "tram", speed=speed, count=count, base_seed=5000
+        )
+        for population, mapper in (
+            ("motion_aware", None),
+            ("full_resolution", FullResolution()),
+        ):
+            result = simulate_fleet(Server(db), tours, config, mapper=mapper)
+            table.add(
+                clients=count,
+                population=population,
+                avg_response_s=result.avg_response_s,
+                p95_response_s=result.p95_response_s,
+                bytes=result.total_bytes,
+            )
+    return table
+
+
+def run_representation_cost(
+    *, depths=(1, 2, 3), seed: int = 13
+) -> ResultTable:
+    """E11: bytes for full detail, wavelets vs progressive meshes."""
+    table = ResultTable(
+        name="E11: coding compactness, wavelets vs progressive meshes",
+        columns=["depth", "vertices", "wavelet_bytes", "pm_bytes", "ratio"],
+        notes="Same deformed surface decomposed both ways (Section II).",
+    )
+    for depth in depths:
+        hierarchy = generate_deformed_hierarchy(
+            icosahedron(), depth, np.random.default_rng(seed)
+        )
+        decomposition = analyze_hierarchy(hierarchy)
+        pm = simplify_to_progressive(hierarchy.finest, 12)
+        wavelet_bytes = decomposition.total_bytes()
+        pm_bytes = pm.total_bytes()
+        table.add(
+            depth=depth,
+            vertices=hierarchy.finest.vertex_count,
+            wavelet_bytes=wavelet_bytes,
+            pm_bytes=pm_bytes,
+            ratio=pm_bytes / wavelet_bytes,
+        )
+    return table
+
+
+if __name__ == "__main__":
+    print(run_coverage_gains().to_text())
+    print()
+    print(run_fleet_scaling().to_text())
+    print()
+    print(run_representation_cost().to_text())

@@ -1,0 +1,101 @@
+"""Figure 9: effect of query size (a) and dataset size (b) on retrieval.
+
+Both panels use tram tours and sweep the speed axis; (a) varies the
+query frame between 5-20 % of the space, (b) varies the dataset between
+the paper's 20-80 MB equivalents.  The expected shape: retrieved volume
+falls with speed everywhere, and the absolute saving of the
+multi-resolution technique grows with query and dataset size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig08_speed_retrieval import (
+    retrieval_bytes_for_tour,
+    steps_for_speed,
+)
+from repro.experiments.runner import ResultTable, city_database, tour_suite
+from repro.server.server import Server
+from repro.workloads.config import (
+    PAPER_DATASETS_MB,
+    PAPER_QUERY_FRACS,
+    ExperimentScale,
+)
+
+__all__ = ["run_query_sizes", "run_dataset_sizes"]
+
+# A reduced speed axis keeps the sweep tractable; the endpoints and the
+# midpoint carry the figure's shape.
+SPEEDS = (0.001, 0.5, 1.0)
+
+
+def run_query_sizes(
+    scale: ExperimentScale | None = None,
+    *,
+    query_fracs=PAPER_QUERY_FRACS,
+    speeds=SPEEDS,
+) -> ResultTable:
+    """Figure 9(a): query frame 5-20 % of the space, tram tours."""
+    scale = scale if scale is not None else ExperimentScale()
+    db = city_database(scale)
+    server = Server(db)
+    table = ResultTable(
+        name="Figure 9(a): data retrieved vs query size (tram)",
+        columns=["query_frac", "speed", "avg_bytes"],
+    )
+    for query_frac in query_fracs:
+        for speed in speeds:
+            steps = steps_for_speed(scale, speed)
+            tours = tour_suite(scale, "tram", speed=speed, steps=steps)
+            totals = [
+                retrieval_bytes_for_tour(
+                    server, scale.space, tour, speed, query_frac, client_id=i
+                )
+                for i, tour in enumerate(tours)
+            ]
+            table.add(
+                query_frac=query_frac,
+                speed=speed,
+                avg_bytes=float(sum(totals) / len(totals)),
+            )
+    return table
+
+
+def run_dataset_sizes(
+    scale: ExperimentScale | None = None,
+    *,
+    datasets_mb=PAPER_DATASETS_MB,
+    speeds=SPEEDS,
+    query_frac: float = 0.10,
+) -> ResultTable:
+    """Figure 9(b): dataset 20-80 MB equivalents, tram tours."""
+    scale = scale if scale is not None else ExperimentScale()
+    table = ResultTable(
+        name="Figure 9(b): data retrieved vs dataset size (tram)",
+        columns=["paper_mb", "objects", "speed", "avg_bytes"],
+    )
+    for paper_mb in datasets_mb:
+        objects = scale.objects_for(paper_mb)
+        db = city_database(scale, object_count=objects)
+        server = Server(db)
+        for speed in speeds:
+            steps = steps_for_speed(scale, speed)
+            tours = tour_suite(scale, "tram", speed=speed, steps=steps)
+            totals = [
+                retrieval_bytes_for_tour(
+                    server, scale.space, tour, speed, query_frac, client_id=i
+                )
+                for i, tour in enumerate(tours)
+            ]
+            table.add(
+                paper_mb=paper_mb,
+                objects=objects,
+                speed=speed,
+                avg_bytes=float(sum(totals) / len(totals)),
+            )
+    return table
+
+
+if __name__ == "__main__":
+    print(run_query_sizes().to_text())
+    print()
+    print(run_dataset_sizes().to_text())

@@ -1,0 +1,108 @@
+"""Figure 10: motion-aware vs naive buffer management across buffer sizes.
+
+(a) cache hit rate and (b) data utilisation, for buffers of 16-128 KB,
+over tram and pedestrian seed travel patterns.  Expected shapes:
+
+* hit rate grows with buffer size for both schemes, motion-aware above
+  naive throughout;
+* utilisation falls as buffers grow (long-range predictions waste
+  data); motion-aware utilisation is a multiple of the naive one.
+"""
+
+from __future__ import annotations
+
+from repro.buffering.manager import MotionAwareBufferManager, NaiveBufferManager
+from repro.experiments.runner import (
+    ResultTable,
+    city_database,
+    query_box_for,
+    tour_suite,
+)
+from repro.geometry.grid import Grid
+from repro.motion.trajectory import Trajectory
+from repro.server.database import ObjectDatabase
+from repro.workloads.config import PAPER_BUFFER_KB, ExperimentScale
+
+__all__ = ["run", "drive_manager"]
+
+
+def drive_manager(
+    manager,
+    tour: Trajectory,
+    speed: float,
+    query_frac: float,
+    space,
+) -> None:
+    """Run one tour through a buffer manager."""
+    resolution = min(max(speed, 0.0), 1.0)
+    for i in range(len(tour)):
+        position = tour.positions[i]
+        box = query_box_for(space, position, query_frac)
+        manager.tick(position, speed, box, resolution)
+
+
+def _measure(
+    db: ObjectDatabase,
+    scale: ExperimentScale,
+    kind: str,
+    scheme: str,
+    buffer_bytes: int,
+    *,
+    speed: float,
+    query_frac: float,
+) -> tuple[float, float]:
+    """(hit rate, utilisation) averaged over the tour suite."""
+    grid = Grid(scale.space, scale.grid_shape)
+    block_fn = db.block_bytes_fn(grid)
+    hits = []
+    utils = []
+    for tour in tour_suite(scale, kind, speed=speed):
+        if scheme == "motion_aware":
+            manager = MotionAwareBufferManager(grid, buffer_bytes, block_fn)
+        else:
+            manager = NaiveBufferManager(grid, buffer_bytes, block_fn)
+        drive_manager(manager, tour, speed, query_frac, scale.space)
+        hits.append(manager.stats.hit_rate)
+        utils.append(manager.utilization())
+    return (sum(hits) / len(hits), sum(utils) / len(utils))
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    *,
+    buffer_kbs=PAPER_BUFFER_KB,
+    speed: float = 0.5,
+    query_frac: float = 0.10,
+) -> ResultTable:
+    """Reproduce Figure 10 (both panels in one table)."""
+    scale = scale if scale is not None else ExperimentScale()
+    db = city_database(scale, dense=True)
+    table = ResultTable(
+        name="Figure 10: buffer size vs cache hit rate / data utilisation",
+        columns=["buffer_kb", "kind", "scheme", "hit_rate", "utilization"],
+        notes="Hit rate over newly required blocks; speed fixed near 0.5.",
+    )
+    for buffer_kb in buffer_kbs:
+        for kind in ("tram", "pedestrian"):
+            for scheme in ("motion_aware", "naive"):
+                hit, util = _measure(
+                    db,
+                    scale,
+                    kind,
+                    scheme,
+                    scale.buffer_bytes(buffer_kb),
+                    speed=speed,
+                    query_frac=query_frac,
+                )
+                table.add(
+                    buffer_kb=buffer_kb,
+                    kind=kind,
+                    scheme=scheme,
+                    hit_rate=hit,
+                    utilization=util,
+                )
+    return table
+
+
+if __name__ == "__main__":
+    print(run().to_text())

@@ -1,0 +1,65 @@
+"""Figure 11: effect of client speed on the multi-resolution buffer.
+
+At higher speeds the buffer stores lower-resolution blocks, so the same
+bytes cover more ground: the cache hit rate should *rise* with speed
+while the data utilisation falls (long-distance predictions waste some
+of the prefetched volume).  The motion-aware scheme should stay above
+the naive one on both metrics.
+"""
+
+from __future__ import annotations
+
+from repro.buffering.manager import MotionAwareBufferManager, NaiveBufferManager
+from repro.experiments.fig10_buffer_size import drive_manager
+from repro.experiments.runner import ResultTable, city_database, tour_suite
+from repro.geometry.grid import Grid
+from repro.workloads.config import PAPER_SPEEDS, ExperimentScale
+
+__all__ = ["run"]
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    *,
+    speeds=PAPER_SPEEDS,
+    buffer_kb: int = 32,
+    query_frac: float = 0.10,
+) -> ResultTable:
+    """Reproduce Figure 11 (hit rate and utilisation vs speed)."""
+    scale = scale if scale is not None else ExperimentScale()
+    db = city_database(scale, dense=True)
+    grid = Grid(scale.space, scale.grid_shape)
+    block_fn = db.block_bytes_fn(grid)
+    table = ResultTable(
+        name="Figure 11: speed vs cache hit rate / data utilisation",
+        columns=["speed", "kind", "scheme", "hit_rate", "utilization"],
+        notes=f"Buffer fixed at {buffer_kb} KB; resolution follows speed.",
+    )
+    buffer_bytes = scale.buffer_bytes(buffer_kb)
+    for speed in speeds:
+        for kind in ("tram", "pedestrian"):
+            for scheme in ("motion_aware", "naive"):
+                hits = []
+                utils = []
+                for tour in tour_suite(scale, kind, speed=speed):
+                    if scheme == "motion_aware":
+                        manager = MotionAwareBufferManager(
+                            grid, buffer_bytes, block_fn
+                        )
+                    else:
+                        manager = NaiveBufferManager(grid, buffer_bytes, block_fn)
+                    drive_manager(manager, tour, speed, query_frac, scale.space)
+                    hits.append(manager.stats.hit_rate)
+                    utils.append(manager.utilization())
+                table.add(
+                    speed=speed,
+                    kind=kind,
+                    scheme=scheme,
+                    hit_rate=sum(hits) / len(hits),
+                    utilization=sum(utils) / len(utils),
+                )
+    return table
+
+
+if __name__ == "__main__":
+    print(run().to_text())

@@ -1,0 +1,92 @@
+"""Figure 13: index I/O vs query size (a) and dataset size (b).
+
+Speed is fixed at 0.5 (band ``[0.5, 1.0]``).  Expected shapes: I/O
+grows with query size and dataset size for both access methods, and the
+motion-aware index's advantage widens as either grows (paper: ~36 %
+average, up to ~49 % for the largest query and ~59 % for the largest
+dataset).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig12_index_speed import average_query_io
+from repro.experiments.runner import ResultTable, city_database, tour_suite
+from repro.index.access import MotionAwareAccessMethod, NaivePointAccessMethod
+from repro.workloads.config import (
+    PAPER_DATASETS_MB,
+    PAPER_QUERY_FRACS,
+    ExperimentScale,
+)
+
+__all__ = ["run_query_sizes", "run_dataset_sizes"]
+
+SPEED = 0.5
+
+
+def run_query_sizes(
+    scale: ExperimentScale | None = None,
+    *,
+    query_fracs=PAPER_QUERY_FRACS,
+) -> ResultTable:
+    """Figure 13(a): I/O vs query size at the default dataset."""
+    scale = scale if scale is not None else ExperimentScale()
+    db = city_database(scale)
+    records = db.all_records()
+    methods = {
+        "motion_aware": MotionAwareAccessMethod(records),
+        "naive": NaivePointAccessMethod(records),
+    }
+    tours = tour_suite(scale, "tram", speed=SPEED)
+    table = ResultTable(
+        name="Figure 13(a): index I/O vs query size",
+        columns=["query_frac", "method", "avg_node_reads"],
+    )
+    for query_frac in query_fracs:
+        for name, method in methods.items():
+            table.add(
+                query_frac=query_frac,
+                method=name,
+                avg_node_reads=average_query_io(
+                    method, scale.space, tours, SPEED, query_frac
+                ),
+            )
+    return table
+
+
+def run_dataset_sizes(
+    scale: ExperimentScale | None = None,
+    *,
+    datasets_mb=PAPER_DATASETS_MB,
+    query_frac: float = 0.10,
+) -> ResultTable:
+    """Figure 13(b): I/O vs dataset size at the default query size."""
+    scale = scale if scale is not None else ExperimentScale()
+    tours = tour_suite(scale, "tram", speed=SPEED)
+    table = ResultTable(
+        name="Figure 13(b): index I/O vs dataset size",
+        columns=["paper_mb", "objects", "method", "avg_node_reads"],
+    )
+    for paper_mb in datasets_mb:
+        objects = scale.objects_for(paper_mb)
+        db = city_database(scale, object_count=objects)
+        records = db.all_records()
+        methods = {
+            "motion_aware": MotionAwareAccessMethod(records),
+            "naive": NaivePointAccessMethod(records),
+        }
+        for name, method in methods.items():
+            table.add(
+                paper_mb=paper_mb,
+                objects=objects,
+                method=name,
+                avg_node_reads=average_query_io(
+                    method, scale.space, tours, SPEED, query_frac
+                ),
+            )
+    return table
+
+
+if __name__ == "__main__":
+    print(run_query_sizes().to_text())
+    print()
+    print(run_dataset_sizes().to_text())

@@ -1,0 +1,74 @@
+"""ASCII chart rendering for experiment tables.
+
+Turns :class:`~repro.experiments.runner.ResultTable` series into small
+terminal charts so ``python -m repro.experiments`` output can be eyeballed
+against the paper's figures without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ResultTable
+
+__all__ = ["bar_chart", "series_chart", "table_chart"]
+
+_BAR_WIDTH = 40
+
+
+def bar_chart(
+    labels: Sequence[str], values: Sequence[float], *, width: int = _BAR_WIDTH
+) -> str:
+    """Horizontal bars, one per label, scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not labels:
+        return "(empty chart)"
+    if any(v < 0 for v in values):
+        raise ConfigurationError("bar charts need non-negative values")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(value / peak * width)), 1 if value > 0 else 0)
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    table: ResultTable,
+    x: str,
+    y: str,
+    group_by: str | None = None,
+    *,
+    width: int = _BAR_WIDTH,
+) -> str:
+    """Bar chart of a table's (x, y) series, one block per group value."""
+    blocks = []
+    if group_by is None:
+        groups = [None]
+    else:
+        seen = []
+        for row in table.rows:
+            if row[group_by] not in seen:
+                seen.append(row[group_by])
+        groups = seen
+    for group in groups:
+        filters = {} if group is None else {group_by: group}
+        series = table.series(x, y, **filters)
+        if not series:
+            continue
+        labels = [f"{x}={value:g}" if isinstance(value, float) else f"{x}={value}"
+                  for value, _ in series]
+        values = [val for _, val in series]
+        header = f"{y}" if group is None else f"{y} [{group_by}={group}]"
+        blocks.append(header + "\n" + bar_chart(labels, values, width=width))
+    return "\n\n".join(blocks) if blocks else "(no data)"
+
+
+def table_chart(table: ResultTable, x: str, y: str, group_by: str | None = None) -> str:
+    """The table text followed by its chart."""
+    return table.to_text() + "\n\n" + series_chart(table, x, y, group_by)

@@ -1,0 +1,32 @@
+"""n-dimensional geometry primitives: boxes, grids, vectors."""
+
+from repro.geometry.box import Box, total_volume, union_bounds
+from repro.geometry.grid import CellId, Grid
+from repro.geometry.wedge import Wedge
+from repro.geometry.vector import (
+    angle_difference,
+    as_vector,
+    distance,
+    heading_angle,
+    midpoint,
+    norm,
+    normalize,
+    sector_of_angle,
+)
+
+__all__ = [
+    "Box",
+    "union_bounds",
+    "total_volume",
+    "Grid",
+    "CellId",
+    "as_vector",
+    "norm",
+    "normalize",
+    "distance",
+    "midpoint",
+    "heading_angle",
+    "angle_difference",
+    "sector_of_angle",
+    "Wedge",
+]

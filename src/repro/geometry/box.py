@@ -1,0 +1,321 @@
+"""Axis-aligned n-dimensional boxes and their algebra.
+
+The whole system reasons about axis-aligned boxes: query windows are
+2-D/3-D boxes, wavelet support regions are bounded by 3-D boxes, index
+entries are 4-D boxes (space x coefficient value), and the continuous
+retrieval algorithm needs the *difference* ``Q_t - Q_{t-1}`` decomposed
+into disjoint boxes (Section IV of the paper splits the difference along
+one axis; :meth:`Box.difference` generalises that split to n dimensions).
+
+Boxes are closed: a point on the boundary is contained.  Degenerate
+boxes (zero extent along some axis) are allowed -- a point is a box.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = ["Box", "union_bounds", "total_volume"]
+
+
+class Box:
+    """A closed axis-aligned box ``[low_i, high_i]`` in n dimensions.
+
+    Parameters
+    ----------
+    low, high:
+        Sequences of per-axis bounds.  ``low[i] <= high[i]`` must hold
+        for every axis ``i``.
+
+    Examples
+    --------
+    >>> q = Box((0, 0), (10, 5))
+    >>> q.volume
+    50.0
+    >>> q.contains_point((3, 4))
+    True
+    """
+
+    __slots__ = ("_low", "_high")
+
+    def __init__(self, low: Sequence[float], high: Sequence[float]):
+        low_arr = np.asarray(low, dtype=float)
+        high_arr = np.asarray(high, dtype=float)
+        if low_arr.ndim != 1 or high_arr.ndim != 1:
+            raise GeometryError("box bounds must be 1-D sequences")
+        if low_arr.shape != high_arr.shape:
+            raise GeometryError(
+                f"low and high have different dimensions: "
+                f"{low_arr.shape[0]} vs {high_arr.shape[0]}"
+            )
+        if low_arr.shape[0] == 0:
+            raise GeometryError("boxes must have at least one dimension")
+        if np.any(low_arr > high_arr):
+            raise GeometryError(f"inverted box: low={low_arr} high={high_arr}")
+        if not (np.all(np.isfinite(low_arr)) and np.all(np.isfinite(high_arr))):
+            raise GeometryError("box bounds must be finite")
+        self._low = low_arr
+        self._high = high_arr
+        self._low.setflags(write=False)
+        self._high.setflags(write=False)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "Box":
+        """A degenerate box covering a single point."""
+        return cls(point, point)
+
+    @classmethod
+    def from_center(cls, center: Sequence[float], extents: Sequence[float]) -> "Box":
+        """A box centred at ``center`` with full side lengths ``extents``."""
+        c = np.asarray(center, dtype=float)
+        e = np.asarray(extents, dtype=float)
+        if np.any(e < 0):
+            raise GeometryError("extents must be non-negative")
+        return cls(c - e / 2.0, c + e / 2.0)
+
+    @classmethod
+    def bounding(cls, points: Iterable[Sequence[float]]) -> "Box":
+        """The minimum bounding box of a non-empty collection of points."""
+        arr = np.asarray(list(points), dtype=float)
+        if arr.size == 0:
+            raise GeometryError("cannot bound an empty point set")
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        return cls(arr.min(axis=0), arr.max(axis=0))
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def low(self) -> np.ndarray:
+        """Per-axis lower bounds (read-only array)."""
+        return self._low
+
+    @property
+    def high(self) -> np.ndarray:
+        """Per-axis upper bounds (read-only array)."""
+        return self._high
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self._low.shape[0]
+
+    @property
+    def center(self) -> np.ndarray:
+        """The box centre point."""
+        return (self._low + self._high) / 2.0
+
+    @property
+    def extents(self) -> np.ndarray:
+        """Per-axis side lengths."""
+        return self._high - self._low
+
+    @property
+    def volume(self) -> float:
+        """Product of side lengths (area in 2-D, length in 1-D)."""
+        return float(np.prod(self.extents))
+
+    @property
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree ``margin`` heuristic)."""
+        return float(np.sum(self.extents))
+
+    def is_degenerate(self) -> bool:
+        """True when at least one axis has zero extent."""
+        return bool(np.any(self._high == self._low))
+
+    # -- predicates ----------------------------------------------------------
+
+    def _check_same_dim(self, other: "Box") -> None:
+        if other.ndim != self.ndim:
+            raise GeometryError(
+                f"dimension mismatch: {self.ndim} vs {other.ndim}"
+            )
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """True when ``point`` lies inside or on the boundary."""
+        p = np.asarray(point, dtype=float)
+        if p.shape != self._low.shape:
+            raise GeometryError(
+                f"point dimension {p.shape} does not match box {self._low.shape}"
+            )
+        return bool(np.all(p >= self._low) and np.all(p <= self._high))
+
+    def contains_box(self, other: "Box") -> bool:
+        """True when ``other`` lies fully inside this box."""
+        self._check_same_dim(other)
+        return bool(
+            np.all(other._low >= self._low) and np.all(other._high <= self._high)
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        """True when the closed boxes share at least one point."""
+        self._check_same_dim(other)
+        return bool(
+            np.all(self._low <= other._high) and np.all(other._low <= self._high)
+        )
+
+    def strictly_intersects(self, other: "Box") -> bool:
+        """True when the boxes share a region of positive volume."""
+        self._check_same_dim(other)
+        return bool(
+            np.all(self._low < other._high) and np.all(other._low < self._high)
+        )
+
+    # -- algebra ---------------------------------------------------------------
+
+    def intersection(self, other: "Box") -> "Box | None":
+        """The overlapping box, or ``None`` when the boxes are disjoint."""
+        self._check_same_dim(other)
+        low = np.maximum(self._low, other._low)
+        high = np.minimum(self._high, other._high)
+        if np.any(low > high):
+            return None
+        return Box(low, high)
+
+    def intersection_volume(self, other: "Box") -> float:
+        """Volume of the overlap (0.0 when disjoint)."""
+        inter = self.intersection(other)
+        return 0.0 if inter is None else inter.volume
+
+    def union(self, other: "Box") -> "Box":
+        """The minimum box enclosing both boxes."""
+        self._check_same_dim(other)
+        return Box(
+            np.minimum(self._low, other._low), np.maximum(self._high, other._high)
+        )
+
+    def enlargement(self, other: "Box") -> float:
+        """Extra volume needed to grow this box to also cover ``other``.
+
+        This is the Guttman insertion heuristic: ``vol(union) - vol(self)``.
+        """
+        return self.union(other).volume - self.volume
+
+    def difference(self, other: "Box") -> list["Box"]:
+        """Decompose ``self - other`` into disjoint boxes.
+
+        This generalises the paper's split of the new query frame region
+        ``Q_t - Q_{t-1}`` along the x-axis (Section IV, Figure 3): we
+        sweep the axes in order, slicing off the part of ``self`` that
+        lies below/above ``other`` on each axis and shrinking the
+        remaining core.  At most ``2 * ndim`` boxes are produced and they
+        tile ``self - other`` exactly (their volumes sum to
+        ``self.volume - overlap.volume``).
+
+        Returns an empty list when ``other`` covers ``self`` and
+        ``[self]`` when they are disjoint.
+        """
+        inter = self.intersection(other)
+        if inter is None:
+            return [self]
+        if other.contains_box(self):
+            return []
+        pieces: list[Box] = []
+        low = self._low.copy()
+        high = self._high.copy()
+        for axis in range(self.ndim):
+            if low[axis] < inter._low[axis]:
+                piece_low = low.copy()
+                piece_high = high.copy()
+                piece_high[axis] = inter._low[axis]
+                pieces.append(Box(piece_low, piece_high))
+                low[axis] = inter._low[axis]
+            if inter._high[axis] < high[axis]:
+                piece_low = low.copy()
+                piece_high = high.copy()
+                piece_low[axis] = inter._high[axis]
+                pieces.append(Box(piece_low, piece_high))
+                high[axis] = inter._high[axis]
+        # Drop zero-volume slivers produced when self only touches other.
+        return [p for p in pieces if p.volume > 0.0 or p.is_degenerate()]
+
+    def translated(self, offset: Sequence[float]) -> "Box":
+        """A copy shifted by ``offset``."""
+        off = np.asarray(offset, dtype=float)
+        return Box(self._low + off, self._high + off)
+
+    def scaled_about_center(self, factor: float) -> "Box":
+        """A copy scaled about its own centre by ``factor >= 0``."""
+        if factor < 0:
+            raise GeometryError("scale factor must be non-negative")
+        return Box.from_center(self.center, self.extents * factor)
+
+    def expanded(self, amount: float) -> "Box":
+        """A copy grown by ``amount`` on every side (may not shrink past a point)."""
+        half = self.extents / 2.0
+        grow = np.maximum(half + amount, 0.0)
+        return Box(self.center - grow, self.center + grow)
+
+    def augment(self, low_extra: Sequence[float], high_extra: Sequence[float]) -> "Box":
+        """Lift this box into a higher dimension by appending new bounds.
+
+        Used to build the 4-D (x, y, z, w) index boxes from a 3-D support
+        region MBB plus a coefficient-value interval.
+        """
+        lo = np.asarray(low_extra, dtype=float)
+        hi = np.asarray(high_extra, dtype=float)
+        return Box(np.concatenate([self._low, lo]), np.concatenate([self._high, hi]))
+
+    def project(self, axes: Sequence[int]) -> "Box":
+        """The projection of this box onto the given axes (in order)."""
+        idx = list(axes)
+        return Box(self._low[idx], self._high[idx])
+
+    def min_distance_to_point(self, point: Sequence[float]) -> float:
+        """Euclidean distance from ``point`` to the nearest box point."""
+        p = np.asarray(point, dtype=float)
+        d = np.maximum(np.maximum(self._low - p, p - self._high), 0.0)
+        return float(math.sqrt(float(np.dot(d, d))))
+
+    def corners(self) -> Iterator[np.ndarray]:
+        """Iterate over all ``2**ndim`` corner points."""
+        n = self.ndim
+        for mask in range(1 << n):
+            corner = np.where(
+                [(mask >> axis) & 1 for axis in range(n)], self._high, self._low
+            )
+            yield corner.astype(float)
+
+    # -- dunder --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return (
+            self.ndim == other.ndim
+            and bool(np.all(self._low == other._low))
+            and bool(np.all(self._high == other._high))
+        )
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._low), tuple(self._high)))
+
+    def __repr__(self) -> str:
+        lo = ", ".join(f"{v:g}" for v in self._low)
+        hi = ", ".join(f"{v:g}" for v in self._high)
+        return f"Box([{lo}], [{hi}])"
+
+
+def union_bounds(boxes: Iterable[Box]) -> Box:
+    """The minimum box enclosing every box in a non-empty collection."""
+    iterator = iter(boxes)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise GeometryError("cannot bound an empty box collection") from None
+    for box in iterator:
+        result = result.union(box)
+    return result
+
+
+def total_volume(boxes: Sequence[Box]) -> float:
+    """Sum of volumes of a collection of (assumed disjoint) boxes."""
+    return float(sum(box.volume for box in boxes))

@@ -1,0 +1,94 @@
+"""Small vector helpers shared across packages.
+
+These are thin, explicit wrappers over numpy used where a full linear
+algebra import would obscure intent (headings, sector angles, midpoint
+arithmetic on mesh vertices).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "as_vector",
+    "norm",
+    "normalize",
+    "distance",
+    "midpoint",
+    "heading_angle",
+    "angle_difference",
+    "sector_of_angle",
+]
+
+
+def as_vector(value: Sequence[float]) -> np.ndarray:
+    """Coerce to a 1-D float array."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 1:
+        raise GeometryError(f"expected a 1-D vector, got shape {arr.shape}")
+    return arr
+
+
+def norm(vector: Sequence[float]) -> float:
+    """Euclidean length."""
+    arr = as_vector(vector)
+    return float(math.sqrt(float(np.dot(arr, arr))))
+
+
+def normalize(vector: Sequence[float]) -> np.ndarray:
+    """Unit vector in the same direction; raises on the zero vector."""
+    arr = as_vector(vector)
+    length = norm(arr)
+    if length == 0.0:
+        raise GeometryError("cannot normalize the zero vector")
+    return arr / length
+
+
+def distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two points."""
+    return norm(as_vector(a) - as_vector(b))
+
+
+def midpoint(a: Sequence[float], b: Sequence[float]) -> np.ndarray:
+    """The point halfway between ``a`` and ``b``."""
+    return (as_vector(a) + as_vector(b)) / 2.0
+
+
+def heading_angle(velocity: Sequence[float]) -> float:
+    """Heading of a 2-D velocity in radians within ``[0, 2*pi)``.
+
+    Angle 0 points along +x, and angles grow counter-clockwise.
+    """
+    v = as_vector(velocity)
+    if v.shape[0] < 2:
+        raise GeometryError("heading requires at least 2 components")
+    angle = math.atan2(float(v[1]), float(v[0]))
+    if angle < 0:
+        angle += 2.0 * math.pi
+    return angle
+
+
+def angle_difference(a: float, b: float) -> float:
+    """Smallest absolute difference between two angles in radians."""
+    diff = (a - b) % (2.0 * math.pi)
+    return min(diff, 2.0 * math.pi - diff)
+
+
+def sector_of_angle(angle: float, k: int) -> int:
+    """Which of ``k`` equal sectors around the origin contains ``angle``.
+
+    Sector ``i`` spans ``[i * 2*pi/k, (i+1) * 2*pi/k)``; this is how the
+    buffer manager maps a block's bearing to one of the ``k`` movement
+    directions.
+    """
+    if k <= 0:
+        raise GeometryError("sector count must be positive")
+    wrapped = angle % (2.0 * math.pi)
+    sector = int(wrapped / (2.0 * math.pi / k))
+    # Guard against floating point landing exactly on 2*pi.
+    return min(sector, k - 1)

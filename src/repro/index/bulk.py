@@ -1,0 +1,98 @@
+"""Sort-Tile-Recursive (STR) bulk loading.
+
+Building an index entry-by-entry is the dynamic path; experiments build
+indexes over hundreds of thousands of coefficients, where STR packing
+(Leutenegger et al.) is dramatically faster and produces better-packed
+nodes.  The loader fills leaves to capacity by recursively tiling the
+entries along each axis, then builds upper levels the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+from repro.index.node import Entry, Node
+from repro.index.rstar import RStarTree
+from repro.index.rtree import DEFAULT_NODE_CAPACITY, RTree
+from repro.index.stats import IOStats
+
+__all__ = ["str_pack", "bulk_load"]
+
+
+def _tile(entries: list[Entry], capacity: int, ndim: int) -> list[list[Entry]]:
+    """Group entries into runs of <= capacity with good spatial locality."""
+    if len(entries) <= capacity:
+        return [entries]
+    groups = [entries]
+    for axis in range(ndim):
+        if axis == ndim - 1:
+            break
+        new_groups: list[list[Entry]] = []
+        for group in groups:
+            leaf_pages = math.ceil(len(group) / capacity)
+            # Number of vertical slabs along this axis (STR formula).
+            remaining_axes = ndim - axis
+            slabs = max(1, math.ceil(leaf_pages ** (1.0 / remaining_axes)))
+            slab_size = math.ceil(len(group) / slabs)
+            ordered = sorted(group, key=lambda e, a=axis: float(e.box.center[a]))
+            for start in range(0, len(ordered), slab_size):
+                new_groups.append(ordered[start : start + slab_size])
+        groups = new_groups
+    # Final axis: cut each slab into capacity-sized runs.
+    final: list[list[Entry]] = []
+    last_axis = ndim - 1
+    for group in groups:
+        ordered = sorted(group, key=lambda e: float(e.box.center[last_axis]))
+        for start in range(0, len(ordered), capacity):
+            final.append(ordered[start : start + capacity])
+    return final
+
+
+def str_pack(
+    items: Sequence[tuple[Box, Any]],
+    max_entries: int = DEFAULT_NODE_CAPACITY,
+) -> Node:
+    """Pack (box, payload) pairs into a complete R-tree and return its root."""
+    if not items:
+        raise IndexError_("cannot bulk load zero items")
+    ndim = items[0][0].ndim
+    for box, _ in items:
+        if box.ndim != ndim:
+            raise IndexError_("mixed dimensions in bulk load input")
+    level_entries: list[Entry] = [Entry(box, payload=payload) for box, payload in items]
+    level = 0
+    nodes = [Node(level, group) for group in _tile(level_entries, max_entries, ndim)]
+    while len(nodes) > 1:
+        level += 1
+        upper_entries = [Entry(n.bounds(), child=n) for n in nodes]
+        nodes = [Node(level, group) for group in _tile(upper_entries, max_entries, ndim)]
+    return nodes[0]
+
+
+def bulk_load(
+    items: Sequence[tuple[Box, Any]],
+    *,
+    max_entries: int = DEFAULT_NODE_CAPACITY,
+    min_entries: int | None = None,
+    tree_class: Callable[..., RTree] = RStarTree,
+    stats: IOStats | None = None,
+) -> RTree:
+    """Build a query-ready tree from (box, payload) pairs via STR packing.
+
+    The resulting tree supports the full dynamic API (insert/delete)
+    afterwards.  Note STR leaves may be filled below ``min_entries`` at
+    the tail; :meth:`validate` is therefore not guaranteed to pass on a
+    bulk-loaded tree until enough dynamic inserts rebalance it -- the
+    experiments only query them.
+    """
+    tree = tree_class(max_entries, min_entries, stats=stats)
+    if not items:
+        return tree
+    root = str_pack(items, max_entries)
+    tree._root = root
+    tree._size = len(items)
+    tree._ndim = items[0][0].ndim
+    return tree

@@ -1,0 +1,114 @@
+"""Hilbert-curve bulk loading (alternative to STR packing).
+
+Packs entries in the order of their centre points along a Hilbert
+space-filling curve, then fills nodes sequentially.  Included as an
+ablation target: Hilbert packing preserves locality differently from
+STR tiling, and the benchmark suite compares their query I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box, union_bounds
+from repro.index.node import Entry, Node
+from repro.index.rstar import RStarTree
+from repro.index.rtree import DEFAULT_NODE_CAPACITY, RTree
+from repro.index.stats import IOStats
+
+__all__ = ["hilbert_index", "hilbert_bulk_load"]
+
+
+def hilbert_index(x: int, y: int, order: int) -> int:
+    """Distance along a Hilbert curve of ``2**order x 2**order`` cells.
+
+    Classic Lam-Shapiro iteration: repeatedly fold quadrants while
+    accumulating the curve distance.
+    """
+    if order <= 0:
+        raise IndexError_(f"order must be positive, got {order}")
+    side = 1 << order
+    if not (0 <= x < side and 0 <= y < side):
+        raise IndexError_(f"({x}, {y}) outside the order-{order} grid")
+    rx = ry = 0
+    d = 0
+    s = side >> 1
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s >>= 1
+    return d
+
+
+def _hilbert_keys(
+    boxes: Sequence[Box], order: int
+) -> np.ndarray:
+    bounds = union_bounds(boxes)
+    extent = np.maximum(bounds.extents, 1e-12)
+    side = 1 << order
+    keys = np.empty(len(boxes), dtype=np.int64)
+    for i, box in enumerate(boxes):
+        rel = (box.center[:2] - bounds.low[:2]) / extent[:2]
+        cx = min(int(rel[0] * side), side - 1)
+        cy = min(int(rel[1] * side), side - 1)
+        keys[i] = hilbert_index(cx, cy, order)
+    return keys
+
+
+def hilbert_bulk_load(
+    items: Sequence[tuple[Box, Any]],
+    *,
+    max_entries: int = DEFAULT_NODE_CAPACITY,
+    order: int = 10,
+    tree_class: Callable[..., RTree] = RStarTree,
+    stats: IOStats | None = None,
+) -> RTree:
+    """Build a tree by packing entries in Hilbert order of their centres.
+
+    Uses the first two dimensions for the curve (the spatial plane);
+    higher dimensions ride along, which is the standard practical
+    treatment for the (x, y, w) coefficient indexes.
+    """
+    tree = tree_class(max_entries, stats=stats)
+    if not items:
+        return tree
+    boxes = [box for box, _ in items]
+    ndim = boxes[0].ndim
+    if ndim < 2:
+        raise IndexError_("hilbert packing needs at least 2 dimensions")
+    for box in boxes:
+        if box.ndim != ndim:
+            raise IndexError_("mixed dimensions in bulk load input")
+    keys = _hilbert_keys(boxes, order)
+    ordered = [items[i] for i in np.argsort(keys, kind="stable")]
+
+    nodes = []
+    for start in range(0, len(ordered), max_entries):
+        chunk = ordered[start : start + max_entries]
+        nodes.append(
+            Node(0, [Entry(box, payload=payload) for box, payload in chunk])
+        )
+    level = 0
+    while len(nodes) > 1:
+        level += 1
+        upper = []
+        for start in range(0, len(nodes), max_entries):
+            chunk = nodes[start : start + max_entries]
+            upper.append(
+                Node(level, [Entry(n.bounds(), child=n) for n in chunk])
+            )
+        nodes = upper
+    tree._root = nodes[0]
+    tree._size = len(items)
+    tree._ndim = ndim
+    return tree

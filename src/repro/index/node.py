@@ -1,0 +1,77 @@
+"""Nodes and entries of the R-tree family.
+
+A leaf entry pairs a bounding box with an opaque payload; an internal
+entry pairs a bounding box with a child node.  Nodes are plain mutable
+containers -- all balancing logic lives in the tree classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box, union_bounds
+
+__all__ = ["Entry", "Node"]
+
+
+class Entry:
+    """One slot of a node: a box plus either a payload or a child node."""
+
+    __slots__ = ("box", "child", "payload")
+
+    def __init__(self, box: Box, *, child: "Node | None" = None, payload: Any = None):
+        if (child is None) == (payload is None):
+            raise IndexError_("entry needs exactly one of child or payload")
+        self.box = box
+        self.child = child
+        self.payload = payload
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.child is None
+
+    def __repr__(self) -> str:
+        kind = "payload" if self.is_leaf_entry else "child"
+        return f"Entry({self.box!r}, {kind})"
+
+
+class Node:
+    """An R-tree node holding up to ``max_entries`` entries.
+
+    ``level`` is 0 for leaves and grows towards the root, so an entry of
+    a level-``k`` node (k > 0) points to a level-``k-1`` child.
+    """
+
+    __slots__ = ("level", "entries")
+
+    def __init__(self, level: int, entries: list[Entry] | None = None):
+        if level < 0:
+            raise IndexError_(f"node level must be >= 0, got {level}")
+        self.level = level
+        self.entries: list[Entry] = entries if entries is not None else []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def bounds(self) -> Box:
+        """The MBB of all entries; raises on an empty node."""
+        if not self.entries:
+            raise IndexError_("empty node has no bounds")
+        return union_bounds(e.box for e in self.entries)
+
+    def add(self, entry: Entry) -> None:
+        """Append one entry, checking leaf/internal consistency."""
+        if self.is_leaf and not entry.is_leaf_entry:
+            raise IndexError_("cannot put a child entry into a leaf")
+        if not self.is_leaf and entry.is_leaf_entry:
+            raise IndexError_("cannot put a payload entry into an internal node")
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"level-{self.level}"
+        return f"Node({kind}, {len(self.entries)} entries)"

@@ -1,0 +1,427 @@
+"""Guttman R-tree (SIGMOD 1984), implemented from scratch.
+
+This is the baseline dynamic spatial index of the paper (reference
+[16]).  It supports n-dimensional boxes, quadratic-split insertion,
+deletion with tree condensation, and window queries that account node
+accesses in an :class:`~repro.index.stats.IOStats`.
+
+The default node capacity of 20 follows the paper's experimental setup
+(4 KB pages); the minimum fill is 40 % of the maximum, the customary
+value that also matches the R*-tree defaults.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+from repro.index.node import Entry, Node
+from repro.index.stats import IOStats
+
+__all__ = ["RTree", "DEFAULT_NODE_CAPACITY"]
+
+DEFAULT_NODE_CAPACITY = 20
+
+
+class RTree:
+    """A dynamic R-tree over n-dimensional boxes.
+
+    Parameters
+    ----------
+    max_entries:
+        Node capacity ``M`` (default 20, the paper's setting for 4 KB
+        pages).
+    min_entries:
+        Minimum fill ``m``; defaults to ``max(2, int(0.4 * M))``.
+    stats:
+        Optional shared :class:`IOStats`; a private one is created when
+        omitted.
+
+    Notes
+    -----
+    The tree is dimension-agnostic: the first inserted box fixes the
+    dimensionality and later operations must match it.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_NODE_CAPACITY,
+        min_entries: int | None = None,
+        *,
+        stats: IOStats | None = None,
+    ):
+        if max_entries < 2:
+            raise IndexError_(f"max_entries must be >= 2, got {max_entries}")
+        if min_entries is None:
+            min_entries = max(2, int(0.4 * max_entries))
+        if not 1 <= min_entries <= max_entries // 2:
+            raise IndexError_(
+                f"min_entries must be in [1, {max_entries // 2}], got {min_entries}"
+            )
+        self._max = max_entries
+        self._min = min_entries
+        self._root = Node(level=0)
+        self._size = 0
+        self._ndim: int | None = None
+        self.stats = stats if stats is not None else IOStats()
+
+    # -- basic accessors ----------------------------------------------------------
+
+    @property
+    def max_entries(self) -> int:
+        return self._max
+
+    @property
+    def min_entries(self) -> int:
+        return self._min
+
+    @property
+    def ndim(self) -> int | None:
+        """Dimensionality, or None while the tree is empty."""
+        return self._ndim
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single leaf root)."""
+        return self._root.level + 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def bounds(self) -> Box | None:
+        """MBB of everything in the tree, or None when empty."""
+        if self._size == 0:
+            return None
+        return self._root.bounds()
+
+    # -- insertion ------------------------------------------------------------------
+
+    def insert(self, box: Box, payload: Any) -> None:
+        """Insert one (box, payload) pair."""
+        self._check_dim(box, allow_set=True)
+        entry = Entry(box, payload=payload)
+        self._insert_entry(entry, target_level=0)
+        self._size += 1
+
+    def _check_dim(self, box: Box, *, allow_set: bool = False) -> None:
+        if self._ndim is None:
+            if not allow_set:
+                raise IndexError_("operation on an empty tree")
+            self._ndim = box.ndim
+        elif box.ndim != self._ndim:
+            raise IndexError_(
+                f"box dimension {box.ndim} does not match tree dimension {self._ndim}"
+            )
+
+    def _insert_entry(self, entry: Entry, target_level: int) -> None:
+        """Insert ``entry`` at ``target_level`` (0 = leaf)."""
+        path = self._choose_path(entry.box, target_level)
+        node = path[-1]
+        node.add(entry)
+        self._propagate_up(path)
+
+    def _choose_path(self, box: Box, target_level: int) -> list[Node]:
+        """Root-to-target path, choosing subtrees by least enlargement."""
+        if target_level > self._root.level:
+            raise IndexError_(
+                f"target level {target_level} above root level {self._root.level}"
+            )
+        path = [self._root]
+        node = self._root
+        while node.level > target_level:
+            best = self._choose_subtree(node, box)
+            node = best.child  # type: ignore[assignment]
+            assert node is not None
+            path.append(node)
+        return path
+
+    def _choose_subtree(self, node: Node, box: Box) -> Entry:
+        """Guttman ChooseLeaf step: least enlargement, ties by area."""
+        best: Entry | None = None
+        best_key: tuple[float, float] | None = None
+        for entry in node.entries:
+            key = (entry.box.enlargement(box), entry.box.volume)
+            if best_key is None or key < best_key:
+                best, best_key = entry, key
+        assert best is not None
+        return best
+
+    def _propagate_up(self, path: list[Node]) -> None:
+        """Fix boxes bottom-up, splitting overflowing nodes."""
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            if len(node.entries) > self._max:
+                left, right = self._split_node(node)
+                if depth == 0:
+                    self._grow_root(left, right)
+                else:
+                    parent = path[depth - 1]
+                    self._replace_child(parent, node, left, right)
+            elif depth > 0:
+                self._refresh_parent_box(path[depth - 1], node)
+
+    def _grow_root(self, left: Node, right: Node) -> None:
+        new_root = Node(level=left.level + 1)
+        new_root.add(Entry(left.bounds(), child=left))
+        new_root.add(Entry(right.bounds(), child=right))
+        self._root = new_root
+
+    def _replace_child(self, parent: Node, old: Node, left: Node, right: Node) -> None:
+        for i, entry in enumerate(parent.entries):
+            if entry.child is old:
+                parent.entries[i] = Entry(left.bounds(), child=left)
+                parent.add(Entry(right.bounds(), child=right))
+                return
+        raise IndexError_("split child not found in parent")
+
+    def _refresh_parent_box(self, parent: Node, child: Node) -> None:
+        for i, entry in enumerate(parent.entries):
+            if entry.child is child:
+                parent.entries[i] = Entry(child.bounds(), child=child)
+                return
+        raise IndexError_("child not found in parent")
+
+    # -- splitting (quadratic) ---------------------------------------------------------
+
+    def _split_node(self, node: Node) -> tuple[Node, Node]:
+        """Quadratic split; subclasses override with better policies."""
+        groups = self._quadratic_partition(node.entries)
+        left = Node(node.level, groups[0])
+        right = Node(node.level, groups[1])
+        return left, right
+
+    def _quadratic_partition(
+        self, entries: list[Entry]
+    ) -> tuple[list[Entry], list[Entry]]:
+        remaining = list(entries)
+        seed_a, seed_b = self._pick_seeds(remaining)
+        group_a = [remaining.pop(max(seed_a, seed_b))]
+        group_b = [remaining.pop(min(seed_a, seed_b))]
+        box_a = group_a[0].box
+        box_b = group_b[0].box
+        while remaining:
+            # Must one group absorb everything to stay above minimum fill?
+            if len(group_a) + len(remaining) == self._min:
+                group_a.extend(remaining)
+                remaining.clear()
+                break
+            if len(group_b) + len(remaining) == self._min:
+                group_b.extend(remaining)
+                remaining.clear()
+                break
+            idx = self._pick_next(remaining, box_a, box_b)
+            entry = remaining.pop(idx)
+            grow_a = box_a.enlargement(entry.box)
+            grow_b = box_b.enlargement(entry.box)
+            choose_a = (
+                grow_a < grow_b
+                or (grow_a == grow_b and box_a.volume < box_b.volume)
+                or (
+                    grow_a == grow_b
+                    and box_a.volume == box_b.volume
+                    and len(group_a) <= len(group_b)
+                )
+            )
+            if choose_a:
+                group_a.append(entry)
+                box_a = box_a.union(entry.box)
+            else:
+                group_b.append(entry)
+                box_b = box_b.union(entry.box)
+        return group_a, group_b
+
+    @staticmethod
+    def _pick_seeds(entries: list[Entry]) -> tuple[int, int]:
+        """The pair wasting the most dead space if grouped together."""
+        worst = -1.0
+        pair = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                combined = entries[i].box.union(entries[j].box).volume
+                waste = combined - entries[i].box.volume - entries[j].box.volume
+                if waste > worst:
+                    worst = waste
+                    pair = (i, j)
+        return pair
+
+    @staticmethod
+    def _pick_next(remaining: list[Entry], box_a: Box, box_b: Box) -> int:
+        """The entry with the strongest group preference."""
+        best_idx = 0
+        best_diff = -1.0
+        for i, entry in enumerate(remaining):
+            diff = abs(box_a.enlargement(entry.box) - box_b.enlargement(entry.box))
+            if diff > best_diff:
+                best_diff = diff
+                best_idx = i
+        return best_idx
+
+    # -- queries -------------------------------------------------------------------------
+
+    def search(self, box: Box) -> list[Any]:
+        """Payloads of all entries whose boxes intersect ``box``."""
+        return [entry.payload for entry in self.search_entries(box)]
+
+    def search_entries(self, box: Box) -> list[Entry]:
+        """Leaf entries intersecting ``box`` (counted in :attr:`stats`)."""
+        if self._size == 0:
+            self.stats.record_query()
+            return []
+        self._check_dim(box)
+        self.stats.record_query()
+        results: list[Entry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.stats.record_node(is_leaf=node.is_leaf, entries=len(node.entries))
+            for entry in node.entries:
+                if not entry.box.intersects(box):
+                    continue
+                if node.is_leaf:
+                    results.append(entry)
+                else:
+                    assert entry.child is not None
+                    stack.append(entry.child)
+        return results
+
+    def count(self, box: Box) -> int:
+        """Number of intersecting entries."""
+        return len(self.search_entries(box))
+
+    def all_payloads(self) -> Iterator[Any]:
+        """Iterate every stored payload (no I/O accounting)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if node.is_leaf:
+                    yield entry.payload
+                else:
+                    assert entry.child is not None
+                    stack.append(entry.child)
+
+    # -- deletion -------------------------------------------------------------------------
+
+    def delete(self, box: Box, payload: Any) -> bool:
+        """Remove one entry matching ``payload`` whose box equals ``box``.
+
+        Returns True when an entry was removed.  Underflowing nodes are
+        condensed and their surviving entries reinserted at their
+        original level, per Guttman's CondenseTree.
+        """
+        if self._size == 0:
+            return False
+        self._check_dim(box)
+        path = self._find_leaf(self._root, box, payload, [])
+        if path is None:
+            return False
+        leaf = path[-1]
+        leaf.entries = [
+            e for e in leaf.entries if not (e.payload == payload and e.box == box)
+        ]
+        self._size -= 1
+        self._condense(path)
+        # Shrink the root when it has a single child.
+        while not self._root.is_leaf and len(self._root.entries) == 1:
+            child = self._root.entries[0].child
+            assert child is not None
+            self._root = child
+        if self._size == 0:
+            self._root = Node(level=0)
+            self._ndim = None
+        return True
+
+    def _find_leaf(
+        self, node: Node, box: Box, payload: Any, path: list[Node]
+    ) -> list[Node] | None:
+        path = path + [node]
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.payload == payload and entry.box == box:
+                    return path
+            return None
+        for entry in node.entries:
+            if entry.box.contains_box(box):
+                assert entry.child is not None
+                found = self._find_leaf(entry.child, box, payload, path)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, path: list[Node]) -> None:
+        orphans: list[tuple[int, Entry]] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            if len(node.entries) < self._min:
+                parent.entries = [e for e in parent.entries if e.child is not node]
+                orphans.extend((node.level, e) for e in node.entries)
+            else:
+                self._refresh_parent_box(parent, node)
+        for level, entry in orphans:
+            if self._root.level < level:
+                # The tree shrank below the orphan's level; flatten it.
+                for leaf_entry in self._collect_leaf_entries(entry):
+                    self._insert_entry(leaf_entry, target_level=0)
+            else:
+                self._insert_entry(entry, target_level=level)
+
+    def _collect_leaf_entries(self, entry: Entry) -> list[Entry]:
+        if entry.is_leaf_entry:
+            return [entry]
+        out: list[Entry] = []
+        stack = [entry.child]
+        while stack:
+            node = stack.pop()
+            assert node is not None
+            for e in node.entries:
+                if node.is_leaf:
+                    out.append(e)
+                else:
+                    stack.append(e.child)
+        return out
+
+    # -- invariants (used by tests) -----------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raises IndexError_ on violation."""
+        if self._size == 0:
+            return
+        leaf_levels: set[int] = set()
+        count = self._validate_node(self._root, is_root=True, leaf_levels=leaf_levels)
+        if count != self._size:
+            raise IndexError_(f"size mismatch: counted {count}, recorded {self._size}")
+        if leaf_levels and leaf_levels != {0}:
+            raise IndexError_(f"leaves at non-zero levels: {leaf_levels}")
+
+    def _validate_node(self, node: Node, *, is_root: bool, leaf_levels: set[int]) -> int:
+        if not is_root and not self._min <= len(node.entries) <= self._max:
+            raise IndexError_(
+                f"node fill {len(node.entries)} outside [{self._min}, {self._max}]"
+            )
+        if is_root and len(node.entries) > self._max:
+            raise IndexError_(f"root overflow: {len(node.entries)} entries")
+        if node.is_leaf:
+            leaf_levels.add(node.level)
+            return len(node.entries)
+        total = 0
+        for entry in node.entries:
+            child = entry.child
+            if child is None:
+                raise IndexError_("internal node holds a payload entry")
+            if child.level != node.level - 1:
+                raise IndexError_(
+                    f"child level {child.level} under node level {node.level}"
+                )
+            if entry.box != child.bounds():
+                raise IndexError_("stale bounding box in internal entry")
+            total += self._validate_node(child, is_root=False, leaf_levels=leaf_levels)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={self._size}, height={self.height}, "
+            f"M={self._max}, m={self._min})"
+        )

@@ -1,0 +1,88 @@
+"""I/O accounting for the spatial indexes.
+
+The paper reports index performance as I/O cost; following its setup
+(Section VII-D: 4 KB pages, node capacity 20) we equate one node access
+with one page read.  :class:`IOStats` is a simple mutable counter the
+trees update on every node touch during a query; experiments snapshot
+and difference it around each operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Counters of index work.
+
+    Attributes
+    ----------
+    node_reads:
+        Nodes touched by queries (the paper's I/O cost unit).
+    leaf_reads:
+        The subset of ``node_reads`` that were leaves.
+    entries_scanned:
+        Entries compared against a query box.
+    queries:
+        Number of window queries executed.
+    """
+
+    node_reads: int = 0
+    leaf_reads: int = 0
+    entries_scanned: int = 0
+    queries: int = 0
+    _checkpoints: list[tuple[int, int, int, int]] = field(
+        default_factory=list, repr=False
+    )
+
+    def record_node(self, *, is_leaf: bool, entries: int) -> None:
+        """Count one node access during a query."""
+        self.node_reads += 1
+        if is_leaf:
+            self.leaf_reads += 1
+        self.entries_scanned += entries
+
+    def record_query(self) -> None:
+        """Count one window query."""
+        self.queries += 1
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        """Current counter values (node, leaf, entries, queries)."""
+        return (self.node_reads, self.leaf_reads, self.entries_scanned, self.queries)
+
+    def push(self) -> None:
+        """Remember the current counters for a later :meth:`pop_delta`."""
+        self._checkpoints.append(self.snapshot())
+
+    def pop_delta(self) -> "IOStats":
+        """Counters accumulated since the matching :meth:`push`."""
+        if not self._checkpoints:
+            raise ValueError("pop_delta without matching push")
+        base = self._checkpoints.pop()
+        now = self.snapshot()
+        return IOStats(
+            node_reads=now[0] - base[0],
+            leaf_reads=now[1] - base[1],
+            entries_scanned=now[2] - base[2],
+            queries=now[3] - base[3],
+        )
+
+    def reset(self) -> None:
+        """Zero every counter and drop checkpoints."""
+        self.node_reads = 0
+        self.leaf_reads = 0
+        self.entries_scanned = 0
+        self.queries = 0
+        self._checkpoints.clear()
+
+    def merged(self, other: "IOStats") -> "IOStats":
+        """A new stats object with both sets of counters summed."""
+        return IOStats(
+            node_reads=self.node_reads + other.node_reads,
+            leaf_reads=self.leaf_reads + other.leaf_reads,
+            entries_scanned=self.entries_scanned + other.entries_scanned,
+            queries=self.queries + other.queries,
+        )

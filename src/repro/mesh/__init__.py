@@ -1,0 +1,52 @@
+"""Triangular mesh engine: meshes, subdivision, generators, metrics."""
+
+from repro.mesh.generators import (
+    DeformedHierarchy,
+    DeformedLevel,
+    box_prism,
+    generate_deformed_hierarchy,
+    icosahedron,
+    octahedron,
+    procedural_building,
+    procedural_landmark,
+)
+from repro.mesh.metrics import (
+    hausdorff_vertex_distance,
+    max_vertex_error,
+    mean_nearest_vertex_distance,
+    vertex_rmse,
+)
+from repro.mesh.progressive_pm import (
+    PM_SPLIT_BYTES,
+    ProgressiveMeshPM,
+    VertexSplit,
+    simplify_to_progressive,
+)
+from repro.mesh.subdivision import SubdivisionStep, midpoint_subdivide, subdivide_times
+from repro.mesh.trimesh import Edge, TriMesh, merge_meshes, ordered_edge
+
+__all__ = [
+    "TriMesh",
+    "Edge",
+    "ordered_edge",
+    "merge_meshes",
+    "SubdivisionStep",
+    "midpoint_subdivide",
+    "subdivide_times",
+    "ProgressiveMeshPM",
+    "VertexSplit",
+    "simplify_to_progressive",
+    "PM_SPLIT_BYTES",
+    "icosahedron",
+    "octahedron",
+    "box_prism",
+    "DeformedLevel",
+    "DeformedHierarchy",
+    "generate_deformed_hierarchy",
+    "procedural_building",
+    "procedural_landmark",
+    "vertex_rmse",
+    "max_vertex_error",
+    "hausdorff_vertex_distance",
+    "mean_nearest_vertex_distance",
+]

@@ -1,0 +1,276 @@
+"""Procedural mesh generators.
+
+The paper's datasets are 3-D models of "old buildings" distributed over
+a city.  We do not have those models, so this module builds procedural
+stand-ins: coarse base solids (icosahedron, octahedron, box prism)
+subdivided several times with the newly inserted vertices displaced by
+deterministic, level-decaying noise.  Because only the *inserted*
+vertices move at each level -- exactly the subdivision-wavelet setting
+of Section III -- the resulting hierarchies have genuine wavelet
+decompositions with magnitudes that decay across levels, which is the
+property every experiment in the paper depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.mesh.subdivision import SubdivisionStep, midpoint_subdivide
+from repro.mesh.trimesh import TriMesh
+
+__all__ = [
+    "icosahedron",
+    "octahedron",
+    "box_prism",
+    "DeformedLevel",
+    "DeformedHierarchy",
+    "generate_deformed_hierarchy",
+    "procedural_building",
+    "procedural_landmark",
+]
+
+
+def octahedron(radius: float = 1.0, center: tuple[float, float, float] = (0, 0, 0)) -> TriMesh:
+    """A regular octahedron: 6 vertices, 8 faces."""
+    if radius <= 0:
+        raise MeshError("radius must be positive")
+    c = np.asarray(center, dtype=float)
+    verts = np.array(
+        [
+            [1, 0, 0],
+            [-1, 0, 0],
+            [0, 1, 0],
+            [0, -1, 0],
+            [0, 0, 1],
+            [0, 0, -1],
+        ],
+        dtype=float,
+    ) * radius + c
+    faces = np.array(
+        [
+            [0, 2, 4], [2, 1, 4], [1, 3, 4], [3, 0, 4],
+            [2, 0, 5], [1, 2, 5], [3, 1, 5], [0, 3, 5],
+        ],
+        dtype=int,
+    )
+    return TriMesh(verts, faces)
+
+
+def icosahedron(radius: float = 1.0, center: tuple[float, float, float] = (0, 0, 0)) -> TriMesh:
+    """A regular icosahedron: 12 vertices, 20 faces."""
+    if radius <= 0:
+        raise MeshError("radius must be positive")
+    phi = (1.0 + np.sqrt(5.0)) / 2.0
+    raw = np.array(
+        [
+            [-1, phi, 0], [1, phi, 0], [-1, -phi, 0], [1, -phi, 0],
+            [0, -1, phi], [0, 1, phi], [0, -1, -phi], [0, 1, -phi],
+            [phi, 0, -1], [phi, 0, 1], [-phi, 0, -1], [-phi, 0, 1],
+        ],
+        dtype=float,
+    )
+    raw /= np.linalg.norm(raw[0])
+    verts = raw * radius + np.asarray(center, dtype=float)
+    faces = np.array(
+        [
+            [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
+            [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
+            [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
+            [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+        ],
+        dtype=int,
+    )
+    return TriMesh(verts, faces)
+
+
+def box_prism(
+    center: tuple[float, float, float] = (0, 0, 0),
+    extents: tuple[float, float, float] = (1, 1, 1),
+) -> TriMesh:
+    """A rectangular box (building footprint x height), 8 vertices, 12 faces."""
+    e = np.asarray(extents, dtype=float)
+    if np.any(e <= 0):
+        raise MeshError("box extents must be positive")
+    c = np.asarray(center, dtype=float)
+    half = e / 2.0
+    signs = np.array(
+        [
+            [-1, -1, -1], [1, -1, -1], [1, 1, -1], [-1, 1, -1],
+            [-1, -1, 1], [1, -1, 1], [1, 1, 1], [-1, 1, 1],
+        ],
+        dtype=float,
+    )
+    verts = c + signs * half
+    faces = np.array(
+        [
+            [0, 2, 1], [0, 3, 2],          # bottom
+            [4, 5, 6], [4, 6, 7],          # top
+            [0, 1, 5], [0, 5, 4],          # front
+            [1, 2, 6], [1, 6, 5],          # right
+            [2, 3, 7], [2, 7, 6],          # back
+            [3, 0, 4], [3, 4, 7],          # left
+        ],
+        dtype=int,
+    )
+    return TriMesh(verts, faces)
+
+
+@dataclass(frozen=True)
+class DeformedLevel:
+    """One level of a deformed subdivision hierarchy.
+
+    Attributes
+    ----------
+    step:
+        The subdivision step from the *deformed* ``M^j`` to the
+        undeformed prediction of ``M^{j+1}`` (midpoints in place).
+    displacements:
+        ``(inserted_count, 3)`` displacement applied to each inserted
+        vertex.  These are exactly the wavelet coefficients of the
+        level (``d_i^j`` in the paper).
+    deformed_fine:
+        The deformed ``M^{j+1}``: the fine mesh of ``step`` with
+        ``displacements`` added to the inserted vertices.
+    """
+
+    step: SubdivisionStep
+    displacements: np.ndarray
+    deformed_fine: TriMesh
+
+
+@dataclass(frozen=True)
+class DeformedHierarchy:
+    """A base mesh plus ``J`` deformed subdivision levels.
+
+    ``meshes[0]`` is the base mesh ``M^0`` and ``meshes[j]`` the deformed
+    ``M^j``; ``levels[j]`` records how ``M^{j+1}`` was derived from
+    ``M^j``.
+    """
+
+    base: TriMesh
+    levels: tuple[DeformedLevel, ...]
+
+    @property
+    def depth(self) -> int:
+        """Number of subdivision levels ``J``."""
+        return len(self.levels)
+
+    @property
+    def meshes(self) -> list[TriMesh]:
+        """``[M^0, M^1, ..., M^J]`` (deformed at every level)."""
+        return [self.base] + [lvl.deformed_fine for lvl in self.levels]
+
+    @property
+    def finest(self) -> TriMesh:
+        """The final mesh ``M^J``."""
+        return self.levels[-1].deformed_fine if self.levels else self.base
+
+
+def generate_deformed_hierarchy(
+    base: TriMesh,
+    levels: int,
+    rng: np.random.Generator,
+    *,
+    amplitude: float = 0.15,
+    decay: float = 0.5,
+    along_normals: bool = True,
+) -> DeformedHierarchy:
+    """Subdivide ``base`` ``levels`` times, displacing inserted vertices.
+
+    Parameters
+    ----------
+    base:
+        The base mesh ``M^0``.
+    levels:
+        Number of subdivision levels ``J >= 0``.
+    rng:
+        Seeded random generator; all noise flows from it.
+    amplitude:
+        Displacement scale at level 0, as a fraction of the base mesh's
+        bounding-box diagonal.
+    decay:
+        Multiplicative decay of the amplitude per level.  ``decay < 1``
+        yields the realistic "details shrink with level" coefficient
+        distribution (most coefficients small) that the paper's
+        speed-to-resolution mapping exploits.
+    along_normals:
+        When true, displace along the (noisy) vertex normal of the
+        parent midpoint; otherwise use isotropic Gaussian noise.
+    """
+    if levels < 0:
+        raise MeshError("levels must be non-negative")
+    diag = float(np.linalg.norm(base.bounding_box().extents))
+    if diag == 0.0:
+        raise MeshError("base mesh is degenerate (zero-size bounding box)")
+    built: list[DeformedLevel] = []
+    current = base
+    scale = amplitude * diag
+    for _ in range(levels):
+        step = midpoint_subdivide(current)
+        count = step.inserted_count
+        magnitudes = rng.normal(0.0, scale, size=count)
+        if along_normals:
+            directions = np.empty((count, 3))
+            for i in range(count):
+                a, b = step.parent_edges[i]
+                normal = current.vertex_normal(a) + current.vertex_normal(b)
+                length = float(np.linalg.norm(normal))
+                if length == 0.0:
+                    normal = rng.normal(size=3)
+                    length = float(np.linalg.norm(normal))
+                directions[i] = normal / length
+            displacements = directions * magnitudes[:, None]
+        else:
+            displacements = rng.normal(0.0, scale, size=(count, 3))
+        fine_vertices = step.fine.vertices.copy()
+        fine_vertices[current.vertex_count:] += displacements
+        deformed = step.fine.with_vertices(fine_vertices)
+        built.append(
+            DeformedLevel(step=step, displacements=displacements, deformed_fine=deformed)
+        )
+        current = deformed
+        scale *= decay
+    return DeformedHierarchy(base=base, levels=tuple(built))
+
+
+def procedural_building(
+    rng: np.random.Generator,
+    *,
+    center: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    footprint: tuple[float, float] = (20.0, 15.0),
+    height: float = 30.0,
+    levels: int = 3,
+    ornamentation: float = 0.08,
+) -> DeformedHierarchy:
+    """A multiresolution "old building": a prism with noisy facade detail.
+
+    ``ornamentation`` controls the relative size of facade detail
+    (cornices, reliefs) added at each level.
+    """
+    if height <= 0 or footprint[0] <= 0 or footprint[1] <= 0:
+        raise MeshError("building dimensions must be positive")
+    base = box_prism(
+        center=(center[0], center[1], center[2] + height / 2.0),
+        extents=(footprint[0], footprint[1], height),
+    )
+    return generate_deformed_hierarchy(
+        base, levels, rng, amplitude=ornamentation, decay=0.5
+    )
+
+
+def procedural_landmark(
+    rng: np.random.Generator,
+    *,
+    center: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    radius: float = 10.0,
+    levels: int = 3,
+    roughness: float = 0.12,
+) -> DeformedHierarchy:
+    """A multiresolution dome/statue-like landmark from an icosahedron."""
+    base = icosahedron(radius=radius, center=center)
+    return generate_deformed_hierarchy(
+        base, levels, rng, amplitude=roughness, decay=0.55
+    )

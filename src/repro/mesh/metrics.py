@@ -1,0 +1,81 @@
+"""Mesh approximation-quality metrics.
+
+Used by tests and examples to show that reconstructing an object from a
+subset of wavelet coefficients (a lower resolution) approximates the
+full-resolution surface, and that the approximation improves
+monotonically as more coefficients are added.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.mesh.trimesh import TriMesh
+
+__all__ = [
+    "vertex_rmse",
+    "max_vertex_error",
+    "hausdorff_vertex_distance",
+    "mean_nearest_vertex_distance",
+]
+
+
+def vertex_rmse(a: TriMesh, b: TriMesh) -> float:
+    """Root-mean-square distance between corresponding vertices.
+
+    Requires identical vertex counts (meshes at the same hierarchy
+    level, e.g. a reconstruction vs the original).
+    """
+    if a.vertex_count != b.vertex_count:
+        raise MeshError(
+            f"vertex count mismatch: {a.vertex_count} vs {b.vertex_count}"
+        )
+    if a.vertex_count == 0:
+        return 0.0
+    diff = a.vertices - b.vertices
+    return float(np.sqrt(np.mean(np.sum(diff * diff, axis=1))))
+
+
+def max_vertex_error(a: TriMesh, b: TriMesh) -> float:
+    """Largest distance between corresponding vertices."""
+    if a.vertex_count != b.vertex_count:
+        raise MeshError(
+            f"vertex count mismatch: {a.vertex_count} vs {b.vertex_count}"
+        )
+    if a.vertex_count == 0:
+        return 0.0
+    diff = a.vertices - b.vertices
+    return float(np.max(np.linalg.norm(diff, axis=1)))
+
+
+def _directed_nearest(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """For each point of ``a``, distance to its nearest point in ``b``."""
+    # Chunk to bound memory on large meshes.
+    out = np.empty(a.shape[0])
+    chunk = 512
+    for start in range(0, a.shape[0], chunk):
+        part = a[start : start + chunk]
+        d2 = np.sum((part[:, None, :] - b[None, :, :]) ** 2, axis=2)
+        out[start : start + chunk] = np.sqrt(d2.min(axis=1))
+    return out
+
+
+def hausdorff_vertex_distance(a: TriMesh, b: TriMesh) -> float:
+    """Symmetric Hausdorff distance between the vertex sets.
+
+    Works for meshes at *different* resolutions, which correspondence
+    metrics cannot compare.
+    """
+    if a.vertex_count == 0 or b.vertex_count == 0:
+        raise MeshError("cannot compare empty meshes")
+    ab = _directed_nearest(a.vertices, b.vertices).max()
+    ba = _directed_nearest(b.vertices, a.vertices).max()
+    return float(max(ab, ba))
+
+
+def mean_nearest_vertex_distance(a: TriMesh, b: TriMesh) -> float:
+    """Mean distance from each vertex of ``a`` to its nearest in ``b``."""
+    if a.vertex_count == 0 or b.vertex_count == 0:
+        raise MeshError("cannot compare empty meshes")
+    return float(_directed_nearest(a.vertices, b.vertices).mean())

@@ -1,0 +1,277 @@
+"""Progressive meshes (Hoppe-style edge collapse) as a baseline.
+
+Section II of the paper contrasts two multi-resolution representations:
+progressive meshes [12] and wavelets [13], and argues wavelets are the
+better fit for *transmission* because their coding is more compact.
+This module implements the progressive-mesh side of that comparison: a
+half-edge-collapse simplifier that reduces a mesh to a base mesh plus a
+sequence of vertex-split records, and a byte model for shipping those
+records, so the compactness claim can be measured instead of assumed.
+
+The collapse used is the *half*-edge collapse ``v -> u``: vertex ``v``
+merges into ``u`` (which keeps its position), the 1-2 faces containing
+both disappear, and ``v``'s remaining faces retarget to ``u``.  A
+vertex split inverts it exactly, so replaying all splits reproduces the
+original mesh bit-for-bit (same vertex indices, same face set).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.mesh.trimesh import TriMesh
+
+__all__ = [
+    "VertexSplit",
+    "ProgressiveMeshPM",
+    "simplify_to_progressive",
+    "PM_SPLIT_BYTES",
+]
+
+# Wire cost of one vertex split: new vertex position (3 x float32) +
+# parent index (uint32) + retarget cut encoding (2 x uint32).  Compare
+# with the 12-byte wavelet coefficient of the default EncodingModel.
+PM_SPLIT_BYTES = 24
+
+Face = tuple[int, int, int]
+
+
+def _faces_equal(a: Face, b: Face) -> bool:
+    """Same oriented triangle up to rotation."""
+    return b in ((a[0], a[1], a[2]), (a[1], a[2], a[0]), (a[2], a[0], a[1]))
+
+
+def _canonical(face: Face) -> Face:
+    """Rotation-invariant canonical form (orientation preserved)."""
+    i = face.index(min(face))
+    return (face[i], face[(i + 1) % 3], face[(i + 2) % 3])
+
+
+@dataclass(frozen=True)
+class VertexSplit:
+    """One inverse edge collapse.
+
+    Attributes
+    ----------
+    u:
+        The surviving vertex the split re-expands.
+    v:
+        Index of the vertex the split re-creates.
+    v_position:
+        Where ``v`` goes.
+    retarget:
+        Faces (in the *collapsed* mesh, canonical form, containing
+        ``u``) whose ``u`` corner becomes ``v`` again.
+    restore:
+        Faces containing both ``u`` and ``v`` that the collapse removed
+        and the split re-adds.
+    """
+
+    u: int
+    v: int
+    v_position: np.ndarray
+    retarget: tuple[Face, ...]
+    restore: tuple[Face, ...]
+
+
+class ProgressiveMeshPM:
+    """A base mesh plus vertex splits, coarsest-first."""
+
+    def __init__(
+        self,
+        vertex_positions: np.ndarray,
+        base_vertex_ids: tuple[int, ...],
+        base_faces: tuple[Face, ...],
+        splits: tuple[VertexSplit, ...],
+    ):
+        self._positions = np.asarray(vertex_positions, dtype=float)
+        self._base_ids = base_vertex_ids
+        self._base_faces = base_faces
+        self._splits = splits
+
+    @property
+    def split_count(self) -> int:
+        return len(self._splits)
+
+    @property
+    def base_vertex_count(self) -> int:
+        return len(self._base_ids)
+
+    def total_bytes(self, *, base_vertex_bytes: int = 16, face_bytes: int = 12) -> int:
+        """Wire size of the whole representation."""
+        return (
+            self.base_vertex_count * base_vertex_bytes
+            + len(self._base_faces) * face_bytes
+            + self.split_count * PM_SPLIT_BYTES
+        )
+
+    def bytes_to_detail(self, splits_applied: int, **kw) -> int:
+        """Wire size to reach a given detail level."""
+        if not 0 <= splits_applied <= self.split_count:
+            raise MeshError(
+                f"splits_applied must be in [0, {self.split_count}]"
+            )
+        full = self.total_bytes(**kw)
+        return full - (self.split_count - splits_applied) * PM_SPLIT_BYTES
+
+    def mesh_at(self, splits_applied: int) -> TriMesh:
+        """Materialise the mesh after applying the first ``n`` splits.
+
+        Vertex indices are re-packed densely; face orientation follows
+        the original mesh.
+        """
+        if not 0 <= splits_applied <= self.split_count:
+            raise MeshError(
+                f"splits_applied must be in [0, {self.split_count}]"
+            )
+        active: set[Face] = set(self._base_faces)
+        for split in self._splits[:splits_applied]:
+            for face in split.retarget:
+                if face not in active:
+                    raise MeshError(
+                        "corrupt split sequence: retarget face missing"
+                    )
+                active.remove(face)
+                active.add(
+                    _canonical(
+                        tuple(split.v if c == split.u else c for c in face)  # type: ignore[arg-type]
+                    )
+                )
+            for face in split.restore:
+                active.add(_canonical(face))
+        used = sorted({c for face in active for c in face})
+        remap = {old: new for new, old in enumerate(used)}
+        vertices = self._positions[used]
+        faces = [(remap[a], remap[b], remap[c]) for a, b, c in active]
+        return TriMesh(vertices, faces)
+
+    @property
+    def base_mesh(self) -> TriMesh:
+        return self.mesh_at(0)
+
+    @property
+    def full_mesh(self) -> TriMesh:
+        return self.mesh_at(self.split_count)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProgressiveMeshPM(base={self.base_vertex_count}v, "
+            f"splits={self.split_count})"
+        )
+
+
+def simplify_to_progressive(
+    mesh: TriMesh, target_vertices: int
+) -> ProgressiveMeshPM:
+    """Half-edge-collapse simplification down to ``target_vertices``.
+
+    Collapses the shortest legal edge first (a classic geometric error
+    proxy); an edge ``(u, v)`` is legal when the link condition holds:
+    the common neighbours of ``u`` and ``v`` are exactly the third
+    vertices of their shared faces, which preserves the manifold
+    topology.  Simplification stops early if no legal edge remains.
+    """
+    if target_vertices < 3:
+        raise MeshError(f"target must be >= 3 vertices, got {target_vertices}")
+    if mesh.face_count == 0:
+        raise MeshError("cannot simplify a mesh with no faces")
+
+    positions = mesh.vertices.copy()
+    faces: set[Face] = {
+        _canonical((int(a), int(b), int(c))) for a, b, c in mesh.faces
+    }
+    vertex_faces: dict[int, set[Face]] = {}
+    for face in faces:
+        for c in face:
+            vertex_faces.setdefault(c, set()).add(face)
+    active = set(vertex_faces)
+
+    def neighbors(vertex: int) -> set[int]:
+        out: set[int] = set()
+        for face in vertex_faces.get(vertex, ()):
+            out.update(face)
+        out.discard(vertex)
+        return out
+
+    version = {v: 0 for v in active}
+    heap: list[tuple[float, int, int, int, int]] = []
+
+    def push_edges_of(vertex: int) -> None:
+        for n in neighbors(vertex):
+            a, b = (vertex, n) if vertex < n else (n, vertex)
+            length = float(np.linalg.norm(positions[a] - positions[b]))
+            heapq.heappush(heap, (length, a, b, version[a], version[b]))
+
+    for v in list(active):
+        for n in neighbors(v):
+            if v < n:
+                length = float(np.linalg.norm(positions[v] - positions[n]))
+                heapq.heappush(heap, (length, v, n, 0, 0))
+
+    collapses: list[VertexSplit] = []
+    while len(active) > target_vertices and heap:
+        _, u, v, ver_u, ver_v = heapq.heappop(heap)
+        if u not in active or v not in active:
+            continue
+        if version[u] != ver_u or version[v] != ver_v:
+            continue
+        shared = vertex_faces[u] & vertex_faces[v]
+        if not shared:
+            continue
+        # Link condition: common neighbours == third corners of shared faces.
+        third = {c for face in shared for c in face} - {u, v}
+        if neighbors(u) & neighbors(v) != third:
+            continue
+        retarget_src = [f for f in vertex_faces[v] if f not in shared]
+        # The collapsed forms must not collide with existing faces --
+        # in either orientation (a same-vertex face of opposite winding
+        # would create a degenerate back-to-back "pillow", as when
+        # collapsing a tetrahedron edge).
+        collapsed_forms = [
+            _canonical(tuple(u if c == v else c for c in face))  # type: ignore[arg-type]
+            for face in retarget_src
+        ]
+        def collides(face: Face) -> bool:
+            reversed_form = _canonical((face[0], face[2], face[1]))
+            return face in faces or reversed_form in faces
+
+        if any(collides(f) for f in collapsed_forms):
+            continue
+        if len(set(collapsed_forms)) != len(collapsed_forms):
+            continue
+
+        # Perform the collapse.
+        for face in shared:
+            faces.discard(face)
+            for c in face:
+                vertex_faces[c].discard(face)
+        for face, new_face in zip(retarget_src, collapsed_forms):
+            faces.discard(face)
+            for c in face:
+                vertex_faces[c].discard(face)
+            faces.add(new_face)
+            for c in new_face:
+                vertex_faces.setdefault(c, set()).add(new_face)
+        active.discard(v)
+        vertex_faces.pop(v, None)
+        collapses.append(
+            VertexSplit(
+                u=u,
+                v=v,
+                v_position=positions[v].copy(),
+                retarget=tuple(collapsed_forms),
+                restore=tuple(shared),
+            )
+        )
+        version[u] += 1
+        push_edges_of(u)
+
+    base_faces = tuple(sorted(faces))
+    base_ids = tuple(sorted(active))
+    # Splits replay in reverse collapse order.
+    splits = tuple(reversed(collapses))
+    return ProgressiveMeshPM(positions, base_ids, base_faces, splits)

@@ -1,0 +1,128 @@
+"""1-to-4 midpoint subdivision with parent tracking.
+
+This implements the regular subdivision step from Section III of the
+paper (Figures 1-2): every edge of the coarse mesh receives a midpoint
+vertex, and every triangle is replaced by four smaller triangles.  The
+inserted vertices are the ones the wavelet layer later displaces; the
+coefficient of an inserted vertex is its displacement from the parent
+edge midpoint, so the subdivision step must remember which edge each
+new vertex came from (:attr:`SubdivisionStep.parent_edges`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.mesh.trimesh import Edge, TriMesh, ordered_edge
+
+__all__ = ["SubdivisionStep", "midpoint_subdivide", "subdivide_times"]
+
+
+@dataclass(frozen=True)
+class SubdivisionStep:
+    """The result of one midpoint subdivision.
+
+    Attributes
+    ----------
+    coarse:
+        The input mesh ``M^j``.
+    fine:
+        The subdivided mesh: same first ``coarse.vertex_count`` vertices,
+        followed by one midpoint vertex per coarse edge.
+    parent_edges:
+        For each inserted vertex (indexed from 0), the coarse edge
+        ``(a, b)`` whose midpoint it is.  Inserted vertex ``i`` has fine
+        index ``coarse.vertex_count + i``.
+    edge_to_new_vertex:
+        Inverse map: coarse edge -> fine vertex index of its midpoint.
+    """
+
+    coarse: TriMesh
+    fine: TriMesh
+    parent_edges: tuple[Edge, ...]
+    edge_to_new_vertex: dict[Edge, int] = field(repr=False)
+
+    @property
+    def inserted_count(self) -> int:
+        """Number of vertices added by this step (== coarse edge count)."""
+        return len(self.parent_edges)
+
+    def fine_index(self, inserted: int) -> int:
+        """Fine-mesh vertex index of the ``inserted``-th new vertex."""
+        if not 0 <= inserted < self.inserted_count:
+            raise MeshError(
+                f"inserted vertex {inserted} out of range "
+                f"[0, {self.inserted_count})"
+            )
+        return self.coarse.vertex_count + inserted
+
+    def parent_midpoint(self, inserted: int) -> np.ndarray:
+        """Position of the parent edge midpoint in the *coarse* mesh.
+
+        This is the "predicted" position ``v_{4'}`` of the paper; the
+        wavelet coefficient is the fine vertex position minus this.
+        """
+        a, b = self.parent_edges[inserted]
+        return (self.coarse.vertices[a] + self.coarse.vertices[b]) / 2.0
+
+
+def midpoint_subdivide(mesh: TriMesh) -> SubdivisionStep:
+    """Split every triangle of ``mesh`` into four.
+
+    The fine mesh keeps all coarse vertices (same indices) and appends
+    one vertex at each coarse edge midpoint.  Each coarse face
+    ``(a, b, c)`` becomes the four faces::
+
+        (a, m_ab, m_ac), (m_ab, b, m_bc), (m_ac, m_bc, c), (m_ab, m_bc, m_ac)
+
+    which preserves orientation.
+    """
+    if mesh.face_count == 0:
+        raise MeshError("cannot subdivide a mesh with no faces")
+    edges = mesh.edges()
+    base = mesh.vertex_count
+    edge_to_new = {edge: base + i for i, edge in enumerate(edges)}
+
+    midpoints = np.empty((len(edges), 3), dtype=float)
+    for i, (a, b) in enumerate(edges):
+        midpoints[i] = (mesh.vertices[a] + mesh.vertices[b]) / 2.0
+    fine_vertices = np.vstack([mesh.vertices, midpoints])
+
+    fine_faces = np.empty((mesh.face_count * 4, 3), dtype=int)
+    for fi, (a, b, c) in enumerate(mesh.faces):
+        a, b, c = int(a), int(b), int(c)
+        m_ab = edge_to_new[ordered_edge(a, b)]
+        m_bc = edge_to_new[ordered_edge(b, c)]
+        m_ac = edge_to_new[ordered_edge(a, c)]
+        fine_faces[4 * fi + 0] = (a, m_ab, m_ac)
+        fine_faces[4 * fi + 1] = (m_ab, b, m_bc)
+        fine_faces[4 * fi + 2] = (m_ac, m_bc, c)
+        fine_faces[4 * fi + 3] = (m_ab, m_bc, m_ac)
+
+    fine = TriMesh(fine_vertices, fine_faces)
+    return SubdivisionStep(
+        coarse=mesh,
+        fine=fine,
+        parent_edges=tuple(edges),
+        edge_to_new_vertex=dict(edge_to_new),
+    )
+
+
+def subdivide_times(mesh: TriMesh, levels: int) -> list[SubdivisionStep]:
+    """Apply :func:`midpoint_subdivide` ``levels`` times.
+
+    Returns the list of steps from coarsest to finest; step ``j`` maps
+    ``M^j`` to the (undeformed) ``M^{j+1}``.
+    """
+    if levels < 0:
+        raise MeshError("levels must be non-negative")
+    steps: list[SubdivisionStep] = []
+    current = mesh
+    for _ in range(levels):
+        step = midpoint_subdivide(current)
+        steps.append(step)
+        current = step.fine
+    return steps

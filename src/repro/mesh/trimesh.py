@@ -1,0 +1,282 @@
+"""Triangular surface meshes.
+
+A :class:`TriMesh` is the unit of 3-D content in the system: every
+database object is (a multiresolution hierarchy of) triangle meshes.
+The class stores vertices as an ``(n, 3)`` float array and faces as an
+``(m, 3)`` int array, and lazily derives the connectivity needed by the
+wavelet layer (edge list, vertex neighbourhoods, faces incident to a
+vertex).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.geometry.box import Box
+
+__all__ = ["TriMesh", "Edge", "ordered_edge"]
+
+# An undirected edge is canonically the sorted pair of vertex indices.
+Edge = tuple[int, int]
+
+
+def ordered_edge(a: int, b: int) -> Edge:
+    """The canonical (sorted) form of the undirected edge ``{a, b}``."""
+    if a == b:
+        raise MeshError(f"degenerate edge ({a}, {b})")
+    return (a, b) if a < b else (b, a)
+
+
+class TriMesh:
+    """An immutable triangular mesh embedded in 3-D space.
+
+    Parameters
+    ----------
+    vertices:
+        ``(n, 3)`` array of vertex positions.
+    faces:
+        ``(m, 3)`` array of vertex indices; each row is one triangle.
+        Faces must reference valid vertices and must not repeat a vertex.
+
+    Notes
+    -----
+    Vertices and faces arrays are copied and frozen; derived adjacency
+    structures are computed on first use and cached.
+    """
+
+    def __init__(
+        self,
+        vertices: Sequence[Sequence[float]] | np.ndarray,
+        faces: Sequence[Sequence[int]] | np.ndarray,
+    ):
+        verts = np.array(vertices, dtype=float)
+        face_arr = np.array(faces, dtype=int)
+        if verts.ndim != 2 or verts.shape[1] != 3:
+            raise MeshError(f"vertices must be (n, 3), got {verts.shape}")
+        if face_arr.size == 0:
+            face_arr = face_arr.reshape(0, 3)
+        if face_arr.ndim != 2 or face_arr.shape[1] != 3:
+            raise MeshError(f"faces must be (m, 3), got {face_arr.shape}")
+        if not np.all(np.isfinite(verts)):
+            raise MeshError("vertex coordinates must be finite")
+        n = verts.shape[0]
+        if face_arr.size and (face_arr.min() < 0 or face_arr.max() >= n):
+            raise MeshError(
+                f"face references vertex outside [0, {n}): "
+                f"min={face_arr.min()} max={face_arr.max()}"
+            )
+        for row in face_arr:
+            if len({int(v) for v in row}) != 3:
+                raise MeshError(f"face {tuple(int(v) for v in row)} repeats a vertex")
+        verts.setflags(write=False)
+        face_arr.setflags(write=False)
+        self._vertices = verts
+        self._faces = face_arr
+        self._edges: list[Edge] | None = None
+        self._vertex_faces: dict[int, list[int]] | None = None
+        self._vertex_neighbors: dict[int, set[int]] | None = None
+        self._edge_faces: dict[Edge, list[int]] | None = None
+
+    # -- core accessors --------------------------------------------------------
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """``(n, 3)`` read-only vertex positions."""
+        return self._vertices
+
+    @property
+    def faces(self) -> np.ndarray:
+        """``(m, 3)`` read-only face vertex indices."""
+        return self._faces
+
+    @property
+    def vertex_count(self) -> int:
+        return self._vertices.shape[0]
+
+    @property
+    def face_count(self) -> int:
+        return self._faces.shape[0]
+
+    # -- derived connectivity ---------------------------------------------------
+
+    def edges(self) -> list[Edge]:
+        """All undirected edges, each listed once in canonical order."""
+        if self._edges is None:
+            seen: set[Edge] = set()
+            for a, b, c in self._faces:
+                seen.add(ordered_edge(int(a), int(b)))
+                seen.add(ordered_edge(int(b), int(c)))
+                seen.add(ordered_edge(int(a), int(c)))
+            self._edges = sorted(seen)
+        return self._edges
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges())
+
+    def faces_of_vertex(self, vertex: int) -> list[int]:
+        """Indices of faces incident to ``vertex``."""
+        if self._vertex_faces is None:
+            table: dict[int, list[int]] = {}
+            for fi, (a, b, c) in enumerate(self._faces):
+                for v in (int(a), int(b), int(c)):
+                    table.setdefault(v, []).append(fi)
+            self._vertex_faces = table
+        self._check_vertex(vertex)
+        return list(self._vertex_faces.get(vertex, []))
+
+    def vertex_neighbors(self, vertex: int) -> set[int]:
+        """Vertices sharing an edge with ``vertex``."""
+        if self._vertex_neighbors is None:
+            table: dict[int, set[int]] = {}
+            for a, b in self.edges():
+                table.setdefault(a, set()).add(b)
+                table.setdefault(b, set()).add(a)
+            self._vertex_neighbors = table
+        self._check_vertex(vertex)
+        return set(self._vertex_neighbors.get(vertex, set()))
+
+    def faces_of_edge(self, edge: Edge) -> list[int]:
+        """Indices of faces containing both endpoints of ``edge``."""
+        if self._edge_faces is None:
+            table: dict[Edge, list[int]] = {}
+            for fi, (a, b, c) in enumerate(self._faces):
+                a, b, c = int(a), int(b), int(c)
+                for e in (
+                    ordered_edge(a, b),
+                    ordered_edge(b, c),
+                    ordered_edge(a, c),
+                ):
+                    table.setdefault(e, []).append(fi)
+            self._edge_faces = table
+        key = ordered_edge(*edge)
+        return list(self._edge_faces.get(key, []))
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self.vertex_count:
+            raise MeshError(
+                f"vertex {vertex} out of range [0, {self.vertex_count})"
+            )
+
+    # -- geometry ----------------------------------------------------------------
+
+    def bounding_box(self) -> Box:
+        """Axis-aligned bounding box of all vertices."""
+        if self.vertex_count == 0:
+            raise MeshError("empty mesh has no bounding box")
+        return Box(self._vertices.min(axis=0), self._vertices.max(axis=0))
+
+    def face_normal(self, face: int) -> np.ndarray:
+        """Unit normal of a face (right-hand rule on vertex order)."""
+        if not 0 <= face < self.face_count:
+            raise MeshError(f"face {face} out of range [0, {self.face_count})")
+        a, b, c = self._faces[face]
+        v0 = self._vertices[a]
+        cross = np.cross(self._vertices[b] - v0, self._vertices[c] - v0)
+        length = float(np.linalg.norm(cross))
+        if length == 0.0:
+            raise MeshError(f"face {face} is geometrically degenerate")
+        return cross / length
+
+    def face_area(self, face: int) -> float:
+        """Area of a single triangle."""
+        if not 0 <= face < self.face_count:
+            raise MeshError(f"face {face} out of range [0, {self.face_count})")
+        a, b, c = self._faces[face]
+        v0 = self._vertices[a]
+        cross = np.cross(self._vertices[b] - v0, self._vertices[c] - v0)
+        return float(np.linalg.norm(cross)) / 2.0
+
+    def surface_area(self) -> float:
+        """Total area of all faces."""
+        if self.face_count == 0:
+            return 0.0
+        v = self._vertices
+        f = self._faces
+        cross = np.cross(v[f[:, 1]] - v[f[:, 0]], v[f[:, 2]] - v[f[:, 0]])
+        return float(np.linalg.norm(cross, axis=1).sum()) / 2.0
+
+    def vertex_normal(self, vertex: int) -> np.ndarray:
+        """Area-weighted average normal of faces around ``vertex``.
+
+        Falls back to the radial direction from the mesh centroid when
+        all incident faces are degenerate or the vertex is isolated.
+        """
+        total = np.zeros(3)
+        for fi in self.faces_of_vertex(vertex):
+            a, b, c = self._faces[fi]
+            v0 = self._vertices[a]
+            total += np.cross(self._vertices[b] - v0, self._vertices[c] - v0)
+        length = float(np.linalg.norm(total))
+        if length > 0.0:
+            return total / length
+        radial = self._vertices[vertex] - self._vertices.mean(axis=0)
+        radial_len = float(np.linalg.norm(radial))
+        if radial_len > 0.0:
+            return radial / radial_len
+        return np.array([0.0, 0.0, 1.0])
+
+    # -- transforms --------------------------------------------------------------
+
+    def with_vertices(self, vertices: np.ndarray) -> "TriMesh":
+        """A mesh with the same faces but new vertex positions."""
+        verts = np.asarray(vertices, dtype=float)
+        if verts.shape != self._vertices.shape:
+            raise MeshError(
+                f"replacement vertices {verts.shape} must match {self._vertices.shape}"
+            )
+        return TriMesh(verts, self._faces)
+
+    def translated(self, offset: Sequence[float]) -> "TriMesh":
+        """A copy shifted by ``offset``."""
+        off = np.asarray(offset, dtype=float)
+        if off.shape != (3,):
+            raise MeshError(f"offset must have 3 components, got {off.shape}")
+        return TriMesh(self._vertices + off, self._faces)
+
+    def scaled(self, factor: float | Sequence[float]) -> "TriMesh":
+        """A copy scaled about the origin (scalar or per-axis factors)."""
+        return TriMesh(self._vertices * np.asarray(factor, dtype=float), self._faces)
+
+    # -- misc ---------------------------------------------------------------------
+
+    def is_closed(self) -> bool:
+        """True when every edge borders exactly two faces (watertight)."""
+        return all(len(self.faces_of_edge(e)) == 2 for e in self.edges())
+
+    def euler_characteristic(self) -> int:
+        """V - E + F (2 for a sphere-topology closed mesh)."""
+        return self.vertex_count - self.edge_count + self.face_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TriMesh):
+            return NotImplemented
+        return (
+            self._vertices.shape == other._vertices.shape
+            and self._faces.shape == other._faces.shape
+            and bool(np.all(self._vertices == other._vertices))
+            and bool(np.all(self._faces == other._faces))
+        )
+
+    def __repr__(self) -> str:
+        return f"TriMesh(vertices={self.vertex_count}, faces={self.face_count})"
+
+
+def merge_meshes(meshes: Iterable[TriMesh]) -> TriMesh:
+    """Concatenate meshes into one (vertex indices re-based)."""
+    verts: list[np.ndarray] = []
+    faces: list[np.ndarray] = []
+    offset = 0
+    for mesh in meshes:
+        verts.append(mesh.vertices)
+        faces.append(mesh.faces + offset)
+        offset += mesh.vertex_count
+    if not verts:
+        raise MeshError("cannot merge zero meshes")
+    return TriMesh(np.vstack(verts), np.vstack(faces))
+
+
+__all__.append("merge_meshes")

@@ -1,0 +1,29 @@
+"""Motion modelling: prediction (Kalman/RLS) and tour generation."""
+
+from repro.motion.kalman import ConstantVelocityModel2D, Gaussian, KalmanFilter
+from repro.motion.predictor import (
+    DeadReckoningPredictor,
+    HistoryMotionPredictor,
+    KalmanMotionPredictor,
+    Predictor,
+    visit_probabilities,
+)
+from repro.motion.rls import RecursiveLeastSquares, fit_transition_matrix
+from repro.motion.trajectory import Trajectory, make_tours, pedestrian_tour, tram_tour
+
+__all__ = [
+    "KalmanFilter",
+    "ConstantVelocityModel2D",
+    "Gaussian",
+    "RecursiveLeastSquares",
+    "fit_transition_matrix",
+    "Predictor",
+    "KalmanMotionPredictor",
+    "HistoryMotionPredictor",
+    "DeadReckoningPredictor",
+    "visit_probabilities",
+    "Trajectory",
+    "tram_tour",
+    "pedestrian_tour",
+    "make_tours",
+]

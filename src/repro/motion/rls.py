@@ -1,0 +1,114 @@
+"""Recursive least-squares estimation of a state transition matrix.
+
+The paper (Section V-B) estimates the one-step predictor ``A`` of the
+stacked-history state ``s_t = [p(t), p(t-1), ..., p(t-h)]^T`` with the
+recursive least-squares method of Yi et al. [22].  This module provides
+that estimator: given a stream of state vectors it maintains ``A``
+minimising the (exponentially forgotten) squared prediction error
+``||s_{t+1} - A s_t||^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+
+__all__ = ["RecursiveLeastSquares", "fit_transition_matrix"]
+
+
+class RecursiveLeastSquares:
+    """Online estimator of ``A`` in ``y = A x`` from (x, y) pairs.
+
+    Parameters
+    ----------
+    dim:
+        Dimension of the state vectors.
+    forgetting:
+        Exponential forgetting factor in ``(0, 1]``; 1.0 weighs all
+        history equally, smaller values adapt faster to motion changes.
+    delta:
+        Initial inverse-covariance scale (larger = weaker prior).
+    """
+
+    def __init__(self, dim: int, *, forgetting: float = 0.98, delta: float = 100.0):
+        if dim < 1:
+            raise PredictionError(f"dim must be >= 1, got {dim}")
+        if not 0.0 < forgetting <= 1.0:
+            raise PredictionError(f"forgetting must be in (0, 1], got {forgetting}")
+        if delta <= 0:
+            raise PredictionError(f"delta must be positive, got {delta}")
+        self._dim = dim
+        self._lambda = forgetting
+        # One shared inverse covariance; one coefficient row per output.
+        self._p = np.eye(dim) * delta
+        self._a = np.eye(dim)
+        self._updates = 0
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def updates(self) -> int:
+        """Number of (x, y) pairs consumed."""
+        return self._updates
+
+    @property
+    def transition(self) -> np.ndarray:
+        """Current estimate of ``A`` (copies; starts at identity)."""
+        return self._a.copy()
+
+    def update(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Consume one transition ``x -> y``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.shape != (self._dim,) or y.shape != (self._dim,):
+            raise PredictionError(
+                f"expected vectors of dim {self._dim}, got {x.shape} and {y.shape}"
+            )
+        px = self._p @ x
+        denom = self._lambda + float(x @ px)
+        gain = px / denom
+        error = y - self._a @ x
+        self._a += np.outer(error, gain)
+        self._p = (self._p - np.outer(gain, px)) / self._lambda
+        # Keep P symmetric against floating-point drift.
+        self._p = (self._p + self._p.T) / 2.0
+        self._updates += 1
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """One-step prediction ``A x``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self._dim,):
+            raise PredictionError(f"expected dim {self._dim}, got {x.shape}")
+        return self._a @ x
+
+    def predict_multi(self, x: np.ndarray, steps: int) -> list[np.ndarray]:
+        """Multi-step prediction ``A^i x`` for ``i = 1..steps``."""
+        if steps < 1:
+            raise PredictionError(f"steps must be >= 1, got {steps}")
+        out = []
+        current = np.asarray(x, dtype=float)
+        for _ in range(steps):
+            current = self._a @ current
+            out.append(current.copy())
+        return out
+
+
+def fit_transition_matrix(states: np.ndarray) -> np.ndarray:
+    """Batch least-squares fit of ``A`` from a sequence of states.
+
+    ``states`` is ``(T, n)`` with consecutive rows one step apart; the
+    fit minimises ``sum_t ||s_{t+1} - A s_t||^2`` and needs ``T >= 2``.
+    """
+    states = np.asarray(states, dtype=float)
+    if states.ndim != 2 or states.shape[0] < 2:
+        raise PredictionError(
+            f"need a (T>=2, n) state matrix, got shape {states.shape}"
+        )
+    x = states[:-1]
+    y = states[1:]
+    # Solve X A^T = Y in the least-squares sense.
+    solution, *_ = np.linalg.lstsq(x, y, rcond=None)
+    return solution.T

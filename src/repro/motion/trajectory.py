@@ -1,0 +1,266 @@
+"""Client trajectories: tram tours and pedestrian tours.
+
+The paper evaluates on head-movement traces of 10 tourists riding trams
+and walking (Section VII-A).  Those traces are not available, so this
+module generates seeded synthetic tours with the single property the
+experiments depend on: **tram motion is much more predictable than
+pedestrian motion**.
+
+* :func:`tram_tour` follows long axis-aligned street segments (a rail
+  line) with tiny speed and lateral jitter -- near-linear motion a
+  Kalman filter locks onto quickly.
+* :func:`pedestrian_tour` wanders between nearby random waypoints with
+  heading noise and strong speed variation -- much harder to predict.
+
+Speeds are normalised to ``[0, 1]`` as in the paper (1.0 = the fastest
+client); ``v_max`` converts them to space units per tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.geometry.box import Box
+
+__all__ = ["Trajectory", "tram_tour", "pedestrian_tour", "make_tours"]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A sampled 2-D tour.
+
+    Attributes
+    ----------
+    times:
+        ``(n,)`` strictly increasing timestamps (seconds).
+    positions:
+        ``(n, 2)`` positions, inside the generating space.
+    nominal_speed:
+        The normalised speed in ``[0, 1]`` the tour was generated at.
+    kind:
+        Generator label (``"tram"`` or ``"pedestrian"``).
+    """
+
+    times: np.ndarray
+    positions: np.ndarray
+    nominal_speed: float
+    kind: str
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        positions = np.asarray(self.positions, dtype=float)
+        if times.ndim != 1 or positions.ndim != 2 or positions.shape[1] != 2:
+            raise WorkloadError(
+                f"bad trajectory shapes: times {times.shape}, "
+                f"positions {positions.shape}"
+            )
+        if times.shape[0] != positions.shape[0]:
+            raise WorkloadError("times and positions length mismatch")
+        if times.shape[0] < 2:
+            raise WorkloadError("a trajectory needs at least 2 samples")
+        if np.any(np.diff(times) <= 0):
+            raise WorkloadError("timestamps must be strictly increasing")
+        if not 0.0 <= self.nominal_speed <= 1.0:
+            raise WorkloadError(
+                f"nominal_speed must be in [0, 1], got {self.nominal_speed}"
+            )
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "positions", positions)
+
+    def __len__(self) -> int:
+        return self.times.shape[0]
+
+    @property
+    def duration(self) -> float:
+        """Total tour time in seconds."""
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def path_length(self) -> float:
+        """Total distance travelled."""
+        deltas = np.diff(self.positions, axis=0)
+        return float(np.linalg.norm(deltas, axis=1).sum())
+
+    @property
+    def average_speed(self) -> float:
+        """Mean distance per second."""
+        return self.path_length / self.duration if self.duration > 0 else 0.0
+
+    def velocity(self, i: int) -> np.ndarray:
+        """Finite-difference velocity at sample ``i``."""
+        n = len(self)
+        if not 0 <= i < n:
+            raise WorkloadError(f"sample {i} out of range [0, {n})")
+        if i == 0:
+            j, k = 0, 1
+        elif i == n - 1:
+            j, k = n - 2, n - 1
+        else:
+            j, k = i - 1, i + 1
+        dt = float(self.times[k] - self.times[j])
+        return (self.positions[k] - self.positions[j]) / dt
+
+    def instantaneous_speed(self, i: int) -> float:
+        """Speed (space units per second) at sample ``i``."""
+        return float(np.linalg.norm(self.velocity(i)))
+
+    def bounding_box(self) -> Box:
+        """MBB of all samples."""
+        return Box(self.positions.min(axis=0), self.positions.max(axis=0))
+
+
+def _clamp_to(space: Box, point: np.ndarray) -> np.ndarray:
+    return np.clip(point, space.low, space.high)
+
+
+def _default_v_max(space: Box) -> float:
+    """Fastest client speed: 2.5 % of the smaller space extent per second."""
+    return 0.025 * float(space.extents.min())
+
+
+def tram_tour(
+    space: Box,
+    rng: np.random.Generator,
+    *,
+    speed: float = 0.5,
+    steps: int = 200,
+    dt: float = 1.0,
+    v_max: float | None = None,
+) -> Trajectory:
+    """A rail-constrained tour: long straight runs, rare 90-degree turns."""
+    _check_tour_args(space, speed, steps, dt)
+    if v_max is None:
+        v_max = _default_v_max(space)
+    extent = space.extents
+    margin = 0.05 * extent
+    inner_low = space.low + margin
+    inner_high = space.high - margin
+    position = rng.uniform(inner_low, inner_high)
+    axis = int(rng.integers(0, 2))
+    direction = float(rng.choice([-1.0, 1.0]))
+    base_step = max(speed, 1e-4) * v_max * dt
+    run_remaining = float(rng.uniform(0.25, 0.6) * extent[axis])
+
+    points = np.empty((steps + 1, 2))
+    points[0] = position
+    for i in range(1, steps + 1):
+        # Tram speed barely varies; lateral head movement is tiny.
+        step_len = base_step * float(rng.normal(1.0, 0.02))
+        move = np.zeros(2)
+        move[axis] = direction * step_len
+        move[1 - axis] = float(rng.normal(0.0, 0.002 * extent[1 - axis]))
+        candidate = position + move
+        hit_wall = not (
+            inner_low[axis] <= candidate[axis] <= inner_high[axis]
+        )
+        run_remaining -= step_len
+        if hit_wall or run_remaining <= 0:
+            # Turn 90 degrees onto a crossing street.
+            axis = 1 - axis
+            centre = (inner_low[axis] + inner_high[axis]) / 2.0
+            direction = 1.0 if position[axis] < centre else -1.0
+            if not hit_wall and rng.random() < 0.5:
+                direction = -direction
+                # Never turn into a nearby wall.
+                if (direction > 0 and position[axis] > inner_high[axis] - base_step * 5) or (
+                    direction < 0 and position[axis] < inner_low[axis] + base_step * 5
+                ):
+                    direction = -direction
+            run_remaining = float(rng.uniform(0.25, 0.6) * extent[axis])
+            candidate = position  # spend this tick on the turn (trams slow down)
+        position = _clamp_to(space, candidate)
+        points[i] = position
+    times = np.arange(steps + 1, dtype=float) * dt
+    return Trajectory(times, points, nominal_speed=speed, kind="tram")
+
+
+def pedestrian_tour(
+    space: Box,
+    rng: np.random.Generator,
+    *,
+    speed: float = 0.5,
+    steps: int = 200,
+    dt: float = 1.0,
+    v_max: float | None = None,
+) -> Trajectory:
+    """A wandering walk between nearby waypoints with noisy heading."""
+    _check_tour_args(space, speed, steps, dt)
+    if v_max is None:
+        v_max = _default_v_max(space)
+    extent = space.extents
+    margin = 0.02 * extent
+    inner_low = space.low + margin
+    inner_high = space.high - margin
+    position = rng.uniform(inner_low, inner_high)
+    base_step = max(speed, 1e-4) * v_max * dt
+
+    def new_waypoint() -> np.ndarray:
+        # A sight a couple of blocks away: 15-40 % of the space.
+        for _ in range(16):
+            angle = rng.uniform(0, 2 * np.pi)
+            dist = rng.uniform(0.15, 0.4) * float(extent.min())
+            cand = position + dist * np.array([np.cos(angle), np.sin(angle)])
+            if np.all(cand >= inner_low) and np.all(cand <= inner_high):
+                return cand
+        return rng.uniform(inner_low, inner_high)
+
+    waypoint = new_waypoint()
+    points = np.empty((steps + 1, 2))
+    points[0] = position
+    for i in range(1, steps + 1):
+        to_target = waypoint - position
+        dist = float(np.linalg.norm(to_target))
+        if dist < base_step * 1.5:
+            waypoint = new_waypoint()
+            to_target = waypoint - position
+            dist = float(np.linalg.norm(to_target))
+        heading = np.arctan2(to_target[1], to_target[0])
+        # Pedestrians weave, vary pace, and occasionally stop to look.
+        heading += float(rng.normal(0.0, 0.18))
+        if rng.random() < 0.04:
+            step_len = 0.0
+        else:
+            step_len = base_step * float(np.clip(rng.normal(1.0, 0.2), 0.3, 1.8))
+        move = step_len * np.array([np.cos(heading), np.sin(heading)])
+        position = _clamp_to(space, position + move)
+        points[i] = position
+    times = np.arange(steps + 1, dtype=float) * dt
+    return Trajectory(times, points, nominal_speed=speed, kind="pedestrian")
+
+
+def _check_tour_args(space: Box, speed: float, steps: int, dt: float) -> None:
+    if space.ndim != 2:
+        raise WorkloadError(f"tours need a 2-D space, got {space.ndim}-D")
+    if not 0.0 <= speed <= 1.0:
+        raise WorkloadError(f"speed must be normalised to [0, 1], got {speed}")
+    if steps < 1:
+        raise WorkloadError(f"steps must be >= 1, got {steps}")
+    if dt <= 0:
+        raise WorkloadError(f"dt must be positive, got {dt}")
+
+
+def make_tours(
+    space: Box,
+    kind: str,
+    *,
+    count: int = 10,
+    speed: float = 0.5,
+    steps: int = 200,
+    dt: float = 1.0,
+    base_seed: int = 1000,
+    v_max: float | None = None,
+) -> list[Trajectory]:
+    """A suite of seeded tours ("10 tourists" in the paper's setup)."""
+    if kind not in ("tram", "pedestrian"):
+        raise WorkloadError(f"unknown tour kind {kind!r}")
+    generator = tram_tour if kind == "tram" else pedestrian_tour
+    tours = []
+    for i in range(count):
+        rng = np.random.default_rng(base_seed + i)
+        tours.append(
+            generator(space, rng, speed=speed, steps=steps, dt=dt, v_max=v_max)
+        )
+    return tours

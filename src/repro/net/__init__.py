@@ -1,0 +1,21 @@
+"""Simulated wireless networking: clock, link model, protocol messages."""
+
+from repro.net.link import LinkConfig, TransferRecord, WirelessLink
+from repro.net.messages import (
+    BaseMeshPayload,
+    RegionRequest,
+    RetrieveRequest,
+    RetrieveResponse,
+)
+from repro.net.simclock import SimClock
+
+__all__ = [
+    "SimClock",
+    "LinkConfig",
+    "WirelessLink",
+    "TransferRecord",
+    "RegionRequest",
+    "RetrieveRequest",
+    "RetrieveResponse",
+    "BaseMeshPayload",
+]

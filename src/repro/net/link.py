@@ -1,0 +1,169 @@
+"""Wireless link model.
+
+The paper's setting (Section VII-A): 256 Kbps bandwidth, 200 ms latency.
+Two further effects from its motivation (Section I) are modelled:
+
+* every round trip pays a fixed *connection establishment* cost ``C_c``
+  in addition to the per-byte transfer cost ``C_t`` -- this is the cost
+  model of eq. (1);
+* the usable bandwidth of a *moving* client drops to a fraction of the
+  stationary bandwidth (the paper cites Ofcom measurements [2]); we
+  model the effective bandwidth as ``B / (1 + k * s)`` with ``s`` the
+  normalised speed and ``k`` the degradation factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetworkError
+
+__all__ = ["LinkConfig", "WirelessLink", "TransferRecord"]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Static link parameters.
+
+    Attributes
+    ----------
+    bandwidth_bps:
+        Stationary downlink bandwidth in bits per second (paper: 256 Kbps).
+    latency_s:
+        One-way latency; a request/response round trip pays twice this.
+    connection_cost_s:
+        Extra fixed cost of establishing a connection for a request
+        (``C_c`` of eq. 1), on top of latency.
+    speed_degradation:
+        Bandwidth divisor slope: effective bandwidth is
+        ``bandwidth_bps / (1 + speed_degradation * speed)`` for
+        normalised speed in ``[0, 1]``.  0 disables the effect.
+    loss_rate:
+        Probability that an exchange attempt fails and must be
+        retransmitted (whole-exchange granularity).  0 disables loss.
+    """
+
+    bandwidth_bps: float = 256_000.0
+    latency_s: float = 0.2
+    connection_cost_s: float = 0.1
+    speed_degradation: float = 3.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise NetworkError(f"bandwidth must be positive, got {self.bandwidth_bps}")
+        if self.latency_s < 0 or self.connection_cost_s < 0:
+            raise NetworkError("latency and connection cost must be non-negative")
+        if self.speed_degradation < 0:
+            raise NetworkError("speed_degradation must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise NetworkError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+
+    def effective_bandwidth(self, speed: float) -> float:
+        """Usable bits/second at the given normalised speed."""
+        if speed < 0:
+            raise NetworkError(f"speed must be non-negative, got {speed}")
+        return self.bandwidth_bps / (1.0 + self.speed_degradation * speed)
+
+    def round_trip_time(self, payload_bytes: int, speed: float = 0.0) -> float:
+        """Seconds for one request/response exchange.
+
+        ``payload_bytes`` is the response size; the request itself is
+        assumed negligible (a window plus two floats).
+        """
+        if payload_bytes < 0:
+            raise NetworkError(f"payload must be non-negative, got {payload_bytes}")
+        transfer = payload_bytes * 8.0 / self.effective_bandwidth(speed)
+        return self.connection_cost_s + 2.0 * self.latency_s + transfer
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed request/response exchange."""
+
+    started_at: float
+    payload_bytes: int
+    speed: float
+    elapsed_s: float
+    attempts: int = 1
+
+
+class WirelessLink:
+    """A stateful link that accumulates transfer accounting.
+
+    The link does not own the clock; callers pass the current time and
+    advance their clock by the returned duration, so several components
+    can share one clock.
+    """
+
+    def __init__(
+        self,
+        config: LinkConfig | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        self.config = config if config is not None else LinkConfig()
+        self._transfers: list[TransferRecord] = []
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def transfers(self) -> list[TransferRecord]:
+        """All completed exchanges (immutable records)."""
+        return list(self._transfers)
+
+    @property
+    def request_count(self) -> int:
+        return len(self._transfers)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total response payload carried."""
+        return sum(t.payload_bytes for t in self._transfers)
+
+    @property
+    def total_time(self) -> float:
+        """Total seconds spent on the link."""
+        return sum(t.elapsed_s for t in self._transfers)
+
+    @property
+    def total_attempts(self) -> int:
+        """Exchange attempts including retransmissions."""
+        return sum(t.attempts for t in self._transfers)
+
+    def exchange(self, payload_bytes: int, *, speed: float = 0.0, now: float = 0.0) -> float:
+        """Perform one request/response; returns the elapsed seconds.
+
+        With a lossy link (``config.loss_rate > 0``) failed attempts are
+        retransmitted; each attempt pays the full round trip.
+        """
+        attempts = 1
+        while (
+            self.config.loss_rate > 0.0
+            and self._rng.random() < self.config.loss_rate
+        ):
+            attempts += 1
+        elapsed = attempts * self.config.round_trip_time(payload_bytes, speed)
+        self._transfers.append(
+            TransferRecord(
+                started_at=now,
+                payload_bytes=payload_bytes,
+                speed=speed,
+                elapsed_s=elapsed,
+                attempts=attempts,
+            )
+        )
+        return elapsed
+
+    def reset(self) -> None:
+        """Forget all accounting."""
+        self._transfers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"WirelessLink(requests={self.request_count}, "
+            f"bytes={self.total_bytes}, time={self.total_time:.3f}s)"
+        )

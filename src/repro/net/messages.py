@@ -1,0 +1,99 @@
+"""Client/server protocol messages.
+
+The simulated protocol mirrors Section IV: a request carries one or more
+``(region, w_min, w_max)`` triples plus the set-difference context the
+server needs to filter already-delivered data; a response carries the
+coefficient records (and base meshes) with their wire sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.geometry.box import Box
+from repro.mesh.trimesh import TriMesh
+from repro.wavelets.coefficients import CoefficientRecord
+
+__all__ = ["RegionRequest", "RetrieveRequest", "BaseMeshPayload", "RetrieveResponse"]
+
+
+@dataclass(frozen=True)
+class RegionRequest:
+    """One ``(region, w_min, w_max)`` element of a Retrieve call.
+
+    This is exactly the parameter group of the paper's ``Retrieve``
+    function in Algorithm 1: a region with lower and upper resolution
+    limits.  Note the algorithm passes resolutions; resolution ``r``
+    maps to the coefficient band ``[r, 1.0]``, and an *incremental*
+    band (raising resolution from ``r_prev`` to ``r``) is
+    ``[r, r_prev)`` -- the ``half_open`` flag marks the latter so the
+    server can exclude the upper bound and avoid resending data.
+    """
+
+    region: Box
+    w_min: float
+    w_max: float
+    half_open: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.w_min <= self.w_max <= 1.0:
+            raise ProtocolError(
+                f"invalid band [{self.w_min}, {self.w_max}] in region request"
+            )
+
+
+@dataclass(frozen=True)
+class RetrieveRequest:
+    """A batch of region requests issued at one timestamp."""
+
+    timestamp: float
+    client_id: int
+    regions: tuple[RegionRequest, ...]
+    exclude_uids: frozenset[tuple[int, int, int]] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ProtocolError("a retrieve request needs at least one region")
+
+
+@dataclass(frozen=True)
+class BaseMeshPayload:
+    """A base mesh shipped to the client when an object first appears."""
+
+    object_id: int
+    mesh: TriMesh
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ProtocolError("base mesh payload must have positive size")
+
+
+@dataclass(frozen=True)
+class RetrieveResponse:
+    """The server's answer: base meshes, coefficients, and I/O spent."""
+
+    request: RetrieveRequest
+    base_meshes: tuple[BaseMeshPayload, ...]
+    records: tuple[CoefficientRecord, ...]
+    displacements: tuple[tuple[float, float, float], ...]
+    io_node_reads: int
+    filtered_out: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.records) != len(self.displacements):
+            raise ProtocolError(
+                f"{len(self.records)} records but {len(self.displacements)} payloads"
+            )
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total bytes on the wire for this response."""
+        return sum(b.size_bytes for b in self.base_meshes) + sum(
+            r.size_bytes for r in self.records
+        )
+
+    @property
+    def record_count(self) -> int:
+        return len(self.records)

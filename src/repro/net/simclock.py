@@ -1,0 +1,46 @@
+"""Simulation clock.
+
+All timing in the system (query timestamps, link transfer times,
+residence times in buffered regions) is simulated.  The clock is a plain
+monotonically advancing counter of seconds; components that consume time
+advance it explicitly, which keeps every experiment deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotonically advancing simulated time source (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise NetworkError(f"clock cannot start negative, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise NetworkError(f"cannot advance time by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Jump to an absolute time not earlier than now."""
+        if when < self._now:
+            raise NetworkError(
+                f"cannot move clock backwards from {self._now} to {when}"
+            )
+        self._now = when
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f})"

@@ -1,0 +1,6 @@
+"""Server side: object database and query-processing front end."""
+
+from repro.server.database import ObjectDatabase, StoredObject
+from repro.server.server import Server
+
+__all__ = ["ObjectDatabase", "StoredObject", "Server"]

@@ -1,0 +1,199 @@
+"""The server-side 3-D object database.
+
+Stores a set of wavelet-decomposed objects, flattens their coefficient
+records, and builds the spatial access method over them.  Exposes the
+two query surfaces the rest of the system needs:
+
+* :meth:`ObjectDatabase.query_region` -- the multi-resolution window
+  query ``Q(R, w_max, w_min)`` against the configured access method;
+* :meth:`ObjectDatabase.block_bytes` -- the wire size of one buffer
+  block (grid cell x resolution), used by the buffer managers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.geometry.box import Box
+from repro.geometry.grid import CellId, Grid
+from repro.index.access import (
+    AccessResult,
+    MotionAwareAccessMethod,
+    NaivePointAccessMethod,
+)
+from repro.wavelets.analysis import WaveletDecomposition
+from repro.wavelets.coefficients import CoefficientRecord
+from repro.wavelets.encoding import DEFAULT_ENCODING, EncodingModel
+
+__all__ = ["StoredObject", "ObjectDatabase"]
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """One object as stored on the server."""
+
+    object_id: int
+    decomposition: WaveletDecomposition
+    records: tuple[CoefficientRecord, ...]
+    base_bytes: int
+
+    @property
+    def footprint(self) -> Box:
+        """2-D (x, y) bounding box of the object's base mesh."""
+        bb = self.decomposition.base.bounding_box()
+        return bb.project((0, 1))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.base_bytes + sum(
+            r.size_bytes for r in self.records if not r.key.is_base
+        )
+
+
+class ObjectDatabase:
+    """A collection of wavelet-decomposed 3-D objects plus an index.
+
+    Parameters
+    ----------
+    encoding:
+        Byte accounting model for all wire sizes.
+    access_method:
+        ``"motion_aware"`` (support-region index, the paper's) or
+        ``"naive"`` (point index with neighbour re-query).
+    spatial_dims:
+        2 for the paper's ``(x, y, w)`` index; 3 for ``(x, y, z, w)``.
+    """
+
+    def __init__(
+        self,
+        *,
+        encoding: EncodingModel = DEFAULT_ENCODING,
+        access_method: str = "motion_aware",
+        spatial_dims: int = 2,
+    ):
+        if access_method not in ("motion_aware", "naive"):
+            raise WorkloadError(f"unknown access method {access_method!r}")
+        self._encoding = encoding
+        self._method_name = access_method
+        self._spatial_dims = spatial_dims
+        self._objects: dict[int, StoredObject] = {}
+        self._method: MotionAwareAccessMethod | NaivePointAccessMethod | None = None
+        self._displacements: dict[tuple[int, int, int], np.ndarray] = {}
+        self._block_cache: dict[tuple[CellId, float, int], int] = {}
+
+    # -- construction ---------------------------------------------------------------
+
+    @property
+    def encoding(self) -> EncodingModel:
+        return self._encoding
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    @property
+    def objects(self) -> list[StoredObject]:
+        return list(self._objects.values())
+
+    def add_object(self, object_id: int, decomposition: WaveletDecomposition) -> None:
+        """Store one decomposed object (invalidates the index)."""
+        if object_id in self._objects:
+            raise WorkloadError(f"object id {object_id} already stored")
+        records = tuple(decomposition.records(object_id, self._encoding))
+        base_bytes = self._encoding.base_mesh_bytes(
+            decomposition.base.vertex_count, decomposition.base.face_count
+        )
+        self._objects[object_id] = StoredObject(
+            object_id=object_id,
+            decomposition=decomposition,
+            records=records,
+            base_bytes=base_bytes,
+        )
+        for record in records:
+            if record.key.is_base:
+                disp = record.position
+            else:
+                level = decomposition.levels[record.key.level]
+                disp = level.displacements[record.key.index]
+            self._displacements[record.uid] = np.asarray(disp, dtype=float)
+        self._method = None
+        self._block_cache.clear()
+
+    def get_object(self, object_id: int) -> StoredObject:
+        if object_id not in self._objects:
+            raise WorkloadError(f"no object with id {object_id}")
+        return self._objects[object_id]
+
+    def displacement(self, uid: tuple[int, int, int]) -> np.ndarray:
+        """Raw payload vector of a record (detail displacement / base position)."""
+        if uid not in self._displacements:
+            raise WorkloadError(f"unknown record uid {uid}")
+        return self._displacements[uid]
+
+    @property
+    def total_bytes(self) -> int:
+        """Full-resolution dataset size (the paper's 20-80 MB axis)."""
+        return sum(obj.total_bytes for obj in self._objects.values())
+
+    @property
+    def record_count(self) -> int:
+        return sum(len(obj.records) for obj in self._objects.values())
+
+    def all_records(self) -> list[CoefficientRecord]:
+        out: list[CoefficientRecord] = []
+        for obj in self._objects.values():
+            out.extend(obj.records)
+        return out
+
+    # -- the access method ---------------------------------------------------------
+
+    @property
+    def access_method(self) -> MotionAwareAccessMethod | NaivePointAccessMethod:
+        """The (lazily built) spatial access method over all records."""
+        if self._method is None:
+            records = self.all_records()
+            if not records:
+                raise WorkloadError("cannot index an empty database")
+            if self._method_name == "motion_aware":
+                self._method = MotionAwareAccessMethod(
+                    records, spatial_dims=self._spatial_dims
+                )
+            else:
+                self._method = NaivePointAccessMethod(
+                    records, spatial_dims=self._spatial_dims
+                )
+        return self._method
+
+    def query_region(
+        self, region: Box, w_min: float, w_max: float
+    ) -> AccessResult:
+        """Multi-resolution window query against the access method."""
+        return self.access_method.query(region, w_min, w_max)
+
+    # -- block interface for the buffer layer ------------------------------------------
+
+    def block_bytes(self, grid: Grid, cell: CellId, w_min: float) -> int:
+        """Wire size of one buffer block: all records answering the cell.
+
+        Uses the access method (without I/O side effects on the block
+        cache hit path) and memoises per (cell, resolution) because the
+        buffer managers ask repeatedly.
+        """
+        key = (cell, round(w_min, 6), id(grid))
+        if key in self._block_cache:
+            return self._block_cache[key]
+        result = self.query_region(grid.cell_box(cell), w_min, 1.0)
+        size = result.total_bytes
+        self._block_cache[key] = size
+        return size
+
+    def block_bytes_fn(self, grid: Grid):
+        """A ``(cell, w_min) -> bytes`` callable bound to ``grid``."""
+
+        def fn(cell: CellId, w_min: float) -> int:
+            return self.block_bytes(grid, cell, w_min)
+
+        return fn

@@ -1,0 +1,161 @@
+"""The data server.
+
+Executes :class:`~repro.net.messages.RetrieveRequest`s: runs each
+``(region, band)`` sub-query separately against the access method
+(mirroring Section IV, where the difference region is split into
+rectangles and executed as separate sub-queries), filters out records
+the client already holds (the server-side filtering step of Figure 3),
+and ships base meshes for objects the client sees for the first time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.geometry.box import Box
+from repro.net.messages import (
+    BaseMeshPayload,
+    RegionRequest,
+    RetrieveRequest,
+    RetrieveResponse,
+)
+from repro.server.database import ObjectDatabase
+from repro.wavelets.coefficients import CoefficientRecord
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Query-processing front end over an :class:`ObjectDatabase`.
+
+    The server is stateless with respect to clients except for the
+    ``known_objects`` hint carried in requests, which keeps the protocol
+    one-round-trip.
+    """
+
+    def __init__(self, database: ObjectDatabase):
+        self._db = database
+        # Per-client set of object ids whose base mesh has been shipped.
+        self._shipped_bases: dict[int, set[int]] = {}
+
+    @property
+    def database(self) -> ObjectDatabase:
+        return self._db
+
+    def reset_client(self, client_id: int) -> None:
+        """Forget which base meshes a client already received."""
+        self._shipped_bases.pop(client_id, None)
+
+    def execute(self, request: RetrieveRequest) -> RetrieveResponse:
+        """Answer one retrieve request.
+
+        Sub-queries are executed separately; their results are merged,
+        deduplicated, filtered against ``request.exclude_uids``, and
+        annotated with raw displacement payloads.
+        """
+        merged: dict[tuple[int, int, int], CoefficientRecord] = {}
+        io_total = 0
+        filtered = 0
+        for region_req in request.regions:
+            result = self._db.query_region(
+                region_req.region, region_req.w_min, region_req.w_max
+            )
+            io_total += result.io.node_reads
+            for record in result.records:
+                if region_req.half_open and record.value >= region_req.w_max:
+                    # Incremental band [w_min, w_max): the upper edge was
+                    # already delivered at the previous resolution.
+                    filtered += 1
+                    continue
+                if record.uid in request.exclude_uids:
+                    filtered += 1
+                    continue
+                merged[record.uid] = record
+        records = tuple(merged.values())
+        displacements = tuple(
+            tuple(float(x) for x in self._db.displacement(r.uid)) for r in records
+        )
+        base_meshes = self._base_payloads(request.client_id, records)
+        return RetrieveResponse(
+            request=request,
+            base_meshes=base_meshes,
+            records=records,
+            displacements=displacements,
+            io_node_reads=io_total,
+            filtered_out=filtered,
+        )
+
+    def retrieve(
+        self,
+        client_id: int,
+        timestamp: float,
+        regions: list[RegionRequest],
+        exclude_uids: frozenset[tuple[int, int, int]] = frozenset(),
+    ) -> RetrieveResponse:
+        """Convenience wrapper building the request object."""
+        if not regions:
+            raise ProtocolError("retrieve needs at least one region")
+        request = RetrieveRequest(
+            timestamp=timestamp,
+            client_id=client_id,
+            regions=tuple(regions),
+            exclude_uids=exclude_uids,
+        )
+        return self.execute(request)
+
+    def block_payload_bytes(
+        self,
+        client_id: int,
+        region: Box,
+        w_min: float,
+        exclude_uids: frozenset[tuple[int, int, int]],
+    ) -> tuple[int, int, frozenset[tuple[int, int, int]]]:
+        """Bytes and I/O to ship one block, minus already-sent records.
+
+        Returns ``(payload_bytes, io_node_reads, new_uids)``.  Used by
+        the end-to-end system simulation where the buffer layer fetches
+        whole blocks but the wire must not re-carry shared records.
+        """
+        result = self._db.query_region(region, w_min, 1.0)
+        new_records = [r for r in result.records if r.uid not in exclude_uids]
+        payload = sum(r.size_bytes for r in new_records)
+        shipped = self._shipped_bases.setdefault(client_id, set())
+        for record in new_records:
+            if record.key.is_base and record.object_id not in shipped:
+                shipped.add(record.object_id)
+                obj = self._db.get_object(record.object_id)
+                # Connectivity cost of the base mesh, shipped once.
+                payload += obj.base_bytes - (
+                    obj.decomposition.base.vertex_count
+                    * self._db.encoding.base_vertex_bytes()
+                )
+        return (
+            payload,
+            result.io.node_reads,
+            frozenset(r.uid for r in new_records),
+        )
+
+    def _base_payloads(
+        self, client_id: int, records: tuple[CoefficientRecord, ...]
+    ) -> tuple[BaseMeshPayload, ...]:
+        shipped = self._shipped_bases.setdefault(client_id, set())
+        payloads = []
+        for record in records:
+            if not record.key.is_base:
+                continue
+            oid = record.object_id
+            if oid in shipped:
+                continue
+            shipped.add(oid)
+            obj = self._db.get_object(oid)
+            connectivity = obj.base_bytes - (
+                obj.decomposition.base.vertex_count
+                * self._db.encoding.base_vertex_bytes()
+            )
+            payloads.append(
+                BaseMeshPayload(
+                    object_id=oid,
+                    mesh=obj.decomposition.base,
+                    size_bytes=max(connectivity, 1),
+                )
+            )
+        return tuple(payloads)

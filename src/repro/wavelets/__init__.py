@@ -1,0 +1,44 @@
+"""Wavelet multi-resolution layer: analysis, synthesis, support regions."""
+
+from repro.wavelets.analysis import (
+    LevelCoefficients,
+    WaveletDecomposition,
+    analyze_hierarchy,
+)
+from repro.wavelets.coefficients import (
+    CoefficientKey,
+    CoefficientKind,
+    CoefficientRecord,
+)
+from repro.wavelets.encoding import DEFAULT_ENCODING, EncodingModel
+from repro.wavelets.support import (
+    affected_region,
+    all_support_boxes,
+    base_vertex_support_box,
+    support_box,
+    support_vertices,
+)
+from repro.wavelets.serialization import (
+    deserialize_decomposition,
+    serialize_decomposition,
+)
+from repro.wavelets.synthesis import ProgressiveMesh
+
+__all__ = [
+    "LevelCoefficients",
+    "WaveletDecomposition",
+    "analyze_hierarchy",
+    "CoefficientKey",
+    "CoefficientKind",
+    "CoefficientRecord",
+    "EncodingModel",
+    "DEFAULT_ENCODING",
+    "support_vertices",
+    "support_box",
+    "all_support_boxes",
+    "base_vertex_support_box",
+    "affected_region",
+    "ProgressiveMesh",
+    "serialize_decomposition",
+    "deserialize_decomposition",
+]

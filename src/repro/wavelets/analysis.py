@@ -1,0 +1,286 @@
+"""Wavelet analysis: fine mesh hierarchy -> base mesh + coefficients.
+
+Analysis inverts the subdivision process of Section III: for each level
+``j`` the coefficient of inserted vertex ``i`` is the displacement of
+the deformed fine vertex from its parent edge midpoint::
+
+    d_i^j = v_fine - (v_a + v_b) / 2
+
+Coefficient magnitudes are normalised per object to ``[0, 1]`` (the
+paper's convention); base-mesh vertices get the fixed value ``1.0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WaveletError
+from repro.geometry.box import Box
+from repro.mesh.generators import DeformedHierarchy
+from repro.mesh.subdivision import midpoint_subdivide
+from repro.mesh.trimesh import Edge, TriMesh
+from repro.wavelets.coefficients import (
+    CoefficientKey,
+    CoefficientKind,
+    CoefficientRecord,
+)
+from repro.wavelets.encoding import DEFAULT_ENCODING, EncodingModel
+from repro.wavelets.support import all_support_boxes, base_vertex_support_box
+
+__all__ = ["LevelCoefficients", "WaveletDecomposition", "analyze_hierarchy"]
+
+
+@dataclass(frozen=True)
+class LevelCoefficients:
+    """Detail coefficients for one level ``j`` (``M^j -> M^{j+1}``).
+
+    Attributes
+    ----------
+    parent_edges:
+        Coarse edge per inserted vertex, in the canonical order produced
+        by :func:`repro.mesh.subdivision.midpoint_subdivide`.
+    displacements:
+        ``(n, 3)`` displacement vectors (the raw coefficients).
+    magnitudes:
+        Euclidean norms of the displacements.
+    values:
+        Normalised magnitudes in ``[0, 1]`` (object-wide normalisation).
+    positions:
+        ``(n, 3)`` deformed positions of the inserted vertices.
+    support_boxes:
+        MBB of each coefficient's support region.
+    """
+
+    parent_edges: tuple[Edge, ...]
+    displacements: np.ndarray
+    magnitudes: np.ndarray
+    values: np.ndarray
+    positions: np.ndarray
+    support_boxes: tuple[Box, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.parent_edges)
+
+
+class WaveletDecomposition:
+    """A full wavelet decomposition of one 3-D object.
+
+    Construct via :func:`analyze_hierarchy`.  Provides reconstruction at
+    arbitrary value thresholds and flattening into indexable
+    :class:`~repro.wavelets.coefficients.CoefficientRecord` rows.
+    """
+
+    def __init__(self, base: TriMesh, levels: tuple[LevelCoefficients, ...]):
+        self._base = base
+        self._levels = levels
+
+    @property
+    def base(self) -> TriMesh:
+        """The base mesh ``M^0``."""
+        return self._base
+
+    @property
+    def levels(self) -> tuple[LevelCoefficients, ...]:
+        """Per-level detail coefficients, coarsest first."""
+        return self._levels
+
+    @property
+    def depth(self) -> int:
+        """Number of detail levels ``J``."""
+        return len(self._levels)
+
+    @property
+    def detail_count(self) -> int:
+        """Total number of detail coefficients."""
+        return sum(level.count for level in self._levels)
+
+    def value_of(self, key: CoefficientKey) -> float:
+        """Normalised value of a coefficient (1.0 for base keys)."""
+        if key.is_base:
+            if key.index >= self._base.vertex_count:
+                raise WaveletError(f"base index {key.index} out of range")
+            return 1.0
+        if key.level >= self.depth:
+            raise WaveletError(f"level {key.level} out of range [0, {self.depth})")
+        level = self._levels[key.level]
+        if key.index >= level.count:
+            raise WaveletError(f"index {key.index} out of range at level {key.level}")
+        return float(level.values[key.index])
+
+    # -- reconstruction ---------------------------------------------------------
+
+    def reconstruct(
+        self,
+        w_min: float = 0.0,
+        *,
+        max_level: int | None = None,
+        keys: set[CoefficientKey] | None = None,
+    ) -> TriMesh:
+        """Reconstruct the object using a subset of coefficients.
+
+        Parameters
+        ----------
+        w_min:
+            Only apply detail coefficients with value ``>= w_min``.
+            ``0.0`` reproduces the full-resolution mesh exactly;
+            ``> 1.0`` yields the subdivided base surface with no detail.
+        max_level:
+            Stop after this many detail levels (default: all).  The
+            output always has the topology of level ``max_level``.
+        keys:
+            When given, apply only detail coefficients whose key is in
+            this set *and* passes ``w_min``.  Used to render exactly the
+            data a client has received.
+        """
+        depth = self.depth if max_level is None else max_level
+        if not 0 <= depth <= self.depth:
+            raise WaveletError(f"max_level must be in [0, {self.depth}], got {max_level}")
+        current = self._base
+        for j in range(depth):
+            level = self._levels[j]
+            step = midpoint_subdivide(current)
+            if step.parent_edges != level.parent_edges:
+                raise WaveletError(
+                    f"topology mismatch at level {j}: stored coefficients do not "
+                    "correspond to this mesh's subdivision"
+                )
+            vertices = step.fine.vertices.copy()
+            offset = current.vertex_count
+            for i in range(level.count):
+                if level.values[i] < w_min:
+                    continue
+                if keys is not None and CoefficientKey(j, i) not in keys:
+                    continue
+                vertices[offset + i] += level.displacements[i]
+            current = step.fine.with_vertices(vertices)
+        return current
+
+    # -- flattening ---------------------------------------------------------------
+
+    def records(
+        self, object_id: int, encoding: EncodingModel = DEFAULT_ENCODING
+    ) -> list[CoefficientRecord]:
+        """All indexable records of this object (base first, then details)."""
+        out: list[CoefficientRecord] = []
+        for vi in range(self._base.vertex_count):
+            out.append(
+                CoefficientRecord(
+                    object_id=object_id,
+                    key=CoefficientKey(-1, vi),
+                    kind=CoefficientKind.BASE,
+                    position=self._base.vertices[vi].copy(),
+                    value=1.0,
+                    support_box=base_vertex_support_box(self._base, vi),
+                    size_bytes=encoding.base_vertex_bytes(),
+                )
+            )
+        for j, level in enumerate(self._levels):
+            for i in range(level.count):
+                out.append(
+                    CoefficientRecord(
+                        object_id=object_id,
+                        key=CoefficientKey(j, i),
+                        kind=CoefficientKind.DETAIL,
+                        position=level.positions[i].copy(),
+                        value=float(level.values[i]),
+                        support_box=level.support_boxes[i],
+                        size_bytes=encoding.coefficient_bytes(),
+                    )
+                )
+        return out
+
+    def total_bytes(self, encoding: EncodingModel = DEFAULT_ENCODING) -> int:
+        """Full-resolution wire size of this object."""
+        return encoding.object_bytes(
+            self._base.vertex_count, self._base.face_count, self.detail_count
+        )
+
+    def bytes_at_threshold(
+        self, w_min: float, encoding: EncodingModel = DEFAULT_ENCODING
+    ) -> int:
+        """Wire size of the subset with value ``>= w_min`` (plus base)."""
+        kept = sum(
+            int(np.count_nonzero(level.values >= w_min)) for level in self._levels
+        )
+        return encoding.base_mesh_bytes(
+            self._base.vertex_count, self._base.face_count
+        ) + encoding.coefficients_bytes(kept)
+
+    def magnitude_stats(self) -> list[dict[str, float]]:
+        """Per-level summary of raw coefficient magnitudes."""
+        stats = []
+        for level in self._levels:
+            if level.count == 0:
+                stats.append({"count": 0, "mean": 0.0, "max": 0.0})
+                continue
+            stats.append(
+                {
+                    "count": float(level.count),
+                    "mean": float(level.magnitudes.mean()),
+                    "max": float(level.magnitudes.max()),
+                }
+            )
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"WaveletDecomposition(base={self._base!r}, depth={self.depth}, "
+            f"details={self.detail_count})"
+        )
+
+
+def analyze_hierarchy(hierarchy: DeformedHierarchy) -> WaveletDecomposition:
+    """Decompose a deformed subdivision hierarchy into wavelets.
+
+    Works purely from the mesh geometry (it recomputes each displacement
+    as *deformed fine vertex minus parent midpoint*), so it also
+    validates that the hierarchy really is a subdivision hierarchy.
+    """
+    raw_levels: list[dict] = []
+    max_magnitude = 0.0
+    for lvl in hierarchy.levels:
+        step = lvl.step
+        fine = lvl.deformed_fine
+        count = step.inserted_count
+        displacements = np.empty((count, 3))
+        positions = np.empty((count, 3))
+        for i in range(count):
+            fine_idx = step.fine_index(i)
+            predicted = step.parent_midpoint(i)
+            actual = fine.vertices[fine_idx]
+            displacements[i] = actual - predicted
+            positions[i] = actual
+        magnitudes = np.linalg.norm(displacements, axis=1)
+        if count:
+            max_magnitude = max(max_magnitude, float(magnitudes.max()))
+        raw_levels.append(
+            {
+                "parent_edges": step.parent_edges,
+                "displacements": displacements,
+                "magnitudes": magnitudes,
+                "positions": positions,
+                "support_boxes": tuple(all_support_boxes(step, fine)),
+            }
+        )
+
+    levels: list[LevelCoefficients] = []
+    for raw in raw_levels:
+        if max_magnitude > 0.0:
+            values = raw["magnitudes"] / max_magnitude
+        else:
+            values = np.zeros_like(raw["magnitudes"])
+        values = np.clip(values, 0.0, 1.0)
+        levels.append(
+            LevelCoefficients(
+                parent_edges=raw["parent_edges"],
+                displacements=raw["displacements"],
+                magnitudes=raw["magnitudes"],
+                values=values,
+                positions=raw["positions"],
+                support_boxes=raw["support_boxes"],
+            )
+        )
+    return WaveletDecomposition(base=hierarchy.base, levels=tuple(levels))

@@ -1,0 +1,123 @@
+"""Wavelet coefficient records.
+
+A wavelet decomposition of an object yields a base mesh plus per-level
+detail coefficients.  For storage and indexing the system flattens both
+into uniform :class:`CoefficientRecord` rows:
+
+* ``BASE`` records -- one per base-mesh vertex.  The paper assigns the
+  coarsest version of an object the maximum value ``w = 1.0`` ("all the
+  vertices in the coarsest version of an object have coefficient values
+  1.0"), so base records are always retrieved whatever the client speed.
+* ``DETAIL`` records -- one per inserted vertex per level, carrying the
+  displacement vector, its normalised magnitude ``w`` in ``[0, 1]``, and
+  the MBB of the coefficient's *support region* (the part of the surface
+  the coefficient influences, Section VI-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WaveletError
+from repro.geometry.box import Box
+
+__all__ = ["CoefficientKind", "CoefficientKey", "CoefficientRecord"]
+
+
+class CoefficientKind(enum.Enum):
+    """Whether a record belongs to the base mesh or a detail level."""
+
+    BASE = "base"
+    DETAIL = "detail"
+
+
+@dataclass(frozen=True, order=True)
+class CoefficientKey:
+    """Stable identity of a coefficient within one object.
+
+    ``level`` is ``-1`` for base-mesh vertices and ``0 .. J-1`` for
+    detail levels (level ``j`` holds the details that turn ``M^j`` into
+    ``M^{j+1}``).  ``index`` is the position within the level.
+    """
+
+    level: int
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.level < -1:
+            raise WaveletError(f"level must be >= -1, got {self.level}")
+        if self.index < 0:
+            raise WaveletError(f"index must be >= 0, got {self.index}")
+
+    @property
+    def is_base(self) -> bool:
+        return self.level == -1
+
+
+@dataclass(frozen=True)
+class CoefficientRecord:
+    """One indexed wavelet coefficient (or base vertex) of one object.
+
+    Attributes
+    ----------
+    object_id:
+        Database id of the owning object.
+    key:
+        Level/index identity within the object.
+    kind:
+        BASE or DETAIL.
+    position:
+        3-D position of the associated vertex (detail: the deformed
+        inserted vertex; base: the base-mesh vertex).
+    value:
+        Normalised coefficient value ``w`` in ``[0, 1]``; 1.0 for base.
+    support_box:
+        MBB of the support region -- the region of the surface this
+        coefficient contributes to during reconstruction.
+    size_bytes:
+        Transfer size of this record under the encoding model.
+    """
+
+    object_id: int
+    key: CoefficientKey
+    kind: CoefficientKind
+    position: np.ndarray
+    value: float
+    support_box: Box
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.position, dtype=float)
+        if pos.shape != (3,):
+            raise WaveletError(f"position must be a 3-vector, got {pos.shape}")
+        if not 0.0 <= self.value <= 1.0:
+            raise WaveletError(f"value must be in [0, 1], got {self.value}")
+        if self.kind is CoefficientKind.BASE and not self.key.is_base:
+            raise WaveletError("BASE record must use level -1")
+        if self.kind is CoefficientKind.DETAIL and self.key.is_base:
+            raise WaveletError("DETAIL record cannot use level -1")
+        if self.support_box.ndim != 3:
+            raise WaveletError(
+                f"support box must be 3-D, got {self.support_box.ndim}-D"
+            )
+        if self.size_bytes <= 0:
+            raise WaveletError(f"size_bytes must be positive, got {self.size_bytes}")
+        object.__setattr__(self, "position", pos)
+
+    @property
+    def uid(self) -> tuple[int, int, int]:
+        """Globally unique id ``(object_id, level, index)``."""
+        return (self.object_id, self.key.level, self.key.index)
+
+    def matches(self, region: Box, w_min: float, w_max: float) -> bool:
+        """True when this record answers the query ``Q(region, w_max, w_min)``.
+
+        A record matches when its support-region MBB intersects the
+        (3-D) query region and its value lies within ``[w_min, w_max]``.
+        """
+        if not w_min <= self.value <= w_max:
+            return False
+        return self.support_box.intersects(region)

@@ -1,0 +1,74 @@
+"""Byte-size model for wavelet-encoded objects.
+
+All transfer-volume numbers in the experiments (MB retrieved, buffer
+occupancy, link transfer times) come from this model rather than from
+Python object sizes, so they are stable across platforms and match how a
+real wire format would behave:
+
+* a base-mesh vertex ships its full position (3 floats) plus an id;
+* a detail coefficient ships a quantised displacement plus its level
+  and index (its position is implied by the parents, which is the
+  compactness advantage of wavelets the paper highlights);
+* base connectivity ships once per object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EncodingModel", "DEFAULT_ENCODING"]
+
+
+@dataclass(frozen=True)
+class EncodingModel:
+    """Bytes-on-the-wire accounting for mesh/wavelet data.
+
+    The defaults approximate a compact binary format: 4-byte floats,
+    4-byte indices, 2-byte quantised displacement components.
+    """
+
+    bytes_per_base_vertex: int = 16   # 3 x float32 position + uint32 id
+    bytes_per_face: int = 12          # 3 x uint32 indices
+    bytes_per_coefficient: int = 12   # 3 x int16 quantised delta + level/index/tags
+    object_header_bytes: int = 32     # object id, level count, bounding box
+
+    def __post_init__(self) -> None:
+        for name in (
+            "bytes_per_base_vertex",
+            "bytes_per_face",
+            "bytes_per_coefficient",
+            "object_header_bytes",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def base_mesh_bytes(self, vertex_count: int, face_count: int) -> int:
+        """Size of a base mesh (header + vertices + connectivity)."""
+        return (
+            self.object_header_bytes
+            + vertex_count * self.bytes_per_base_vertex
+            + face_count * self.bytes_per_face
+        )
+
+    def coefficients_bytes(self, count: int) -> int:
+        """Size of ``count`` detail coefficients."""
+        return count * self.bytes_per_coefficient
+
+    def base_vertex_bytes(self) -> int:
+        """Size of one base vertex record (amortised header excluded)."""
+        return self.bytes_per_base_vertex
+
+    def coefficient_bytes(self) -> int:
+        """Size of one detail coefficient record."""
+        return self.bytes_per_coefficient
+
+    def object_bytes(
+        self, base_vertices: int, base_faces: int, total_coefficients: int
+    ) -> int:
+        """Full-resolution size of one object."""
+        return self.base_mesh_bytes(base_vertices, base_faces) + self.coefficients_bytes(
+            total_coefficients
+        )
+
+
+DEFAULT_ENCODING = EncodingModel()

@@ -1,0 +1,100 @@
+"""Support regions of subdivision wavelets.
+
+The support region of the coefficient attached to inserted vertex ``v``
+(midpoint of coarse edge ``(a, b)``) is the part of the surface that
+moves when the coefficient changes: the union of faces incident to ``v``
+in the finer mesh ``M^{j+1}`` (the paper's Figure 1(c) example: the
+polygon ``(1, 4, 2, 5, 6)`` around vertex 4).  The index stores the
+axis-aligned MBB of that polygon.
+
+The module also verifies the paper's monotonicity property (Section
+VI-A): with fewer coefficients the affected region can only shrink --
+used by property-based tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WaveletError
+from repro.geometry.box import Box
+from repro.mesh.subdivision import SubdivisionStep
+from repro.mesh.trimesh import TriMesh
+
+__all__ = [
+    "support_vertices",
+    "support_box",
+    "all_support_boxes",
+    "base_vertex_support_box",
+]
+
+
+def support_vertices(fine: TriMesh, fine_vertex: int) -> set[int]:
+    """Vertex set of the support polygon of an inserted vertex.
+
+    This is the inserted vertex plus all vertices of faces incident to
+    it in the fine mesh.
+    """
+    faces = fine.faces_of_vertex(fine_vertex)
+    if not faces:
+        raise WaveletError(
+            f"vertex {fine_vertex} has no incident faces; not part of the surface"
+        )
+    verts: set[int] = set()
+    for fi in faces:
+        verts.update(int(v) for v in fine.faces[fi])
+    return verts
+
+
+def support_box(fine: TriMesh, fine_vertex: int) -> Box:
+    """Axis-aligned MBB of the support region of an inserted vertex."""
+    verts = support_vertices(fine, fine_vertex)
+    points = fine.vertices[sorted(verts)]
+    return Box(points.min(axis=0), points.max(axis=0))
+
+
+def all_support_boxes(step: SubdivisionStep, deformed_fine: TriMesh) -> list[Box]:
+    """Support-region MBBs for every vertex inserted by ``step``.
+
+    ``deformed_fine`` must be the *deformed* fine mesh (same topology as
+    ``step.fine``) so that the boxes bound the actual geometry.
+    """
+    if deformed_fine.vertex_count != step.fine.vertex_count:
+        raise WaveletError(
+            "deformed fine mesh vertex count "
+            f"{deformed_fine.vertex_count} != step fine {step.fine.vertex_count}"
+        )
+    boxes = []
+    for i in range(step.inserted_count):
+        boxes.append(support_box(deformed_fine, step.fine_index(i)))
+    return boxes
+
+
+def base_vertex_support_box(base: TriMesh, vertex: int) -> Box:
+    """Support MBB of a base-mesh vertex: its incident faces' bounds.
+
+    A base vertex influences every face around it at all levels, so its
+    support is the one-ring of the base mesh.  Isolated vertices fall
+    back to a degenerate point box.
+    """
+    faces = base.faces_of_vertex(vertex)
+    if not faces:
+        point = base.vertices[vertex]
+        return Box(point, point)
+    verts: set[int] = set()
+    for fi in faces:
+        verts.update(int(v) for v in base.faces[fi])
+    points = base.vertices[sorted(verts)]
+    return Box(points.min(axis=0), points.max(axis=0))
+
+
+def affected_region(region: Box, support: Box) -> Box | None:
+    """The part of ``region`` a coefficient with ``support`` influences.
+
+    Implements ``R' = R intersect r_k`` from Section VI-A; ``None`` when
+    the coefficient does not touch the region.  The containment property
+    ``R2 subset R1  =>  R2' subset R1'`` follows from intersection
+    monotonicity and is exercised by tests.
+    """
+    return region.intersection(support)
+
+
+__all__.append("affected_region")

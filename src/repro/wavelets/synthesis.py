@@ -1,0 +1,161 @@
+"""Progressive synthesis of meshes from received wavelet data.
+
+While :meth:`WaveletDecomposition.reconstruct` rebuilds a mesh on the
+server side (where the full decomposition is available), a *client* only
+holds what it has received over the link.  :class:`ProgressiveMesh`
+models that client-side state: the base mesh plus whatever detail
+coefficients have arrived so far, in any order.  Rendering reconstructs
+using received details and zero displacement everywhere else -- exactly
+the "currently available version of objects in the client" that the
+paper's selective transmission refines incrementally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WaveletError
+from repro.mesh.subdivision import midpoint_subdivide
+from repro.mesh.trimesh import TriMesh
+from repro.wavelets.coefficients import (
+    CoefficientKey,
+    CoefficientKind,
+    CoefficientRecord,
+)
+
+__all__ = ["ProgressiveMesh"]
+
+
+class ProgressiveMesh:
+    """Client-side incrementally refinable representation of one object.
+
+    Parameters
+    ----------
+    object_id:
+        Database id of the object this instance mirrors.
+
+    Notes
+    -----
+    The base mesh must be supplied (via :meth:`set_base`) before any
+    rendering; detail coefficients may arrive before the base and are
+    held until it does.  Receiving the same coefficient twice is
+    idempotent and reported via the return value of :meth:`receive`, so
+    callers can count redundant transmissions.
+    """
+
+    def __init__(self, object_id: int):
+        self._object_id = object_id
+        self._base: TriMesh | None = None
+        # level -> {index: displacement}
+        self._details: dict[int, dict[int, np.ndarray]] = {}
+        self._received_bytes = 0
+        self._duplicate_bytes = 0
+
+    @property
+    def object_id(self) -> int:
+        return self._object_id
+
+    @property
+    def has_base(self) -> bool:
+        """True once the base mesh arrived."""
+        return self._base is not None
+
+    @property
+    def received_bytes(self) -> int:
+        """Total unique bytes received for this object."""
+        return self._received_bytes
+
+    @property
+    def duplicate_bytes(self) -> int:
+        """Bytes wasted on records received more than once."""
+        return self._duplicate_bytes
+
+    @property
+    def detail_count(self) -> int:
+        """Number of distinct detail coefficients held."""
+        return sum(len(level) for level in self._details.values())
+
+    def set_base(self, base: TriMesh, size_bytes: int) -> bool:
+        """Install the base mesh; returns False when already present."""
+        if self._base is not None:
+            self._duplicate_bytes += size_bytes
+            return False
+        self._base = base
+        self._received_bytes += size_bytes
+        return True
+
+    def receive(self, record: CoefficientRecord, displacement: np.ndarray) -> bool:
+        """Store one detail coefficient; returns False on duplicates.
+
+        ``displacement`` is the raw 3-vector payload of the coefficient
+        (the record itself only carries the normalised value used for
+        filtering).
+        """
+        if record.object_id != self._object_id:
+            raise WaveletError(
+                f"record for object {record.object_id} sent to mesh "
+                f"{self._object_id}"
+            )
+        if record.kind is not CoefficientKind.DETAIL:
+            raise WaveletError("receive() only accepts DETAIL records; use set_base")
+        disp = np.asarray(displacement, dtype=float)
+        if disp.shape != (3,):
+            raise WaveletError(f"displacement must be a 3-vector, got {disp.shape}")
+        level = self._details.setdefault(record.key.level, {})
+        if record.key.index in level:
+            self._duplicate_bytes += record.size_bytes
+            return False
+        level[record.key.index] = disp
+        self._received_bytes += record.size_bytes
+        return True
+
+    def has_coefficient(self, key: CoefficientKey) -> bool:
+        """True when the given detail coefficient has been received."""
+        return key.index in self._details.get(key.level, {})
+
+    def received_keys(self) -> set[CoefficientKey]:
+        """All detail keys received so far."""
+        return {
+            CoefficientKey(level, index)
+            for level, entries in self._details.items()
+            for index in entries
+        }
+
+    def current_mesh(self, levels: int | None = None) -> TriMesh:
+        """Render the object from data received so far.
+
+        Parameters
+        ----------
+        levels:
+            Topology depth of the output; defaults to the deepest level
+            for which any coefficient arrived (0 when only the base is
+            present).  Missing coefficients contribute zero displacement.
+        """
+        if self._base is None:
+            raise WaveletError(
+                f"object {self._object_id}: base mesh not yet received"
+            )
+        if levels is None:
+            levels = max(self._details.keys(), default=-1) + 1
+        if levels < 0:
+            raise WaveletError("levels must be non-negative")
+        current = self._base
+        for j in range(levels):
+            step = midpoint_subdivide(current)
+            vertices = step.fine.vertices.copy()
+            offset = current.vertex_count
+            for index, disp in self._details.get(j, {}).items():
+                if index >= step.inserted_count:
+                    raise WaveletError(
+                        f"coefficient index {index} invalid at level {j} "
+                        f"(only {step.inserted_count} inserted vertices)"
+                    )
+                vertices[offset + index] += disp
+            current = step.fine.with_vertices(vertices)
+        return current
+
+    def __repr__(self) -> str:
+        return (
+            f"ProgressiveMesh(object={self._object_id}, base={self.has_base}, "
+            f"details={self.detail_count})"
+        )

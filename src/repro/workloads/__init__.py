@@ -1,0 +1,19 @@
+"""Workloads: synthetic city datasets and experiment configuration."""
+
+from repro.workloads.cityscape import CityConfig, build_city, zipf_weights
+from repro.workloads.config import (
+    PAPER_BUFFER_KB,
+    PAPER_QUERY_FRACS,
+    PAPER_SPEEDS,
+    ExperimentScale,
+)
+
+__all__ = [
+    "CityConfig",
+    "build_city",
+    "zipf_weights",
+    "ExperimentScale",
+    "PAPER_SPEEDS",
+    "PAPER_QUERY_FRACS",
+    "PAPER_BUFFER_KB",
+]

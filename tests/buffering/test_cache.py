@@ -1,0 +1,148 @@
+"""Tests for the block cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BufferError_
+from repro.buffering.cache import BlockCache
+
+
+class TestBasics:
+    def test_construction_validation(self):
+        with pytest.raises(BufferError_):
+            BlockCache(0)
+        with pytest.raises(BufferError_):
+            BlockCache(100, policy="random")
+
+    def test_put_get_holds(self):
+        cache = BlockCache(1000)
+        assert cache.put((0, 0), 0.5, 100, prefetched=False)
+        assert (0, 0) in cache
+        assert cache.holds((0, 0), 0.5)
+        assert cache.holds((0, 0), 0.9)  # coarser request satisfied
+        assert not cache.holds((0, 0), 0.1)  # finer request not satisfied
+        assert cache.used_bytes == 100
+        assert len(cache) == 1
+
+    def test_put_invalid_size(self):
+        cache = BlockCache(1000)
+        with pytest.raises(BufferError_):
+            cache.put((0, 0), 0.5, 0, prefetched=False)
+
+    def test_oversized_block_rejected(self):
+        cache = BlockCache(100)
+        assert not cache.put((0, 0), 0.5, 101, prefetched=False)
+        assert len(cache) == 0
+
+    def test_refinement_replaces(self):
+        cache = BlockCache(1000)
+        cache.put((0, 0), 0.8, 50, prefetched=False)
+        cache.put((0, 0), 0.2, 200, prefetched=False)
+        assert cache.holds((0, 0), 0.2)
+        assert cache.used_bytes == 200
+        assert len(cache) == 1
+
+    def test_touch_requires_presence(self):
+        cache = BlockCache(1000)
+        with pytest.raises(BufferError_):
+            cache.touch((9, 9))
+
+    def test_clear(self):
+        cache = BlockCache(1000)
+        cache.put((0, 0), 0.5, 100, prefetched=True)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+        # Utilisation accounting survives the clear.
+        assert cache.prefetched_bytes_total == 100
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        cache = BlockCache(250, policy="lru")
+        cache.put((0, 0), 0.5, 100, prefetched=False)
+        cache.put((1, 1), 0.5, 100, prefetched=False)
+        cache.touch((0, 0))  # (1,1) becomes LRU
+        cache.put((2, 2), 0.5, 100, prefetched=False)
+        assert (1, 1) not in cache
+        assert (0, 0) in cache
+        assert cache.evictions == 1
+
+    def test_probability_evicts_least_likely(self):
+        cache = BlockCache(250, policy="probability")
+        cache.put((0, 0), 0.5, 100, prefetched=False, probability=0.9)
+        cache.put((1, 1), 0.5, 100, prefetched=False, probability=0.1)
+        cache.put((2, 2), 0.5, 100, prefetched=False, probability=0.5)
+        assert (1, 1) not in cache
+        assert (0, 0) in cache
+
+    def test_protected_blocks_survive(self):
+        cache = BlockCache(250, policy="lru")
+        cache.put((0, 0), 0.5, 100, prefetched=False)
+        cache.put((1, 1), 0.5, 100, prefetched=False)
+        ok = cache.put(
+            (2, 2), 0.5, 100, prefetched=False, protect={(0, 0), (1, 1)}
+        )
+        assert not ok  # nothing evictable
+        assert (0, 0) in cache and (1, 1) in cache
+
+    def test_update_probability(self):
+        cache = BlockCache(250, policy="probability")
+        cache.put((0, 0), 0.5, 100, prefetched=False, probability=0.9)
+        cache.put((1, 1), 0.5, 100, prefetched=False, probability=0.8)
+        cache.update_probability((0, 0), 0.01)
+        cache.put((2, 2), 0.5, 100, prefetched=False, probability=0.5)
+        assert (0, 0) not in cache
+
+    def test_update_probability_missing_cell_noop(self):
+        cache = BlockCache(100)
+        cache.update_probability((5, 5), 0.5)  # must not raise
+
+
+class TestUtilization:
+    def test_no_prefetch_is_fully_utilised(self):
+        cache = BlockCache(1000)
+        cache.put((0, 0), 0.5, 100, prefetched=False)
+        assert cache.utilization() == 1.0
+
+    def test_unused_prefetch_zero(self):
+        cache = BlockCache(1000)
+        cache.put((0, 0), 0.5, 100, prefetched=True)
+        assert cache.utilization() == 0.0
+
+    def test_touch_marks_used(self):
+        cache = BlockCache(1000)
+        cache.put((0, 0), 0.5, 100, prefetched=True)
+        cache.put((1, 1), 0.5, 300, prefetched=True)
+        cache.touch((0, 0))
+        assert cache.utilization() == pytest.approx(100 / 400)
+
+    def test_double_touch_counts_once(self):
+        cache = BlockCache(1000)
+        cache.put((0, 0), 0.5, 100, prefetched=True)
+        cache.touch((0, 0))
+        cache.touch((0, 0))
+        assert cache.prefetched_bytes_used == 100
+
+    def test_eviction_keeps_totals(self):
+        cache = BlockCache(150)
+        cache.put((0, 0), 0.5, 100, prefetched=True)
+        cache.put((1, 1), 0.5, 100, prefetched=True)  # evicts (0,0)
+        assert cache.prefetched_bytes_total == 200
+        assert cache.utilization() == 0.0
+
+    def test_refined_used_block_counts_delta(self):
+        cache = BlockCache(1000)
+        cache.put((0, 0), 0.8, 100, prefetched=True)
+        cache.touch((0, 0))
+        cache.put((0, 0), 0.2, 250, prefetched=True)
+        assert cache.prefetched_bytes_total == 250
+        assert cache.prefetched_bytes_used == 250
+
+    def test_demand_fetch_not_counted(self):
+        cache = BlockCache(1000)
+        cache.put((0, 0), 0.5, 100, prefetched=False)
+        cache.touch((0, 0))
+        assert cache.prefetched_bytes_total == 0
+        assert cache.utilization() == 1.0

@@ -1,0 +1,193 @@
+"""Tests for the cost model (eq. 1 and eq. 2) and buffer allocation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BufferError_
+from repro.buffering.cost import (
+    allocate_blocks,
+    allocate_blocks_best_ordering,
+    mean_residence_time,
+    optimal_left_blocks,
+    optimal_split_position,
+    transfer_cost,
+)
+
+
+class TestTransferCost:
+    def test_eq1_formula(self):
+        # C = sum_j (C_c + C_t * B * N(j))
+        cost = transfer_cost(
+            [2, 3],
+            connection_cost=0.5,
+            transfer_cost_per_byte=0.01,
+            block_bytes=100,
+        )
+        assert cost == pytest.approx(0.5 + 2.0 + 0.5 + 3.0)
+
+    def test_zero_misses(self):
+        assert transfer_cost(
+            [], connection_cost=1, transfer_cost_per_byte=1, block_bytes=1
+        ) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(BufferError_):
+            transfer_cost([1], connection_cost=-1, transfer_cost_per_byte=0, block_bytes=1)
+        with pytest.raises(BufferError_):
+            transfer_cost([1], connection_cost=0, transfer_cost_per_byte=0, block_bytes=0)
+        with pytest.raises(BufferError_):
+            transfer_cost([-1], connection_cost=0, transfer_cost_per_byte=0, block_bytes=1)
+
+    def test_fewer_misses_cheaper(self):
+        kwargs = dict(connection_cost=0.5, transfer_cost_per_byte=0.001, block_bytes=512)
+        assert transfer_cost([3, 3], **kwargs) < transfer_cost([3, 3, 3], **kwargs)
+
+
+class TestOptimalSplit:
+    def test_symmetric_limit(self):
+        assert optimal_split_position(0.5, 0.5, 10) == pytest.approx(5.0)
+
+    def test_near_symmetric_stable(self):
+        # The formula is singular at p_l = p_r; nearby values must not blow up.
+        n = optimal_split_position(0.5000001, 0.4999999, 10)
+        assert n == pytest.approx(5.0, abs=0.01)
+
+    def test_extreme_probabilities(self):
+        assert optimal_split_position(1.0, 0.0, 10) == 10.0
+        assert optimal_split_position(0.0, 1.0, 10) == 0.0
+
+    def test_unnormalised_probabilities_accepted(self):
+        assert optimal_split_position(2.0, 2.0, 8) == pytest.approx(4.0)
+
+    def test_large_a_no_overflow(self):
+        n = optimal_split_position(0.9, 0.1, 2000)
+        assert 1000 < n <= 2000
+        assert math.isfinite(n)
+
+    def test_validation(self):
+        with pytest.raises(BufferError_):
+            optimal_split_position(0.5, 0.5, 0)
+        with pytest.raises(BufferError_):
+            optimal_split_position(-0.1, 0.5, 5)
+
+    def test_zero_probability_mass(self):
+        assert optimal_split_position(0.0, 0.0, 10) == 5.0
+
+    @pytest.mark.parametrize("p_l", [0.5, 0.55, 0.6, 0.7, 0.8, 0.9, 0.95])
+    @pytest.mark.parametrize("capacity", [4, 10, 17])
+    def test_eq2_matches_brute_force(self, p_l: float, capacity: int):
+        """Eq. 2 should maximise the expected residence time."""
+        p_r = 1.0 - p_l
+        best = max(
+            range(capacity + 1),
+            key=lambda left: mean_residence_time(left, capacity - left, p_l, p_r),
+        )
+        got = optimal_left_blocks(p_l, p_r, capacity)
+        best_time = mean_residence_time(best, capacity - best, p_l, p_r)
+        got_time = mean_residence_time(got, capacity - got, p_l, p_r)
+        assert got_time >= 0.98 * best_time
+
+    def test_left_blocks_bounds(self):
+        for capacity in (0, 1, 5):
+            left = optimal_left_blocks(0.8, 0.2, capacity)
+            assert 0 <= left <= capacity
+
+    def test_left_blocks_negative_capacity(self):
+        with pytest.raises(BufferError_):
+            optimal_left_blocks(0.5, 0.5, -1)
+
+
+class TestResidenceTime:
+    def test_symmetric_formula(self):
+        # z(a-z) with z = left+1, a = left+right+2.
+        assert mean_residence_time(2, 2, 0.5, 0.5) == pytest.approx(3 * 3)
+
+    def test_no_buffer(self):
+        # One step in either direction exits immediately.
+        assert mean_residence_time(0, 0, 0.5, 0.5) == pytest.approx(1.0)
+
+    def test_biased_walk_prefers_matching_buffer(self):
+        lopsided = mean_residence_time(8, 0, 0.9, 0.1)
+        wrong_side = mean_residence_time(0, 8, 0.9, 0.1)
+        assert lopsided > wrong_side
+
+    def test_never_moving_is_infinite(self):
+        assert mean_residence_time(1, 1, 0.0, 0.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(BufferError_):
+            mean_residence_time(-1, 0, 0.5, 0.5)
+        with pytest.raises(BufferError_):
+            mean_residence_time(0, 0, -0.5, 0.5)
+
+    def test_monotone_in_buffer_size(self):
+        times = [
+            mean_residence_time(n, n, 0.5, 0.5) for n in range(0, 6)
+        ]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+class TestAllocation:
+    def test_sums_to_capacity(self):
+        for probs in ([0.25] * 4, [0.7, 0.1, 0.1, 0.1], [0.5, 0.5], [1.0]):
+            for capacity in (0, 1, 7, 20, 33):
+                alloc = allocate_blocks(probs, capacity)
+                assert sum(alloc) == capacity
+                assert all(a >= 0 for a in alloc)
+                assert len(alloc) == len(probs)
+
+    def test_uniform_probabilities_even_split(self):
+        assert allocate_blocks([0.25] * 4, 20) == [5, 5, 5, 5]
+
+    def test_dominant_direction_gets_most(self):
+        alloc = allocate_blocks([0.7, 0.1, 0.1, 0.1], 20)
+        assert alloc[0] == max(alloc)
+        assert alloc[0] >= 12
+
+    def test_odd_direction_counts(self):
+        alloc = allocate_blocks([0.4, 0.3, 0.3], 10)
+        assert sum(alloc) == 10
+
+    def test_validation(self):
+        with pytest.raises(BufferError_):
+            allocate_blocks([], 5)
+        with pytest.raises(BufferError_):
+            allocate_blocks([0.5, -0.1], 5)
+        with pytest.raises(BufferError_):
+            allocate_blocks([0.5], -1)
+
+    def test_best_ordering_at_least_as_good(self):
+        probs = [0.5, 0.1, 0.3, 0.1]
+        capacity = 12
+        plain = allocate_blocks(probs, capacity)
+        best = allocate_blocks_best_ordering(probs, capacity)
+        assert sum(best) == capacity
+
+        def score(alloc):
+            total = 0.0
+            for i, p in enumerate(probs):
+                total += mean_residence_time(
+                    alloc[i], capacity - alloc[i], p, sum(probs) - p
+                )
+            return total
+
+        assert score(best) >= score(plain) * 0.999
+
+    def test_best_ordering_guard(self):
+        with pytest.raises(BufferError_):
+            allocate_blocks_best_ordering([0.1] * 10, 5)
+
+    @given(
+        st.lists(st.floats(0.01, 1.0), min_size=1, max_size=6),
+        st.integers(0, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_allocation_properties(self, probs, capacity):
+        alloc = allocate_blocks(probs, capacity)
+        assert sum(alloc) == capacity
+        assert all(a >= 0 for a in alloc)

@@ -1,0 +1,121 @@
+"""Tests for direction partitioning of grid blocks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import BufferError_
+from repro.geometry.box import Box
+from repro.geometry.grid import Grid
+from repro.buffering.partition import direction_probabilities, partition_cells
+
+
+@pytest.fixture()
+def grid() -> Grid:
+    return Grid(Box((0, 0), (100, 100)), (10, 10))
+
+
+class TestPartitionCells:
+    def test_every_cell_assigned_once(self, grid: Grid):
+        center = np.array([55.0, 55.0])
+        cells = list(grid.cells())
+        partition = partition_cells(grid, cells, center, 4)
+        assigned = [c for members in partition.values() for c in members]
+        assert sorted(assigned) == sorted(cells)
+
+    def test_quadrants(self, grid: Grid):
+        center = np.array([50.0, 50.0])
+        # Cell centres at 45 degrees are ties; pick clear quadrant cells.
+        east = grid.cell_of_point((85, 55))
+        north = grid.cell_of_point((55, 85))
+        west = grid.cell_of_point((15, 55))
+        south = grid.cell_of_point((55, 15))
+        partition = partition_cells(
+            grid, [east, north, west, south], center, 4
+        )
+        assert east in partition[0]
+        assert north in partition[1]
+        assert west in partition[2]
+        assert south in partition[3]
+
+    def test_center_cell_goes_to_sector_zero(self, grid: Grid):
+        center = grid.cell_center((5, 5))
+        partition = partition_cells(grid, [(5, 5)], center, 4)
+        assert partition[0] == [(5, 5)]
+
+    def test_tie_breaking_alternates(self, grid: Grid):
+        """Blocks exactly on a partition line alternate between sectors.
+
+        With the default orientation the boundary between sectors 0 and
+        1 runs along the 45-degree diagonal -- the paper's example of
+        blocks (5,5), (6,6), (7,7), (8,8) straddling the line between
+        directions 1 and 2.
+        """
+        center = grid.cell_center((5, 5))
+        on_line = [(6, 6), (7, 7), (8, 8), (9, 9)]
+        partition = partition_cells(grid, on_line, center, 4)
+        split = {i: len(partition[i]) for i in (0, 1)}
+        assert split[0] == 2
+        assert split[1] == 2
+
+    def test_k_one_takes_everything(self, grid: Grid):
+        cells = list(grid.cells())
+        partition = partition_cells(grid, cells, np.array([50.0, 50.0]), 1)
+        assert len(partition[0]) == len(cells)
+
+    def test_invalid_k(self, grid: Grid):
+        with pytest.raises(BufferError_):
+            partition_cells(grid, [], np.zeros(2), 0)
+
+    def test_offset_rotates_sectors(self, grid: Grid):
+        center = np.array([50.0, 50.0])
+        east = grid.cell_of_point((85, 55))
+        rotated = partition_cells(
+            grid, [east], center, 4, offset=math.pi / 2
+        )
+        # With a 90-degree offset the east cell lands in the last sector.
+        assert east in rotated[3]
+
+    def test_eight_directions(self, grid: Grid):
+        center = np.array([50.0, 50.0])
+        cells = list(grid.cells())
+        partition = partition_cells(grid, cells, center, 8)
+        assert sum(len(v) for v in partition.values()) == len(cells)
+        assert len(partition) == 8
+
+
+class TestDirectionProbabilities:
+    def test_sums_to_one(self, grid: Grid):
+        center = np.array([50.0, 50.0])
+        cells = list(grid.cells())
+        partition = partition_cells(grid, cells, center, 4)
+        probs = {c: 1.0 for c in cells}
+        dir_probs = direction_probabilities(partition, probs, 4)
+        assert sum(dir_probs) == pytest.approx(1.0)
+
+    def test_reflects_cell_mass(self, grid: Grid):
+        center = np.array([50.0, 50.0])
+        east = grid.cell_of_point((85, 55))
+        west = grid.cell_of_point((15, 55))
+        partition = partition_cells(grid, [east, west], center, 4)
+        dir_probs = direction_probabilities(
+            partition, {east: 0.9, west: 0.1}, 4
+        )
+        assert dir_probs[0] == pytest.approx(0.9)
+        assert dir_probs[2] == pytest.approx(0.1)
+
+    def test_zero_mass_uniform_fallback(self):
+        dir_probs = direction_probabilities({0: [], 1: []}, {}, 2)
+        assert dir_probs == [0.5, 0.5]
+
+    def test_missing_cells_count_as_zero(self, grid: Grid):
+        partition = {0: [(0, 0)], 1: [(1, 1)]}
+        dir_probs = direction_probabilities(partition, {(0, 0): 0.4}, 2)
+        assert dir_probs == [1.0, 0.0]
+
+    def test_invalid_k(self):
+        with pytest.raises(BufferError_):
+            direction_probabilities({}, {}, 0)

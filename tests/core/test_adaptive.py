@@ -1,0 +1,97 @@
+"""Tests for the adaptive QoS mapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import AdaptiveQoSMapper
+from repro.errors import ConfigurationError
+
+
+class TestConfiguration:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveQoSMapper(target_response_s=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveQoSMapper(gamma_bounds=(0.5, 0.9))  # must straddle 1.0
+        with pytest.raises(ConfigurationError):
+            AdaptiveQoSMapper(gamma_bounds=(0.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            AdaptiveQoSMapper(adaptation_rate=-0.1)
+
+    def test_starts_linear(self):
+        mapper = AdaptiveQoSMapper()
+        assert mapper.gamma == 1.0
+        assert mapper(0.5) == 0.5
+        assert mapper(0.0) == 0.0
+        assert mapper(1.0) == 1.0
+
+
+class TestAdaptation:
+    def test_slow_responses_shed_detail(self):
+        mapper = AdaptiveQoSMapper(target_response_s=0.5)
+        for _ in range(20):
+            mapper.observe_response(2.0)  # consistently over target
+        assert mapper.gamma < 1.0
+        assert mapper(0.5) > 0.5  # higher threshold = coarser data
+
+    def test_fast_responses_restore_detail(self):
+        mapper = AdaptiveQoSMapper(target_response_s=0.5)
+        for _ in range(20):
+            mapper.observe_response(0.01)
+        assert mapper.gamma > 1.0
+        assert mapper(0.5) < 0.5
+
+    def test_bounds_respected(self):
+        mapper = AdaptiveQoSMapper(
+            target_response_s=0.5, gamma_bounds=(0.5, 2.0)
+        )
+        for _ in range(200):
+            mapper.observe_response(10.0)
+        assert mapper.gamma == pytest.approx(0.5)
+        for _ in range(400):
+            mapper.observe_response(0.0)
+        assert mapper.gamma == pytest.approx(2.0)
+
+    def test_zero_rate_freezes(self):
+        mapper = AdaptiveQoSMapper(adaptation_rate=0.0)
+        mapper.observe_response(100.0)
+        assert mapper.gamma == 1.0
+
+    def test_negative_response_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveQoSMapper().observe_response(-1.0)
+
+    def test_output_stays_in_unit_interval(self):
+        mapper = AdaptiveQoSMapper()
+        for response in (5.0, 0.0, 5.0, 5.0, 0.0):
+            mapper.observe_response(response)
+            for speed in (0.0, 0.3, 0.7, 1.0, 2.0):
+                assert 0.0 <= mapper(speed) <= 1.0
+
+
+class TestEndToEnd:
+    def test_converges_on_a_congested_link(self, tiny_server):
+        """Driving a client with the adaptive mapper over a slow link
+        must settle on a coarser mapping than the linear default."""
+        import numpy as np
+
+        from repro.core.retrieval import ContinuousRetrievalClient
+        from repro.geometry.box import Box
+        from repro.net.link import LinkConfig, WirelessLink
+        from repro.net.simclock import SimClock
+
+        tiny_server.reset_client(300)
+        mapper = AdaptiveQoSMapper(target_response_s=0.1, adaptation_rate=0.2)
+        slow_link = WirelessLink(LinkConfig(bandwidth_bps=8_000))
+        client = ContinuousRetrievalClient(
+            tiny_server, slow_link, SimClock(), client_id=300, mapper=mapper
+        )
+        x = 100.0
+        for _ in range(25):
+            x += 30.0
+            step = client.step(
+                np.array([x, 500.0]), 0.5, Box.from_center((x, 500.0), (150, 150))
+            )
+            mapper.observe_response(step.elapsed_s)
+        assert mapper.gamma < 1.0

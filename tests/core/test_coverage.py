@@ -1,0 +1,172 @@
+"""Tests for the semantic coverage map."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage import CoverageMap
+from repro.errors import ProtocolError
+from repro.geometry.box import Box
+
+
+def B(x1, y1, x2, y2):
+    return Box((x1, y1), (x2, y2))
+
+
+class TestBasics:
+    def test_empty_map_misses_everything(self):
+        cov = CoverageMap()
+        missing = cov.missing(B(0, 0, 10, 10), 0.5)
+        assert len(missing) == 1
+        assert missing[0].box == B(0, 0, 10, 10)
+        assert missing[0].w_min == 0.5
+        assert missing[0].w_max == 1.0
+        assert not missing[0].half_open
+
+    def test_exact_coverage(self):
+        cov = CoverageMap()
+        cov.add(B(0, 0, 10, 10), 0.5)
+        assert cov.covers(B(0, 0, 10, 10), 0.5)
+        assert cov.covers(B(2, 2, 8, 8), 0.7)  # coarser request inside
+
+    def test_finer_request_needs_band(self):
+        cov = CoverageMap()
+        cov.add(B(0, 0, 10, 10), 0.5)
+        missing = cov.missing(B(0, 0, 10, 10), 0.2)
+        assert len(missing) == 1
+        piece = missing[0]
+        assert piece.half_open
+        assert piece.w_min == 0.2
+        assert piece.w_max == 0.5
+
+    def test_partial_overlap_splits(self):
+        cov = CoverageMap()
+        cov.add(B(0, 0, 10, 10), 0.5)
+        missing = cov.missing(B(5, 0, 15, 10), 0.5)
+        total = sum(p.box.volume for p in missing)
+        assert total == pytest.approx(50.0)  # only the uncovered half
+        for piece in missing:
+            assert piece.box.low[0] >= 10.0
+
+    def test_refinement_subsumes_coarser(self):
+        cov = CoverageMap()
+        cov.add(B(0, 0, 10, 10), 0.8)
+        cov.add(B(0, 0, 10, 10), 0.2)
+        assert cov.covers(B(0, 0, 10, 10), 0.2)
+        # The coarser region was removed, not duplicated.
+        assert len(cov) == 1
+
+    def test_coarser_add_keeps_finer(self):
+        cov = CoverageMap()
+        cov.add(B(0, 0, 10, 10), 0.2)
+        cov.add(B(0, 0, 20, 10), 0.8)
+        assert cov.covers(B(0, 0, 10, 10), 0.2)
+        assert cov.covers(B(0, 0, 20, 10), 0.8)
+        assert not cov.covers(B(10, 0, 20, 10), 0.2)
+
+    def test_validation(self):
+        cov = CoverageMap()
+        with pytest.raises(ProtocolError):
+            cov.add(B(0, 0, 1, 1), 1.5)
+        with pytest.raises(ProtocolError):
+            cov.missing(B(0, 0, 1, 1), -0.1)
+        with pytest.raises(ProtocolError):
+            CoverageMap(max_fragments=0)
+
+    def test_clear(self):
+        cov = CoverageMap()
+        cov.add(B(0, 0, 10, 10), 0.5)
+        cov.clear()
+        assert len(cov) == 0
+        assert not cov.covers(B(0, 0, 1, 1), 0.9)
+
+    def test_covered_volume(self):
+        cov = CoverageMap()
+        cov.add(B(0, 0, 10, 10), 0.5)
+        cov.add(B(20, 0, 25, 10), 0.2)
+        assert cov.covered_volume(0.5) == pytest.approx(150.0)
+        assert cov.covered_volume(0.3) == pytest.approx(50.0)
+
+
+class TestCompaction:
+    def test_fragment_limit_respected(self):
+        cov = CoverageMap(max_fragments=10)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            x, y = rng.uniform(0, 90, 2)
+            cov.add(B(x, y, x + 10, y + 10), float(rng.uniform(0, 1)))
+        assert len(cov) <= 10
+
+    def test_compaction_is_conservative(self):
+        """Dropping fragments may re-report missing, never over-cover."""
+        cov = CoverageMap(max_fragments=4)
+        boxes = [B(i * 10, 0, i * 10 + 10, 10) for i in range(8)]
+        for box in boxes:
+            cov.add(box, 0.5)
+        # Whatever was compacted away simply shows up as missing again.
+        for box in boxes:
+            for piece in cov.missing(box, 0.5):
+                assert box.contains_box(piece.box)
+
+
+class TestMissingInvariants:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_missing_pieces_tile_their_band(self, seed: int):
+        """Missing pieces are disjoint, inside the query, and after
+        adding them the query is covered."""
+        rng = np.random.default_rng(seed)
+        cov = CoverageMap()
+        for _ in range(rng.integers(0, 6)):
+            x, y = rng.uniform(0, 80, 2)
+            w = float(rng.choice([0.2, 0.5, 0.8]))
+            cov.add(B(x, y, x + rng.uniform(5, 30), y + rng.uniform(5, 30)), w)
+        qx, qy = rng.uniform(0, 70, 2)
+        query = B(qx, qy, qx + 25, qy + 25)
+        w_min = float(rng.choice([0.1, 0.4, 0.7]))
+        missing = cov.missing(query, w_min)
+        # Pieces lie inside the query and are pairwise disjoint.
+        for i, a in enumerate(missing):
+            assert query.contains_box(a.box)
+            for b in missing[i + 1:]:
+                assert not a.box.strictly_intersects(b.box)
+        # Adding every piece at the requested resolution covers the query.
+        for piece in missing:
+            cov.add(piece.box, w_min)
+        assert cov.covers(query, w_min)
+
+
+class TestClientIntegration:
+    def test_loop_route_skips_requests(self, tiny_server):
+        from repro.core.retrieval import ContinuousRetrievalClient
+        from repro.net.link import WirelessLink
+        from repro.net.simclock import SimClock
+
+        def run(use_coverage: bool):
+            client_id = 200 + int(use_coverage)
+            tiny_server.reset_client(client_id)
+            client = ContinuousRetrievalClient(
+                tiny_server,
+                WirelessLink(),
+                SimClock(),
+                client_id=client_id,
+                use_coverage=use_coverage,
+            )
+            xs = list(range(100, 900, 50)) + list(range(900, 100, -50))
+            io = 0
+            for x in xs:
+                step = client.step(
+                    np.array([float(x), 500.0]),
+                    0.5,
+                    Box.from_center((x, 500.0), (120, 120)),
+                )
+                io += step.io_node_reads
+            return io, client.total_bytes
+
+        io_plain, bytes_plain = run(False)
+        io_cov, bytes_cov = run(True)
+        assert bytes_cov == bytes_plain  # same data, never more
+        assert io_cov < io_plain  # but far fewer redundant sub-queries

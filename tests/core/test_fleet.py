@@ -1,0 +1,114 @@
+"""Tests for the multi-client fleet simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fleet import FleetConfig, FleetResult, simulate_fleet
+from repro.errors import ConfigurationError
+from repro.geometry.box import Box
+from repro.motion.trajectory import make_tours
+from repro.server.server import Server
+
+SPACE = Box((0, 0), (1000, 1000))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(space=Box((0, 0, 0), (1, 1, 1)))
+        with pytest.raises(ConfigurationError):
+            FleetConfig(space=SPACE, query_frac=0.0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(space=SPACE, server_uplink_bps=0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(space=SPACE, tick_seconds=0)
+
+
+class TestSimulation:
+    def test_needs_tours(self, tiny_city):
+        with pytest.raises(ConfigurationError):
+            simulate_fleet(Server(tiny_city), [], FleetConfig(space=SPACE))
+
+    def test_basic_run(self, tiny_city):
+        tours = make_tours(SPACE, "tram", count=3, speed=0.5, steps=30)
+        result = simulate_fleet(
+            Server(tiny_city), tours, FleetConfig(space=SPACE)
+        )
+        assert result.clients == 3
+        assert result.ticks == 31
+        assert len(result.response_times) == 3 * 31
+        assert result.avg_response_s >= 0
+        assert result.p95_response_s >= result.avg_response_s * 0.5
+
+    def test_empty_result_properties(self):
+        result = FleetResult()
+        assert result.avg_response_s == 0.0
+        assert result.p95_response_s == 0.0
+
+    def test_more_clients_more_bytes(self, tiny_city):
+        config = FleetConfig(space=SPACE)
+        small = simulate_fleet(
+            Server(tiny_city),
+            make_tours(SPACE, "tram", count=2, speed=0.5, steps=25),
+            config,
+        )
+        large = simulate_fleet(
+            Server(tiny_city),
+            make_tours(SPACE, "tram", count=6, speed=0.5, steps=25),
+            config,
+        )
+        assert large.total_bytes >= small.total_bytes
+
+    def test_tight_uplink_queues(self, tiny_city):
+        """A starved uplink must show visible queueing delay."""
+        tours = make_tours(SPACE, "tram", count=8, speed=0.8, steps=25)
+        roomy = simulate_fleet(
+            Server(tiny_city),
+            tours,
+            FleetConfig(space=SPACE, server_uplink_bps=10_000_000),
+        )
+        tight = simulate_fleet(
+            Server(tiny_city),
+            tours,
+            FleetConfig(space=SPACE, server_uplink_bps=2_000),
+        )
+        assert tight.max_queue_delay_s > roomy.max_queue_delay_s
+
+    def test_motion_aware_fleet_ships_less(self, tiny_city):
+        """Speed-aware mapping must beat a full-resolution fleet on bytes."""
+
+        class FullResolution:
+            def __call__(self, speed: float) -> float:
+                return 0.0
+
+        tours = make_tours(SPACE, "tram", count=4, speed=0.8, steps=30)
+        config = FleetConfig(space=SPACE)
+        aware = simulate_fleet(Server(tiny_city), tours, config)
+        full = simulate_fleet(
+            Server(tiny_city), tours, config, mapper=FullResolution()
+        )
+        assert aware.total_bytes <= full.total_bytes
+
+
+class TestSessionCost:
+    def test_session_transfer_cost(self):
+        from repro.buffering import session_transfer_cost
+
+        cost = session_transfer_cost(
+            [2, 4],
+            connection_cost_s=0.1,
+            bandwidth_bps=8_000.0,  # 1000 bytes/s
+            block_bytes=500,
+        )
+        # 0.1 + 2*500/1000 + 0.1 + 4*500/1000 = 3.2
+        assert cost == pytest.approx(3.2)
+
+    def test_session_cost_validation(self):
+        from repro.buffering import session_transfer_cost
+        from repro.errors import BufferError_
+
+        with pytest.raises(BufferError_):
+            session_transfer_cost(
+                [1], connection_cost_s=0.1, bandwidth_bps=0, block_bytes=1
+            )

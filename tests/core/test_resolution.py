@@ -1,0 +1,88 @@
+"""Tests for speed-to-resolution mappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resolution import (
+    LinearMapper,
+    PowerMapper,
+    SteppedMapper,
+    clamp_speed,
+)
+from repro.errors import ConfigurationError
+
+
+class TestClampSpeed:
+    def test_identity_in_range(self):
+        assert clamp_speed(0.4) == 0.4
+
+    def test_clamps(self):
+        assert clamp_speed(-1.0) == 0.0
+        assert clamp_speed(2.0) == 1.0
+
+
+class TestLinearMapper:
+    def test_identity(self):
+        mapper = LinearMapper()
+        assert mapper(0.0) == 0.0
+        assert mapper(0.5) == 0.5
+        assert mapper(1.0) == 1.0
+
+    def test_clamps_out_of_range(self):
+        mapper = LinearMapper()
+        assert mapper(1.7) == 1.0
+        assert mapper(-0.3) == 0.0
+
+    def test_paper_semantics(self):
+        """Speed 0.5 -> retrieve coefficients in [0.5, 1.0]."""
+        assert LinearMapper()(0.5) == 0.5
+
+
+class TestPowerMapper:
+    def test_gamma_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerMapper(0.0)
+        with pytest.raises(ConfigurationError):
+            PowerMapper(-1.0)
+
+    def test_quality_first(self):
+        mapper = PowerMapper(2.0)
+        assert mapper(0.5) == 0.25  # keeps more detail at mid speeds
+
+    def test_bandwidth_first(self):
+        mapper = PowerMapper(0.5)
+        assert mapper(0.25) == 0.5  # sheds detail earlier
+
+    def test_endpoints_fixed(self):
+        for gamma in (0.5, 1.0, 3.0):
+            mapper = PowerMapper(gamma)
+            assert mapper(0.0) == 0.0
+            assert mapper(1.0) == 1.0
+
+
+class TestSteppedMapper:
+    def test_default_levels(self):
+        mapper = SteppedMapper()
+        assert mapper(0.0) == 0.0
+        assert mapper(0.1) == 0.25
+        assert mapper(0.26) == 0.5
+        assert mapper(0.9) == 1.0
+
+    def test_monotone(self):
+        mapper = SteppedMapper()
+        values = [mapper(s / 100) for s in range(101)]
+        assert values == sorted(values)
+
+    def test_custom_levels(self):
+        mapper = SteppedMapper(levels=[0.0, 1.0])
+        assert mapper(0.001) == 1.0
+        assert mapper(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SteppedMapper(levels=[])
+        with pytest.raises(ConfigurationError):
+            SteppedMapper(levels=[-0.5, 1.0])
+        with pytest.raises(ConfigurationError):
+            SteppedMapper(levels=[0.0, 1.5])

@@ -1,0 +1,165 @@
+"""Tests for Algorithm 1 (ContinuousDataRetrieval)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.retrieval import ContinuousRetrievalClient
+from repro.errors import ProtocolError
+from repro.geometry.box import Box
+from repro.net.link import WirelessLink
+from repro.net.simclock import SimClock
+
+
+@pytest.fixture()
+def client(tiny_server):
+    tiny_server.reset_client(0)
+    return ContinuousRetrievalClient(
+        tiny_server, WirelessLink(), SimClock(), client_id=0
+    )
+
+
+def frame(center_x, center_y, size=120.0):
+    return Box.from_center((center_x, center_y), (size, size))
+
+
+class TestRegionPlanning:
+    def test_first_frame_full_query(self, client):
+        regions = client.plan_regions(frame(500, 500), 0.5)
+        assert len(regions) == 1
+        assert regions[0].w_min == 0.5
+        assert regions[0].w_max == 1.0
+        assert not regions[0].half_open
+
+    def test_no_overlap_full_query(self, client):
+        client.step(np.array([100.0, 100.0]), 0.5, frame(100, 100))
+        regions = client.plan_regions(frame(900, 900), 0.5)
+        assert len(regions) == 1
+        assert regions[0].region == frame(900, 900)
+
+    def test_overlap_same_resolution_queries_difference_only(self, client):
+        q1 = frame(500, 500)
+        client.step(np.array([500.0, 500.0]), 0.5, q1)
+        q2 = frame(540, 500)
+        regions = client.plan_regions(q2, 0.5)
+        # Only the new strip, no incremental band.
+        assert all(not r.half_open for r in regions)
+        covered = sum(r.region.volume for r in regions)
+        assert covered == pytest.approx(q2.volume - q2.intersection_volume(q1))
+
+    def test_resolution_increase_adds_half_open_band(self, client):
+        q1 = frame(500, 500)
+        client.step(np.array([500.0, 500.0]), 0.6, q1)
+        q2 = frame(540, 500)
+        regions = client.plan_regions(q2, 0.2)
+        bands = [r for r in regions if r.half_open]
+        assert len(bands) == 1
+        assert bands[0].w_min == 0.2
+        assert bands[0].w_max == 0.6
+        assert bands[0].region == q2.intersection(q1)
+
+    def test_resolution_decrease_no_band(self, client):
+        q1 = frame(500, 500)
+        client.step(np.array([500.0, 500.0]), 0.2, q1)
+        regions = client.plan_regions(frame(540, 500), 0.8)
+        assert all(not r.half_open for r in regions)
+
+    def test_static_client_same_resolution_no_regions(self, client):
+        q = frame(500, 500)
+        client.step(np.array([500.0, 500.0]), 0.5, q)
+        assert client.plan_regions(q, 0.5) == []
+
+
+class TestStepping:
+    def test_step_accounts_time_and_bytes(self, client):
+        step = client.step(np.array([500.0, 500.0]), 0.5, frame(500, 500))
+        assert step.contacted_server
+        assert step.elapsed_s > 0
+        assert step.payload_bytes >= 0
+        assert client.total_bytes == step.payload_bytes
+
+    def test_static_step_costs_nothing(self, client):
+        q = frame(500, 500)
+        client.step(np.array([500.0, 500.0]), 0.5, q)
+        second = client.step(np.array([500.0, 500.0]), 0.5, q)
+        assert not second.contacted_server
+        assert second.elapsed_s == 0.0
+        assert second.payload_bytes == 0
+
+    def test_no_record_ever_received_twice(self, client, tiny_server):
+        """The paper's duplicate-filtering guarantee over a whole tour."""
+        rng = np.random.default_rng(4)
+        position = np.array([300.0, 300.0])
+        received = 0
+        for _ in range(30):
+            position = position + rng.uniform(-40, 60, size=2)
+            position = np.clip(position, 0, 1000)
+            speed = float(rng.uniform(0, 1))
+            step = client.step(position, speed, frame(*position))
+            received += step.records_received
+        # ContinuousRetrievalClient counts unique uids.
+        assert client.received_record_count == received
+
+    def test_speed_clamped(self, client):
+        step = client.step(np.array([500.0, 500.0]), 7.0, frame(500, 500))
+        assert step.speed == 1.0
+        assert step.w_min == 1.0
+
+    def test_slow_client_retrieves_more(self, tiny_server):
+        totals = {}
+        for speed in (0.05, 0.95):
+            tiny_server.reset_client(9)
+            fresh = ContinuousRetrievalClient(
+                tiny_server, WirelessLink(), SimClock(), client_id=9
+            )
+            x = 100.0
+            total = 0
+            for _ in range(12):
+                x += 40.0
+                total += fresh.step(
+                    np.array([x, 500.0]), speed, frame(x, 500.0)
+                ).payload_bytes
+            totals[speed] = total
+        assert totals[0.05] > totals[0.95]
+
+    def test_clock_advances_with_steps(self, client):
+        clock_start = 0.0
+        client.step(np.array([500.0, 500.0]), 0.5, frame(500, 500))
+        assert client._clock.now > clock_start
+
+
+class TestProgressiveState:
+    def test_track_meshes_renders(self, tiny_server):
+        tiny_server.reset_client(3)
+        client = ContinuousRetrievalClient(
+            tiny_server, WirelessLink(), SimClock(), client_id=3, track_meshes=True
+        )
+        client.step(np.array([500.0, 500.0]), 0.0, Box((0, 0), (1000, 1000)))
+        assert client.known_objects()
+        mesh = client.mesh_of(client.known_objects()[0])
+        assert mesh.has_base
+        rendered = mesh.current_mesh()
+        assert rendered.vertex_count > 0
+
+    def test_mesh_of_unknown_object_rejected(self, client):
+        with pytest.raises(ProtocolError):
+            client.mesh_of(12345)
+
+    def test_full_visit_reproduces_full_resolution(self, tiny_server):
+        """Visiting everything at speed 0 must hand the client every
+        coefficient, so its rendering equals the server's finest mesh."""
+        tiny_server.reset_client(8)
+        client = ContinuousRetrievalClient(
+            tiny_server, WirelessLink(), SimClock(), client_id=8, track_meshes=True
+        )
+        client.step(
+            np.array([500.0, 500.0]), 0.0, Box((-100, -100), (1100, 1100))
+        )
+        db = tiny_server.database
+        for oid in client.known_objects():
+            rendered = client.mesh_of(oid).current_mesh(
+                levels=db.get_object(oid).decomposition.depth
+            )
+            expected = db.get_object(oid).decomposition.reconstruct(0.0)
+            assert np.allclose(rendered.vertices, expected.vertices)

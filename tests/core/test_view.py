@@ -1,0 +1,80 @@
+"""Tests for view-direction-aware querying."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.view import filter_records_in_view, view_savings, view_wedge
+from repro.errors import GeometryError
+from repro.geometry.box import Box
+
+
+class TestViewWedge:
+    def test_heading_follows_velocity(self):
+        wedge = view_wedge((0, 0), (0, 2), view_range=50)
+        assert wedge.heading == pytest.approx(math.pi / 2)
+        assert wedge.radius == 50
+
+    def test_zero_velocity_full_disk(self):
+        wedge = view_wedge((5, 5), (0, 0), view_range=30)
+        assert wedge.is_full_disk
+        assert wedge.contains_point((5, -20))  # behind still visible
+
+    def test_fov_respected(self):
+        wedge = view_wedge((0, 0), (1, 0), fov_degrees=90, view_range=10)
+        assert wedge.half_angle == pytest.approx(math.pi / 4)
+        assert wedge.contains_point((5, 4.9))
+        assert not wedge.contains_point((5, 5.2))
+
+    def test_fov_validation(self):
+        with pytest.raises(GeometryError):
+            view_wedge((0, 0), (1, 0), fov_degrees=0)
+        with pytest.raises(GeometryError):
+            view_wedge((0, 0), (1, 0), fov_degrees=361)
+
+
+class TestRecordFiltering:
+    def test_filter_keeps_only_visible(self, tiny_city):
+        records = tiny_city.all_records()
+        # Pick an object and look straight at it from nearby.
+        target = tiny_city.objects[0]
+        center = target.footprint.center
+        apex = center - np.array([120.0, 0.0])
+        wedge = view_wedge(apex, (1.0, 0.0), fov_degrees=60, view_range=200)
+        visible = filter_records_in_view(records, wedge)
+        assert visible
+        assert any(r.object_id == target.object_id for r in visible)
+        # Looking the other way must hide that object entirely...
+        away = view_wedge(apex, (-1.0, 0.0), fov_degrees=60, view_range=200)
+        hidden = filter_records_in_view(records, away)
+        assert all(r.object_id != target.object_id for r in hidden) or not hidden
+
+    def test_view_savings_bounded(self, tiny_city):
+        records = tiny_city.all_records()
+        wedge = view_wedge((500.0, 500.0), (1.0, 0.0), view_range=300)
+        in_view, full = view_savings(records, wedge)
+        assert 0 <= in_view <= full
+        assert full == sum(r.size_bytes for r in records)
+
+    def test_narrow_fov_sees_less(self, tiny_city):
+        records = tiny_city.all_records()
+        apex = (500.0, 500.0)
+        narrow, _ = view_savings(
+            records, view_wedge(apex, (1.0, 0.0), fov_degrees=30, view_range=400)
+        )
+        wide, _ = view_savings(
+            records, view_wedge(apex, (1.0, 0.0), fov_degrees=300, view_range=400)
+        )
+        assert narrow <= wide
+
+    def test_filter_is_conservative(self, tiny_city):
+        """Every record whose vertex is inside the wedge must be kept."""
+        records = tiny_city.all_records()
+        wedge = view_wedge((500.0, 500.0), (1.0, 1.0), view_range=400)
+        kept = {r.uid for r in filter_records_in_view(records, wedge)}
+        for record in records:
+            if wedge.contains_point(record.position[:2]):
+                assert record.uid in kept

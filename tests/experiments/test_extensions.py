@@ -1,0 +1,53 @@
+"""Shape tests for the extension experiments (E9-E11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import extensions
+from repro.workloads.config import ExperimentScale
+
+TINY = ExperimentScale(scale=0.5)
+
+
+class TestCoverageGains:
+    def test_coverage_strictly_cheaper_on_patrols(self):
+        table = extensions.run_coverage_gains(TINY)
+        by_mode = {row["mode"]: row for row in table.rows}
+        assert by_mode["coverage"]["sub_queries"] < by_mode["algorithm1"]["sub_queries"]
+        assert by_mode["coverage"]["io_node_reads"] < by_mode["algorithm1"]["io_node_reads"]
+        # Correctness: the same data crosses the wire either way.
+        assert by_mode["coverage"]["bytes"] == by_mode["algorithm1"]["bytes"]
+
+
+class TestFleetScaling:
+    def test_motion_aware_population_ships_less(self):
+        table = extensions.run_fleet_scaling(TINY, fleet_sizes=(2, 6))
+        for clients in (2, 6):
+            motion = table.series(
+                "clients", "bytes", population="motion_aware"
+            )
+            full = table.series(
+                "clients", "bytes", population="full_resolution"
+            )
+            assert dict(motion)[clients] < dict(full)[clients]
+
+    def test_response_grows_with_fleet_for_full_res(self):
+        table = extensions.run_fleet_scaling(TINY, fleet_sizes=(2, 6))
+        series = table.series(
+            "clients", "p95_response_s", population="full_resolution"
+        )
+        assert series[-1][1] >= series[0][1]
+
+
+class TestRepresentationCost:
+    def test_wavelets_always_more_compact(self):
+        table = extensions.run_representation_cost(depths=(1, 2))
+        for row in table.rows:
+            assert row["wavelet_bytes"] < row["pm_bytes"]
+            assert row["ratio"] > 1.0
+
+    def test_advantage_grows_with_depth(self):
+        table = extensions.run_representation_cost(depths=(1, 3))
+        ratios = table.column("ratio")
+        assert ratios[-1] > ratios[0]

@@ -1,0 +1,161 @@
+"""Shape-level smoke tests for every reproduced figure.
+
+These run the experiment modules at a tiny scale and assert the
+qualitative claims of the paper (who wins, which direction curves bend)
+rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig08_speed_retrieval,
+    fig09_sizes,
+    fig10_buffer_size,
+    fig11_buffer_speed,
+    fig12_index_speed,
+    fig13_index_sizes,
+    fig14_15_response,
+)
+from repro.workloads.config import ExperimentScale
+
+# Scale 0.7 is the smallest at which every figure's qualitative shape
+# is stable (sparser cities make the naive baselines vacuously cheap).
+TINY = ExperimentScale(scale=0.7)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shared_caches():
+    # Experiments memoise cities/tours per process; keep them for the
+    # whole module to stay fast.
+    yield
+
+
+class TestFig08:
+    def test_bytes_fall_with_speed(self):
+        table = fig08_speed_retrieval.run(TINY, speeds=(0.25, 1.0))
+        for kind in ("tram", "pedestrian"):
+            series = table.series("speed", "avg_bytes", kind=kind)
+            assert len(series) == 2
+            assert series[0][1] > series[1][1]
+
+    def test_steps_for_speed_monotone(self):
+        fast = fig08_speed_retrieval.steps_for_speed(TINY, 1.0)
+        slow = fig08_speed_retrieval.steps_for_speed(TINY, 0.25)
+        assert slow > fast
+        capped = fig08_speed_retrieval.steps_for_speed(TINY, 0.001)
+        assert capped <= TINY.tour_steps * fig08_speed_retrieval.MAX_STEPS_FACTOR
+
+
+class TestFig09:
+    def test_bytes_grow_with_query_size(self):
+        table = fig09_sizes.run_query_sizes(
+            TINY, query_fracs=(0.05, 0.15), speeds=(0.5,)
+        )
+        series = table.series("query_frac", "avg_bytes", speed=0.5)
+        assert series[0][1] < series[1][1]
+
+    def test_bytes_grow_with_dataset(self):
+        table = fig09_sizes.run_dataset_sizes(
+            TINY, datasets_mb=(20, 80), speeds=(0.5,)
+        )
+        series = table.series("paper_mb", "avg_bytes", speed=0.5)
+        assert series[0][1] < series[1][1]
+
+
+class TestFig10:
+    def test_motion_aware_beats_naive_at_small_buffer(self):
+        table = fig10_buffer_size.run(TINY, buffer_kbs=(16,))
+        for kind in ("tram", "pedestrian"):
+            motion = table.series(
+                "buffer_kb", "hit_rate", kind=kind, scheme="motion_aware"
+            )[0][1]
+            naive = table.series(
+                "buffer_kb", "hit_rate", kind=kind, scheme="naive"
+            )[0][1]
+            assert motion > naive
+            motion_util = table.series(
+                "buffer_kb", "utilization", kind=kind, scheme="motion_aware"
+            )[0][1]
+            naive_util = table.series(
+                "buffer_kb", "utilization", kind=kind, scheme="naive"
+            )[0][1]
+            assert motion_util > naive_util
+
+    def test_hit_rate_grows_with_buffer(self):
+        table = fig10_buffer_size.run(TINY, buffer_kbs=(16, 128))
+        series = table.series(
+            "buffer_kb", "hit_rate", kind="tram", scheme="motion_aware"
+        )
+        assert series[1][1] >= series[0][1]
+
+
+class TestFig11:
+    def test_ranges_and_motion_advantage(self):
+        table = fig11_buffer_speed.run(TINY, speeds=(0.25, 1.0), buffer_kb=32)
+        for row in table.rows:
+            assert 0.0 <= row["hit_rate"] <= 1.0
+            assert 0.0 <= row["utilization"] <= 1.0
+        # Higher speed -> lower resolution -> more blocks fit -> hit
+        # rate must not collapse (paper: it increases).
+        series = table.series(
+            "speed", "hit_rate", kind="tram", scheme="motion_aware"
+        )
+        assert series[1][1] >= series[0][1] - 0.05
+
+
+class TestFig12:
+    def test_io_falls_with_speed_and_motion_wins(self):
+        table = fig12_index_speed.run(TINY, speeds=(0.001, 1.0))
+        for method in ("motion_aware", "naive"):
+            series = table.series("speed", "avg_node_reads", method=method)
+            assert series[0][1] > series[1][1]
+        slow_motion = table.series(
+            "speed", "avg_node_reads", method="motion_aware"
+        )[0][1]
+        slow_naive = table.series("speed", "avg_node_reads", method="naive")[0][1]
+        assert slow_motion < slow_naive
+
+
+class TestFig13:
+    def test_io_grows_with_query_size(self):
+        table = fig13_index_sizes.run_query_sizes(TINY, query_fracs=(0.05, 0.20))
+        for method in ("motion_aware", "naive"):
+            series = table.series("query_frac", "avg_node_reads", method=method)
+            assert series[0][1] < series[1][1]
+        big_motion = table.series(
+            "query_frac", "avg_node_reads", method="motion_aware"
+        )[1][1]
+        big_naive = table.series(
+            "query_frac", "avg_node_reads", method="naive"
+        )[1][1]
+        assert big_motion < big_naive
+
+    def test_io_grows_with_dataset(self):
+        table = fig13_index_sizes.run_dataset_sizes(TINY, datasets_mb=(20, 80))
+        for method in ("motion_aware", "naive"):
+            series = table.series("paper_mb", "avg_node_reads", method=method)
+            assert series[0][1] < series[1][1]
+
+
+class TestFig14And15:
+    def test_motion_aware_faster_at_high_speed_uniform(self):
+        table = fig14_15_response.run(
+            TINY, placement="uniform", speeds=(1.0,), query_frac=0.15
+        )
+        for kind in ("tram", "pedestrian"):
+            motion = table.series(
+                "speed", "avg_response_s", kind=kind, system="motion_aware"
+            )[0][1]
+            naive = table.series(
+                "speed", "avg_response_s", kind=kind, system="naive"
+            )[0][1]
+            assert motion < naive
+
+    def test_zipf_dataset_runs(self):
+        table = fig14_15_response.run(
+            TINY, placement="zipf", speeds=(1.0,), query_frac=0.15
+        )
+        assert len(table.rows) == 4
+        assert all(row["avg_response_s"] >= 0 for row in table.rows)

@@ -1,0 +1,70 @@
+"""Tests for ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import bar_chart, series_chart, table_chart
+from repro.experiments.runner import ResultTable
+
+
+@pytest.fixture()
+def table() -> ResultTable:
+    t = ResultTable("demo", ["speed", "bytes", "kind"])
+    t.add(speed=0.1, bytes=100.0, kind="tram")
+    t.add(speed=0.5, bytes=60.0, kind="tram")
+    t.add(speed=1.0, bytes=20.0, kind="tram")
+    t.add(speed=0.1, bytes=90.0, kind="walk")
+    return t
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        chart = bar_chart(["a", "bb"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert "10" in lines[0]
+
+    def test_zero_values(self):
+        chart = bar_chart(["x"], [0.0])
+        assert "#" not in chart
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["a", "long"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(empty chart)"
+
+
+class TestSeriesChart:
+    def test_grouped(self, table):
+        chart = series_chart(table, "speed", "bytes", "kind")
+        assert "kind=tram" in chart
+        assert "kind=walk" in chart
+        assert "speed=0.1" in chart
+
+    def test_ungrouped(self, table):
+        chart = series_chart(table, "speed", "bytes")
+        assert chart.startswith("bytes")
+
+    def test_no_data(self):
+        empty = ResultTable("empty", ["x", "y"])
+        assert series_chart(empty, "x", "y") == "(no data)"
+
+    def test_table_chart_combines(self, table):
+        combined = table_chart(table, "speed", "bytes", "kind")
+        assert "demo" in combined
+        assert "#" in combined

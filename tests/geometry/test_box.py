@@ -1,0 +1,275 @@
+"""Tests for the n-dimensional box algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.box import Box, total_volume, union_bounds
+
+
+def boxes(ndim: int = 2, low: float = -100.0, high: float = 100.0):
+    """Hypothesis strategy for valid boxes."""
+    coord = st.floats(low, high, allow_nan=False, allow_infinity=False, width=32)
+    point = st.lists(coord, min_size=ndim, max_size=ndim)
+
+    @st.composite
+    def _box(draw):
+        a = np.asarray(draw(point), dtype=float)
+        b = np.asarray(draw(point), dtype=float)
+        return Box(np.minimum(a, b), np.maximum(a, b))
+
+    return _box()
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        box = Box((0, 0), (4, 2))
+        assert box.ndim == 2
+        assert box.volume == 8.0
+        assert box.margin == 6.0
+        assert np.array_equal(box.center, [2.0, 1.0])
+        assert np.array_equal(box.extents, [4.0, 2.0])
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(GeometryError):
+            Box((1, 0), (0, 1))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            Box((0, 0), (1, 1, 1))
+
+    def test_zero_dimensional_rejected(self):
+        with pytest.raises(GeometryError):
+            Box((), ())
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(GeometryError):
+            Box((0, 0), (np.inf, 1))
+        with pytest.raises(GeometryError):
+            Box((np.nan, 0), (1, 1))
+
+    def test_from_point_is_degenerate(self):
+        box = Box.from_point((3, 4, 5))
+        assert box.is_degenerate()
+        assert box.volume == 0.0
+        assert box.contains_point((3, 4, 5))
+
+    def test_from_center(self):
+        box = Box.from_center((5, 5), (2, 4))
+        assert np.array_equal(box.low, [4.0, 3.0])
+        assert np.array_equal(box.high, [6.0, 7.0])
+
+    def test_from_center_negative_extent_rejected(self):
+        with pytest.raises(GeometryError):
+            Box.from_center((0, 0), (-1, 1))
+
+    def test_bounding_points(self):
+        box = Box.bounding([(0, 1), (5, -2), (3, 3)])
+        assert np.array_equal(box.low, [0.0, -2.0])
+        assert np.array_equal(box.high, [5.0, 3.0])
+
+    def test_bounding_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Box.bounding([])
+
+    def test_bounds_are_read_only(self):
+        box = Box((0, 0), (1, 1))
+        with pytest.raises(ValueError):
+            box.low[0] = 5.0
+
+    def test_equality_and_hash(self):
+        a = Box((0, 0), (1, 1))
+        b = Box((0, 0), (1, 1))
+        c = Box((0, 0), (2, 1))
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+        assert a != "not a box"
+
+    def test_repr_round_trippable_info(self):
+        assert "Box" in repr(Box((0, 0), (1, 2)))
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        box = Box((0, 0), (2, 2))
+        assert box.contains_point((0, 0))
+        assert box.contains_point((2, 2))
+        assert not box.contains_point((2.001, 1))
+
+    def test_contains_point_dim_mismatch(self):
+        with pytest.raises(GeometryError):
+            Box((0, 0), (1, 1)).contains_point((0, 0, 0))
+
+    def test_contains_box(self):
+        outer = Box((0, 0), (10, 10))
+        inner = Box((2, 2), (5, 5))
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert outer.contains_box(outer)
+
+    def test_intersects_touching(self):
+        a = Box((0, 0), (1, 1))
+        b = Box((1, 0), (2, 1))
+        assert a.intersects(b)  # closed boxes touch
+        assert not a.strictly_intersects(b)
+
+    def test_disjoint(self):
+        a = Box((0, 0), (1, 1))
+        b = Box((2, 2), (3, 3))
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+        assert a.intersection_volume(b) == 0.0
+
+
+class TestAlgebra:
+    def test_intersection(self):
+        a = Box((0, 0), (4, 4))
+        b = Box((2, 2), (6, 6))
+        inter = a.intersection(b)
+        assert inter == Box((2, 2), (4, 4))
+        assert a.intersection_volume(b) == 4.0
+
+    def test_union(self):
+        a = Box((0, 0), (1, 1))
+        b = Box((3, 3), (4, 4))
+        assert a.union(b) == Box((0, 0), (4, 4))
+
+    def test_enlargement(self):
+        a = Box((0, 0), (2, 2))
+        b = Box((2, 0), (4, 2))
+        assert a.enlargement(b) == pytest.approx(4.0)
+        assert a.enlargement(a) == 0.0
+
+    def test_difference_disjoint_returns_self(self):
+        a = Box((0, 0), (1, 1))
+        b = Box((5, 5), (6, 6))
+        assert a.difference(b) == [a]
+
+    def test_difference_covered_returns_empty(self):
+        a = Box((1, 1), (2, 2))
+        b = Box((0, 0), (3, 3))
+        assert a.difference(b) == []
+
+    def test_difference_paper_example(self):
+        """The Q_t - Q_{t-1} split of Figure 3: two rectangles."""
+        q_prev = Box((0, 0), (10, 10))
+        q_now = Box((3, 2), (13, 12))
+        pieces = q_now.difference(q_prev)
+        assert len(pieces) == 2
+        assert total_volume(pieces) == pytest.approx(
+            q_now.volume - q_now.intersection_volume(q_prev)
+        )
+
+    def test_difference_hole_produces_four_pieces(self):
+        outer = Box((0, 0), (10, 10))
+        hole = Box((4, 4), (6, 6))
+        pieces = outer.difference(hole)
+        assert len(pieces) == 4
+        assert total_volume(pieces) == pytest.approx(100.0 - 4.0)
+
+    def test_difference_pieces_are_disjoint(self):
+        outer = Box((0, 0), (10, 10))
+        hole = Box((4, 4), (6, 6))
+        pieces = outer.difference(hole)
+        for i, a in enumerate(pieces):
+            for b in pieces[i + 1:]:
+                assert not a.strictly_intersects(b)
+
+    def test_translated(self):
+        box = Box((0, 0), (1, 1)).translated((5, -1))
+        assert box == Box((5, -1), (6, 0))
+
+    def test_scaled_about_center(self):
+        box = Box((0, 0), (4, 4)).scaled_about_center(0.5)
+        assert box == Box((1, 1), (3, 3))
+        with pytest.raises(GeometryError):
+            Box((0, 0), (1, 1)).scaled_about_center(-1.0)
+
+    def test_expanded(self):
+        box = Box((0, 0), (2, 2)).expanded(1.0)
+        assert box == Box((-1, -1), (3, 3))
+        shrunk = Box((0, 0), (2, 2)).expanded(-2.0)
+        assert shrunk.volume == 0.0  # clamped at a point, never inverted
+
+    def test_augment_lifts_dimension(self):
+        support = Box((0, 0, 0), (1, 1, 1))
+        lifted = support.augment([0.3], [0.7])
+        assert lifted.ndim == 4
+        assert lifted.low[3] == 0.3
+        assert lifted.high[3] == 0.7
+
+    def test_project(self):
+        box = Box((0, 1, 2, 3), (4, 5, 6, 7))
+        assert box.project((0, 1)) == Box((0, 1), (4, 5))
+        assert box.project((3,)) == Box((3,), (7,))
+
+    def test_min_distance_to_point(self):
+        box = Box((0, 0), (2, 2))
+        assert box.min_distance_to_point((1, 1)) == 0.0
+        assert box.min_distance_to_point((5, 2)) == pytest.approx(3.0)
+        assert box.min_distance_to_point((5, 6)) == pytest.approx(5.0)
+
+    def test_corners(self):
+        corners = list(Box((0, 0), (1, 2)).corners())
+        assert len(corners) == 4
+        as_tuples = {tuple(c) for c in corners}
+        assert as_tuples == {(0, 0), (1, 0), (0, 2), (1, 2)}
+
+
+class TestHelpers:
+    def test_union_bounds(self):
+        result = union_bounds([Box((0, 0), (1, 1)), Box((5, -2), (6, 0))])
+        assert result == Box((0, -2), (6, 1))
+
+    def test_union_bounds_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            union_bounds([])
+
+    def test_total_volume(self):
+        assert total_volume([Box((0, 0), (1, 1)), Box((0, 0), (2, 2))]) == 5.0
+        assert total_volume([]) == 0.0
+
+
+class TestProperties:
+    @given(boxes(), boxes())
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_commutes(self, a: Box, b: Box):
+        ab = a.intersection(b)
+        ba = b.intersection(a)
+        assert (ab is None) == (ba is None)
+        if ab is not None:
+            assert ab == ba
+
+    @given(boxes(), boxes())
+    @settings(max_examples=60, deadline=None)
+    def test_union_contains_both(self, a: Box, b: Box):
+        u = a.union(b)
+        assert u.contains_box(a)
+        assert u.contains_box(b)
+
+    @given(boxes(), boxes())
+    @settings(max_examples=60, deadline=None)
+    def test_difference_tiles_volume(self, a: Box, b: Box):
+        pieces = a.difference(b)
+        overlap = a.intersection_volume(b)
+        assert total_volume(pieces) == pytest.approx(
+            a.volume - overlap, rel=1e-6, abs=1e-6
+        )
+
+    @given(boxes(), boxes())
+    @settings(max_examples=60, deadline=None)
+    def test_difference_pieces_inside_a_outside_b(self, a: Box, b: Box):
+        for piece in a.difference(b):
+            assert a.contains_box(piece)
+            assert not piece.strictly_intersects(b)
+
+    @given(boxes())
+    @settings(max_examples=60, deadline=None)
+    def test_enlargement_non_negative(self, a: Box):
+        probe = Box((-200, -200), (-150, -150))
+        assert a.enlargement(probe) >= 0.0

@@ -1,0 +1,92 @@
+"""Tests for vector helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.vector import (
+    angle_difference,
+    as_vector,
+    distance,
+    heading_angle,
+    midpoint,
+    norm,
+    normalize,
+    sector_of_angle,
+)
+
+
+class TestBasics:
+    def test_as_vector(self):
+        v = as_vector([1, 2, 3])
+        assert v.dtype == float
+        assert v.shape == (3,)
+
+    def test_as_vector_rejects_matrix(self):
+        with pytest.raises(GeometryError):
+            as_vector([[1, 2], [3, 4]])
+
+    def test_norm(self):
+        assert norm([3, 4]) == pytest.approx(5.0)
+        assert norm([0, 0, 0]) == 0.0
+
+    def test_normalize(self):
+        unit = normalize([3, 4])
+        assert norm(unit) == pytest.approx(1.0)
+        assert np.allclose(unit, [0.6, 0.8])
+
+    def test_normalize_zero_rejected(self):
+        with pytest.raises(GeometryError):
+            normalize([0, 0])
+
+    def test_distance(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_midpoint(self):
+        assert np.allclose(midpoint((0, 0), (2, 4)), [1, 2])
+
+
+class TestAngles:
+    def test_heading_cardinal_directions(self):
+        assert heading_angle([1, 0]) == pytest.approx(0.0)
+        assert heading_angle([0, 1]) == pytest.approx(math.pi / 2)
+        assert heading_angle([-1, 0]) == pytest.approx(math.pi)
+        assert heading_angle([0, -1]) == pytest.approx(3 * math.pi / 2)
+
+    def test_heading_in_range(self):
+        for angle in np.linspace(0, 2 * math.pi, 33, endpoint=False):
+            v = [math.cos(angle), math.sin(angle)]
+            h = heading_angle(v)
+            assert 0.0 <= h < 2 * math.pi
+            assert h == pytest.approx(angle, abs=1e-9)
+
+    def test_heading_needs_two_components(self):
+        with pytest.raises(GeometryError):
+            heading_angle([1.0])
+
+    def test_angle_difference_wraps(self):
+        assert angle_difference(0.1, 2 * math.pi - 0.1) == pytest.approx(0.2)
+        assert angle_difference(0.0, math.pi) == pytest.approx(math.pi)
+        assert angle_difference(1.0, 1.0) == 0.0
+
+    def test_sector_of_angle_quadrants(self):
+        assert sector_of_angle(0.1, 4) == 0
+        assert sector_of_angle(math.pi / 2 + 0.1, 4) == 1
+        assert sector_of_angle(math.pi + 0.1, 4) == 2
+        assert sector_of_angle(2 * math.pi - 0.1, 4) == 3
+
+    def test_sector_wraps_full_circle(self):
+        assert sector_of_angle(2 * math.pi, 8) == 0
+
+    def test_sector_never_out_of_range(self):
+        for k in (1, 2, 3, 4, 7, 16):
+            for angle in np.linspace(-10, 10, 101):
+                assert 0 <= sector_of_angle(float(angle), k) < k
+
+    def test_sector_invalid_k(self):
+        with pytest.raises(GeometryError):
+            sector_of_angle(1.0, 0)

@@ -1,0 +1,179 @@
+"""Tests for view wedges."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.box import Box
+from repro.geometry.wedge import Wedge
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            Wedge((0, 0, 0), 0.0, 1.0, 1.0)
+        with pytest.raises(GeometryError):
+            Wedge((0, 0), 0.0, 0.0, 1.0)
+        with pytest.raises(GeometryError):
+            Wedge((0, 0), 0.0, 4.0, 1.0)
+        with pytest.raises(GeometryError):
+            Wedge((0, 0), 0.0, 1.0, 0.0)
+
+    def test_heading_normalised(self):
+        w = Wedge((0, 0), -math.pi / 2, 0.5, 1.0)
+        assert w.heading == pytest.approx(3 * math.pi / 2)
+
+    def test_full_disk(self):
+        w = Wedge((0, 0), 0.0, math.pi, 2.0)
+        assert w.is_full_disk
+        assert w.area() == pytest.approx(math.pi * 4.0)
+
+    def test_area_quarter(self):
+        w = Wedge((0, 0), 0.0, math.pi / 4, 2.0)
+        assert w.area() == pytest.approx(math.pi * 4.0 / 4.0)
+
+
+class TestContainsPoint:
+    def test_apex_inside(self):
+        w = Wedge((1, 1), 0.0, 0.3, 5.0)
+        assert w.contains_point((1, 1))
+
+    def test_ahead_inside_behind_outside(self):
+        w = Wedge((0, 0), 0.0, math.pi / 4, 10.0)
+        assert w.contains_point((5, 0))
+        assert w.contains_point((5, 4.9))  # within 45 degrees
+        assert not w.contains_point((-5, 0))
+        assert not w.contains_point((0, 5))
+
+    def test_range_limit(self):
+        w = Wedge((0, 0), 0.0, math.pi / 4, 10.0)
+        assert w.contains_point((10, 0))
+        assert not w.contains_point((10.1, 0))
+
+    def test_boundary_angle(self):
+        w = Wedge((0, 0), 0.0, math.pi / 4, 10.0)
+        assert w.contains_point((5, 5 - 1e-9))  # on the 45-degree edge
+
+    def test_full_disk_any_direction(self):
+        w = Wedge((0, 0), 0.0, math.pi, 5.0)
+        for angle in np.linspace(0, 2 * math.pi, 17):
+            assert w.contains_point((3 * math.cos(angle), 3 * math.sin(angle)))
+
+    def test_dim_checked(self):
+        w = Wedge((0, 0), 0.0, 0.5, 1.0)
+        with pytest.raises(GeometryError):
+            w.contains_point((1, 2, 3))
+
+
+class TestBoundingBox:
+    def test_quarter_wedge_east(self):
+        w = Wedge((0, 0), 0.0, math.pi / 4, 10.0)
+        bb = w.bounding_box()
+        assert bb.low[0] == pytest.approx(0.0)
+        assert bb.high[0] == pytest.approx(10.0)
+        assert bb.high[1] == pytest.approx(10 * math.sin(math.pi / 4))
+
+    def test_bounding_box_contains_samples(self):
+        w = Wedge((3, -2), 1.1, 0.8, 7.0)
+        bb = w.bounding_box()
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            angle = w.heading + rng.uniform(-w.half_angle, w.half_angle)
+            r = rng.uniform(0, w.radius)
+            p = w.apex + r * np.array([math.cos(angle), math.sin(angle)])
+            assert bb.contains_point(p)
+
+    def test_full_disk_bounding_box(self):
+        w = Wedge((0, 0), 0.7, math.pi, 3.0)
+        assert w.bounding_box() == Box((-3, -3), (3, 3))
+
+
+class TestIntersectsBox:
+    def test_box_ahead(self):
+        w = Wedge((0, 0), 0.0, math.pi / 4, 10.0)
+        assert w.intersects_box(Box((4, -1), (6, 1)))
+
+    def test_box_behind(self):
+        w = Wedge((0, 0), 0.0, math.pi / 4, 10.0)
+        assert not w.intersects_box(Box((-6, -1), (-4, 1)))
+
+    def test_box_out_of_range(self):
+        w = Wedge((0, 0), 0.0, math.pi / 4, 10.0)
+        assert not w.intersects_box(Box((20, -1), (22, 1)))
+
+    def test_box_containing_apex(self):
+        w = Wedge((0, 0), 0.0, math.pi / 4, 10.0)
+        assert w.intersects_box(Box((-1, -1), (1, 1)))
+
+    def test_box_straddling_edge(self):
+        # Box crosses the wedge's upper straight edge without corners inside.
+        w = Wedge((0, 0), 0.0, math.pi / 4, 10.0)
+        assert w.intersects_box(Box((3, 2.9), (4, 10)))
+
+    def test_box_to_the_side(self):
+        w = Wedge((0, 0), 0.0, math.pi / 6, 10.0)
+        assert not w.intersects_box(Box((0.5, 5), (2, 7)))
+
+    def test_dim_checked(self):
+        w = Wedge((0, 0), 0.0, 0.5, 1.0)
+        with pytest.raises(GeometryError):
+            w.intersects_box(Box((0, 0, 0), (1, 1, 1)))
+
+    @given(
+        st.floats(-20, 20),
+        st.floats(-20, 20),
+        st.floats(0.5, 8.0),
+        st.floats(0, 2 * math.pi),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_corner_containment_implies_intersection(
+        self, x: float, y: float, size: float, heading: float
+    ):
+        w = Wedge((0, 0), heading, math.pi / 3, 12.0)
+        box = Box((x, y), (x + size, y + size))
+        corner_inside = any(w.contains_point(c) for c in box.corners())
+        if corner_inside:
+            assert w.intersects_box(box)
+
+    @given(st.floats(0, 2 * math.pi), st.floats(0.2, math.pi))
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_from_far_boxes(self, heading: float, half_angle: float):
+        w = Wedge((0, 0), heading, half_angle, 5.0)
+        far = Box((100, 100), (101, 101))
+        assert not w.intersects_box(far)
+
+
+class TestIntersectionOracle:
+    """Compare intersects_box against a dense point-sampling oracle."""
+
+    @given(
+        st.floats(-10, 10),
+        st.floats(-10, 10),
+        st.floats(0.5, 6.0),
+        st.floats(0, 2 * math.pi),
+        st.floats(0.3, math.pi),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sampling(
+        self, x: float, y: float, size: float, heading: float, half_angle: float
+    ):
+        wedge = Wedge((0, 0), heading, half_angle, 8.0)
+        box = Box((x, y), (x + size, y + size))
+        # Oracle: sample a grid of points inside the box.
+        xs = np.linspace(x, x + size, 12)
+        ys = np.linspace(y, y + size, 12)
+        sampled = any(
+            wedge.contains_point((px, py)) for px in xs for py in ys
+        )
+        got = wedge.intersects_box(box)
+        if sampled:
+            # Any sampled interior point inside the wedge must be found.
+            assert got
+        # The reverse (got but not sampled) is legitimate: a sliver of
+        # the wedge can cross the box between sample points.

@@ -1,0 +1,149 @@
+"""Tests for the naive and motion-aware access methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+from repro.index.access import MotionAwareAccessMethod, NaivePointAccessMethod
+from repro.mesh.generators import procedural_building, procedural_landmark
+from repro.wavelets.analysis import analyze_hierarchy
+
+
+@pytest.fixture(scope="module")
+def records():
+    out = []
+    rng = np.random.default_rng(31)
+    for oid, x in enumerate((0.0, 60.0, 140.0)):
+        hierarchy = procedural_building(
+            rng, center=(x, 0.0, 0.0), footprint=(20, 15), height=25, levels=2
+        )
+        out.extend(analyze_hierarchy(hierarchy).records(oid))
+    hierarchy = procedural_landmark(rng, center=(70.0, 80.0, 8.0), radius=8, levels=2)
+    out.extend(analyze_hierarchy(hierarchy).records(3))
+    return out
+
+
+@pytest.fixture(scope="module")
+def motion_aware(records):
+    return MotionAwareAccessMethod(records)
+
+
+@pytest.fixture(scope="module")
+def naive(records):
+    return NaivePointAccessMethod(records)
+
+
+class TestConfiguration:
+    def test_invalid_spatial_dims(self, records):
+        with pytest.raises(IndexError_):
+            MotionAwareAccessMethod(records, spatial_dims=4)
+
+    def test_len(self, records, motion_aware):
+        assert len(motion_aware) == len(records)
+
+    def test_invalid_band_rejected(self, motion_aware):
+        region = Box((0, 0), (10, 10))
+        with pytest.raises(IndexError_):
+            motion_aware.query(region, 0.7, 0.3)
+        with pytest.raises(IndexError_):
+            motion_aware.query(region, -0.1, 1.0)
+
+    def test_region_dim_handling(self, motion_aware):
+        # 2-D and 3-D query regions are both accepted for a 2-D index.
+        r2 = motion_aware.query(Box((-50, -50), (200, 200)), 0.0, 1.0)
+        r3 = motion_aware.query(
+            Box((-50, -50, -100), (200, 200, 100)), 0.0, 1.0
+        )
+        assert {r.uid for r in r2.records} == {r.uid for r in r3.records}
+
+    def test_dynamic_insert_delete(self, records):
+        method = MotionAwareAccessMethod(records[:50], bulk=False)
+        extra = records[50]
+        method.insert(extra)
+        region = Box((-1000, -1000), (1000, 1000))
+        assert extra.uid in {r.uid for r in method.query(region, 0.0, 1.0).records}
+        assert method.delete(extra)
+        assert extra.uid not in {
+            r.uid for r in method.query(region, 0.0, 1.0).records
+        }
+
+
+class TestMotionAwareCompleteness:
+    def test_returns_exactly_matching_supports(self, records, motion_aware):
+        region = Box((-30, -30), (30, 30))
+        result = motion_aware.query(region, 0.2, 1.0)
+        got = {r.uid for r in result.records}
+        want = {
+            r.uid
+            for r in records
+            if 0.2 <= r.value <= 1.0
+            and r.support_box.project((0, 1)).intersects(region)
+        }
+        assert got == want
+
+    def test_band_filtering(self, records, motion_aware):
+        region = Box((-1000, -1000), (1000, 1000))
+        full = motion_aware.query(region, 0.0, 1.0)
+        top = motion_aware.query(region, 0.9, 1.0)
+        assert len(top.records) < len(full.records)
+        assert all(r.value >= 0.9 for r in top.records)
+
+    def test_coarsest_band_returns_base(self, records, motion_aware):
+        region = Box((-1000, -1000), (1000, 1000))
+        result = motion_aware.query(region, 1.0, 1.0)
+        base_uids = {r.uid for r in records if r.key.is_base}
+        got = {r.uid for r in result.records}
+        assert base_uids <= got
+
+    def test_no_duplicates(self, motion_aware):
+        region = Box((-1000, -1000), (1000, 1000))
+        result = motion_aware.query(region, 0.0, 1.0)
+        uids = [r.uid for r in result.records]
+        assert len(uids) == len(set(uids))
+        assert result.retrieved_with_duplicates == len(uids)
+
+    def test_total_bytes(self, motion_aware):
+        region = Box((-1000, -1000), (1000, 1000))
+        result = motion_aware.query(region, 0.0, 1.0)
+        assert result.total_bytes == sum(r.size_bytes for r in result.records)
+
+
+class TestNaiveBehaviour:
+    def test_naive_superset_of_position_matches(self, records, naive):
+        region = Box((-30, -30), (30, 30))
+        result = naive.query(region, 0.0, 1.0)
+        got = {r.uid for r in result.records}
+        inside = {
+            r.uid
+            for r in records
+            if region.contains_point(r.position[:2])
+        }
+        assert inside <= got
+
+    def test_naive_pays_more_io_than_motion_aware(self, motion_aware, naive):
+        """The Section VI argument: the re-query costs extra node reads."""
+        rng = np.random.default_rng(0)
+        ma_io = 0
+        nv_io = 0
+        for _ in range(30):
+            c = rng.uniform(-20, 150, size=2)
+            region = Box(c, c + 25)
+            ma_io += motion_aware.query(region, 0.0, 1.0).io.node_reads
+            nv_io += naive.query(region, 0.0, 1.0).io.node_reads
+        assert nv_io > ma_io
+
+    def test_naive_retrieves_duplicates(self, naive):
+        # A query overlapping an object's edge forces the extended pass
+        # to re-read the first-pass records.
+        region = Box((-12, -9), (0, 0))
+        result = naive.query(region, 0.0, 1.0)
+        if result.records:
+            assert result.retrieved_with_duplicates >= len(result.records)
+
+    def test_empty_region(self, motion_aware, naive):
+        region = Box((10_000, 10_000), (10_001, 10_001))
+        assert motion_aware.query(region, 0.0, 1.0).records == []
+        assert naive.query(region, 0.0, 1.0).records == []

@@ -1,0 +1,121 @@
+"""Tests for STR bulk loading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+from repro.index.bulk import bulk_load, str_pack
+from repro.index.rtree import RTree
+
+
+def random_items(rng: np.random.Generator, n: int, ndim: int = 2):
+    items = []
+    for i in range(n):
+        c = rng.uniform(0, 100, size=ndim)
+        e = rng.uniform(0.1, 4, size=ndim)
+        items.append((Box(c - e / 2, c + e / 2), i))
+    return items
+
+
+class TestStrPack:
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError_):
+            str_pack([])
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(IndexError_):
+            str_pack([(Box((0, 0), (1, 1)), 0), (Box((0, 0, 0), (1, 1, 1)), 1)])
+
+    def test_single_item(self):
+        root = str_pack([(Box((0, 0), (1, 1)), "x")])
+        assert root.is_leaf
+        assert len(root.entries) == 1
+
+    def test_leaf_capacity_respected(self):
+        rng = np.random.default_rng(0)
+        root = str_pack(random_items(rng, 500), max_entries=10)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            assert len(node.entries) <= 10
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries)
+
+    def test_all_leaves_same_level(self):
+        rng = np.random.default_rng(1)
+        root = str_pack(random_items(rng, 300), max_entries=8)
+        levels = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                levels.add(node.level)
+            else:
+                stack.extend(e.child for e in node.entries)
+        assert levels == {0}
+
+
+class TestBulkLoad:
+    def test_queries_match_brute_force(self):
+        rng = np.random.default_rng(2)
+        items = random_items(rng, 800)
+        tree = bulk_load(items, max_entries=16)
+        for _ in range(20):
+            c = rng.uniform(0, 100, size=2)
+            q = Box(c, c + rng.uniform(2, 25, size=2))
+            want = sorted(i for b, i in items if b.intersects(q))
+            assert sorted(tree.search(q)) == want
+
+    def test_empty_input_gives_empty_tree(self):
+        tree = bulk_load([])
+        assert len(tree) == 0
+        assert tree.search(Box((0, 0), (1, 1))) == []
+
+    def test_tree_remains_dynamic(self):
+        rng = np.random.default_rng(3)
+        items = random_items(rng, 120)
+        tree = bulk_load(items, max_entries=8)
+        extra = Box((200, 200), (201, 201))
+        tree.insert(extra, "extra")
+        assert "extra" in tree.search(Box((199, 199), (202, 202)))
+        assert tree.delete(items[0][0], items[0][1])
+        assert len(tree) == 120
+
+    def test_guttman_tree_class(self):
+        rng = np.random.default_rng(4)
+        items = random_items(rng, 100)
+        tree = bulk_load(items, tree_class=RTree)
+        assert isinstance(tree, RTree)
+        assert len(tree) == 100
+
+    def test_bulk_vs_dynamic_same_results(self):
+        rng = np.random.default_rng(5)
+        items = random_items(rng, 300)
+        bulk = bulk_load(items, max_entries=8)
+        dynamic = RTree(max_entries=8)
+        for box, payload in items:
+            dynamic.insert(box, payload)
+        q = Box((10, 10), (60, 60))
+        assert sorted(bulk.search(q)) == sorted(dynamic.search(q))
+
+    def test_bulk_io_efficiency(self):
+        """STR packing should answer small queries with few node reads."""
+        rng = np.random.default_rng(6)
+        items = random_items(rng, 2000)
+        tree = bulk_load(items, max_entries=20)
+        tree.stats.reset()
+        for _ in range(50):
+            c = rng.uniform(0, 100, size=2)
+            tree.search(Box(c, c + 3))
+        avg_reads = tree.stats.node_reads / 50
+        assert avg_reads < 30
+
+    def test_4d_bulk_load(self):
+        rng = np.random.default_rng(7)
+        items = random_items(rng, 400, ndim=4)
+        tree = bulk_load(items)
+        q = Box((0, 0, 0, 0), (100, 100, 100, 100))
+        assert len(tree.search(q)) == 400

@@ -1,0 +1,111 @@
+"""Tests for Hilbert-curve bulk loading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+from repro.index.bulk import bulk_load
+from repro.index.hilbert import hilbert_bulk_load, hilbert_index
+
+
+class TestHilbertIndex:
+    def test_order_1(self):
+        # The 2x2 curve visits (0,0), (0,1), (1,1), (1,0).
+        assert hilbert_index(0, 0, 1) == 0
+        assert hilbert_index(0, 1, 1) == 1
+        assert hilbert_index(1, 1, 1) == 2
+        assert hilbert_index(1, 0, 1) == 3
+
+    def test_bijective(self):
+        order = 3
+        side = 1 << order
+        values = {
+            hilbert_index(x, y, order) for x in range(side) for y in range(side)
+        }
+        assert values == set(range(side * side))
+
+    def test_adjacent_on_curve_adjacent_in_space(self):
+        """Consecutive curve positions are grid neighbours."""
+        order = 4
+        side = 1 << order
+        by_d = {}
+        for x in range(side):
+            for y in range(side):
+                by_d[hilbert_index(x, y, order)] = (x, y)
+        for d in range(side * side - 1):
+            (x1, y1), (x2, y2) = by_d[d], by_d[d + 1]
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            hilbert_index(0, 0, 0)
+        with pytest.raises(IndexError_):
+            hilbert_index(4, 0, 2)
+        with pytest.raises(IndexError_):
+            hilbert_index(-1, 0, 2)
+
+
+def random_items(rng: np.random.Generator, n: int, ndim: int = 2):
+    items = []
+    for i in range(n):
+        c = rng.uniform(0, 100, size=ndim)
+        e = rng.uniform(0.2, 5, size=ndim)
+        items.append((Box(c - e / 2, c + e / 2), i))
+    return items
+
+
+class TestHilbertBulkLoad:
+    def test_queries_match_brute_force(self):
+        rng = np.random.default_rng(0)
+        items = random_items(rng, 600)
+        tree = hilbert_bulk_load(items, max_entries=12)
+        assert len(tree) == 600
+        for _ in range(20):
+            c = rng.uniform(0, 90, size=2)
+            q = Box(c, c + rng.uniform(2, 20, size=2))
+            want = sorted(i for b, i in items if b.intersects(q))
+            assert sorted(tree.search(q)) == want
+
+    def test_empty(self):
+        tree = hilbert_bulk_load([])
+        assert len(tree) == 0
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(IndexError_):
+            hilbert_bulk_load([(Box((0,), (1,)), 0)])
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(IndexError_):
+            hilbert_bulk_load(
+                [(Box((0, 0), (1, 1)), 0), (Box((0, 0, 0), (1, 1, 1)), 1)]
+            )
+
+    def test_higher_dimensions_ride_along(self):
+        rng = np.random.default_rng(1)
+        items = random_items(rng, 300, ndim=3)
+        tree = hilbert_bulk_load(items)
+        q = Box((0, 0, 0), (100, 100, 100))
+        assert len(tree.search(q)) == 300
+
+    def test_locality_comparable_to_str(self):
+        """Hilbert packing must be in the same I/O ballpark as STR."""
+        rng = np.random.default_rng(2)
+        items = random_items(rng, 3000)
+        hilbert = hilbert_bulk_load(items, max_entries=20)
+        strtree = bulk_load(items, max_entries=20)
+        queries = [Box(c, c + 8) for c in rng.uniform(0, 90, size=(60, 2))]
+        hilbert.stats.reset()
+        strtree.stats.reset()
+        for q in queries:
+            assert sorted(hilbert.search(q)) == sorted(strtree.search(q))
+        assert hilbert.stats.node_reads <= strtree.stats.node_reads * 2.0
+
+    def test_tree_remains_dynamic(self):
+        rng = np.random.default_rng(3)
+        items = random_items(rng, 100)
+        tree = hilbert_bulk_load(items, max_entries=8)
+        tree.insert(Box((200, 200), (201, 201)), "extra")
+        assert "extra" in tree.search(Box((199, 199), (202, 202)))

@@ -1,0 +1,238 @@
+"""Tests for the Guttman R-tree (and shared tree behaviour)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+TREE_CLASSES = [RTree, RStarTree]
+
+
+def random_boxes(rng: np.random.Generator, n: int, ndim: int = 2):
+    centers = rng.uniform(0, 100, size=(n, ndim))
+    extents = rng.uniform(0.1, 8, size=(n, ndim))
+    return [
+        Box(c - e / 2, c + e / 2) for c, e in zip(centers, extents)
+    ]
+
+
+@pytest.fixture(params=TREE_CLASSES, ids=lambda c: c.__name__)
+def tree_class(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_empty_tree(self, tree_class):
+        tree = tree_class()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.bounds() is None
+        assert tree.search(Box((0, 0), (1, 1))) == []
+
+    def test_invalid_capacities(self, tree_class):
+        with pytest.raises(IndexError_):
+            tree_class(max_entries=1)
+        with pytest.raises(IndexError_):
+            tree_class(max_entries=10, min_entries=6)
+        with pytest.raises(IndexError_):
+            tree_class(max_entries=10, min_entries=0)
+
+    def test_default_min_is_40_percent(self, tree_class):
+        tree = tree_class(max_entries=20)
+        assert tree.min_entries == 8
+
+    def test_dimension_fixed_by_first_insert(self, tree_class):
+        tree = tree_class()
+        assert tree.ndim is None
+        tree.insert(Box((0, 0, 0), (1, 1, 1)), "a")
+        assert tree.ndim == 3
+        with pytest.raises(IndexError_):
+            tree.insert(Box((0, 0), (1, 1)), "b")
+        with pytest.raises(IndexError_):
+            tree.search(Box((0, 0), (1, 1)))
+
+
+class TestInsertSearch:
+    def test_query_matches_brute_force(self, tree_class):
+        rng = np.random.default_rng(5)
+        boxes = random_boxes(rng, 400)
+        tree = tree_class(max_entries=8)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        tree.validate()
+        assert len(tree) == 400
+        for q in random_boxes(rng, 25):
+            got = sorted(tree.search(q))
+            want = sorted(i for i, b in enumerate(boxes) if b.intersects(q))
+            assert got == want
+
+    def test_duplicate_boxes_allowed(self, tree_class):
+        tree = tree_class(max_entries=4)
+        box = Box((0, 0), (1, 1))
+        for i in range(20):
+            tree.insert(box, i)
+        tree.validate()
+        assert sorted(tree.search(box)) == list(range(20))
+
+    def test_point_boxes(self, tree_class):
+        rng = np.random.default_rng(8)
+        tree = tree_class(max_entries=5)
+        points = rng.uniform(0, 50, size=(100, 2))
+        for i, p in enumerate(points):
+            tree.insert(Box(p, p), i)
+        tree.validate()
+        q = Box((10, 10), (30, 30))
+        want = sorted(
+            i
+            for i, p in enumerate(points)
+            if 10 <= p[0] <= 30 and 10 <= p[1] <= 30
+        )
+        assert sorted(tree.search(q)) == want
+
+    def test_height_grows_logarithmically(self, tree_class):
+        rng = np.random.default_rng(3)
+        tree = tree_class(max_entries=4)
+        for i, box in enumerate(random_boxes(rng, 200)):
+            tree.insert(box, i)
+        assert 3 <= tree.height <= 8
+
+    def test_bounds_cover_everything(self, tree_class):
+        rng = np.random.default_rng(4)
+        boxes = random_boxes(rng, 60)
+        tree = tree_class(max_entries=6)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        bounds = tree.bounds()
+        assert bounds is not None
+        for box in boxes:
+            assert bounds.contains_box(box)
+
+    def test_count_and_all_payloads(self, tree_class):
+        rng = np.random.default_rng(6)
+        tree = tree_class()
+        for i, box in enumerate(random_boxes(rng, 50)):
+            tree.insert(box, i)
+        assert tree.count(tree.bounds()) == 50
+        assert sorted(tree.all_payloads()) == list(range(50))
+
+    def test_4d_boxes(self, tree_class):
+        rng = np.random.default_rng(7)
+        tree = tree_class(max_entries=6)
+        items = []
+        for i in range(150):
+            c = rng.uniform(0, 10, size=4)
+            e = rng.uniform(0.1, 2, size=4)
+            b = Box(c - e / 2, c + e / 2)
+            tree.insert(b, i)
+            items.append(b)
+        tree.validate()
+        q = Box((2, 2, 2, 2), (8, 8, 8, 8))
+        want = sorted(i for i, b in enumerate(items) if b.intersects(q))
+        assert sorted(tree.search(q)) == want
+
+
+class TestDelete:
+    def test_delete_returns_flag(self, tree_class):
+        tree = tree_class()
+        box = Box((0, 0), (1, 1))
+        tree.insert(box, "a")
+        assert tree.delete(box, "a")
+        assert not tree.delete(box, "a")
+        assert len(tree) == 0
+
+    def test_delete_requires_exact_match(self, tree_class):
+        tree = tree_class()
+        box = Box((0, 0), (1, 1))
+        tree.insert(box, "a")
+        assert not tree.delete(Box((0, 0), (2, 2)), "a")
+        assert not tree.delete(box, "b")
+        assert len(tree) == 1
+
+    def test_delete_half_then_query(self, tree_class):
+        rng = np.random.default_rng(9)
+        boxes = random_boxes(rng, 300)
+        tree = tree_class(max_entries=6)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        for i in range(0, 300, 2):
+            assert tree.delete(boxes[i], i)
+        tree.validate()
+        assert len(tree) == 150
+        q = Box((0, 0), (100, 100))
+        assert sorted(tree.search(q)) == list(range(1, 300, 2))
+
+    def test_delete_everything_resets(self, tree_class):
+        rng = np.random.default_rng(10)
+        boxes = random_boxes(rng, 80)
+        tree = tree_class(max_entries=5)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        for i, box in enumerate(boxes):
+            assert tree.delete(box, i)
+        assert len(tree) == 0
+        assert tree.height == 1
+        # Tree is reusable with a new dimensionality.
+        tree.insert(Box((0, 0, 0), (1, 1, 1)), "x")
+        assert tree.ndim == 3
+
+    def test_delete_on_empty_tree(self, tree_class):
+        tree = tree_class()
+        assert not tree.delete(Box((0, 0), (1, 1)), "a")
+
+
+class TestStats:
+    def test_search_counts_io(self, tree_class):
+        rng = np.random.default_rng(11)
+        tree = tree_class(max_entries=4)
+        for i, box in enumerate(random_boxes(rng, 100)):
+            tree.insert(box, i)
+        tree.stats.reset()
+        tree.search(tree.bounds())
+        assert tree.stats.queries == 1
+        assert tree.stats.node_reads > 1
+        assert tree.stats.leaf_reads >= 1
+        assert tree.stats.entries_scanned >= 100
+
+    def test_push_pop_delta(self, tree_class):
+        rng = np.random.default_rng(12)
+        tree = tree_class()
+        for i, box in enumerate(random_boxes(rng, 50)):
+            tree.insert(box, i)
+        tree.stats.push()
+        tree.search(tree.bounds())
+        delta = tree.stats.pop_delta()
+        assert delta.queries == 1
+        assert delta.node_reads >= 1
+
+    def test_pop_without_push_rejected(self, tree_class):
+        tree = tree_class()
+        with pytest.raises(ValueError):
+            tree.stats.pop_delta()
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 10_000), st.integers(10, 120))
+    @settings(max_examples=12, deadline=None)
+    def test_random_workload_invariants(self, seed: int, n: int):
+        rng = np.random.default_rng(seed)
+        tree = RTree(max_entries=4)
+        live: dict[int, Box] = {}
+        boxes = random_boxes(rng, n)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+            live[i] = box
+            if rng.random() < 0.3 and live:
+                victim = int(rng.choice(list(live)))
+                assert tree.delete(live.pop(victim), victim)
+        tree.validate()
+        assert len(tree) == len(live)
+        q = Box((20, 20), (70, 70))
+        want = sorted(i for i, b in live.items() if b.intersects(q))
+        assert sorted(tree.search(q)) == want

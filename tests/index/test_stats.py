@@ -1,0 +1,64 @@
+"""Tests for I/O statistics accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.stats import IOStats
+
+
+class TestCounters:
+    def test_record_node(self):
+        stats = IOStats()
+        stats.record_node(is_leaf=True, entries=5)
+        stats.record_node(is_leaf=False, entries=3)
+        assert stats.node_reads == 2
+        assert stats.leaf_reads == 1
+        assert stats.entries_scanned == 8
+
+    def test_record_query(self):
+        stats = IOStats()
+        stats.record_query()
+        stats.record_query()
+        assert stats.queries == 2
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_node(is_leaf=True, entries=5)
+        stats.push()
+        stats.reset()
+        assert stats.node_reads == 0
+        with pytest.raises(ValueError):
+            stats.pop_delta()  # checkpoints cleared too
+
+
+class TestCheckpoints:
+    def test_nested_push_pop(self):
+        stats = IOStats()
+        stats.push()
+        stats.record_node(is_leaf=True, entries=1)
+        stats.push()
+        stats.record_node(is_leaf=True, entries=1)
+        inner = stats.pop_delta()
+        assert inner.node_reads == 1
+        outer = stats.pop_delta()
+        assert outer.node_reads == 2
+
+    def test_snapshot(self):
+        stats = IOStats()
+        stats.record_node(is_leaf=False, entries=2)
+        assert stats.snapshot() == (1, 0, 2, 0)
+
+
+class TestMerged:
+    def test_merged_sums(self):
+        a = IOStats(node_reads=1, leaf_reads=1, entries_scanned=5, queries=1)
+        b = IOStats(node_reads=2, leaf_reads=0, entries_scanned=3, queries=2)
+        merged = a.merged(b)
+        assert merged.node_reads == 3
+        assert merged.leaf_reads == 1
+        assert merged.entries_scanned == 8
+        assert merged.queries == 3
+        # Inputs untouched.
+        assert a.node_reads == 1
+        assert b.node_reads == 2

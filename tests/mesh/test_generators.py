@@ -1,0 +1,153 @@
+"""Tests for procedural mesh generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh.generators import (
+    box_prism,
+    generate_deformed_hierarchy,
+    icosahedron,
+    octahedron,
+    procedural_building,
+    procedural_landmark,
+)
+
+
+class TestBaseSolids:
+    def test_icosahedron_radius(self):
+        ico = icosahedron(radius=3.0, center=(1, 2, 3))
+        dists = np.linalg.norm(ico.vertices - np.array([1, 2, 3]), axis=1)
+        assert np.allclose(dists, 3.0)
+
+    def test_octahedron_radius(self):
+        octa = octahedron(radius=2.0)
+        assert np.allclose(np.linalg.norm(octa.vertices, axis=1), 2.0)
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(MeshError):
+            icosahedron(radius=0)
+        with pytest.raises(MeshError):
+            octahedron(radius=-1)
+
+    def test_box_prism_extents(self):
+        box = box_prism(center=(0, 0, 5), extents=(2, 4, 10))
+        bb = box.bounding_box()
+        assert np.allclose(bb.low, [-1, -2, 0])
+        assert np.allclose(bb.high, [1, 2, 10])
+
+    def test_box_prism_invalid_extents(self):
+        with pytest.raises(MeshError):
+            box_prism(extents=(0, 1, 1))
+
+    def test_box_prism_outward_normals(self):
+        box = box_prism()
+        for f in range(box.face_count):
+            centroid = box.vertices[box.faces[f]].mean(axis=0)
+            assert float(np.dot(box.face_normal(f), centroid)) > 0
+
+
+class TestDeformedHierarchy:
+    def test_structure(self):
+        rng = np.random.default_rng(1)
+        h = generate_deformed_hierarchy(octahedron(), 2, rng)
+        assert h.depth == 2
+        assert len(h.meshes) == 3
+        assert h.meshes[0] is h.base
+        assert h.finest is h.levels[-1].deformed_fine
+
+    def test_zero_levels(self):
+        rng = np.random.default_rng(1)
+        h = generate_deformed_hierarchy(octahedron(), 0, rng)
+        assert h.depth == 0
+        assert h.finest is h.base
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(MeshError):
+            generate_deformed_hierarchy(
+                octahedron(), -1, np.random.default_rng(1)
+            )
+
+    def test_only_inserted_vertices_displaced(self):
+        rng = np.random.default_rng(2)
+        h = generate_deformed_hierarchy(octahedron(), 2, rng)
+        for level in h.levels:
+            coarse = level.step.coarse
+            fine = level.deformed_fine
+            assert np.allclose(
+                fine.vertices[: coarse.vertex_count], coarse.vertices
+            )
+
+    def test_displacements_match_geometry(self):
+        rng = np.random.default_rng(3)
+        h = generate_deformed_hierarchy(icosahedron(), 2, rng)
+        for level in h.levels:
+            step = level.step
+            for i in range(step.inserted_count):
+                actual = level.deformed_fine.vertices[step.fine_index(i)]
+                predicted = step.parent_midpoint(i)
+                assert np.allclose(actual - predicted, level.displacements[i])
+
+    def test_amplitude_decays_across_levels(self):
+        rng = np.random.default_rng(4)
+        h = generate_deformed_hierarchy(
+            icosahedron(), 3, rng, amplitude=0.2, decay=0.5
+        )
+        means = [
+            float(np.linalg.norm(lvl.displacements, axis=1).mean())
+            for lvl in h.levels
+        ]
+        assert means[0] > means[1] > means[2]
+
+    def test_deterministic_for_seed(self):
+        h1 = generate_deformed_hierarchy(
+            octahedron(), 2, np.random.default_rng(9)
+        )
+        h2 = generate_deformed_hierarchy(
+            octahedron(), 2, np.random.default_rng(9)
+        )
+        assert np.array_equal(h1.finest.vertices, h2.finest.vertices)
+
+    def test_isotropic_mode(self):
+        rng = np.random.default_rng(5)
+        h = generate_deformed_hierarchy(
+            octahedron(), 1, rng, along_normals=False
+        )
+        assert h.depth == 1
+        assert np.any(h.levels[0].displacements != 0)
+
+
+class TestProceduralObjects:
+    def test_building_positioned(self):
+        rng = np.random.default_rng(6)
+        h = procedural_building(
+            rng, center=(100, 200, 0), footprint=(10, 8), height=30, levels=2
+        )
+        bb = h.base.bounding_box()
+        assert bb.low[2] == pytest.approx(0.0)
+        assert bb.high[2] == pytest.approx(30.0)
+        assert bb.center[0] == pytest.approx(100.0)
+        assert bb.center[1] == pytest.approx(200.0)
+
+    def test_building_invalid_dimensions(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(MeshError):
+            procedural_building(rng, height=-1)
+        with pytest.raises(MeshError):
+            procedural_building(rng, footprint=(0, 1))
+
+    def test_landmark_positioned(self):
+        rng = np.random.default_rng(7)
+        h = procedural_landmark(rng, center=(50, 60, 10), radius=10, levels=2)
+        assert h.depth == 2
+        center = h.base.bounding_box().center
+        assert center[0] == pytest.approx(50.0)
+        assert center[1] == pytest.approx(60.0)
+
+    def test_levels_respected(self):
+        rng = np.random.default_rng(8)
+        h = procedural_building(rng, levels=3)
+        assert h.depth == 3
+        assert h.finest.face_count == 12 * 4**3

@@ -1,0 +1,84 @@
+"""Tests for mesh approximation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh.generators import icosahedron, octahedron
+from repro.mesh.metrics import (
+    hausdorff_vertex_distance,
+    max_vertex_error,
+    mean_nearest_vertex_distance,
+    vertex_rmse,
+)
+from repro.mesh.trimesh import TriMesh
+
+
+class TestCorrespondenceMetrics:
+    def test_identical_meshes_zero(self):
+        mesh = icosahedron()
+        assert vertex_rmse(mesh, mesh) == 0.0
+        assert max_vertex_error(mesh, mesh) == 0.0
+
+    def test_known_offset(self):
+        mesh = octahedron()
+        moved = mesh.translated((3, 4, 0))
+        assert vertex_rmse(mesh, moved) == pytest.approx(5.0)
+        assert max_vertex_error(mesh, moved) == pytest.approx(5.0)
+
+    def test_rmse_vs_max(self):
+        mesh = octahedron()
+        verts = mesh.vertices.copy()
+        verts[0] += [1, 0, 0]  # move a single vertex
+        bumped = mesh.with_vertices(verts)
+        assert max_vertex_error(mesh, bumped) == pytest.approx(1.0)
+        assert vertex_rmse(mesh, bumped) == pytest.approx(np.sqrt(1 / 6))
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(MeshError):
+            vertex_rmse(octahedron(), icosahedron())
+        with pytest.raises(MeshError):
+            max_vertex_error(octahedron(), icosahedron())
+
+
+class TestSetMetrics:
+    def test_hausdorff_identical(self):
+        mesh = icosahedron()
+        assert hausdorff_vertex_distance(mesh, mesh) == 0.0
+
+    def test_hausdorff_symmetric(self):
+        a = octahedron()
+        b = icosahedron(radius=1.5)
+        assert hausdorff_vertex_distance(a, b) == pytest.approx(
+            hausdorff_vertex_distance(b, a)
+        )
+
+    def test_hausdorff_known_value(self):
+        a = octahedron(radius=1.0)
+        b = octahedron(radius=2.0)
+        assert hausdorff_vertex_distance(a, b) == pytest.approx(1.0)
+
+    def test_mean_nearest_leq_hausdorff(self):
+        a = octahedron()
+        b = icosahedron()
+        assert mean_nearest_vertex_distance(a, b) <= hausdorff_vertex_distance(a, b)
+
+    def test_empty_mesh_rejected(self):
+        empty = TriMesh(np.zeros((0, 3)), [])
+        with pytest.raises(MeshError):
+            hausdorff_vertex_distance(empty, octahedron())
+        with pytest.raises(MeshError):
+            mean_nearest_vertex_distance(octahedron(), empty)
+
+    def test_different_resolutions_comparable(self):
+        from repro.mesh.subdivision import midpoint_subdivide
+
+        coarse = icosahedron()
+        fine = midpoint_subdivide(coarse).fine
+        # Undisplaced subdivision only adds midpoints: every coarse
+        # vertex exists in the fine mesh, so one direction is zero and
+        # the other bounded by the edge half-length.
+        assert mean_nearest_vertex_distance(coarse, fine) == 0.0
+        assert hausdorff_vertex_distance(coarse, fine) < 1.0

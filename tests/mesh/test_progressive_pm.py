@@ -1,0 +1,135 @@
+"""Tests for the progressive-mesh (edge collapse) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh.generators import (
+    generate_deformed_hierarchy,
+    icosahedron,
+    octahedron,
+)
+from repro.mesh.progressive_pm import (
+    PM_SPLIT_BYTES,
+    ProgressiveMeshPM,
+    simplify_to_progressive,
+)
+from repro.mesh.subdivision import subdivide_times
+from repro.mesh.trimesh import TriMesh
+
+
+def face_geometry_set(mesh: TriMesh) -> set:
+    """Index-agnostic face identity via corner coordinates."""
+    out = set()
+    for a, b, c in mesh.faces:
+        out.add(
+            frozenset(
+                (
+                    tuple(mesh.vertices[a]),
+                    tuple(mesh.vertices[b]),
+                    tuple(mesh.vertices[c]),
+                )
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def fine_mesh() -> TriMesh:
+    return subdivide_times(octahedron(), 2)[-1].fine  # 66 vertices
+
+
+@pytest.fixture(scope="module")
+def pm(fine_mesh) -> ProgressiveMeshPM:
+    return simplify_to_progressive(fine_mesh, 6)
+
+
+class TestSimplification:
+    def test_reaches_target(self, pm):
+        assert pm.base_vertex_count == 6
+        assert pm.split_count == 60
+
+    def test_validation(self, fine_mesh):
+        with pytest.raises(MeshError):
+            simplify_to_progressive(fine_mesh, 2)
+        with pytest.raises(MeshError):
+            simplify_to_progressive(TriMesh([[0, 0, 0]], []), 3)
+
+    def test_base_is_valid_closed_mesh(self, pm):
+        base = pm.base_mesh
+        assert base.is_closed()
+        assert base.euler_characteristic() == 2
+
+    def test_every_level_is_manifold(self, pm):
+        for k in range(0, pm.split_count + 1, 7):
+            mesh = pm.mesh_at(k)
+            assert mesh.is_closed()
+            assert mesh.euler_characteristic() == 2
+
+    def test_stops_when_no_legal_edge(self):
+        # A single tetrahedron cannot go below 4 vertices.
+        tetra = TriMesh(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]],
+            [[0, 2, 1], [0, 1, 3], [1, 2, 3], [0, 3, 2]],
+        )
+        pm = simplify_to_progressive(tetra, 3)
+        assert pm.base_vertex_count == 4
+        assert pm.split_count == 0
+
+
+class TestReconstruction:
+    def test_full_reconstruction_exact(self, fine_mesh, pm):
+        full = pm.full_mesh
+        assert full.vertex_count == fine_mesh.vertex_count
+        assert face_geometry_set(full) == face_geometry_set(fine_mesh)
+
+    def test_vertex_counts_monotone(self, pm):
+        counts = [pm.mesh_at(k).vertex_count for k in range(0, 61, 10)]
+        assert counts == sorted(counts)
+        assert counts[0] == 6
+        assert counts[-1] == 66
+
+    def test_split_bounds(self, pm):
+        with pytest.raises(MeshError):
+            pm.mesh_at(-1)
+        with pytest.raises(MeshError):
+            pm.mesh_at(pm.split_count + 1)
+
+    def test_deformed_surface_reconstruction(self):
+        hierarchy = generate_deformed_hierarchy(
+            icosahedron(), 2, np.random.default_rng(5)
+        )
+        pm = simplify_to_progressive(hierarchy.finest, 12)
+        assert face_geometry_set(pm.full_mesh) == face_geometry_set(
+            hierarchy.finest
+        )
+
+
+class TestTransmissionCost:
+    def test_bytes_monotone_in_detail(self, pm):
+        sizes = [pm.bytes_to_detail(k) for k in range(0, 61, 15)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == pm.total_bytes()
+
+    def test_bytes_to_detail_bounds(self, pm):
+        with pytest.raises(MeshError):
+            pm.bytes_to_detail(-1)
+
+    def test_split_cost_linear(self, pm):
+        assert (
+            pm.bytes_to_detail(10) - pm.bytes_to_detail(0)
+            == 10 * PM_SPLIT_BYTES
+        )
+
+    def test_wavelets_more_compact(self):
+        """The paper's Section II claim, measured."""
+        from repro.wavelets.analysis import analyze_hierarchy
+
+        hierarchy = generate_deformed_hierarchy(
+            octahedron(), 3, np.random.default_rng(1)
+        )
+        dec = analyze_hierarchy(hierarchy)
+        pm = simplify_to_progressive(hierarchy.finest, 6)
+        assert dec.total_bytes() < pm.total_bytes()

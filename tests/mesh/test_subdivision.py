@@ -1,0 +1,111 @@
+"""Tests for 1-to-4 midpoint subdivision."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeshError
+from repro.mesh.generators import box_prism, icosahedron, octahedron
+from repro.mesh.subdivision import midpoint_subdivide, subdivide_times
+from repro.mesh.trimesh import TriMesh
+
+
+class TestSingleStep:
+    def test_counts_icosahedron(self):
+        step = midpoint_subdivide(icosahedron())
+        # V=12 E=30 F=20 -> V'=42, F'=80
+        assert step.inserted_count == 30
+        assert step.fine.vertex_count == 42
+        assert step.fine.face_count == 80
+
+    def test_face_count_always_quadruples(self):
+        for solid in (icosahedron(), octahedron(), box_prism()):
+            step = midpoint_subdivide(solid)
+            assert step.fine.face_count == 4 * solid.face_count
+
+    def test_coarse_vertices_preserved(self):
+        mesh = octahedron(radius=2.0)
+        step = midpoint_subdivide(mesh)
+        assert np.allclose(step.fine.vertices[: mesh.vertex_count], mesh.vertices)
+
+    def test_inserted_vertices_at_midpoints(self):
+        mesh = octahedron()
+        step = midpoint_subdivide(mesh)
+        for i, (a, b) in enumerate(step.parent_edges):
+            fine_idx = step.fine_index(i)
+            expected = (mesh.vertices[a] + mesh.vertices[b]) / 2.0
+            assert np.allclose(step.fine.vertices[fine_idx], expected)
+            assert np.allclose(step.parent_midpoint(i), expected)
+
+    def test_fine_index_bounds(self):
+        step = midpoint_subdivide(octahedron())
+        with pytest.raises(MeshError):
+            step.fine_index(step.inserted_count)
+        with pytest.raises(MeshError):
+            step.fine_index(-1)
+
+    def test_edge_to_new_vertex_consistent(self):
+        step = midpoint_subdivide(octahedron())
+        for i, edge in enumerate(step.parent_edges):
+            assert step.edge_to_new_vertex[edge] == step.fine_index(i)
+
+    def test_closed_stays_closed(self):
+        step = midpoint_subdivide(icosahedron())
+        assert step.fine.is_closed()
+        assert step.fine.euler_characteristic() == 2
+
+    def test_surface_area_preserved_for_flat_faces(self):
+        # Midpoint subdivision without displacement keeps the surface.
+        mesh = box_prism()
+        step = midpoint_subdivide(mesh)
+        assert step.fine.surface_area() == pytest.approx(mesh.surface_area())
+
+    def test_no_faces_rejected(self):
+        with pytest.raises(MeshError):
+            midpoint_subdivide(TriMesh([[0, 0, 0]], []))
+
+    def test_orientation_preserved(self):
+        mesh = icosahedron()
+        step = midpoint_subdivide(mesh)
+        # All normals should still point outward (positive dot with the
+        # face centroid direction for a convex solid centred at origin).
+        fine = step.fine
+        for f in range(fine.face_count):
+            centroid = fine.vertices[fine.faces[f]].mean(axis=0)
+            assert float(np.dot(fine.face_normal(f), centroid)) > 0
+
+
+class TestRepeated:
+    def test_subdivide_times_counts(self):
+        steps = subdivide_times(octahedron(), 3)
+        assert len(steps) == 3
+        faces = 8
+        for step in steps:
+            faces *= 4
+            assert step.fine.face_count == faces
+
+    def test_zero_levels(self):
+        assert subdivide_times(octahedron(), 0) == []
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(MeshError):
+            subdivide_times(octahedron(), -1)
+
+    def test_chain_links_meshes(self):
+        steps = subdivide_times(icosahedron(), 2)
+        assert steps[1].coarse is steps[0].fine
+
+    @given(st.integers(1, 3))
+    @settings(max_examples=3, deadline=None)
+    def test_vertex_count_formula(self, levels: int):
+        # V_{j+1} = V_j + E_j for any closed triangle mesh.
+        mesh = octahedron()
+        steps = subdivide_times(mesh, levels)
+        v, e = mesh.vertex_count, mesh.edge_count
+        for step in steps:
+            assert step.fine.vertex_count == v + e
+            v = step.fine.vertex_count
+            e = step.fine.edge_count

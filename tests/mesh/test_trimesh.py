@@ -1,0 +1,168 @@
+"""Tests for TriMesh."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh.generators import box_prism, icosahedron, octahedron
+from repro.mesh.trimesh import TriMesh, merge_meshes, ordered_edge
+
+
+@pytest.fixture()
+def triangle() -> TriMesh:
+    return TriMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+
+
+@pytest.fixture()
+def square() -> TriMesh:
+    return TriMesh(
+        [[0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]],
+        [[0, 1, 2], [0, 2, 3]],
+    )
+
+
+class TestConstruction:
+    def test_counts(self, square: TriMesh):
+        assert square.vertex_count == 4
+        assert square.face_count == 2
+        assert square.edge_count == 5
+
+    def test_bad_vertex_shape_rejected(self):
+        with pytest.raises(MeshError):
+            TriMesh([[0, 0], [1, 1]], [[0, 1, 0]])
+
+    def test_bad_face_shape_rejected(self):
+        with pytest.raises(MeshError):
+            TriMesh([[0, 0, 0]], [[0, 0]])
+
+    def test_face_out_of_range_rejected(self):
+        with pytest.raises(MeshError):
+            TriMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 3]])
+
+    def test_face_repeats_vertex_rejected(self):
+        with pytest.raises(MeshError):
+            TriMesh([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 1]])
+
+    def test_non_finite_vertices_rejected(self):
+        with pytest.raises(MeshError):
+            TriMesh([[0, 0, np.nan], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+
+    def test_empty_faces_ok(self):
+        mesh = TriMesh([[0, 0, 0]], [])
+        assert mesh.face_count == 0
+        assert mesh.surface_area() == 0.0
+
+    def test_arrays_read_only(self, triangle: TriMesh):
+        with pytest.raises(ValueError):
+            triangle.vertices[0, 0] = 9.0
+        with pytest.raises(ValueError):
+            triangle.faces[0, 0] = 2
+
+    def test_equality(self, triangle: TriMesh):
+        same = TriMesh(triangle.vertices, triangle.faces)
+        assert triangle == same
+        assert triangle != "x"
+
+
+class TestConnectivity:
+    def test_ordered_edge(self):
+        assert ordered_edge(3, 1) == (1, 3)
+        with pytest.raises(MeshError):
+            ordered_edge(2, 2)
+
+    def test_edges_unique_and_sorted(self, square: TriMesh):
+        edges = square.edges()
+        assert edges == sorted(set(edges))
+        assert (0, 2) in edges  # the diagonal
+
+    def test_faces_of_vertex(self, square: TriMesh):
+        assert set(square.faces_of_vertex(0)) == {0, 1}
+        assert square.faces_of_vertex(1) == [0]
+
+    def test_faces_of_vertex_out_of_range(self, square: TriMesh):
+        with pytest.raises(MeshError):
+            square.faces_of_vertex(4)
+
+    def test_vertex_neighbors(self, square: TriMesh):
+        assert square.vertex_neighbors(0) == {1, 2, 3}
+        assert square.vertex_neighbors(1) == {0, 2}
+
+    def test_faces_of_edge(self, square: TriMesh):
+        assert set(square.faces_of_edge((0, 2))) == {0, 1}
+        assert square.faces_of_edge((0, 1)) == [0]
+        assert square.faces_of_edge((1, 3)) == []
+
+
+class TestGeometry:
+    def test_bounding_box(self, square: TriMesh):
+        bb = square.bounding_box()
+        assert np.array_equal(bb.low, [0, 0, 0])
+        assert np.array_equal(bb.high, [1, 1, 0])
+
+    def test_face_area_and_surface(self, square: TriMesh):
+        assert square.face_area(0) == pytest.approx(0.5)
+        assert square.surface_area() == pytest.approx(1.0)
+
+    def test_face_normal(self, triangle: TriMesh):
+        n = triangle.face_normal(0)
+        assert np.allclose(n, [0, 0, 1])
+
+    def test_face_normal_degenerate_rejected(self):
+        degenerate = TriMesh(
+            [[0, 0, 0], [1, 0, 0], [2, 0, 0]], [[0, 1, 2]]
+        )
+        with pytest.raises(MeshError):
+            degenerate.face_normal(0)
+
+    def test_vertex_normal_flat_surface(self, square: TriMesh):
+        for v in range(4):
+            assert np.allclose(square.vertex_normal(v), [0, 0, 1])
+
+    def test_vertex_normal_unit_length_on_solid(self):
+        ico = icosahedron()
+        for v in range(ico.vertex_count):
+            assert np.linalg.norm(ico.vertex_normal(v)) == pytest.approx(1.0)
+
+    def test_closed_solids(self):
+        assert icosahedron().is_closed()
+        assert octahedron().is_closed()
+        assert box_prism().is_closed()
+
+    def test_open_mesh_not_closed(self, square: TriMesh):
+        assert not square.is_closed()
+
+    def test_euler_characteristic_sphere_topology(self):
+        for solid in (icosahedron(), octahedron(), box_prism()):
+            assert solid.euler_characteristic() == 2
+
+
+class TestTransforms:
+    def test_translated(self, triangle: TriMesh):
+        moved = triangle.translated((1, 2, 3))
+        assert np.allclose(moved.vertices[0], [1, 2, 3])
+        assert np.array_equal(moved.faces, triangle.faces)
+
+    def test_translated_bad_offset(self, triangle: TriMesh):
+        with pytest.raises(MeshError):
+            triangle.translated((1, 2))
+
+    def test_scaled(self, triangle: TriMesh):
+        scaled = triangle.scaled(2.0)
+        assert scaled.surface_area() == pytest.approx(4 * triangle.surface_area())
+
+    def test_with_vertices_shape_checked(self, triangle: TriMesh):
+        with pytest.raises(MeshError):
+            triangle.with_vertices(np.zeros((4, 3)))
+
+    def test_merge_meshes(self, triangle: TriMesh, square: TriMesh):
+        merged = merge_meshes([triangle, square])
+        assert merged.vertex_count == 7
+        assert merged.face_count == 3
+        # Faces of the second mesh were re-based.
+        assert merged.faces[1].min() >= 3
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(MeshError):
+            merge_meshes([])

@@ -1,0 +1,119 @@
+"""Tests for the Kalman filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.motion.kalman import ConstantVelocityModel2D, Gaussian, KalmanFilter
+
+
+class TestGaussian:
+    def test_shape_checks(self):
+        with pytest.raises(PredictionError):
+            Gaussian(np.zeros((2, 2)), np.eye(2))
+        with pytest.raises(PredictionError):
+            Gaussian(np.zeros(2), np.eye(3))
+
+    def test_marginal(self):
+        g = Gaussian(np.array([1.0, 2.0, 3.0]), np.diag([1.0, 4.0, 9.0]))
+        m = g.marginal([0, 2])
+        assert np.allclose(m.mean, [1.0, 3.0])
+        assert np.allclose(m.cov, np.diag([1.0, 9.0]))
+
+    def test_pdf_peak_at_mean(self):
+        g = Gaussian(np.zeros(2), np.eye(2))
+        assert g.pdf(np.zeros(2)) > g.pdf(np.array([1.0, 1.0]))
+
+    def test_pdf_standard_normal_value(self):
+        g = Gaussian(np.zeros(2), np.eye(2))
+        assert g.pdf(np.zeros(2)) == pytest.approx(1 / (2 * np.pi), rel=1e-6)
+
+    def test_pdf_integrates_roughly_to_one(self):
+        g = Gaussian(np.zeros(2), np.eye(2) * 0.5)
+        xs = np.linspace(-5, 5, 60)
+        step = xs[1] - xs[0]
+        total = sum(
+            g.pdf(np.array([x, y])) * step * step for x in xs for y in xs
+        )
+        assert total == pytest.approx(1.0, rel=0.02)
+
+
+class TestKalmanFilter:
+    def test_shape_validation(self):
+        with pytest.raises(PredictionError):
+            KalmanFilter(
+                np.eye(3)[:2],  # not square
+                np.eye(2),
+                np.eye(2),
+                np.eye(2),
+                np.zeros(2),
+                np.eye(2),
+            )
+
+    def test_tracks_constant_velocity(self):
+        model = ConstantVelocityModel2D(
+            dt=1.0, process_noise=0.01, measurement_noise=0.1
+        )
+        kf = model.build()
+        rng = np.random.default_rng(0)
+        velocity = np.array([2.0, -1.0])
+        for t in range(60):
+            pos = velocity * t + rng.normal(0, 0.1, 2)
+            kf.step(pos)
+        assert np.allclose(kf.x[2:], velocity, atol=0.15)
+
+    def test_forecast_does_not_mutate(self):
+        kf = ConstantVelocityModel2D().build()
+        kf.step(np.array([0.0, 0.0]))
+        kf.step(np.array([1.0, 1.0]))
+        state_before = kf.x.copy()
+        kf.forecast(5)
+        assert np.array_equal(kf.x, state_before)
+
+    def test_forecast_extrapolates_linearly(self):
+        model = ConstantVelocityModel2D(
+            dt=1.0, process_noise=0.01, measurement_noise=0.01
+        )
+        kf = model.build()
+        for t in range(30):
+            kf.step(np.array([float(t), 0.0]))
+        forecasts = kf.forecast(3)
+        for i, g in enumerate(forecasts, start=1):
+            assert g.mean[0] == pytest.approx(29.0 + i, abs=0.3)
+
+    def test_forecast_covariance_grows(self):
+        kf = ConstantVelocityModel2D().build()
+        kf.step(np.array([0.0, 0.0]))
+        kf.step(np.array([1.0, 0.0]))
+        forecasts = kf.forecast(10)
+        traces = [float(np.trace(g.cov)) for g in forecasts]
+        assert all(b > a for a, b in zip(traces, traces[1:]))
+
+    def test_forecast_needs_positive_steps(self):
+        kf = ConstantVelocityModel2D().build()
+        with pytest.raises(PredictionError):
+            kf.forecast(0)
+
+    def test_update_shape_checked(self):
+        kf = ConstantVelocityModel2D().build()
+        with pytest.raises(PredictionError):
+            kf.update(np.zeros(3))
+
+    def test_uncertainty_shrinks_with_measurements(self):
+        kf = ConstantVelocityModel2D().build()
+        initial = float(np.trace(kf.P))
+        for t in range(20):
+            kf.step(np.array([float(t), float(t)]))
+        assert float(np.trace(kf.P)) < initial
+
+
+class TestConstantVelocityModel:
+    def test_invalid_parameters(self):
+        with pytest.raises(PredictionError):
+            ConstantVelocityModel2D(dt=0)
+        with pytest.raises(PredictionError):
+            ConstantVelocityModel2D(process_noise=0)
+        with pytest.raises(PredictionError):
+            ConstantVelocityModel2D(measurement_noise=-1)

@@ -1,0 +1,176 @@
+"""Tests for motion predictors and grid visit probabilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.geometry.box import Box
+from repro.geometry.grid import Grid
+from repro.motion.predictor import (
+    DeadReckoningPredictor,
+    HistoryMotionPredictor,
+    KalmanMotionPredictor,
+    visit_probabilities,
+)
+from repro.motion.trajectory import pedestrian_tour, tram_tour
+
+PREDICTORS = [
+    KalmanMotionPredictor,
+    HistoryMotionPredictor,
+    DeadReckoningPredictor,
+]
+
+
+@pytest.fixture(params=PREDICTORS, ids=lambda c: c.__name__)
+def predictor(request):
+    return request.param()
+
+
+class TestReadiness:
+    def test_not_ready_initially(self, predictor):
+        assert not predictor.ready
+        with pytest.raises(PredictionError):
+            predictor.forecast_positions(1)
+
+    def test_becomes_ready(self, predictor):
+        for i in range(8):
+            predictor.observe(np.array([float(i), 0.0]))
+        assert predictor.ready
+        forecast = predictor.forecast_positions(3)
+        assert len(forecast) == 3
+
+    def test_rejects_bad_position(self, predictor):
+        with pytest.raises(PredictionError):
+            predictor.observe(np.zeros(3))
+
+
+class TestLinearMotionForecast:
+    def test_extrapolates_straight_line(self, predictor):
+        for i in range(20):
+            predictor.observe(np.array([2.0 * i, -1.0 * i]))
+        forecast = predictor.forecast_positions(3)
+        assert forecast[0].mean[0] == pytest.approx(40.0, abs=2.0)
+        assert forecast[2].mean[0] == pytest.approx(44.0, abs=3.0)
+        assert forecast[2].mean[1] == pytest.approx(-22.0, abs=3.0)
+
+    def test_covariance_grows_with_horizon(self, predictor):
+        rng = np.random.default_rng(0)
+        for i in range(20):
+            predictor.observe(
+                np.array([2.0 * i, 0.0]) + rng.normal(0, 0.05, 2)
+            )
+        forecast = predictor.forecast_positions(6)
+        traces = [float(np.trace(g.cov)) for g in forecast]
+        assert traces[-1] >= traces[0]
+
+
+class TestPredictabilityGap:
+    def test_tram_more_predictable_than_pedestrian(self):
+        """The property the whole buffer section rests on."""
+        space = Box((0, 0), (1000, 1000))
+        errors = {}
+        for kind, gen in (("tram", tram_tour), ("ped", pedestrian_tour)):
+            errs = []
+            for seed in range(4):
+                tour = gen(space, np.random.default_rng(seed), speed=0.5, steps=200)
+                predictor = KalmanMotionPredictor()
+                for i in range(len(tour)):
+                    if predictor.ready and i + 3 < len(tour):
+                        forecast = predictor.forecast_positions(3)[-1]
+                        errs.append(
+                            float(
+                                np.linalg.norm(
+                                    forecast.mean - tour.positions[i + 3]
+                                )
+                            )
+                        )
+                    predictor.observe(tour.positions[i])
+            errors[kind] = float(np.mean(errs))
+        assert errors["tram"] < errors["ped"]
+
+
+class TestVisitProbabilities:
+    def _trained(self):
+        predictor = KalmanMotionPredictor()
+        for i in range(15):
+            predictor.observe(np.array([100.0 + 10.0 * i, 500.0]))
+        return predictor
+
+    def test_not_ready_returns_empty(self):
+        grid = Grid(Box((0, 0), (1000, 1000)), (10, 10))
+        assert visit_probabilities(KalmanMotionPredictor(), grid) == {}
+
+    def test_normalised(self):
+        grid = Grid(Box((0, 0), (1000, 1000)), (20, 20))
+        predictor = self._trained()
+        probs = visit_probabilities(
+            predictor, grid, steps=5, radius=3, center=np.array([240.0, 500.0])
+        )
+        assert sum(probs.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in probs.values())
+
+    def test_mass_ahead_of_motion(self):
+        grid = Grid(Box((0, 0), (1000, 1000)), (20, 20))
+        predictor = self._trained()  # moving in +x at y=500
+        probs = visit_probabilities(
+            predictor, grid, steps=5, radius=4, center=np.array([240.0, 500.0])
+        )
+        ahead = sum(p for (cx, cy), p in probs.items() if cx >= 5)
+        behind = sum(p for (cx, cy), p in probs.items() if cx < 4)
+        assert ahead > behind
+
+    def test_radius_requires_center(self):
+        grid = Grid(Box((0, 0), (1000, 1000)), (10, 10))
+        predictor = self._trained()
+        with pytest.raises(PredictionError):
+            visit_probabilities(predictor, grid, radius=2)
+
+    def test_whole_grid_mode(self):
+        grid = Grid(Box((0, 0), (1000, 1000)), (8, 8))
+        predictor = self._trained()
+        probs = visit_probabilities(predictor, grid, steps=3)
+        assert len(probs) == 64
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_frame_extents_spread_mass(self):
+        grid = Grid(Box((0, 0), (1000, 1000)), (20, 20))
+        predictor = self._trained()
+        tight = visit_probabilities(
+            predictor, grid, steps=3, radius=4, center=np.array([240.0, 500.0])
+        )
+        spread = visit_probabilities(
+            predictor,
+            grid,
+            steps=3,
+            radius=4,
+            center=np.array([240.0, 500.0]),
+            frame_extents=np.array([150.0, 150.0]),
+        )
+        # Spreading flattens the distribution: the max cell probability drops.
+        assert max(spread.values()) <= max(tight.values()) + 1e-9
+
+    def test_bad_frame_extents_rejected(self):
+        grid = Grid(Box((0, 0), (1000, 1000)), (10, 10))
+        predictor = self._trained()
+        with pytest.raises(PredictionError):
+            visit_probabilities(
+                predictor,
+                grid,
+                radius=2,
+                center=np.array([240.0, 500.0]),
+                frame_extents=np.array([-1.0, 1.0]),
+            )
+
+    def test_far_from_candidates_falls_back_to_uniform(self):
+        grid = Grid(Box((0, 0), (1000, 1000)), (20, 20))
+        predictor = KalmanMotionPredictor()
+        # Train far outside the grid so all candidate pdfs underflow.
+        for i in range(10):
+            predictor.observe(np.array([1e7 + i, 1e7]))
+        probs = visit_probabilities(
+            predictor, grid, steps=2, radius=2, center=np.array([500.0, 500.0])
+        )
+        values = list(probs.values())
+        assert values and all(v == pytest.approx(values[0]) for v in values)

@@ -1,0 +1,99 @@
+"""Tests for recursive least-squares transition estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.motion.rls import RecursiveLeastSquares, fit_transition_matrix
+
+
+class TestRecursiveLeastSquares:
+    def test_invalid_parameters(self):
+        with pytest.raises(PredictionError):
+            RecursiveLeastSquares(0)
+        with pytest.raises(PredictionError):
+            RecursiveLeastSquares(2, forgetting=0.0)
+        with pytest.raises(PredictionError):
+            RecursiveLeastSquares(2, forgetting=1.5)
+        with pytest.raises(PredictionError):
+            RecursiveLeastSquares(2, delta=0)
+
+    def test_starts_at_identity(self):
+        rls = RecursiveLeastSquares(3)
+        assert np.allclose(rls.transition, np.eye(3))
+        assert rls.updates == 0
+
+    def test_recovers_known_transition(self):
+        rng = np.random.default_rng(0)
+        true_a = np.array([[0.9, 0.2], [-0.1, 0.8]])
+        rls = RecursiveLeastSquares(2, forgetting=1.0)
+        x = np.array([1.0, -0.5])
+        for _ in range(300):
+            y = true_a @ x
+            rls.update(x, y)
+            x = y + rng.normal(0, 0.01, 2)  # keep exciting the system
+            if np.linalg.norm(x) > 10:
+                x = rng.normal(0, 1, 2)
+        assert np.allclose(rls.transition, true_a, atol=0.05)
+
+    def test_predict_uses_current_estimate(self):
+        rls = RecursiveLeastSquares(2)
+        x = np.array([1.0, 2.0])
+        assert np.allclose(rls.predict(x), x)  # identity at start
+
+    def test_predict_multi_powers(self):
+        rls = RecursiveLeastSquares(2)
+        # Teach a doubling map.
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            x = rng.normal(0, 1, 2)
+            rls.update(x, 2.0 * x)
+        preds = rls.predict_multi(np.array([1.0, 1.0]), 3)
+        assert np.allclose(preds[0], [2, 2], atol=0.05)
+        assert np.allclose(preds[2], [8, 8], atol=0.4)
+
+    def test_predict_multi_needs_steps(self):
+        with pytest.raises(PredictionError):
+            RecursiveLeastSquares(2).predict_multi(np.zeros(2), 0)
+
+    def test_shape_checks(self):
+        rls = RecursiveLeastSquares(2)
+        with pytest.raises(PredictionError):
+            rls.update(np.zeros(3), np.zeros(2))
+        with pytest.raises(PredictionError):
+            rls.predict(np.zeros(3))
+
+    def test_forgetting_adapts_faster(self):
+        rng = np.random.default_rng(2)
+        slow = RecursiveLeastSquares(2, forgetting=1.0)
+        fast = RecursiveLeastSquares(2, forgetting=0.9)
+        a1 = np.eye(2) * 0.5
+        a2 = np.eye(2) * 2.0
+        for rls in (slow, fast):
+            for _ in range(100):
+                x = rng.normal(0, 1, 2)
+                rls.update(x, a1 @ x)
+            for _ in range(30):
+                x = rng.normal(0, 1, 2)
+                rls.update(x, a2 @ x)
+        err_slow = np.linalg.norm(slow.transition - a2)
+        err_fast = np.linalg.norm(fast.transition - a2)
+        assert err_fast < err_slow
+
+
+class TestBatchFit:
+    def test_recovers_exact_linear_system(self):
+        a = np.array([[1.0, 0.1], [0.0, 1.0]])
+        states = [np.array([0.0, 1.0])]
+        for _ in range(20):
+            states.append(a @ states[-1])
+        fitted = fit_transition_matrix(np.array(states))
+        assert np.allclose(fitted @ states[3], states[4], atol=1e-8)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(PredictionError):
+            fit_transition_matrix(np.zeros((1, 4)))
+        with pytest.raises(PredictionError):
+            fit_transition_matrix(np.zeros(5))

@@ -1,0 +1,145 @@
+"""Tests for tour generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.geometry.box import Box
+from repro.motion.trajectory import (
+    Trajectory,
+    make_tours,
+    pedestrian_tour,
+    tram_tour,
+)
+
+SPACE = Box((0, 0), (1000, 1000))
+
+
+class TestTrajectoryClass:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Trajectory(np.array([0.0]), np.zeros((1, 2)), 0.5, "tram")
+        with pytest.raises(WorkloadError):
+            Trajectory(
+                np.array([0.0, 0.0]), np.zeros((2, 2)), 0.5, "tram"
+            )  # non-increasing
+        with pytest.raises(WorkloadError):
+            Trajectory(np.array([0.0, 1.0]), np.zeros((3, 2)), 0.5, "tram")
+        with pytest.raises(WorkloadError):
+            Trajectory(np.array([0.0, 1.0]), np.zeros((2, 2)), 1.5, "tram")
+
+    def test_metrics(self):
+        traj = Trajectory(
+            np.array([0.0, 1.0, 2.0]),
+            np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]]),
+            0.5,
+            "tram",
+        )
+        assert len(traj) == 3
+        assert traj.duration == 2.0
+        assert traj.path_length == pytest.approx(10.0)
+        assert traj.average_speed == pytest.approx(5.0)
+        assert traj.instantaneous_speed(1) == pytest.approx(5.0)
+        assert np.allclose(traj.velocity(0), [3.0, 4.0])
+        assert np.allclose(traj.velocity(2), [3.0, 4.0])
+
+    def test_velocity_bounds(self):
+        traj = Trajectory(
+            np.array([0.0, 1.0]), np.array([[0.0, 0.0], [1.0, 0.0]]), 0.5, "tram"
+        )
+        with pytest.raises(WorkloadError):
+            traj.velocity(5)
+
+    def test_bounding_box(self):
+        traj = Trajectory(
+            np.array([0.0, 1.0]), np.array([[1.0, 2.0], [5.0, -1.0]]), 0.5, "tram"
+        )
+        assert traj.bounding_box() == Box((1, -1), (5, 2))
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", [tram_tour, pedestrian_tour])
+    def test_stays_in_space(self, generator):
+        for seed in range(5):
+            tour = generator(
+                SPACE, np.random.default_rng(seed), speed=0.7, steps=150
+            )
+            assert np.all(tour.positions >= SPACE.low)
+            assert np.all(tour.positions <= SPACE.high)
+
+    @pytest.mark.parametrize("generator", [tram_tour, pedestrian_tour])
+    def test_deterministic(self, generator):
+        a = generator(SPACE, np.random.default_rng(7), speed=0.5, steps=50)
+        b = generator(SPACE, np.random.default_rng(7), speed=0.5, steps=50)
+        assert np.array_equal(a.positions, b.positions)
+
+    @pytest.mark.parametrize("generator", [tram_tour, pedestrian_tour])
+    def test_speed_scales_distance(self, generator):
+        slow = generator(SPACE, np.random.default_rng(1), speed=0.2, steps=150)
+        fast = generator(SPACE, np.random.default_rng(1), speed=0.8, steps=150)
+        assert fast.path_length > 2.0 * slow.path_length
+
+    @pytest.mark.parametrize("generator", [tram_tour, pedestrian_tour])
+    def test_argument_validation(self, generator):
+        rng = np.random.default_rng(0)
+        with pytest.raises(WorkloadError):
+            generator(SPACE, rng, speed=1.5)
+        with pytest.raises(WorkloadError):
+            generator(SPACE, rng, steps=0)
+        with pytest.raises(WorkloadError):
+            generator(SPACE, rng, dt=0)
+        with pytest.raises(WorkloadError):
+            generator(Box((0, 0, 0), (1, 1, 1)), rng)
+
+    def test_tram_straighter_than_pedestrian(self):
+        """Heading changes per step: trams turn rarely, walkers weave."""
+
+        def mean_turn(tour: Trajectory) -> float:
+            deltas = np.diff(tour.positions, axis=0)
+            lengths = np.linalg.norm(deltas, axis=1)
+            keep = lengths > 1e-9
+            angles = np.arctan2(deltas[keep, 1], deltas[keep, 0])
+            turns = np.abs(np.diff(np.unwrap(angles)))
+            return float(np.mean(turns))
+
+        tram_turns = np.mean(
+            [
+                mean_turn(
+                    tram_tour(SPACE, np.random.default_rng(s), speed=0.5, steps=200)
+                )
+                for s in range(4)
+            ]
+        )
+        ped_turns = np.mean(
+            [
+                mean_turn(
+                    pedestrian_tour(
+                        SPACE, np.random.default_rng(s), speed=0.5, steps=200
+                    )
+                )
+                for s in range(4)
+            ]
+        )
+        assert tram_turns < ped_turns
+
+    def test_nominal_speed_recorded(self):
+        tour = tram_tour(SPACE, np.random.default_rng(0), speed=0.3)
+        assert tour.nominal_speed == 0.3
+        assert tour.kind == "tram"
+
+
+class TestMakeTours:
+    def test_counts_and_kinds(self):
+        tours = make_tours(SPACE, "pedestrian", count=4, speed=0.5, steps=50)
+        assert len(tours) == 4
+        assert all(t.kind == "pedestrian" for t in tours)
+
+    def test_distinct_seeds(self):
+        tours = make_tours(SPACE, "tram", count=3, speed=0.5, steps=50)
+        assert not np.array_equal(tours[0].positions, tours[1].positions)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_tours(SPACE, "helicopter")

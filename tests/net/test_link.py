@@ -1,0 +1,145 @@
+"""Tests for the wireless link model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.link import LinkConfig, WirelessLink
+
+
+class TestLinkConfig:
+    def test_paper_defaults(self):
+        config = LinkConfig()
+        assert config.bandwidth_bps == 256_000.0
+        assert config.latency_s == 0.2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(NetworkError):
+            LinkConfig(bandwidth_bps=0)
+        with pytest.raises(NetworkError):
+            LinkConfig(latency_s=-1)
+        with pytest.raises(NetworkError):
+            LinkConfig(connection_cost_s=-1)
+        with pytest.raises(NetworkError):
+            LinkConfig(speed_degradation=-0.1)
+
+    def test_effective_bandwidth_degrades_with_speed(self):
+        config = LinkConfig(speed_degradation=3.0)
+        stationary = config.effective_bandwidth(0.0)
+        moving = config.effective_bandwidth(1.0)
+        assert stationary == 256_000.0
+        assert moving == pytest.approx(256_000.0 / 4.0)
+
+    def test_effective_bandwidth_no_degradation(self):
+        config = LinkConfig(speed_degradation=0.0)
+        assert config.effective_bandwidth(1.0) == 256_000.0
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(NetworkError):
+            LinkConfig().effective_bandwidth(-0.5)
+
+    def test_round_trip_time_components(self):
+        config = LinkConfig(
+            bandwidth_bps=8_000.0,  # 1000 bytes/s
+            latency_s=0.1,
+            connection_cost_s=0.05,
+            speed_degradation=0.0,
+        )
+        # 500 bytes at 1000 B/s = 0.5 s transfer + 0.2 RTT + 0.05 conn.
+        assert config.round_trip_time(500) == pytest.approx(0.75)
+
+    def test_round_trip_time_zero_payload(self):
+        config = LinkConfig()
+        rtt = config.round_trip_time(0)
+        assert rtt == pytest.approx(
+            config.connection_cost_s + 2 * config.latency_s
+        )
+
+    def test_round_trip_negative_payload_rejected(self):
+        with pytest.raises(NetworkError):
+            LinkConfig().round_trip_time(-1)
+
+    def test_moving_client_pays_more(self):
+        config = LinkConfig()
+        assert config.round_trip_time(10_000, speed=1.0) > config.round_trip_time(
+            10_000, speed=0.0
+        )
+
+
+class TestWirelessLink:
+    def test_accounting(self):
+        link = WirelessLink()
+        t1 = link.exchange(1000, speed=0.0, now=0.0)
+        t2 = link.exchange(2000, speed=0.5, now=t1)
+        assert link.request_count == 2
+        assert link.total_bytes == 3000
+        assert link.total_time == pytest.approx(t1 + t2)
+        assert link.transfers[1].started_at == pytest.approx(t1)
+
+    def test_reset(self):
+        link = WirelessLink()
+        link.exchange(100)
+        link.reset()
+        assert link.request_count == 0
+        assert link.total_bytes == 0
+
+    def test_transfers_copy(self):
+        link = WirelessLink()
+        link.exchange(100)
+        transfers = link.transfers
+        transfers.clear()
+        assert link.request_count == 1
+
+    def test_repr(self):
+        link = WirelessLink()
+        assert "requests=0" in repr(link)
+
+
+class TestLossyLink:
+    def test_loss_rate_validation(self):
+        with pytest.raises(NetworkError):
+            LinkConfig(loss_rate=1.0)
+        with pytest.raises(NetworkError):
+            LinkConfig(loss_rate=-0.1)
+
+    def test_no_loss_single_attempt(self):
+        link = WirelessLink()
+        link.exchange(100)
+        assert link.total_attempts == 1
+        assert link.transfers[0].attempts == 1
+
+    def test_lossy_link_retransmits(self):
+        import numpy as np
+
+        link = WirelessLink(
+            LinkConfig(loss_rate=0.5), rng=np.random.default_rng(3)
+        )
+        for _ in range(300):
+            link.exchange(100)
+        # Expected attempts per exchange is 1 / (1 - p) = 2.
+        assert 1.7 < link.total_attempts / 300 < 2.3
+
+    def test_lossy_elapsed_scales_with_attempts(self):
+        import numpy as np
+
+        config = LinkConfig(loss_rate=0.5)
+        link = WirelessLink(config, rng=np.random.default_rng(5))
+        elapsed = link.exchange(1000)
+        record = link.transfers[0]
+        assert elapsed == pytest.approx(
+            record.attempts * config.round_trip_time(1000)
+        )
+
+    def test_deterministic_for_seed(self):
+        import numpy as np
+
+        def total(seed):
+            link = WirelessLink(
+                LinkConfig(loss_rate=0.3), rng=np.random.default_rng(seed)
+            )
+            for _ in range(50):
+                link.exchange(10)
+            return link.total_attempts
+
+        assert total(7) == total(7)

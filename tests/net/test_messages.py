@@ -1,0 +1,100 @@
+"""Tests for protocol messages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.geometry.box import Box
+from repro.mesh.generators import octahedron
+from repro.net.messages import (
+    BaseMeshPayload,
+    RegionRequest,
+    RetrieveRequest,
+    RetrieveResponse,
+)
+from repro.wavelets.coefficients import (
+    CoefficientKey,
+    CoefficientKind,
+    CoefficientRecord,
+)
+
+
+def make_detail_record(object_id=1, level=0, index=0, value=0.5, size=12):
+    return CoefficientRecord(
+        object_id=object_id,
+        key=CoefficientKey(level, index),
+        kind=CoefficientKind.DETAIL,
+        position=np.zeros(3),
+        value=value,
+        support_box=Box((0, 0, 0), (1, 1, 1)),
+        size_bytes=size,
+    )
+
+
+class TestRegionRequest:
+    def test_valid(self):
+        req = RegionRequest(Box((0, 0), (1, 1)), 0.2, 0.8)
+        assert not req.half_open
+
+    def test_invalid_band(self):
+        with pytest.raises(ProtocolError):
+            RegionRequest(Box((0, 0), (1, 1)), 0.8, 0.2)
+        with pytest.raises(ProtocolError):
+            RegionRequest(Box((0, 0), (1, 1)), -0.1, 0.5)
+        with pytest.raises(ProtocolError):
+            RegionRequest(Box((0, 0), (1, 1)), 0.0, 1.1)
+
+
+class TestRetrieveRequest:
+    def test_needs_regions(self):
+        with pytest.raises(ProtocolError):
+            RetrieveRequest(timestamp=0.0, client_id=1, regions=())
+
+    def test_valid(self):
+        req = RetrieveRequest(
+            timestamp=1.0,
+            client_id=2,
+            regions=(RegionRequest(Box((0, 0), (1, 1)), 0.0, 1.0),),
+            exclude_uids=frozenset({(1, 0, 0)}),
+        )
+        assert req.client_id == 2
+
+
+class TestBaseMeshPayload:
+    def test_positive_size_required(self):
+        with pytest.raises(ProtocolError):
+            BaseMeshPayload(object_id=1, mesh=octahedron(), size_bytes=0)
+
+
+class TestRetrieveResponse:
+    def _request(self):
+        return RetrieveRequest(
+            timestamp=0.0,
+            client_id=0,
+            regions=(RegionRequest(Box((0, 0), (1, 1)), 0.0, 1.0),),
+        )
+
+    def test_alignment_checked(self):
+        with pytest.raises(ProtocolError):
+            RetrieveResponse(
+                request=self._request(),
+                base_meshes=(),
+                records=(make_detail_record(),),
+                displacements=(),
+                io_node_reads=0,
+            )
+
+    def test_payload_bytes(self):
+        response = RetrieveResponse(
+            request=self._request(),
+            base_meshes=(
+                BaseMeshPayload(object_id=1, mesh=octahedron(), size_bytes=50),
+            ),
+            records=(make_detail_record(size=12), make_detail_record(index=1, size=12)),
+            displacements=((0, 0, 0), (1, 1, 1)),
+            io_node_reads=3,
+        )
+        assert response.payload_bytes == 50 + 24
+        assert response.record_count == 2

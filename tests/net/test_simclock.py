@@ -1,0 +1,47 @@
+"""Tests for the simulation clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.simclock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(NetworkError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+        assert clock.now == 2.0
+
+    def test_advance_zero_allowed(self):
+        clock = SimClock(1.0)
+        assert clock.advance(0.0) == 1.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(NetworkError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(NetworkError):
+            clock.advance_to(4.0)
+
+    def test_repr(self):
+        assert "now=1.000" in repr(SimClock(1.0))

@@ -1,0 +1,122 @@
+"""Tests for the object database."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.geometry.box import Box
+from repro.geometry.grid import Grid
+from repro.index.access import MotionAwareAccessMethod, NaivePointAccessMethod
+from repro.mesh.generators import procedural_building
+from repro.server.database import ObjectDatabase
+from repro.wavelets.analysis import analyze_hierarchy
+
+
+@pytest.fixture()
+def db() -> ObjectDatabase:
+    database = ObjectDatabase()
+    rng = np.random.default_rng(3)
+    for oid, x in enumerate((100.0, 300.0)):
+        hierarchy = procedural_building(
+            rng, center=(x, 200.0, 0.0), footprint=(30, 20), height=40, levels=2
+        )
+        database.add_object(oid, analyze_hierarchy(hierarchy))
+    return database
+
+
+class TestStorage:
+    def test_counts(self, db: ObjectDatabase):
+        assert db.object_count == 2
+        assert db.record_count == len(db.all_records())
+        assert db.total_bytes > 0
+
+    def test_duplicate_id_rejected(self, db: ObjectDatabase):
+        hierarchy = procedural_building(np.random.default_rng(0), levels=1)
+        with pytest.raises(WorkloadError):
+            db.add_object(0, analyze_hierarchy(hierarchy))
+
+    def test_get_object(self, db: ObjectDatabase):
+        obj = db.get_object(1)
+        assert obj.object_id == 1
+        assert obj.total_bytes > 0
+        with pytest.raises(WorkloadError):
+            db.get_object(99)
+
+    def test_footprint_is_2d(self, db: ObjectDatabase):
+        footprint = db.get_object(0).footprint
+        assert footprint.ndim == 2
+        assert footprint.contains_point((100.0, 200.0))
+
+    def test_displacement_lookup(self, db: ObjectDatabase):
+        record = next(r for r in db.all_records() if not r.key.is_base)
+        disp = db.displacement(record.uid)
+        assert disp.shape == (3,)
+        with pytest.raises(WorkloadError):
+            db.displacement((99, 0, 0))
+
+    def test_empty_database_cannot_index(self):
+        with pytest.raises(WorkloadError):
+            ObjectDatabase().access_method
+
+
+class TestAccessMethodChoice:
+    def test_motion_aware_default(self, db: ObjectDatabase):
+        assert isinstance(db.access_method, MotionAwareAccessMethod)
+
+    def test_naive_variant(self):
+        database = ObjectDatabase(access_method="naive")
+        hierarchy = procedural_building(np.random.default_rng(0), levels=1)
+        database.add_object(0, analyze_hierarchy(hierarchy))
+        assert isinstance(database.access_method, NaivePointAccessMethod)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(WorkloadError):
+            ObjectDatabase(access_method="btree")
+
+    def test_index_invalidated_on_add(self, db: ObjectDatabase):
+        first = db.access_method
+        hierarchy = procedural_building(np.random.default_rng(1), levels=1)
+        db.add_object(7, analyze_hierarchy(hierarchy))
+        assert db.access_method is not first
+
+
+class TestQueries:
+    def test_query_region(self, db: ObjectDatabase):
+        result = db.query_region(Box((50, 150), (150, 250)), 0.0, 1.0)
+        assert result.records
+        assert all(r.object_id == 0 for r in result.records)
+
+    def test_block_bytes_zero_for_empty_cell(self, db: ObjectDatabase):
+        grid = Grid(Box((0, 0), (1000, 1000)), (10, 10))
+        assert db.block_bytes(grid, (9, 9), 0.0) == 0
+
+    def test_block_bytes_monotone_in_resolution(self, db: ObjectDatabase):
+        grid = Grid(Box((0, 0), (1000, 1000)), (10, 10))
+        cell = grid.cell_of_point((100.0, 200.0))
+        full = db.block_bytes(grid, cell, 0.0)
+        coarse = db.block_bytes(grid, cell, 0.9)
+        assert 0 < coarse <= full
+
+    def test_block_bytes_fn_memoised(self, db: ObjectDatabase):
+        grid = Grid(Box((0, 0), (1000, 1000)), (10, 10))
+        fn = db.block_bytes_fn(grid)
+        cell = grid.cell_of_point((100.0, 200.0))
+        first = fn(cell, 0.5)
+        method = db.access_method
+        method.stats.push()
+        second = fn(cell, 0.5)
+        delta = method.stats.pop_delta()
+        assert first == second
+        assert delta.node_reads == 0  # served from the memo
+
+    def test_block_cache_invalidated_on_add(self, db: ObjectDatabase):
+        grid = Grid(Box((0, 0), (1000, 1000)), (10, 10))
+        cell = grid.cell_of_point((700.0, 700.0))
+        assert db.block_bytes(grid, cell, 0.0) == 0
+        hierarchy = procedural_building(
+            np.random.default_rng(2), center=(700.0, 700.0, 0.0), levels=1
+        )
+        db.add_object(5, analyze_hierarchy(hierarchy))
+        assert db.block_bytes(grid, cell, 0.0) > 0

@@ -1,0 +1,123 @@
+"""Tests for the query server."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.geometry.box import Box
+from repro.net.messages import RegionRequest
+from repro.server.server import Server
+
+
+def wide_region():
+    return Box((-10_000, -10_000), (10_000, 10_000))
+
+
+class TestRetrieve:
+    def test_basic_retrieve(self, tiny_server: Server):
+        response = tiny_server.retrieve(
+            0, 0.0, [RegionRequest(wide_region(), 0.0, 1.0)]
+        )
+        assert response.record_count > 0
+        assert response.io_node_reads > 0
+        assert response.payload_bytes > 0
+        assert len(response.displacements) == response.record_count
+
+    def test_needs_regions(self, tiny_server: Server):
+        with pytest.raises(ProtocolError):
+            tiny_server.retrieve(0, 0.0, [])
+
+    def test_exclude_uids_filters(self, tiny_server: Server):
+        first = tiny_server.retrieve(
+            1, 0.0, [RegionRequest(wide_region(), 0.0, 1.0)]
+        )
+        seen = frozenset(r.uid for r in first.records)
+        second = tiny_server.retrieve(
+            1,
+            1.0,
+            [RegionRequest(wide_region(), 0.0, 1.0)],
+            exclude_uids=seen,
+        )
+        assert second.record_count == 0
+        assert second.filtered_out >= len(seen)
+
+    def test_duplicate_regions_deduplicated(self, tiny_server: Server):
+        region = RegionRequest(wide_region(), 0.0, 1.0)
+        once = tiny_server.retrieve(2, 0.0, [region])
+        tiny_server.reset_client(2)
+        twice = tiny_server.retrieve(2, 0.0, [region, region])
+        assert {r.uid for r in once.records} == {r.uid for r in twice.records}
+
+    def test_half_open_band_excludes_upper(self, tiny_server: Server):
+        response = tiny_server.retrieve(
+            3, 0.0, [RegionRequest(wide_region(), 0.3, 0.7, half_open=True)]
+        )
+        assert all(0.3 <= r.value < 0.7 for r in response.records)
+
+    def test_band_restricts_values(self, tiny_server: Server):
+        response = tiny_server.retrieve(
+            4, 0.0, [RegionRequest(wide_region(), 0.8, 1.0)]
+        )
+        assert response.record_count > 0
+        assert all(r.value >= 0.8 for r in response.records)
+
+    def test_displacements_match_database(self, tiny_server: Server):
+        response = tiny_server.retrieve(
+            5, 0.0, [RegionRequest(wide_region(), 0.0, 1.0)]
+        )
+        db = tiny_server.database
+        for record, disp in zip(response.records[:20], response.displacements[:20]):
+            assert np.allclose(np.asarray(disp), db.displacement(record.uid))
+
+
+class TestBaseMeshShipping:
+    def test_base_shipped_once_per_client(self, tiny_server: Server):
+        region = [RegionRequest(wide_region(), 0.0, 1.0)]
+        first = tiny_server.retrieve(10, 0.0, region)
+        assert len(first.base_meshes) == tiny_server.database.object_count
+        tiny_server_second = tiny_server.retrieve(10, 1.0, region)
+        assert len(tiny_server_second.base_meshes) == 0
+
+    def test_distinct_clients_tracked_separately(self, tiny_server: Server):
+        region = [RegionRequest(wide_region(), 0.0, 1.0)]
+        tiny_server.retrieve(20, 0.0, region)
+        other = tiny_server.retrieve(21, 0.0, region)
+        assert len(other.base_meshes) == tiny_server.database.object_count
+
+    def test_reset_client_reships(self, tiny_server: Server):
+        region = [RegionRequest(wide_region(), 0.0, 1.0)]
+        tiny_server.retrieve(30, 0.0, region)
+        tiny_server.reset_client(30)
+        again = tiny_server.retrieve(30, 1.0, region)
+        assert len(again.base_meshes) == tiny_server.database.object_count
+
+    def test_coarsest_query_still_ships_bases(self, tiny_server: Server):
+        response = tiny_server.retrieve(
+            40, 0.0, [RegionRequest(wide_region(), 1.0, 1.0)]
+        )
+        assert len(response.base_meshes) == tiny_server.database.object_count
+
+
+class TestBlockPayload:
+    def test_block_payload_dedupes(self, tiny_server: Server):
+        region = wide_region()
+        payload1, io1, uids1 = tiny_server.block_payload_bytes(
+            50, region, 0.0, frozenset()
+        )
+        assert payload1 > 0
+        assert io1 > 0
+        assert uids1
+        payload2, io2, uids2 = tiny_server.block_payload_bytes(
+            50, region, 0.0, uids1
+        )
+        assert payload2 == 0
+        assert uids2 == frozenset()
+
+    def test_block_payload_empty_region(self, tiny_server: Server):
+        payload, io, uids = tiny_server.block_payload_bytes(
+            60, Box((50_000, 50_000), (50_001, 50_001)), 0.0, frozenset()
+        )
+        assert payload == 0
+        assert uids == frozenset()

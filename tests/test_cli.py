@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import load_city, main, save_city
+from repro.errors import ReproError
+from repro.geometry.box import Box
+from repro.workloads.cityscape import CityConfig, build_city
+
+
+@pytest.fixture(scope="module")
+def city_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "city.bin"
+    db = build_city(
+        CityConfig(
+            space=Box((0, 0), (1000, 1000)), object_count=4, levels=2, seed=5
+        )
+    )
+    save_city(db, str(path))
+    return str(path), db
+
+
+class TestSaveLoad:
+    def test_roundtrip_counts(self, city_file):
+        path, original = city_file
+        loaded = load_city(path)
+        assert loaded.object_count == original.object_count
+        assert loaded.record_count == original.record_count
+
+    def test_roundtrip_geometry(self, city_file):
+        path, original = city_file
+        loaded = load_city(path)
+        for obj in original.objects:
+            back = loaded.get_object(obj.object_id)
+            a = obj.decomposition.reconstruct(0.0).vertices
+            b = back.decomposition.reconstruct(0.0).vertices
+            assert np.abs(a - b).max() < 1e-2
+
+    def test_bad_file_rejected(self, tmp_path):
+        bogus = tmp_path / "not_a_city.bin"
+        bogus.write_bytes(b"nope" + b"\x00" * 100)
+        with pytest.raises(ReproError):
+            load_city(str(bogus))
+
+
+class TestCommands:
+    def test_build_and_inspect(self, tmp_path, capsys):
+        out = str(tmp_path / "built.bin")
+        rc = main(
+            [
+                "build-city",
+                "--objects", "3",
+                "--levels", "1",
+                "--seed", "2",
+                "--out", out,
+            ]
+        )
+        assert rc == 0
+        assert "wrote 3 objects" in capsys.readouterr().out
+        rc = main(["inspect", out, "--limit", "2"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "3 objects" in text
+        assert "and 1 more" in text
+
+    def test_simulate_generated_city(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--objects", "4",
+                "--levels", "1",
+                "--speed", "0.6",
+                "--steps", "20",
+                "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "bytes retrieved" in text
+        assert "server contacts" in text
+
+    def test_simulate_from_file(self, city_file, capsys):
+        path, _ = city_file
+        rc = main(["simulate", "--city", path, "--steps", "15"])
+        assert rc == 0
+        assert "tour: tram" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        rc = main(["experiment", "fig99"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        missing_magic = tmp_path / "bad.bin"
+        missing_magic.write_bytes(b"XXXX\x00\x00\x00\x00")
+        rc = main(["inspect", str(missing_magic)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_e11_runs_and_charts(self, capsys):
+        """The fastest registered experiment end-to-end through the CLI."""
+        rc = main(["experiment", "e11"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "coding compactness" in out
+        assert "#" in out  # the ASCII chart rendered

@@ -1,0 +1,92 @@
+"""Public API surface tests.
+
+Every name a package advertises in ``__all__`` must resolve, and the
+error hierarchy must let applications catch any library failure with a
+single ``except ReproError``.  These tests catch export regressions
+that unit tests (which import symbols directly) would miss.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+PACKAGES = [
+    "repro",
+    "repro.geometry",
+    "repro.mesh",
+    "repro.wavelets",
+    "repro.index",
+    "repro.net",
+    "repro.motion",
+    "repro.buffering",
+    "repro.server",
+    "repro.core",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package: str):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} has no __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_no_duplicate_exports(self, package: str):
+        module = importlib.import_module(package)
+        exported = list(module.__all__)
+        assert len(exported) == len(set(exported))
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestErrorHierarchy:
+    ERROR_CLASSES = [
+        errors.GeometryError,
+        errors.MeshError,
+        errors.WaveletError,
+        errors.IndexError_,
+        errors.NetworkError,
+        errors.BufferError_,
+        errors.PredictionError,
+        errors.WorkloadError,
+        errors.ProtocolError,
+        errors.ConfigurationError,
+    ]
+
+    @pytest.mark.parametrize("cls", ERROR_CLASSES, ids=lambda c: c.__name__)
+    def test_derives_from_repro_error(self, cls):
+        assert issubclass(cls, errors.ReproError)
+        assert issubclass(cls, Exception)
+
+    def test_single_catch_covers_all(self):
+        from repro.geometry.box import Box
+
+        with pytest.raises(errors.ReproError):
+            Box((1, 0), (0, 1))  # GeometryError
+
+    def test_underscore_names_do_not_shadow_builtins(self):
+        assert errors.IndexError_ is not IndexError
+        assert errors.BufferError_ is not BufferError
+
+    def test_every_module_raises_only_library_errors(self):
+        """Spot-check: misuse surfaces as ReproError, not bare ValueError."""
+        from repro.buffering.cost import allocate_blocks
+        from repro.motion.rls import RecursiveLeastSquares
+        from repro.net.simclock import SimClock
+
+        with pytest.raises(errors.ReproError):
+            allocate_blocks([], 5)
+        with pytest.raises(errors.ReproError):
+            RecursiveLeastSquares(0)
+        with pytest.raises(errors.ReproError):
+            SimClock(-1)

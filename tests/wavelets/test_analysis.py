@@ -1,0 +1,202 @@
+"""Tests for wavelet analysis and reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WaveletError
+from repro.mesh.generators import (
+    generate_deformed_hierarchy,
+    icosahedron,
+    octahedron,
+    procedural_building,
+)
+from repro.wavelets.analysis import analyze_hierarchy
+from repro.wavelets.coefficients import CoefficientKey, CoefficientKind
+
+
+@pytest.fixture(scope="module")
+def decomposition():
+    hierarchy = procedural_building(np.random.default_rng(11), levels=3)
+    return analyze_hierarchy(hierarchy), hierarchy
+
+
+class TestAnalysis:
+    def test_structure(self, decomposition):
+        dec, hierarchy = decomposition
+        assert dec.depth == 3
+        assert dec.base is hierarchy.base
+        assert dec.detail_count == sum(lvl.count for lvl in dec.levels)
+
+    def test_displacements_match_hierarchy(self, decomposition):
+        dec, hierarchy = decomposition
+        for level, gen_level in zip(dec.levels, hierarchy.levels):
+            assert np.allclose(level.displacements, gen_level.displacements)
+
+    def test_values_normalised(self, decomposition):
+        dec, _ = decomposition
+        all_values = np.concatenate([lvl.values for lvl in dec.levels])
+        assert all_values.min() >= 0.0
+        assert all_values.max() == pytest.approx(1.0)
+
+    def test_values_proportional_to_magnitudes(self, decomposition):
+        dec, _ = decomposition
+        max_mag = max(float(lvl.magnitudes.max()) for lvl in dec.levels)
+        for lvl in dec.levels:
+            assert np.allclose(lvl.values, lvl.magnitudes / max_mag)
+
+    def test_magnitudes_decay_across_levels(self, decomposition):
+        dec, _ = decomposition
+        stats = dec.magnitude_stats()
+        means = [s["mean"] for s in stats]
+        assert means[0] > means[1] > means[2]
+
+    def test_zero_displacement_normalises_to_zero(self):
+        hierarchy = generate_deformed_hierarchy(
+            octahedron(), 2, np.random.default_rng(0), amplitude=0.0
+        )
+        dec = analyze_hierarchy(hierarchy)
+        for lvl in dec.levels:
+            assert np.all(lvl.values == 0.0)
+
+    def test_value_of(self, decomposition):
+        dec, _ = decomposition
+        assert dec.value_of(CoefficientKey(-1, 0)) == 1.0
+        v = dec.value_of(CoefficientKey(0, 0))
+        assert 0.0 <= v <= 1.0
+        with pytest.raises(WaveletError):
+            dec.value_of(CoefficientKey(9, 0))
+        with pytest.raises(WaveletError):
+            dec.value_of(CoefficientKey(0, 10**6))
+        with pytest.raises(WaveletError):
+            dec.value_of(CoefficientKey(-1, 10**6))
+
+
+class TestReconstruction:
+    def test_full_reconstruction_exact(self, decomposition):
+        dec, hierarchy = decomposition
+        rebuilt = dec.reconstruct(0.0)
+        assert np.allclose(rebuilt.vertices, hierarchy.finest.vertices)
+        assert np.array_equal(rebuilt.faces, hierarchy.finest.faces)
+
+    def test_threshold_above_one_gives_smooth_surface(self, decomposition):
+        dec, _ = decomposition
+        smooth = dec.reconstruct(1.01)
+        # No detail applied: equals repeated pure midpoint subdivision.
+        from repro.mesh.subdivision import subdivide_times
+
+        pure = subdivide_times(dec.base, dec.depth)[-1].fine
+        assert np.allclose(smooth.vertices, pure.vertices)
+
+    def test_error_decreases_with_threshold(self, decomposition):
+        dec, hierarchy = decomposition
+        from repro.mesh.metrics import vertex_rmse
+
+        errors = [
+            vertex_rmse(dec.reconstruct(w), hierarchy.finest)
+            for w in (1.01, 0.5, 0.2, 0.0)
+        ]
+        assert errors[0] >= errors[1] >= errors[2] >= errors[3]
+        assert errors[-1] == 0.0
+
+    def test_max_level_truncation(self, decomposition):
+        dec, hierarchy = decomposition
+        partial = dec.reconstruct(0.0, max_level=1)
+        assert partial.vertex_count == hierarchy.meshes[1].vertex_count
+        assert np.allclose(partial.vertices, hierarchy.meshes[1].vertices)
+
+    def test_max_level_out_of_range(self, decomposition):
+        dec, _ = decomposition
+        with pytest.raises(WaveletError):
+            dec.reconstruct(0.0, max_level=4)
+
+    def test_keys_subset(self, decomposition):
+        dec, _ = decomposition
+        # Applying an empty key set equals applying nothing.
+        empty = dec.reconstruct(0.0, keys=set())
+        smooth = dec.reconstruct(1.01)
+        assert np.allclose(empty.vertices, smooth.vertices)
+
+    def test_keys_all_equals_full(self, decomposition):
+        dec, hierarchy = decomposition
+        keys = {
+            CoefficientKey(j, i)
+            for j, lvl in enumerate(dec.levels)
+            for i in range(lvl.count)
+        }
+        rebuilt = dec.reconstruct(0.0, keys=keys)
+        assert np.allclose(rebuilt.vertices, hierarchy.finest.vertices)
+
+
+class TestRecords:
+    def test_record_counts(self, decomposition):
+        dec, _ = decomposition
+        records = dec.records(42)
+        base = [r for r in records if r.kind is CoefficientKind.BASE]
+        detail = [r for r in records if r.kind is CoefficientKind.DETAIL]
+        assert len(base) == dec.base.vertex_count
+        assert len(detail) == dec.detail_count
+
+    def test_record_identity(self, decomposition):
+        dec, _ = decomposition
+        records = dec.records(42)
+        uids = {r.uid for r in records}
+        assert len(uids) == len(records)
+        assert all(r.object_id == 42 for r in records)
+
+    def test_base_records_value_one(self, decomposition):
+        dec, _ = decomposition
+        for r in dec.records(1):
+            if r.kind is CoefficientKind.BASE:
+                assert r.value == 1.0
+
+    def test_detail_positions_inside_support(self, decomposition):
+        dec, _ = decomposition
+        for r in dec.records(1):
+            if r.kind is CoefficientKind.DETAIL:
+                assert r.support_box.contains_point(r.position)
+
+    def test_bytes_monotone_in_threshold(self, decomposition):
+        dec, _ = decomposition
+        sizes = [dec.bytes_at_threshold(w) for w in (0.0, 0.3, 0.7, 1.01)]
+        assert sizes[0] >= sizes[1] >= sizes[2] >= sizes[3]
+        assert sizes[0] == dec.total_bytes()
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 10_000), st.floats(0.0, 1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_perfect_reconstruction_random_objects(self, seed: int, w: float):
+        hierarchy = generate_deformed_hierarchy(
+            icosahedron(), 2, np.random.default_rng(seed)
+        )
+        dec = analyze_hierarchy(hierarchy)
+        assert np.allclose(
+            dec.reconstruct(0.0).vertices, hierarchy.finest.vertices
+        )
+        # Any threshold reconstruction has the full topology.
+        partial = dec.reconstruct(w)
+        assert partial.vertex_count == hierarchy.finest.vertex_count
+
+
+class TestTopologyGuards:
+    def test_reconstruct_rejects_foreign_coefficients(self):
+        """Coefficients from one object cannot synthesise another."""
+        from repro.wavelets.analysis import WaveletDecomposition
+
+        a = analyze_hierarchy(
+            generate_deformed_hierarchy(
+                octahedron(), 1, np.random.default_rng(0)
+            )
+        )
+        b = analyze_hierarchy(
+            generate_deformed_hierarchy(
+                icosahedron(), 1, np.random.default_rng(0)
+            )
+        )
+        frankenstein = WaveletDecomposition(base=b.base, levels=a.levels)
+        with pytest.raises(WaveletError):
+            frankenstein.reconstruct(0.0)

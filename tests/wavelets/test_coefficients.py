@@ -1,0 +1,94 @@
+"""Tests for coefficient records."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WaveletError
+from repro.geometry.box import Box
+from repro.wavelets.coefficients import (
+    CoefficientKey,
+    CoefficientKind,
+    CoefficientRecord,
+)
+
+
+def make_record(**overrides):
+    defaults = dict(
+        object_id=1,
+        key=CoefficientKey(0, 3),
+        kind=CoefficientKind.DETAIL,
+        position=np.array([1.0, 2.0, 3.0]),
+        value=0.5,
+        support_box=Box((0, 0, 0), (2, 3, 4)),
+        size_bytes=12,
+    )
+    defaults.update(overrides)
+    return CoefficientRecord(**defaults)
+
+
+class TestKey:
+    def test_ordering(self):
+        assert CoefficientKey(-1, 0) < CoefficientKey(0, 0)
+        assert CoefficientKey(0, 1) < CoefficientKey(1, 0)
+
+    def test_is_base(self):
+        assert CoefficientKey(-1, 5).is_base
+        assert not CoefficientKey(0, 5).is_base
+
+    def test_invalid_levels(self):
+        with pytest.raises(WaveletError):
+            CoefficientKey(-2, 0)
+        with pytest.raises(WaveletError):
+            CoefficientKey(0, -1)
+
+
+class TestRecordValidation:
+    def test_valid_record(self):
+        record = make_record()
+        assert record.uid == (1, 0, 3)
+
+    def test_bad_position(self):
+        with pytest.raises(WaveletError):
+            make_record(position=np.zeros(2))
+
+    def test_value_out_of_range(self):
+        with pytest.raises(WaveletError):
+            make_record(value=1.5)
+        with pytest.raises(WaveletError):
+            make_record(value=-0.1)
+
+    def test_kind_level_consistency(self):
+        with pytest.raises(WaveletError):
+            make_record(kind=CoefficientKind.BASE)  # level 0 but BASE
+        with pytest.raises(WaveletError):
+            make_record(key=CoefficientKey(-1, 0))  # level -1 but DETAIL
+
+    def test_support_box_must_be_3d(self):
+        with pytest.raises(WaveletError):
+            make_record(support_box=Box((0, 0), (1, 1)))
+
+    def test_size_bytes_positive(self):
+        with pytest.raises(WaveletError):
+            make_record(size_bytes=0)
+
+
+class TestMatching:
+    def test_matches_band_and_region(self):
+        record = make_record()
+        region = Box((1, 1, 1), (5, 5, 5))
+        assert record.matches(region, 0.0, 1.0)
+        assert record.matches(region, 0.5, 0.5)
+        assert not record.matches(region, 0.6, 1.0)
+        assert not record.matches(region, 0.0, 0.4)
+
+    def test_matches_region_miss(self):
+        record = make_record()
+        far = Box((10, 10, 10), (11, 11, 11))
+        assert not record.matches(far, 0.0, 1.0)
+
+    def test_matches_touching_region(self):
+        record = make_record()  # support high corner (2, 3, 4)
+        touching = Box((2, 3, 4), (5, 5, 5))
+        assert record.matches(touching, 0.0, 1.0)

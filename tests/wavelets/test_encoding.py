@@ -1,0 +1,58 @@
+"""Tests for the wire-encoding model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wavelets.encoding import DEFAULT_ENCODING, EncodingModel
+
+
+class TestEncodingModel:
+    def test_defaults_positive(self):
+        model = DEFAULT_ENCODING
+        assert model.bytes_per_base_vertex > 0
+        assert model.bytes_per_coefficient > 0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            EncodingModel(bytes_per_base_vertex=0)
+        with pytest.raises(ValueError):
+            EncodingModel(bytes_per_coefficient=-1)
+        with pytest.raises(ValueError):
+            EncodingModel(object_header_bytes=0)
+        with pytest.raises(ValueError):
+            EncodingModel(bytes_per_face=0)
+
+    def test_base_mesh_bytes(self):
+        model = EncodingModel(
+            bytes_per_base_vertex=10,
+            bytes_per_face=6,
+            bytes_per_coefficient=4,
+            object_header_bytes=20,
+        )
+        assert model.base_mesh_bytes(8, 12) == 20 + 80 + 72
+
+    def test_coefficients_bytes_linear(self):
+        model = DEFAULT_ENCODING
+        assert model.coefficients_bytes(0) == 0
+        assert model.coefficients_bytes(10) == 10 * model.bytes_per_coefficient
+
+    def test_object_bytes_composition(self):
+        model = DEFAULT_ENCODING
+        assert model.object_bytes(8, 12, 100) == model.base_mesh_bytes(
+            8, 12
+        ) + model.coefficients_bytes(100)
+
+    def test_wavelets_more_compact_than_vertices(self):
+        """The paper's premise: a coefficient costs less than a vertex."""
+        model = DEFAULT_ENCODING
+        assert model.coefficient_bytes() < model.base_vertex_bytes()
+
+    def test_per_record_accessors(self):
+        model = DEFAULT_ENCODING
+        assert model.base_vertex_bytes() == model.bytes_per_base_vertex
+        assert model.coefficient_bytes() == model.bytes_per_coefficient
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_ENCODING.bytes_per_face = 99  # type: ignore[misc]

@@ -1,0 +1,141 @@
+"""Tests for the binary wire format."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import WaveletError
+from repro.mesh.generators import procedural_building, procedural_landmark
+from repro.wavelets.analysis import analyze_hierarchy
+from repro.wavelets.encoding import DEFAULT_ENCODING
+from repro.wavelets.serialization import (
+    WIRE_MAGIC,
+    deserialize_decomposition,
+    serialize_decomposition,
+)
+
+
+@pytest.fixture(scope="module")
+def decomposition():
+    hierarchy = procedural_building(np.random.default_rng(8), levels=2)
+    return analyze_hierarchy(hierarchy)
+
+
+class TestRoundTrip:
+    def test_object_id_preserved(self, decomposition):
+        blob = serialize_decomposition(decomposition, 1234)
+        object_id, back = deserialize_decomposition(blob)
+        assert object_id == 1234
+        assert back.depth == decomposition.depth
+        assert back.detail_count == decomposition.detail_count
+
+    def test_geometry_within_quantisation(self, decomposition):
+        blob = serialize_decomposition(decomposition, 1)
+        _, back = deserialize_decomposition(blob)
+        original = decomposition.reconstruct(0.0).vertices
+        rebuilt = back.reconstruct(0.0).vertices
+        max_mag = max(
+            float(np.abs(level.displacements).max())
+            for level in decomposition.levels
+        )
+        # int16 grid: one step is max_mag / 32760 per level application;
+        # cascading through levels can compound by a small factor.
+        tolerance = 10 * max_mag / 32760
+        assert float(np.abs(original - rebuilt).max()) <= tolerance
+
+    def test_base_mesh_exact(self, decomposition):
+        blob = serialize_decomposition(decomposition, 1)
+        _, back = deserialize_decomposition(blob)
+        assert np.allclose(back.base.vertices, decomposition.base.vertices)
+        assert np.array_equal(back.base.faces, decomposition.base.faces)
+
+    def test_values_approximately_preserved(self, decomposition):
+        blob = serialize_decomposition(decomposition, 1)
+        _, back = deserialize_decomposition(blob)
+        for lvl_a, lvl_b in zip(decomposition.levels, back.levels):
+            assert np.allclose(lvl_a.values, lvl_b.values, atol=1e-3)
+
+    def test_landmark_roundtrip(self):
+        hierarchy = procedural_landmark(np.random.default_rng(2), levels=3)
+        dec = analyze_hierarchy(hierarchy)
+        _, back = deserialize_decomposition(serialize_decomposition(dec, 7))
+        assert back.depth == 3
+        assert back.detail_count == dec.detail_count
+
+
+class TestSizeAccounting:
+    def test_blob_size_matches_encoding_model(self, decomposition):
+        """The wire format must charge exactly what EncodingModel quotes."""
+        blob = serialize_decomposition(decomposition, 1)
+        expected = DEFAULT_ENCODING.object_bytes(
+            decomposition.base.vertex_count,
+            decomposition.base.face_count,
+            decomposition.detail_count,
+        )
+        assert len(blob) == expected
+
+
+class TestValidation:
+    def test_bad_magic_rejected(self, decomposition):
+        blob = bytearray(serialize_decomposition(decomposition, 1))
+        blob[0] ^= 0xFF
+        with pytest.raises(WaveletError):
+            deserialize_decomposition(bytes(blob))
+
+    def test_truncated_rejected(self, decomposition):
+        blob = serialize_decomposition(decomposition, 1)
+        with pytest.raises(WaveletError):
+            deserialize_decomposition(blob[:16])
+        with pytest.raises(WaveletError):
+            deserialize_decomposition(blob[:-4])
+
+    def test_trailing_garbage_rejected(self, decomposition):
+        blob = serialize_decomposition(decomposition, 1)
+        with pytest.raises(WaveletError):
+            deserialize_decomposition(blob + b"\x00" * 4)
+
+    def test_bad_version_rejected(self, decomposition):
+        blob = bytearray(serialize_decomposition(decomposition, 1))
+        struct.pack_into("<H", blob, 2, 99)
+        with pytest.raises(WaveletError):
+            deserialize_decomposition(bytes(blob))
+
+    def test_object_id_range_checked(self, decomposition):
+        with pytest.raises(WaveletError):
+            serialize_decomposition(decomposition, -1)
+        with pytest.raises(WaveletError):
+            serialize_decomposition(decomposition, 2**32)
+
+    def test_magic_constant(self, decomposition):
+        blob = serialize_decomposition(decomposition, 1)
+        (magic,) = struct.unpack_from("<H", blob, 0)
+        assert magic == WIRE_MAGIC
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+class TestPropertyRoundTrip:
+    @given(st.integers(0, 10_000), st.integers(1, 3))
+    @settings(max_examples=8, deadline=None)
+    def test_random_objects_roundtrip(self, seed: int, levels: int):
+        from repro.mesh.generators import generate_deformed_hierarchy, octahedron
+
+        hierarchy = generate_deformed_hierarchy(
+            octahedron(), levels, np.random.default_rng(seed)
+        )
+        dec = analyze_hierarchy(hierarchy)
+        object_id, back = deserialize_decomposition(
+            serialize_decomposition(dec, seed % 2**32)
+        )
+        assert object_id == seed % 2**32
+        assert back.depth == dec.depth
+        assert back.detail_count == dec.detail_count
+        a = dec.reconstruct(0.0).vertices
+        b = back.reconstruct(0.0).vertices
+        span = float(np.abs(a).max()) + 1.0
+        assert float(np.abs(a - b).max()) < 1e-3 * span

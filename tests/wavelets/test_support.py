@@ -1,0 +1,122 @@
+"""Tests for wavelet support regions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WaveletError
+from repro.geometry.box import Box
+from repro.mesh.generators import generate_deformed_hierarchy, icosahedron, octahedron
+from repro.mesh.subdivision import midpoint_subdivide
+from repro.mesh.trimesh import TriMesh
+from repro.wavelets.support import (
+    affected_region,
+    all_support_boxes,
+    base_vertex_support_box,
+    support_box,
+    support_vertices,
+)
+
+
+class TestSupportVertices:
+    def test_one_ring_around_inserted_vertex(self):
+        step = midpoint_subdivide(octahedron())
+        fine_idx = step.fine_index(0)
+        verts = support_vertices(step.fine, fine_idx)
+        assert fine_idx in verts
+        # The support polygon includes both parent endpoints.
+        a, b = step.parent_edges[0]
+        assert a in verts and b in verts
+
+    def test_isolated_vertex_rejected(self):
+        mesh = TriMesh(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [9, 9, 9]], [[0, 1, 2]]
+        )
+        with pytest.raises(WaveletError):
+            support_vertices(mesh, 3)
+
+
+class TestSupportBoxes:
+    def test_support_box_bounds_polygon(self):
+        step = midpoint_subdivide(icosahedron())
+        for i in range(0, step.inserted_count, 7):
+            fine_idx = step.fine_index(i)
+            box = support_box(step.fine, fine_idx)
+            for v in support_vertices(step.fine, fine_idx):
+                assert box.contains_point(step.fine.vertices[v])
+
+    def test_all_support_boxes_count(self):
+        hierarchy = generate_deformed_hierarchy(
+            octahedron(), 1, np.random.default_rng(0)
+        )
+        level = hierarchy.levels[0]
+        boxes = all_support_boxes(level.step, level.deformed_fine)
+        assert len(boxes) == level.step.inserted_count
+
+    def test_all_support_boxes_use_deformed_geometry(self):
+        hierarchy = generate_deformed_hierarchy(
+            octahedron(), 1, np.random.default_rng(0), amplitude=0.5
+        )
+        level = hierarchy.levels[0]
+        deformed = all_support_boxes(level.step, level.deformed_fine)
+        undeformed = all_support_boxes(level.step, level.step.fine)
+        assert any(a != b for a, b in zip(deformed, undeformed))
+
+    def test_all_support_boxes_shape_mismatch_rejected(self):
+        h1 = generate_deformed_hierarchy(octahedron(), 1, np.random.default_rng(0))
+        with pytest.raises(WaveletError):
+            all_support_boxes(h1.levels[0].step, octahedron())
+
+    def test_base_vertex_support(self):
+        mesh = octahedron()
+        box = base_vertex_support_box(mesh, 0)
+        # Vertex 0 = (1,0,0); its one-ring spans the four equatorial faces.
+        assert box.contains_point(mesh.vertices[0])
+        assert box.volume > 0
+
+    def test_base_vertex_isolated_degenerates_to_point(self):
+        mesh = TriMesh(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [9, 9, 9]], [[0, 1, 2]]
+        )
+        box = base_vertex_support_box(mesh, 3)
+        assert box.is_degenerate()
+        assert box.contains_point([9, 9, 9])
+
+
+class TestMonotonicityProperty:
+    """Section VI-A: R2 subset R1 implies R2' subset R1'."""
+
+    def test_affected_region_is_intersection(self):
+        region = Box((0, 0, 0), (10, 10, 10))
+        support = Box((5, 5, 5), (15, 15, 15))
+        affected = affected_region(region, support)
+        assert affected == Box((5, 5, 5), (10, 10, 10))
+
+    def test_affected_region_none_when_disjoint(self):
+        region = Box((0, 0, 0), (1, 1, 1))
+        support = Box((5, 5, 5), (6, 6, 6))
+        assert affected_region(region, support) is None
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_containment_preserved(self, seed: int):
+        rng = np.random.default_rng(seed)
+        lo1 = rng.uniform(-10, 0, 3)
+        hi1 = lo1 + rng.uniform(5, 15, 3)
+        r1 = Box(lo1, hi1)
+        # r2 inside r1
+        lo2 = lo1 + rng.uniform(0, 2, 3)
+        hi2 = hi1 - rng.uniform(0, 2, 3)
+        r2 = Box(np.minimum(lo2, hi2), np.maximum(lo2, hi2))
+        if not r1.contains_box(r2):
+            return
+        support_lo = rng.uniform(-12, 8, 3)
+        support = Box(support_lo, support_lo + rng.uniform(1, 10, 3))
+        a1 = affected_region(r1, support)
+        a2 = affected_region(r2, support)
+        if a2 is not None:
+            assert a1 is not None
+            assert a1.contains_box(a2)

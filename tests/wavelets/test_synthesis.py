@@ -1,0 +1,142 @@
+"""Tests for client-side progressive synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WaveletError
+from repro.mesh.generators import procedural_building
+from repro.wavelets.analysis import analyze_hierarchy
+from repro.wavelets.coefficients import CoefficientKey, CoefficientKind
+from repro.wavelets.synthesis import ProgressiveMesh
+
+
+@pytest.fixture(scope="module")
+def object_data():
+    hierarchy = procedural_building(np.random.default_rng(21), levels=2)
+    dec = analyze_hierarchy(hierarchy)
+    records = dec.records(5)
+    return hierarchy, dec, records
+
+
+def detail_records(records):
+    return [r for r in records if r.kind is CoefficientKind.DETAIL]
+
+
+class TestReceiving:
+    def test_base_required_before_render(self, object_data):
+        _, _, _ = object_data
+        pm = ProgressiveMesh(5)
+        assert not pm.has_base
+        with pytest.raises(WaveletError):
+            pm.current_mesh()
+
+    def test_set_base_idempotent(self, object_data):
+        _, dec, _ = object_data
+        pm = ProgressiveMesh(5)
+        assert pm.set_base(dec.base, 100)
+        assert not pm.set_base(dec.base, 100)
+        assert pm.received_bytes == 100
+        assert pm.duplicate_bytes == 100
+
+    def test_receive_counts_duplicates(self, object_data):
+        _, dec, records = object_data
+        pm = ProgressiveMesh(5)
+        record = detail_records(records)[0]
+        disp = dec.levels[record.key.level].displacements[record.key.index]
+        assert pm.receive(record, disp)
+        assert not pm.receive(record, disp)
+        assert pm.duplicate_bytes == record.size_bytes
+        assert pm.detail_count == 1
+
+    def test_wrong_object_rejected(self, object_data):
+        _, dec, records = object_data
+        pm = ProgressiveMesh(999)
+        record = detail_records(records)[0]
+        with pytest.raises(WaveletError):
+            pm.receive(record, np.zeros(3))
+
+    def test_base_record_via_receive_rejected(self, object_data):
+        _, _, records = object_data
+        pm = ProgressiveMesh(5)
+        base = [r for r in records if r.kind is CoefficientKind.BASE][0]
+        with pytest.raises(WaveletError):
+            pm.receive(base, np.zeros(3))
+
+    def test_bad_displacement_shape_rejected(self, object_data):
+        _, _, records = object_data
+        pm = ProgressiveMesh(5)
+        with pytest.raises(WaveletError):
+            pm.receive(detail_records(records)[0], np.zeros(2))
+
+    def test_has_coefficient_and_keys(self, object_data):
+        _, dec, records = object_data
+        pm = ProgressiveMesh(5)
+        record = detail_records(records)[0]
+        disp = dec.levels[record.key.level].displacements[record.key.index]
+        pm.receive(record, disp)
+        assert pm.has_coefficient(record.key)
+        assert not pm.has_coefficient(CoefficientKey(1, 10**6))
+        assert pm.received_keys() == {record.key}
+
+
+class TestRendering:
+    def test_base_only_renders_base(self, object_data):
+        _, dec, _ = object_data
+        pm = ProgressiveMesh(5)
+        pm.set_base(dec.base, 100)
+        assert pm.current_mesh() == dec.base
+
+    def test_full_reception_reproduces_finest(self, object_data):
+        hierarchy, dec, records = object_data
+        pm = ProgressiveMesh(5)
+        pm.set_base(dec.base, 100)
+        for record in detail_records(records):
+            disp = dec.levels[record.key.level].displacements[record.key.index]
+            pm.receive(record, disp)
+        rebuilt = pm.current_mesh()
+        assert np.allclose(rebuilt.vertices, hierarchy.finest.vertices)
+
+    def test_partial_reception_matches_key_reconstruction(self, object_data):
+        _, dec, records = object_data
+        pm = ProgressiveMesh(5)
+        pm.set_base(dec.base, 100)
+        # Receive exactly the coefficients with value >= 0.3.
+        keys = set()
+        for record in detail_records(records):
+            if record.value >= 0.3:
+                disp = dec.levels[record.key.level].displacements[
+                    record.key.index
+                ]
+                pm.receive(record, disp)
+                keys.add(record.key)
+        rebuilt = pm.current_mesh(levels=dec.depth)
+        expected = dec.reconstruct(0.0, keys=keys)
+        assert np.allclose(rebuilt.vertices, expected.vertices)
+
+    def test_out_of_order_reception(self, object_data):
+        hierarchy, dec, records = object_data
+        pm = ProgressiveMesh(5)
+        details = detail_records(records)
+        # Details first (reverse order), base last.
+        for record in reversed(details):
+            disp = dec.levels[record.key.level].displacements[record.key.index]
+            pm.receive(record, disp)
+        pm.set_base(dec.base, 100)
+        rebuilt = pm.current_mesh()
+        assert np.allclose(rebuilt.vertices, hierarchy.finest.vertices)
+
+    def test_explicit_levels_argument(self, object_data):
+        _, dec, _ = object_data
+        pm = ProgressiveMesh(5)
+        pm.set_base(dec.base, 100)
+        lvl1 = pm.current_mesh(levels=1)
+        assert lvl1.face_count == dec.base.face_count * 4
+        with pytest.raises(WaveletError):
+            pm.current_mesh(levels=-1)
+
+    def test_repr(self, object_data):
+        _, dec, _ = object_data
+        pm = ProgressiveMesh(5)
+        assert "object=5" in repr(pm)

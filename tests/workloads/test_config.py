@@ -1,0 +1,81 @@
+"""Tests for experiment configuration and scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.config import (
+    PAPER_BUFFER_KB,
+    PAPER_DATASETS_MB,
+    PAPER_QUERY_FRACS,
+    PAPER_SPEEDS,
+    ExperimentScale,
+)
+
+
+class TestPaperAxes:
+    def test_speed_axis(self):
+        assert PAPER_SPEEDS[0] == 0.001
+        assert PAPER_SPEEDS[-1] == 1.0
+
+    def test_query_fracs(self):
+        assert PAPER_QUERY_FRACS == (0.05, 0.10, 0.15, 0.20)
+
+    def test_buffers(self):
+        assert PAPER_BUFFER_KB == (16, 32, 64, 128)
+
+    def test_datasets(self):
+        assert PAPER_DATASETS_MB == (20, 40, 60, 80)
+
+
+class TestExperimentScale:
+    def test_default_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        scale = ExperimentScale()
+        assert scale.scale == 2.0
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "zero")
+        with pytest.raises(ConfigurationError):
+            ExperimentScale()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ConfigurationError):
+            ExperimentScale()
+
+    def test_objects_proportional_to_paper_mb(self):
+        scale = ExperimentScale(scale=1.0)
+        counts = [scale.objects_for(mb) for mb in PAPER_DATASETS_MB]
+        assert counts[1] == 2 * counts[0]
+        assert counts[3] == 4 * counts[0]
+        assert scale.default_objects == scale.objects_for(60)
+
+    def test_objects_reject_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(scale=1.0).objects_for(50)
+
+    def test_scaling_increases_sizes(self):
+        small = ExperimentScale(scale=1.0)
+        big = ExperimentScale(scale=4.0)
+        assert big.default_objects > small.default_objects
+        assert big.tour_steps > small.tour_steps
+        assert big.tours_per_kind > small.tours_per_kind
+
+    def test_buffer_bytes(self):
+        scale = ExperimentScale(scale=1.0)
+        assert scale.buffer_bytes(16) == 16 * 1024
+        with pytest.raises(ConfigurationError):
+            scale.buffer_bytes(0)
+
+    def test_space_and_grid(self):
+        scale = ExperimentScale(scale=1.0)
+        assert scale.space.ndim == 2
+        assert len(scale.grid_shape) == 2
+        assert scale.levels >= 1
+        assert scale.buffer_levels >= 1
+        assert scale.buffer_objects > scale.default_objects
+
+    def test_link_is_paper_link(self):
+        link = ExperimentScale(scale=1.0).link
+        assert link.bandwidth_bps == 256_000.0
+        assert link.latency_s == 0.2
