@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# One-shot correctness gate: reprolint + ruff + mypy + tier-1 tests.
+#
+# ruff and mypy are optional in the offline image; when a tool is not
+# installed it is reported as skipped, never silently passed.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== reprolint =="
+python -m repro.analysis src/repro
+
+echo "== ruff =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests
+else
+    echo "ruff not installed -- skipped"
+fi
+
+echo "== mypy (strict: core, geometry, net, index) =="
+if command -v mypy >/dev/null 2>&1; then
+    mypy -p repro.core -p repro.geometry -p repro.net -p repro.index
+else
+    echo "mypy not installed -- skipped"
+fi
+
+echo "== pytest (tier-1) =="
+python -m pytest -x -q

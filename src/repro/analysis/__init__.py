@@ -1,0 +1,49 @@
+"""reprolint — domain-aware static analysis for the repro codebase.
+
+The experiments in this repository are only meaningful if a handful of
+invariants hold everywhere: simulated time flows through ``SimClock``,
+every random draw is seeded and injected, normalised wavelet
+coefficients stay in ``[0, 1]``, and the package layering of DESIGN.md
+keeps dependencies pointing downward.  None of those invariants fail a
+unit test when violated — they corrupt benchmark numbers silently.
+This package enforces them statically.
+
+Usage::
+
+    python -m repro.analysis src/repro        # lint a tree
+    python -m repro.analysis --list-rules     # rule catalogue
+    python -m repro lint                      # same engine via the main CLI
+
+Suppress a finding inline with ``# reprolint: disable=RL001`` (or
+``disable-file=`` for a whole module) and configure via
+``[tool.reprolint]`` in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import DEFAULT_LAYERS, LintConfig, load_config
+from repro.analysis.engine import (
+    Suppressions,
+    analyze_file,
+    analyze_source,
+    run_analysis,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules, get_rule, register, rule_ids
+
+__all__ = [
+    "DEFAULT_LAYERS",
+    "LintConfig",
+    "load_config",
+    "Suppressions",
+    "analyze_file",
+    "analyze_source",
+    "run_analysis",
+    "Finding",
+    "Severity",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "rule_ids",
+]

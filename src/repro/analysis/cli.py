@@ -1,0 +1,153 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 when no finding reaches the failure threshold
+(``--fail-on``, default *warning*), 1 when findings do, 2 on usage or
+configuration errors — mirroring pytest's convention so CI treats
+configuration mistakes differently from lint failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import run_analysis
+from repro.analysis.findings import Severity
+from repro.analysis.registry import all_rules, rule_ids
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_rule_list(text: str, option: str) -> frozenset[str]:
+    """Split a comma-separated rule list, rejecting unknown ids.
+
+    A typo'd --select would otherwise select nothing and report a
+    clean tree — the worst possible failure mode for a lint gate.
+    """
+    from repro.errors import ConfigurationError
+
+    ids = frozenset(part.strip() for part in text.split(",") if part.strip())
+    unknown = ids - set(rule_ids())
+    if unknown:
+        raise ConfigurationError(
+            f"{option}: unknown rule id(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(rule_ids())}"
+        )
+    return ids
+
+
+def _default_pyproject(paths: list[str]) -> Path | None:
+    """Find a pyproject.toml above the first input path (or cwd)."""
+    start = Path(paths[0]).resolve() if paths else Path.cwd()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="reprolint: domain-aware static analysis for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--config",
+        help="pyproject.toml to read [tool.reprolint] from "
+        "(default: nearest pyproject.toml above the first path)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore any pyproject.toml and run with built-in defaults",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=[s.name.lower() for s in Severity],
+        help="minimum severity that causes a non-zero exit (default: warning)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line; print findings only",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.rule_id}  [{rule.default_severity.name.lower():7s}] "
+              f"{rule.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+
+    try:
+        if args.no_config:
+            config = LintConfig()
+        else:
+            pyproject = (
+                Path(args.config) if args.config else _default_pyproject(paths)
+            )
+            config = load_config(pyproject)
+        if args.select:
+            config.select = _parse_rule_list(args.select, "--select")
+        if args.ignore:
+            config.ignore = config.ignore | _parse_rule_list(
+                args.ignore, "--ignore"
+            )
+        if args.fail_on:
+            config.fail_on = Severity.parse(args.fail_on)
+        findings = run_analysis(paths, config)
+    except ReproError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    failing = [f for f in findings if f.severity >= config.fail_on]
+    if not args.quiet:
+        checked = ", ".join(paths)
+        if findings:
+            print(
+                f"reprolint: {len(findings)} finding(s) in {checked} "
+                f"({len(failing)} at/above {config.fail_on.name.lower()})"
+            )
+        else:
+            print(f"reprolint: clean ({checked})")
+    return 1 if failing else 0

@@ -1,0 +1,183 @@
+"""Configuration for reprolint.
+
+Defaults live here so the engine is fully functional without any
+``pyproject.toml``; a ``[tool.reprolint]`` section overrides them.  The
+layer ranks mirror the dependency order documented in ``DESIGN.md`` —  a
+package may import packages of equal or lower rank only (RL007).
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+from repro.analysis.findings import Severity
+
+__all__ = ["LintConfig", "load_config", "DEFAULT_LAYERS"]
+
+#: Package → layer rank.  Lower ranks are more fundamental; a module may
+#: only import packages whose rank is <= its own.  ``errors`` is the
+#: shared foundation; ``cli`` and ``analysis`` sit at the top.
+DEFAULT_LAYERS: dict[str, int] = {
+    "errors": 0,
+    "geometry": 1,
+    "mesh": 2,
+    "wavelets": 3,
+    "index": 4,
+    "net": 4,
+    "motion": 4,
+    "buffering": 5,
+    "server": 5,
+    "core": 6,
+    "workloads": 7,
+    "experiments": 8,
+    "analysis": 9,
+    "cli": 9,
+}
+
+#: Wall-clock reads forbidden by RL001 (fully-qualified callables).
+DEFAULT_WALLCLOCK_CALLS: frozenset[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Modules (glob patterns over the posix relative path) allowed to read
+#: the wall clock: genuine instrumentation of the *host* process, never
+#: of simulated components.
+DEFAULT_WALLCLOCK_ALLOW: tuple[str, ...] = ("*experiments/__main__.py",)
+
+#: numpy.random attributes that construct seeded/injectable generators
+#: rather than touching hidden global state (RL002).
+DEFAULT_RNG_CONSTRUCTORS: frozenset[str] = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "PCG64DXSM", "Philox", "MT19937"}
+)
+
+#: Keyword-argument names whose literal values must lie in [0, 1]
+#: (RL008): normalised wavelet coefficients, probabilities, rates.
+DEFAULT_BOUNDED_KEYWORDS: frozenset[str] = frozenset(
+    {
+        "loss_rate",
+        "probability",
+        "prob",
+        "fraction",
+        "query_frac",
+        "w_min",
+        "w_max",
+        "w_threshold",
+        "normalised_magnitude",
+        "hit_rate",
+    }
+)
+
+#: Builtin exceptions that are legitimate to raise from library code even
+#: under RL006: abstract-method guards, interpreter-protocol exceptions.
+DEFAULT_EXCEPTION_ALLOW: frozenset[str] = frozenset(
+    {"NotImplementedError", "SystemExit", "KeyboardInterrupt", "StopIteration"}
+)
+
+
+@dataclass
+class LintConfig:
+    """Effective reprolint configuration after merging pyproject overrides."""
+
+    select: frozenset[str] | None = None  # None == all registered rules
+    ignore: frozenset[str] = frozenset()
+    severity_overrides: dict[str, Severity] = field(default_factory=dict)
+    layers: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_LAYERS))
+    wallclock_calls: frozenset[str] = DEFAULT_WALLCLOCK_CALLS
+    wallclock_allow: tuple[str, ...] = DEFAULT_WALLCLOCK_ALLOW
+    rng_constructors: frozenset[str] = DEFAULT_RNG_CONSTRUCTORS
+    bounded_keywords: frozenset[str] = DEFAULT_BOUNDED_KEYWORDS
+    exception_allow: frozenset[str] = DEFAULT_EXCEPTION_ALLOW
+    fail_on: Severity = Severity.WARNING
+
+    def is_selected(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        return self.select is None or rule_id in self.select
+
+
+def _as_str_tuple(value: Any, key: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise ConfigurationError(f"[tool.reprolint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def load_config(pyproject: str | Path | None = None) -> LintConfig:
+    """Build a :class:`LintConfig`, merging ``[tool.reprolint]`` if present.
+
+    ``pyproject`` may be a path to a ``pyproject.toml``; when ``None``,
+    the defaults are returned unchanged.  Unknown keys are rejected so a
+    typo in configuration fails loudly instead of silently disabling a
+    rule.
+    """
+    config = LintConfig()
+    if pyproject is None:
+        return config
+    path = Path(pyproject)
+    if not path.is_file():
+        raise ConfigurationError(f"no such pyproject file: {path}")
+    with path.open("rb") as handle:
+        data = tomllib.load(handle)
+    section = data.get("tool", {}).get("reprolint", {})
+    known = {
+        "select",
+        "ignore",
+        "severity",
+        "layers",
+        "wallclock-allow",
+        "bounded-keywords",
+        "fail-on",
+    }
+    unknown = set(section) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown [tool.reprolint] keys: {', '.join(sorted(unknown))}"
+        )
+    if "select" in section:
+        config.select = frozenset(_as_str_tuple(section["select"], "select"))
+    if "ignore" in section:
+        config.ignore = frozenset(_as_str_tuple(section["ignore"], "ignore"))
+    if "severity" in section:
+        overrides = section["severity"]
+        if not isinstance(overrides, dict):
+            raise ConfigurationError("[tool.reprolint] severity must be a table")
+        config.severity_overrides = {
+            rule: Severity.parse(str(level)) for rule, level in overrides.items()
+        }
+    if "layers" in section:
+        layers = section["layers"]
+        if not isinstance(layers, dict) or not all(
+            isinstance(v, int) for v in layers.values()
+        ):
+            raise ConfigurationError(
+                "[tool.reprolint] layers must map package names to integer ranks"
+            )
+        config.layers = dict(DEFAULT_LAYERS, **layers)
+    if "wallclock-allow" in section:
+        config.wallclock_allow = _as_str_tuple(
+            section["wallclock-allow"], "wallclock-allow"
+        )
+    if "bounded-keywords" in section:
+        config.bounded_keywords = frozenset(
+            _as_str_tuple(section["bounded-keywords"], "bounded-keywords")
+        )
+    if "fail-on" in section:
+        config.fail_on = Severity.parse(str(section["fail-on"]))
+    return config

@@ -1,0 +1,137 @@
+"""Per-module analysis context shared by every rule.
+
+The engine parses each file once and hands rules a
+:class:`ModuleContext` carrying the AST, a child→parent map, and an
+import-alias table able to resolve ``np.random.default_rng`` back to
+``numpy.random.default_rng`` regardless of how the module spelled its
+imports.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+
+__all__ = ["ImportTable", "ModuleContext", "build_context"]
+
+
+@dataclass
+class ImportTable:
+    """Maps local names to the fully-qualified names they denote.
+
+    ``import numpy as np``            → aliases["np"] = "numpy"
+    ``from time import time as now``  → aliases["now"] = "time.time"
+    ``from repro import errors``      → aliases["errors"] = "repro.errors"
+    """
+
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: fully-qualified modules named by plain/from imports, used by the
+    #: layering rule; maps qualified name → first line importing it.
+    imported_modules: dict[str, int] = field(default_factory=dict)
+
+    def record_import(self, node: ast.Import) -> None:
+        for item in node.names:
+            local = item.asname or item.name.split(".")[0]
+            # ``import a.b.c`` binds ``a``; ``import a.b.c as x`` binds x→a.b.c
+            self.aliases[local] = item.name if item.asname else item.name.split(".")[0]
+            self.imported_modules.setdefault(item.name, node.lineno)
+
+    def record_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            # Relative imports stay within one package; the layering rule
+            # only polices absolute cross-package imports.
+            return
+        self.imported_modules.setdefault(node.module, node.lineno)
+        for item in node.names:
+            if item.name == "*":
+                continue
+            local = item.asname or item.name
+            self.aliases[local] = f"{node.module}.{item.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Fully-qualified dotted name for a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        current: ast.expr = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self.aliases.get(current.id, current.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to examine one parsed module."""
+
+    path: Path
+    #: posix-style path relative to the analysis root (stable in reports)
+    rel_path: str
+    #: dotted module name under ``repro`` (e.g. ``repro.net.link``), or
+    #: None when the file lies outside a recognisable package tree.
+    module: str | None
+    source: str
+    tree: ast.Module
+    imports: ImportTable
+    parents: dict[ast.AST, ast.AST]
+    config: LintConfig
+
+    def parent_statement(self, node: ast.AST) -> ast.stmt | None:
+        """Nearest enclosing statement (the node itself if a statement)."""
+        current: ast.AST | None = node
+        while current is not None and not isinstance(current, ast.stmt):
+            current = self.parents.get(current)
+        return current
+
+    def ancestors(self, node: ast.AST) -> list[ast.AST]:
+        out: list[ast.AST] = []
+        current = self.parents.get(node)
+        while current is not None:
+            out.append(current)
+            current = self.parents.get(current)
+        return out
+
+
+def _dotted_module(path: Path) -> str | None:
+    """Derive ``repro.x.y`` from any path containing a ``repro`` dir."""
+    parts = list(path.with_suffix("").parts)
+    for anchor in ("repro",):
+        if anchor in parts:
+            tail = parts[parts.index(anchor) :]
+            if tail[-1] == "__init__":
+                tail = tail[:-1]
+            return ".".join(tail)
+    return None
+
+
+def build_context(
+    path: Path, source: str, tree: ast.Module, root: Path, config: LintConfig
+) -> ModuleContext:
+    parents: dict[ast.AST, ast.AST] = {}
+    imports = ImportTable()
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+        if isinstance(node, ast.Import):
+            imports.record_import(node)
+        elif isinstance(node, ast.ImportFrom):
+            imports.record_import_from(node)
+    try:
+        rel = path.relative_to(root).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return ModuleContext(
+        path=path,
+        rel_path=rel,
+        module=_dotted_module(path),
+        source=source,
+        tree=tree,
+        imports=imports,
+        parents=parents,
+        config=config,
+    )

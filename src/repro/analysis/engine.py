@@ -1,0 +1,150 @@
+"""The reprolint engine: discover files, parse, run rules, suppress.
+
+Suppression syntax (comments anywhere on the offending line)::
+
+    x = time.time()          # reprolint: disable=RL001
+    y = random.random()      # reprolint: disable=RL001,RL002
+    # reprolint: disable-file=RL005   (anywhere in the file)
+
+``disable=all`` silences every rule for the line (or file).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
+from repro.analysis.config import LintConfig
+from repro.analysis.context import build_context
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import all_rules
+
+__all__ = ["Suppressions", "analyze_source", "analyze_file", "run_analysis"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_,\s]+|all)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Per-line and per-file rule silencing parsed from comments."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        for scope in (self.file_wide, self.by_line.get(finding.line, set())):
+            if "all" in scope or finding.rule_id in scope:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    suppressions = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [t for t in tokens if t.type == tokenize.COMMENT]
+    except tokenize.TokenError:
+        return suppressions
+    for token in comments:
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group("ids").split(",") if part.strip()}
+        if match.group("scope") == "disable-file":
+            suppressions.file_wide |= ids
+        else:
+            suppressions.by_line.setdefault(token.start[0], set()).update(ids)
+    return suppressions
+
+
+def analyze_source(
+    source: str,
+    path: Path,
+    root: Path,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Run every selected rule over one module's source text."""
+    config = config or LintConfig()
+    try:
+        rel = path.relative_to(root).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id="RL000",
+                message=f"syntax error: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        ]
+    ctx = build_context(path, source, tree, root, config)
+    suppressions = parse_suppressions(source)
+    findings: list[Finding] = []
+    for rule in all_rules():
+        if not config.is_selected(rule.rule_id):
+            continue
+        findings.extend(rule.check(ctx))
+    return sorted(f for f in findings if not suppressions.is_suppressed(f))
+
+
+def analyze_file(
+    path: Path, root: Path, config: LintConfig | None = None
+) -> list[Finding]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read {path}: {exc}") from exc
+    return analyze_source(source, path, root, config)
+
+
+def discover(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+        elif not path.exists():
+            raise ConfigurationError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def run_analysis(
+    paths: Iterable[str | Path],
+    config: LintConfig | None = None,
+    root: str | Path | None = None,
+) -> list[Finding]:
+    """Analyze every python file under ``paths``; returns sorted findings.
+
+    ``root`` anchors the relative paths used in reports; it defaults to
+    the common parent of the inputs' directories (or cwd for a mix).
+    """
+    config = config or LintConfig()
+    resolved = [Path(p).resolve() for p in paths]
+    if root is not None:
+        root_path = Path(root).resolve()
+    elif len(resolved) == 1:
+        root_path = resolved[0] if resolved[0].is_dir() else resolved[0].parent
+    else:
+        root_path = Path.cwd()
+    findings: list[Finding] = []
+    for path in discover(resolved):
+        findings.extend(analyze_file(path, root_path, config))
+    return sorted(findings)

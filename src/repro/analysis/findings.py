@@ -1,0 +1,52 @@
+"""Finding and severity types for the reprolint static-analysis engine.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+order naturally by ``(path, line, col, rule_id)`` so reports are stable
+across runs regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.IntEnum):
+    """How serious a finding is; ordering is by increasing severity."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown severity {text!r}; choose from "
+                f"{', '.join(s.name.lower() for s in cls)}"
+            ) from None
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str = field(compare=False)
+    severity: Severity = field(compare=False, default=Severity.ERROR)
+
+    def render(self) -> str:
+        """Human-readable single-line report entry."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity.name.lower()}] {self.message}"
+        )

@@ -1,0 +1,75 @@
+"""Rule base class and registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+``repro.analysis.rules`` imports every rule module so that loading the
+package populates the registry exactly once.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["Rule", "register", "get_rule", "all_rules", "rule_ids"]
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule(abc.ABC):
+    """One invariant check run against each module's AST."""
+
+    #: e.g. ``RL001``; unique across the registry.
+    rule_id: str = ""
+    #: one-line description shown by ``--list-rules`` and the docs table.
+    description: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    @abc.abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx``; must not mutate the context."""
+
+    def finding(
+        self, ctx: ModuleContext, line: int, col: int, message: str
+    ) -> Finding:
+        severity = ctx.config.severity_overrides.get(
+            self.rule_id, self.default_severity
+        )
+        return Finding(
+            path=ctx.rel_path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            message=message,
+            severity=severity,
+        )
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    if not cls.rule_id:
+        raise ConfigurationError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ConfigurationError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls()
+    return cls
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise ConfigurationError(f"unknown rule id {rule_id!r}") from None
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in rule-id order."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    return sorted(_REGISTRY)

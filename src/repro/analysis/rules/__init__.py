@@ -1,0 +1,31 @@
+"""Rule modules; importing this package registers every rule.
+
+Grouped by the invariant family they protect:
+
+* :mod:`~repro.analysis.rules.determinism` — RL001 (wall clock),
+  RL002 (global RNG)
+* :mod:`~repro.analysis.rules.numerics` — RL003 (float equality),
+  RL008 (unit-interval literals)
+* :mod:`~repro.analysis.rules.hygiene` — RL004 (mutable defaults),
+  RL005 (``__all__``)
+* :mod:`~repro.analysis.rules.architecture` — RL006 (exception types),
+  RL007 (layering)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.architecture import LayeringRule, LibraryExceptionRule
+from repro.analysis.rules.determinism import GlobalRngRule, WallClockRule
+from repro.analysis.rules.hygiene import DeclareAllRule, MutableDefaultRule
+from repro.analysis.rules.numerics import BoundedLiteralRule, FloatEqualityRule
+
+__all__ = [
+    "WallClockRule",
+    "GlobalRngRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "DeclareAllRule",
+    "LibraryExceptionRule",
+    "LayeringRule",
+    "BoundedLiteralRule",
+]

@@ -1,0 +1,104 @@
+"""Architectural rules.
+
+RL006 — library code raises only :mod:`repro.errors` types, so
+applications can catch every intentional failure with one
+``except ReproError``.  Abstract-method guards
+(``NotImplementedError``) and interpreter-protocol exceptions are
+exempt.
+
+RL007 — imports must respect the DESIGN.md layering: a package may only
+import packages at the same or a lower rank (``wavelets`` must never
+import ``server``).  The rank table is configurable via
+``[tool.reprolint] layers``.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["LibraryExceptionRule", "LayeringRule"]
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+
+@register
+class LibraryExceptionRule(Rule):
+    rule_id = "RL006"
+    description = (
+        "raise only repro.errors exception types from library code"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module is None or not ctx.module.startswith("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = ctx.imports.resolve(exc)
+            if name is None:
+                continue
+            if name.startswith("repro.errors.") or name.startswith("errors."):
+                continue
+            base = name.split(".")[-1]
+            if base in _BUILTIN_EXCEPTIONS and base not in ctx.config.exception_allow:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"raise {base} from library code; raise a repro.errors "
+                    "type so one `except ReproError` catches it",
+                )
+
+
+@register
+class LayeringRule(Rule):
+    rule_id = "RL007"
+    description = (
+        "imports must respect the DESIGN layering "
+        "(no lower layer importing a higher one)"
+    )
+
+    def _rank(self, ctx: ModuleContext, package: str) -> int | None:
+        return ctx.config.layers.get(package)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module is None or not ctx.module.startswith("repro"):
+            return
+        parts = ctx.module.split(".")
+        if len(parts) < 2:
+            return  # the repro package root itself is unconstrained
+        own_package = parts[1]
+        own_rank = self._rank(ctx, own_package)
+        if own_rank is None:
+            return
+        for target, lineno in ctx.imports.imported_modules.items():
+            target_parts = target.split(".")
+            if target_parts[0] != "repro" or len(target_parts) < 2:
+                continue
+            target_package = target_parts[1]
+            if target_package == own_package:
+                continue
+            target_rank = self._rank(ctx, target_package)
+            if target_rank is not None and target_rank > own_rank:
+                yield self.finding(
+                    ctx,
+                    lineno,
+                    0,
+                    f"layer violation: {own_package} (rank {own_rank}) "
+                    f"imports {target_package} (rank {target_rank}); "
+                    "dependencies must point downward",
+                )

@@ -1,0 +1,100 @@
+"""Determinism rules: every timing and random draw must be injectable.
+
+RL001 — simulated components read time through ``SimClock``; direct
+wall-clock reads (``time.time``, ``datetime.now``...) silently decouple
+a benchmark from the simulated timeline.  Host-process instrumentation
+modules are allowlisted via config.
+
+RL002 — randomness must flow from an injected, seeded generator.  The
+process-global RNGs (``random.random`` and friends, bare
+``numpy.random.*`` draws, ``default_rng()`` without a seed) make runs
+irreproducible.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["WallClockRule", "GlobalRngRule"]
+
+#: stdlib ``random`` module attributes that are *constructors* of
+#: independent generators (fine) rather than draws from the hidden
+#: global instance (flagged).
+_STDLIB_RNG_CONSTRUCTORS = {"Random", "SystemRandom"}
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "RL001"
+    description = (
+        "no wall-clock reads outside the instrumentation allowlist; "
+        "simulated components must use SimClock"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if any(fnmatch(ctx.rel_path, pat) for pat in ctx.config.wallclock_allow):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.imports.resolve(node.func)
+            if name in ctx.config.wallclock_calls:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock read {name}(); simulated code must take a "
+                    "SimClock (allowlist genuine instrumentation in "
+                    "[tool.reprolint] wallclock-allow)",
+                )
+
+
+@register
+class GlobalRngRule(Rule):
+    rule_id = "RL002"
+    description = (
+        "no global / unseeded RNG; inject a seeded random.Random or "
+        "numpy Generator instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.imports.resolve(node.func)
+            if name is None:
+                continue
+            if name.startswith("random.") and name.count(".") == 1:
+                attr = name.split(".", 1)[1]
+                if attr not in _STDLIB_RNG_CONSTRUCTORS:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"{name}() draws from the process-global RNG; "
+                        "thread a seeded random.Random through instead",
+                    )
+            elif name.startswith("numpy.random."):
+                attr = name.removeprefix("numpy.random.")
+                if attr not in ctx.config.rng_constructors:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"numpy.random.{attr}() uses numpy's global RNG; "
+                        "use a seeded numpy.random.Generator",
+                    )
+                elif attr == "default_rng" and not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        "default_rng() without a seed is entropy-seeded and "
+                        "irreproducible; pass an explicit seed",
+                    )

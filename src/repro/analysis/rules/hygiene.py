@@ -1,0 +1,89 @@
+"""API-hygiene rules.
+
+RL004 — mutable default arguments are shared across calls; the classic
+silent-state bug.
+
+RL005 — every public module declares ``__all__`` so the public surface
+is explicit and ``tests/test_public_api.py`` can police it.  Dunder
+modules (``__main__``) and private modules (``_foo.py``) are exempt;
+package ``__init__`` files are *not* — they are the public face of their
+package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["MutableDefaultRule", "DeclareAllRule"]
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "RL004"
+    description = "no mutable default arguments"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    yield self.finding(
+                        ctx,
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and construct inside the body",
+                    )
+
+
+@register
+class DeclareAllRule(Rule):
+    rule_id = "RL005"
+    description = "public modules must declare __all__"
+
+    def _declares_all(self, tree: ast.Module) -> bool:
+        for node in tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        stem = ctx.path.stem
+        if stem.startswith("_") and stem != "__init__":
+            return
+        if self._declares_all(ctx.tree):
+            return
+        yield self.finding(
+            ctx,
+            1,
+            0,
+            f"public module {stem}.py declares no __all__; make the "
+            "export surface explicit",
+        )

@@ -1,0 +1,109 @@
+"""Numeric-hygiene rules.
+
+RL003 — ``==``/``!=`` against non-zero float literals is almost always a
+bug on geometry values accumulated through floating-point arithmetic.
+The one sanctioned idiom is the degenerate-zero guard
+(``if length == 0.0:``) that protects a division; it is only recognised
+when the comparison sits directly in an ``if``/``while``/``assert``
+test.
+
+RL008 — literal arguments for normalised-coefficient / probability
+parameters must lie in ``[0, 1]``; the wavelet layer guarantees
+normalisation and every consumer assumes it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["FloatEqualityRule", "BoundedLiteralRule"]
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and type(node.value) is float
+
+
+def _literal_number(node: ast.expr) -> float | None:
+    """Value of an int/float literal, unwrapping unary +/-."""
+    sign = 1.0
+    while isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        if isinstance(node.op, ast.USub):
+            sign = -sign
+        node = node.operand
+    if isinstance(node, ast.Constant) and type(node.value) in (int, float):
+        return sign * float(node.value)
+    return None
+
+
+@register
+class FloatEqualityRule(Rule):
+    rule_id = "RL003"
+    description = (
+        "no float ==/!= except the guarded degenerate-zero check "
+        "(if x == 0.0:)"
+    )
+
+    def _is_guard(self, ctx: ModuleContext, compare: ast.Compare) -> bool:
+        stmt = ctx.parent_statement(compare)
+        return isinstance(stmt, (ast.If, ast.While, ast.Assert))
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, right in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                floats = [o for o in operands if _is_float_literal(o)]
+                if not floats:
+                    continue
+                if all(o.value == 0.0 for o in floats) and self._is_guard(  # type: ignore[attr-defined]
+                    ctx, node
+                ):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "float equality comparison; use a tolerance "
+                    "(math.isclose) — only the guarded `== 0.0` "
+                    "degenerate check is exempt",
+                )
+                break
+
+    # Operands other than literals are invisible to static analysis; the
+    # rule deliberately only fires on literal float comparisons.
+
+
+@register
+class BoundedLiteralRule(Rule):
+    rule_id = "RL008"
+    description = (
+        "literal coefficient/probability keyword arguments must be in [0, 1]"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg not in ctx.config.bounded_keywords:
+                    continue
+                value = _literal_number(keyword.value)
+                if value is not None and not 0.0 <= value <= 1.0:
+                    yield self.finding(
+                        ctx,
+                        keyword.value.lineno,
+                        keyword.value.col_offset,
+                        f"{keyword.arg}={value:g} is outside [0, 1]; "
+                        "normalised coefficients and probabilities must "
+                        "stay in the unit interval",
+                    )

@@ -14,6 +14,9 @@ Commands
 ``experiment``
     Run one of the paper's figure experiments and print its table and
     an ASCII chart.
+``lint``
+    Run the reprolint static-analysis engine (:mod:`repro.analysis`)
+    over a source tree; defaults to the installed ``repro`` package.
 """
 
 from __future__ import annotations
@@ -201,6 +204,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    forwarded = list(args.paths)
+    if args.select:
+        forwarded += ["--select", args.select]
+    if args.no_config:
+        forwarded.append("--no-config")
+    return lint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -237,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help="fig08 ... fig15")
     experiment.add_argument("--scale", type=float, default=1.0)
     experiment.set_defaults(func=_cmd_experiment)
+
+    lint = sub.add_parser("lint", help="run reprolint static analysis")
+    lint.add_argument("paths", nargs="*", help="files/dirs (default: repro pkg)")
+    lint.add_argument("--select", help="comma-separated rule ids")
+    lint.add_argument("--no-config", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -43,7 +43,7 @@ class AdaptiveQoSMapper:
         *,
         gamma_bounds: tuple[float, float] = (0.25, 4.0),
         adaptation_rate: float = 0.1,
-    ):
+    ) -> None:
         if target_response_s <= 0:
             raise ConfigurationError("target response time must be positive")
         low, high = gamma_bounds

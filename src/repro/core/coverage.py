@@ -65,7 +65,7 @@ class CoverageMap:
         client will simply re-request them if needed).
     """
 
-    def __init__(self, max_fragments: int = 256):
+    def __init__(self, max_fragments: int = 256) -> None:
         if max_fragments < 1:
             raise ProtocolError(f"max_fragments must be >= 1, got {max_fragments}")
         self._regions: list[CoveredRegion] = []

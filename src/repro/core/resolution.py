@@ -56,7 +56,7 @@ class PowerMapper:
     ``gamma < 1`` sheds detail earlier (bandwidth-first).
     """
 
-    def __init__(self, gamma: float):
+    def __init__(self, gamma: float) -> None:
         if gamma <= 0:
             raise ConfigurationError(f"gamma must be positive, got {gamma}")
         self.gamma = gamma
@@ -76,7 +76,7 @@ class SteppedMapper:
     in ``levels`` that is >= the linear value.
     """
 
-    def __init__(self, levels: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0)):
+    def __init__(self, levels: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0)) -> None:
         values = sorted(levels)
         if not values:
             raise ConfigurationError("need at least one level")

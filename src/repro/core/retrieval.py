@@ -94,7 +94,7 @@ class ContinuousRetrievalClient:
         mapper: SpeedResolutionMapper | None = None,
         track_meshes: bool = False,
         use_coverage: bool = False,
-    ):
+    ) -> None:
         self._server = server
         self._link = link
         self._clock = clock

@@ -120,7 +120,7 @@ class MotionAwareSystem:
         *,
         client_id: int = 0,
         mapper: SpeedResolutionMapper | None = None,
-    ):
+    ) -> None:
         self._server = server
         self._config = config
         self._client_id = client_id
@@ -186,7 +186,7 @@ class MotionAwareSystem:
 class _LRUObjectCache:
     """Byte-bounded LRU cache of whole objects (naive client state)."""
 
-    def __init__(self, capacity_bytes: int):
+    def __init__(self, capacity_bytes: int) -> None:
         self._capacity = capacity_bytes
         self._items: OrderedDict[int, int] = OrderedDict()  # id -> bytes
         self._bytes = 0
@@ -212,7 +212,7 @@ class _LRUObjectCache:
 class NaiveSystem:
     """Highest-resolution, object-granular retrieval with LRU caching."""
 
-    def __init__(self, server: Server, config: SystemConfig):
+    def __init__(self, server: Server, config: SystemConfig) -> None:
         self._server = server
         self._config = config
         db = server.database

@@ -8,6 +8,20 @@ and friends raised by Python itself) propagate unchanged.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "MeshError",
+    "WaveletError",
+    "IndexError_",
+    "NetworkError",
+    "BufferError_",
+    "PredictionError",
+    "WorkloadError",
+    "ProtocolError",
+    "ConfigurationError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

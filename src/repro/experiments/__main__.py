@@ -33,9 +33,11 @@ def main() -> None:
         ("E11", lambda: extensions.run_representation_cost()),
     ]
     for name, job in jobs:
-        start = time.time()
+        # perf_counter is monotonic: wall-clock (time.time) can step
+        # backwards under NTP adjustment and report negative elapsed time.
+        start = time.perf_counter()
         table = job()
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         print(table.to_text())
         print(f"[{name} finished in {elapsed:.1f}s]")
         print()

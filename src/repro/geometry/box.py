@@ -43,7 +43,7 @@ class Box:
 
     __slots__ = ("_low", "_high")
 
-    def __init__(self, low: Sequence[float], high: Sequence[float]):
+    def __init__(self, low: Sequence[float], high: Sequence[float]) -> None:
         low_arr = np.asarray(low, dtype=float)
         high_arr = np.asarray(high, dtype=float)
         if low_arr.ndim != 1 or high_arr.ndim != 1:

@@ -33,7 +33,7 @@ class Grid:
         Number of cells along each axis; must match ``space.ndim``.
     """
 
-    def __init__(self, space: Box, shape: Sequence[int]):
+    def __init__(self, space: Box, shape: Sequence[int]) -> None:
         shape_arr = tuple(int(s) for s in shape)
         if len(shape_arr) != space.ndim:
             raise GeometryError(

@@ -23,13 +23,22 @@ from repro.geometry.vector import angle_difference
 __all__ = ["Wedge"]
 
 
-def _segments_intersect(p1, p2, q1, q2) -> bool:
+def _segments_intersect(
+    p1: Sequence[float],
+    p2: Sequence[float],
+    q1: Sequence[float],
+    q2: Sequence[float],
+) -> bool:
     """Exact 2-D segment intersection (touching counts)."""
 
-    def orient(a, b, c) -> float:
+    def orient(
+        a: Sequence[float], b: Sequence[float], c: Sequence[float]
+    ) -> float:
         return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
 
-    def on_segment(a, b, c) -> bool:
+    def on_segment(
+        a: Sequence[float], b: Sequence[float], c: Sequence[float]
+    ) -> bool:
         return (
             min(a[0], b[0]) <= c[0] <= max(a[0], b[0])
             and min(a[1], b[1]) <= c[1] <= max(a[1], b[1])
@@ -74,7 +83,7 @@ class Wedge:
         heading: float,
         half_angle: float,
         radius: float,
-    ):
+    ) -> None:
         apex_arr = np.asarray(apex, dtype=float)
         if apex_arr.shape != (2,):
             raise GeometryError(f"apex must be a 2-D point, got {apex_arr.shape}")

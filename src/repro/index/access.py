@@ -93,7 +93,7 @@ class _AccessMethodBase:
         max_entries: int = DEFAULT_NODE_CAPACITY,
         tree_class: Callable[..., RTree] = RStarTree,
         bulk: bool = True,
-    ):
+    ) -> None:
         if spatial_dims not in (2, 3):
             raise IndexError_(f"spatial_dims must be 2 or 3, got {spatial_dims}")
         self._spatial_dims = spatial_dims

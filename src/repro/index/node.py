@@ -20,7 +20,7 @@ class Entry:
 
     __slots__ = ("box", "child", "payload")
 
-    def __init__(self, box: Box, *, child: "Node | None" = None, payload: Any = None):
+    def __init__(self, box: Box, *, child: "Node | None" = None, payload: Any = None) -> None:
         if (child is None) == (payload is None):
             raise IndexError_("entry needs exactly one of child or payload")
         self.box = box
@@ -45,7 +45,7 @@ class Node:
 
     __slots__ = ("level", "entries")
 
-    def __init__(self, level: int, entries: list[Entry] | None = None):
+    def __init__(self, level: int, entries: list[Entry] | None = None) -> None:
         if level < 0:
             raise IndexError_(f"node level must be >= 0, got {level}")
         self.level = level

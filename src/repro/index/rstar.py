@@ -48,7 +48,7 @@ class RStarTree(RTree):
         *,
         stats: IOStats | None = None,
         reinsert_fraction: float = 0.3,
-    ):
+    ) -> None:
         super().__init__(max_entries, min_entries, stats=stats)
         if not 0.0 <= reinsert_fraction < 1.0:
             raise IndexError_(

@@ -51,7 +51,7 @@ class RTree:
         min_entries: int | None = None,
         *,
         stats: IOStats | None = None,
-    ):
+    ) -> None:
         if max_entries < 2:
             raise IndexError_(f"max_entries must be >= 2, got {max_entries}")
         if min_entries is None:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import IndexError_
+
 __all__ = ["IOStats"]
 
 
@@ -60,7 +62,7 @@ class IOStats:
     def pop_delta(self) -> "IOStats":
         """Counters accumulated since the matching :meth:`push`."""
         if not self._checkpoints:
-            raise ValueError("pop_delta without matching push")
+            raise IndexError_("pop_delta without matching push")
         base = self._checkpoints.pop()
         now = self.snapshot()
         return IOStats(

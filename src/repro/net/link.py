@@ -105,7 +105,7 @@ class WirelessLink:
         config: LinkConfig | None = None,
         *,
         rng: np.random.Generator | None = None,
-    ):
+    ) -> None:
         self.config = config if config is not None else LinkConfig()
         self._transfers: list[TransferRecord] = []
         self._rng = rng if rng is not None else np.random.default_rng(0)

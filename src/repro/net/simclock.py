@@ -16,7 +16,7 @@ __all__ = ["SimClock"]
 class SimClock:
     """A monotonically advancing simulated time source (seconds)."""
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise NetworkError(f"clock cannot start negative, got {start}")
         self._now = float(start)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
+
 __all__ = ["EncodingModel", "DEFAULT_ENCODING"]
 
 
@@ -40,7 +42,7 @@ class EncodingModel:
             "object_header_bytes",
         ):
             if getattr(self, name) <= 0:
-                raise ValueError(f"{name} must be positive")
+                raise ConfigurationError(f"{name} must be positive")
 
     def base_mesh_bytes(self, vertex_count: int, face_count: int) -> int:
         """Size of a base mesh (header + vertices + connectivity)."""

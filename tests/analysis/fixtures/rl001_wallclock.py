@@ -1,0 +1,27 @@
+"""RL001 fixture: wall-clock reads."""
+
+import time
+from datetime import datetime
+from time import perf_counter as tick
+
+__all__ = ["bad_stamp", "bad_now", "bad_aliased", "good_simclock", "suppressed"]
+
+
+def bad_stamp() -> float:
+    return time.time()  # VIOLATION RL001
+
+
+def bad_now() -> datetime:
+    return datetime.now()  # VIOLATION RL001
+
+
+def bad_aliased() -> float:
+    return tick()  # VIOLATION RL001 (aliased perf_counter)
+
+
+def good_simclock(clock) -> float:
+    return clock.now  # negative: injected clock, no wall-clock read
+
+
+def suppressed() -> float:
+    return time.time()  # reprolint: disable=RL001

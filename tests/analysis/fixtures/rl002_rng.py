@@ -1,0 +1,38 @@
+"""RL002 fixture: global / unseeded RNG."""
+
+import random
+
+import numpy as np
+
+__all__ = [
+    "bad_global_draw",
+    "bad_numpy_global",
+    "bad_unseeded_default_rng",
+    "good_injected",
+    "good_seeded",
+    "suppressed",
+]
+
+
+def bad_global_draw() -> float:
+    return random.random()  # VIOLATION RL002
+
+
+def bad_numpy_global() -> float:
+    return float(np.random.random())  # VIOLATION RL002
+
+
+def bad_unseeded_default_rng() -> np.random.Generator:
+    return np.random.default_rng()  # VIOLATION RL002 (no seed)
+
+
+def good_injected(rng: random.Random) -> float:
+    return rng.random()  # negative: injected instance
+
+
+def good_seeded(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)  # negative: explicit seed
+
+
+def suppressed() -> float:
+    return random.random()  # reprolint: disable=RL002

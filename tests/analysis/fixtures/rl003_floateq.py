@@ -1,0 +1,31 @@
+"""RL003 fixture: float equality comparisons."""
+
+import math
+
+__all__ = ["bad_eq", "bad_neq", "bad_unguarded_zero", "good_guard", "good_isclose", "suppressed"]
+
+
+def bad_eq(x: float) -> bool:
+    return x == 0.5  # VIOLATION RL003
+
+
+def bad_neq(x: float) -> bool:
+    return x != 1.0  # VIOLATION RL003
+
+
+def bad_unguarded_zero(x: float) -> bool:
+    return x == 0.0  # VIOLATION RL003 (zero, but not an if/while guard)
+
+
+def good_guard(length: float) -> float:
+    if length == 0.0:  # negative: the sanctioned degenerate-zero guard
+        return 0.0
+    return 1.0 / length
+
+
+def good_isclose(x: float) -> bool:
+    return math.isclose(x, 0.5)  # negative: tolerance comparison
+
+
+def suppressed(x: float) -> bool:
+    return x == 0.25  # reprolint: disable=RL003

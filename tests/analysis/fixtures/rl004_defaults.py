@@ -1,0 +1,27 @@
+"""RL004 fixture: mutable default arguments."""
+
+__all__ = ["bad_list", "bad_dict_call", "bad_kwonly", "good_none", "good_tuple", "suppressed"]
+
+
+def bad_list(items=[]) -> list:  # VIOLATION RL004
+    return items
+
+
+def bad_dict_call(mapping=dict()) -> dict:  # VIOLATION RL004
+    return mapping
+
+
+def bad_kwonly(*, seen={1}) -> set:  # VIOLATION RL004
+    return seen
+
+
+def good_none(items=None) -> list:  # negative: None sentinel
+    return list(items or ())
+
+
+def good_tuple(items=()) -> tuple:  # negative: immutable default
+    return items
+
+
+def suppressed(items=[]) -> list:  # reprolint: disable=RL004
+    return items

@@ -1,0 +1,5 @@
+"""RL005 fixture: a public module with no __all__ (whole file VIOLATION RL005)."""
+
+
+def something() -> int:
+    return 1

@@ -1,0 +1,7 @@
+"""RL005 fixture: missing __all__ silenced file-wide."""
+
+# reprolint: disable-file=RL005
+
+
+def something() -> int:
+    return 1

@@ -1,0 +1,39 @@
+"""RL006 fixture: raising builtin exceptions from library code.
+
+The layering/exception rules only police modules under ``repro``; the
+engine derives the dotted module from the path, so the tests analyse
+this source under a synthetic ``repro/...`` path.
+"""
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = ["bad_value_error", "bad_bare_runtime", "good_repro_error", "good_abstract", "suppressed"]
+
+
+def bad_value_error(x: int) -> None:
+    if x < 0:
+        raise ValueError("negative")  # VIOLATION RL006
+
+
+def bad_bare_runtime() -> None:
+    raise RuntimeError("boom")  # VIOLATION RL006
+
+
+def good_repro_error(x: int) -> None:
+    if x < 0:
+        raise ConfigurationError("negative")  # negative: library type
+
+
+def good_abstract() -> None:
+    raise NotImplementedError  # negative: allowlisted
+
+
+def suppressed() -> None:
+    raise TypeError("x")  # reprolint: disable=RL006
+
+
+def reraise() -> None:
+    try:
+        good_abstract()
+    except ReproError:
+        raise  # negative: bare re-raise

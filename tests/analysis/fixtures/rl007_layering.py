@@ -1,0 +1,16 @@
+"""RL007 fixture: a wavelets-layer module importing upward.
+
+Analysed by the tests as if it lived at ``repro/wavelets/<name>.py``.
+"""
+
+from repro.geometry.box import Box  # negative: geometry is below wavelets
+from repro.server.server import Server  # VIOLATION RL007 (server is above)
+
+import repro.core.system  # VIOLATION RL007 (core is above)
+import repro.experiments.runner  # reprolint: disable=RL007
+
+__all__ = ["use"]
+
+
+def use() -> tuple:
+    return (Box, Server, repro.core.system, repro.experiments.runner)

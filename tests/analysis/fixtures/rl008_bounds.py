@@ -1,0 +1,27 @@
+"""RL008 fixture: unit-interval literals for coefficient/probability kwargs."""
+
+__all__ = ["consume", "bad_high", "bad_negative", "good_bounds", "good_variable", "suppressed"]
+
+
+def consume(*, w_min: float = 0.0, w_max: float = 1.0, loss_rate: float = 0.0) -> float:
+    return w_min + w_max + loss_rate
+
+
+def bad_high() -> float:
+    return consume(w_max=1.5)  # VIOLATION RL008
+
+
+def bad_negative() -> float:
+    return consume(loss_rate=-0.1)  # VIOLATION RL008
+
+
+def good_bounds() -> float:
+    return consume(w_min=0.0, w_max=1.0)  # negative: in range
+
+
+def good_variable(w: float) -> float:
+    return consume(w_max=w)  # negative: not a literal, invisible statically
+
+
+def suppressed() -> float:
+    return consume(w_max=2.0)  # reprolint: disable=RL008

@@ -1,0 +1,149 @@
+"""Engine-level behaviour: suppressions, config merging, CLI contract."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    Severity,
+    analyze_source,
+    load_config,
+    rule_ids,
+    run_analysis,
+)
+from repro.analysis.cli import main as cli_main
+from repro.analysis.engine import parse_suppressions
+from repro.errors import ConfigurationError, ReproError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSuppressions:
+    def test_line_level(self) -> None:
+        sup = parse_suppressions("x = 1  # reprolint: disable=RL001,RL002\n")
+        assert sup.by_line == {1: {"RL001", "RL002"}}
+        assert sup.file_wide == set()
+
+    def test_file_level(self) -> None:
+        sup = parse_suppressions("# reprolint: disable-file=RL005\nx = 1\n")
+        assert sup.file_wide == {"RL005"}
+
+    def test_disable_all(self) -> None:
+        source = "import time\n__all__ = []\nT = time.time()  # reprolint: disable=all\n"
+        assert analyze_source(source, Path("m.py"), Path("."), LintConfig()) == []
+
+    def test_unrelated_comments_ignored(self) -> None:
+        sup = parse_suppressions("# just a comment\nx = 1  # noqa: E501\n")
+        assert sup.by_line == {} and sup.file_wide == set()
+
+
+class TestConfig:
+    def test_defaults_without_pyproject(self) -> None:
+        config = load_config(None)
+        assert config.select is None
+        assert config.fail_on is Severity.WARNING
+
+    def test_pyproject_merge(self, tmp_path: Path) -> None:
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            textwrap.dedent(
+                """
+                [tool.reprolint]
+                ignore = ["RL005"]
+                fail-on = "error"
+                wallclock-allow = ["*bench*.py"]
+
+                [tool.reprolint.severity]
+                RL003 = "warning"
+                """
+            )
+        )
+        config = load_config(pyproject)
+        assert config.ignore == frozenset({"RL005"})
+        assert config.fail_on is Severity.ERROR
+        assert config.wallclock_allow == ("*bench*.py",)
+        assert config.severity_overrides == {"RL003": Severity.WARNING}
+        assert not config.is_selected("RL005")
+        assert config.is_selected("RL001")
+
+    def test_unknown_key_rejected(self, tmp_path: Path) -> None:
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.reprolint]\nselct = ['RL001']\n")
+        with pytest.raises(ConfigurationError):
+            load_config(pyproject)
+
+    def test_bad_severity_rejected(self) -> None:
+        with pytest.raises(ReproError):
+            Severity.parse("loud")
+
+    def test_missing_pyproject_rejected(self, tmp_path: Path) -> None:
+        with pytest.raises(ConfigurationError):
+            load_config(tmp_path / "nope.toml")
+
+
+class TestEngine:
+    def test_syntax_error_becomes_rl000(self) -> None:
+        findings = analyze_source("def f(:\n", Path("m.py"), Path("."), LintConfig())
+        assert [f.rule_id for f in findings] == ["RL000"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_findings_are_sorted_and_located(self, tmp_path: Path) -> None:
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nB = time.time()\nA = time.time()\n")
+        findings = run_analysis([tmp_path])
+        rl001 = [f for f in findings if f.rule_id == "RL001"]
+        assert [f.line for f in rl001] == [2, 3]
+        assert all(f.path == "bad.py" for f in findings)
+
+    def test_run_analysis_rejects_missing_path(self, tmp_path: Path) -> None:
+        with pytest.raises(ConfigurationError):
+            run_analysis([tmp_path / "missing"])
+
+    def test_registry_has_the_eight_rules(self) -> None:
+        assert rule_ids() == [f"RL00{i}" for i in range(1, 9)]
+
+
+class TestCli:
+    def test_fixture_violations_exit_nonzero(self, capsys: pytest.CaptureFixture[str]) -> None:
+        code = cli_main([str(FIXTURES), "--no-config"])
+        out = capsys.readouterr().out
+        assert code == 1
+        # file:line locations and rule ids are reported
+        assert "rl001_wallclock.py:11:" in out
+        assert "RL001" in out and "RL002" in out
+
+    def test_select_narrows_to_one_rule(self, capsys: pytest.CaptureFixture[str]) -> None:
+        code = cli_main([str(FIXTURES), "--no-config", "--select", "RL004"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RL004" in out
+        assert "RL001" not in out and "RL002" not in out
+
+    def test_clean_tree_exits_zero(self, tmp_path: Path, capsys: pytest.CaptureFixture[str]) -> None:
+        (tmp_path / "ok.py").write_text('__all__ = ["X"]\nX = 1\n')
+        assert cli_main([str(tmp_path), "--no-config"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys: pytest.CaptureFixture[str]) -> None:
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+
+    def test_unknown_select_id_exits_two(self, capsys: pytest.CaptureFixture[str]) -> None:
+        """A typo'd --select must not silently report a clean tree."""
+        code = cli_main([str(FIXTURES), "--no-config", "--select", "RL999"])
+        assert code == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_config_error_exits_two(self, tmp_path: Path, capsys: pytest.CaptureFixture[str]) -> None:
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.reprolint]\nbogus = 1\n")
+        (tmp_path / "m.py").write_text("__all__ = []\n")
+        code = cli_main([str(tmp_path / "m.py"), "--config", str(pyproject)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,42 @@
+"""The repo self-checks: ``src/repro`` must be reprolint-clean on every
+pytest run, under the same pyproject configuration CI uses.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis import DEFAULT_LAYERS, load_config, run_analysis
+
+SRC = Path(repro.__file__).parent
+PYPROJECT = SRC.parent.parent / "pyproject.toml"
+
+
+def test_src_repro_is_reprolint_clean() -> None:
+    config = load_config(PYPROJECT if PYPROJECT.is_file() else None)
+    findings = run_analysis([SRC], config)
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_every_package_has_a_layer_rank() -> None:
+    """A new top-level package must be added to the RL007 layer table,
+    otherwise its imports would be silently unconstrained."""
+    packages = {
+        p.name for p in SRC.iterdir() if p.is_dir() and (p / "__init__.py").exists()
+    }
+    modules = {
+        p.stem
+        for p in SRC.glob("*.py")
+        if not p.stem.startswith("__")
+    }
+    unranked = (packages | modules) - set(DEFAULT_LAYERS)
+    assert not unranked, f"add {sorted(unranked)} to reprolint DEFAULT_LAYERS"
+
+
+def test_layer_table_matches_reality() -> None:
+    """The declared ranks must admit every import the tree actually makes
+    (the RL007 clean run above proves the converse direction)."""
+    assert DEFAULT_LAYERS["errors"] == 0
+    assert DEFAULT_LAYERS["wavelets"] < DEFAULT_LAYERS["server"]
+    assert DEFAULT_LAYERS["server"] <= DEFAULT_LAYERS["core"]

@@ -213,7 +213,7 @@ class TestStats:
 
     def test_pop_without_push_rejected(self, tree_class):
         tree = tree_class()
-        with pytest.raises(ValueError):
+        with pytest.raises(IndexError_):
             tree.stats.pop_delta()
 
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import IndexError_
 from repro.index.stats import IOStats
 
 
@@ -28,7 +29,7 @@ class TestCounters:
         stats.push()
         stats.reset()
         assert stats.node_reads == 0
-        with pytest.raises(ValueError):
+        with pytest.raises(IndexError_):
             stats.pop_delta()  # checkpoints cleared too
 
 

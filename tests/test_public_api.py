@@ -28,6 +28,8 @@ PACKAGES = [
     "repro.core",
     "repro.workloads",
     "repro.experiments",
+    "repro.analysis",
+    "repro.analysis.rules",
 ]
 
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.wavelets.encoding import DEFAULT_ENCODING, EncodingModel
 
 
@@ -14,13 +15,13 @@ class TestEncodingModel:
         assert model.bytes_per_coefficient > 0
 
     def test_invalid_sizes_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             EncodingModel(bytes_per_base_vertex=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             EncodingModel(bytes_per_coefficient=-1)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             EncodingModel(object_header_bytes=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             EncodingModel(bytes_per_face=0)
 
     def test_base_mesh_bytes(self):
