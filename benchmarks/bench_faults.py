@@ -1,0 +1,122 @@
+"""Benchmark: both systems under every named fault schedule.
+
+Not a paper figure -- a resilience companion to Figure 14: how the
+motion-aware and naive stacks respond when the wireless link degrades
+(burst loss, outages, latency spikes, bandwidth collapse).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import attach_table
+from repro.core.resilience import ResiliencePolicy
+from repro.core.system import MotionAwareSystem, NaiveSystem, SystemConfig
+from repro.experiments.runner import ResultTable
+from repro.geometry.box import Box
+from repro.motion.trajectory import tram_tour
+from repro.net.faults import (
+    FaultSchedule,
+    GilbertElliottConfig,
+    bandwidth_collapse_schedule,
+    latency_spike_schedule,
+    outage_schedule,
+)
+from repro.net.link import LinkConfig
+from repro.server.server import Server
+from repro.workloads.cityscape import CityConfig, build_city
+
+SPACE = Box((0, 0), (1000, 1000))
+
+SCHEDULES: tuple[FaultSchedule, ...] = (
+    FaultSchedule(),
+    FaultSchedule(
+        name="burst_loss",
+        gilbert_elliott=GilbertElliottConfig(
+            p_good_bad=0.5, p_bad_good=0.1, loss_good=0.4, loss_bad=0.98
+        ),
+    ),
+    outage_schedule(start_s=0.0, duration_s=16.0, period_s=30.0, horizon_s=600.0),
+    latency_spike_schedule(start_s=0.0, duration_s=30.0, extra_latency_s=2.0),
+    bandwidth_collapse_schedule(start_s=0.0, duration_s=30.0, factor=0.05),
+)
+
+
+def _run() -> ResultTable:
+    city = build_city(
+        CityConfig(
+            space=SPACE,
+            object_count=32,
+            levels=2,
+            seed=11,
+            min_size_frac=0.03,
+            max_size_frac=0.08,
+        )
+    )
+    policy = ResiliencePolicy(
+        max_retries=2,
+        base_backoff_s=0.2,
+        max_backoff_s=2.0,
+        timeout_s=30.0,
+        degraded_window_s=15.0,
+        degraded_w_min=0.9,
+    )
+    tour = tram_tour(SPACE, np.random.default_rng(21), speed=0.6, steps=60)
+    table = ResultTable(
+        name="fault_resilience",
+        columns=[
+            "schedule",
+            "system",
+            "avg_response_s",
+            "max_response_s",
+            "stale_ticks",
+            "retries",
+            "degraded_ticks",
+            "total_bytes",
+        ],
+        notes="response time and failure counters per fault schedule",
+    )
+    for schedule in SCHEDULES:
+        config = SystemConfig(
+            space=SPACE,
+            grid_shape=(12, 12),
+            buffer_bytes=8 * 1024,
+            query_frac=0.12,
+            link=LinkConfig(max_attempts=4),
+            io_time_per_node_s=0.0,
+            faults=schedule,
+            resilience=policy,
+            seed=3,
+        )
+        for label, system_cls in (
+            ("motion_aware", MotionAwareSystem),
+            ("naive", NaiveSystem),
+        ):
+            result = system_cls(Server(city), config).run(tour)
+            table.add(
+                schedule=schedule.name,
+                system=label,
+                avg_response_s=result.avg_response_s,
+                max_response_s=result.max_response_s,
+                stale_ticks=result.stale_served_ticks,
+                retries=result.retries,
+                degraded_ticks=result.degraded_ticks,
+                total_bytes=result.total_bytes,
+            )
+    return table
+
+
+def test_fault_resilience(benchmark, run_once):
+    table = run_once(_run)
+    attach_table(benchmark, table)
+    for system in ("motion_aware", "naive"):
+        rows = {r["schedule"]: r for r in table.rows if r["system"] == system}
+        assert rows["none"]["stale_ticks"] == 0
+        # Loss-type schedules must actually exercise the failure path...
+        assert rows["burst_loss"]["stale_ticks"] > 0
+        assert rows["outage"]["stale_ticks"] > 0
+        # ...and every degraded link costs response time.
+        for name in ("burst_loss", "outage", "latency_spike", "bandwidth_collapse"):
+            assert (
+                rows[name]["max_response_s"] >= rows["none"]["max_response_s"]
+            )

@@ -226,6 +226,19 @@ class BlockCache:
         self._bytes -= block.size_bytes
         self._evictions += 1
 
+    def discard(self, cell: CellId) -> bool:
+        """Drop one block without eviction accounting.
+
+        Used to roll back blocks whose wire transfer failed: the data
+        never arrived, so the block must not count as an eviction (nor
+        stay cached).  Returns False when the cell was not cached.
+        """
+        block = self._blocks.pop(cell, None)
+        if block is None:
+            return False
+        self._bytes -= block.size_bytes
+        return True
+
     def clear(self) -> None:
         """Drop every block (accounting totals are kept)."""
         self._blocks.clear()

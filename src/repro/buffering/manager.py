@@ -233,6 +233,18 @@ class _BufferManagerBase:
         """Used fraction of all prefetched bytes."""
         return self.cache.utilization()
 
+    def rollback(self, cells: tuple[CellId, ...]) -> None:
+        """Drop blocks whose wire transfer failed after this tick.
+
+        The tick optimistically inserts demand and prefetch blocks; when
+        the end-to-end driver's exchange dies on the link, the data
+        never reached the client, so the blocks are discarded and the
+        cells become misses again on the next frame.
+        """
+        for cell in cells:
+            self.cache.discard(cell)
+            self._prev_required.discard(cell)
+
     # -- hooks ----------------------------------------------------------------------
 
     def _observe(self, position: np.ndarray) -> None:

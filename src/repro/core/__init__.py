@@ -19,6 +19,12 @@ from repro.core.resolution import (
 from repro.core.adaptive import AdaptiveQoSMapper
 from repro.core.coverage import CoverageMap, CoveredRegion
 from repro.core.fleet import FleetConfig, FleetResult, simulate_fleet
+from repro.core.resilience import (
+    DegradationController,
+    ExchangeOutcome,
+    ResiliencePolicy,
+    ResilientExchanger,
+)
 from repro.core.retrieval import ContinuousRetrievalClient, RetrievalStep
 from repro.core.system import (
     MotionAwareSystem,
@@ -49,4 +55,8 @@ __all__ = [
     "FleetConfig",
     "FleetResult",
     "simulate_fleet",
+    "ResiliencePolicy",
+    "ExchangeOutcome",
+    "ResilientExchanger",
+    "DegradationController",
 ]

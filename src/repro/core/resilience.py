@@ -1,0 +1,260 @@
+"""Client-side resilience: bounded retries, timeouts, graceful degradation.
+
+The link layer (:mod:`repro.net.link`) bounds a single exchange at
+``max_attempts`` retransmissions; this module bounds the *request*: a
+:class:`ResilientExchanger` retries a failed exchange a bounded number
+of times with exponential backoff plus seeded jitter, gives up early
+once a per-request timeout budget is spent, and always reports how much
+simulated time the request consumed -- success or not.
+
+Failure feeds a :class:`DegradationController`: for a degradation
+window after the last failure the client raises its effective
+resolution threshold ``w_min`` toward a coarse floor and lets it ramp
+back down linearly, so a client behind a flaky link keeps rendering
+from buffered coarse data instead of blocking on detail it cannot get.
+Between failures the effective ``w_min`` is non-increasing in time
+(monotone resolution recovery), which the scenario harness asserts.
+
+Everything is deterministic: jitter comes from an injected seeded
+generator and all times are simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, LinkExchangeError
+from repro.net.link import LinkConfig, WirelessLink
+
+__all__ = [
+    "ResiliencePolicy",
+    "ExchangeOutcome",
+    "ResilientExchanger",
+    "DegradationController",
+]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs of the client-side resilience behaviour.
+
+    Attributes
+    ----------
+    max_retries:
+        Exchange-level retries after a failed (attempt-capped) exchange.
+    base_backoff_s, backoff_factor, max_backoff_s:
+        Exponential backoff: retry ``i`` waits
+        ``min(base * factor**i, max)`` seconds before re-issuing.
+    jitter_frac:
+        Uniform jitter of ``+/- jitter_frac * backoff`` drawn from the
+        injected generator (decorrelates clients hitting one server).
+    timeout_s:
+        Per-request budget; once the accumulated link + backoff time
+        exceeds it no further retry is issued.
+    degraded_window_s:
+        How long after the last failure the client stays degraded.
+    degraded_w_min:
+        The resolution floor right after a failure; the effective
+        ``w_min`` ramps linearly from it back to the speed-mapped value
+        over the degradation window.
+    """
+
+    max_retries: int = 3
+    base_backoff_s: float = 0.2
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 5.0
+    jitter_frac: float = 0.25
+    timeout_s: float = 60.0
+    degraded_window_s: float = 20.0
+    degraded_w_min: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ConfigurationError(
+                f"jitter_frac must be in [0, 1], got {self.jitter_frac}"
+            )
+        if self.timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.degraded_window_s < 0:
+            raise ConfigurationError("degraded_window_s must be non-negative")
+        if not 0.0 <= self.degraded_w_min <= 1.0:
+            raise ConfigurationError(
+                f"degraded_w_min must be in [0, 1], got {self.degraded_w_min}"
+            )
+
+    def backoff_s(self, retry_index: int, rng: np.random.Generator) -> float:
+        """Jittered wait before retry ``retry_index`` (0-based)."""
+        if retry_index < 0:
+            raise ConfigurationError(
+                f"retry index must be non-negative, got {retry_index}"
+            )
+        base = min(
+            self.base_backoff_s * self.backoff_factor**retry_index,
+            self.max_backoff_s,
+        )
+        if self.jitter_frac == 0.0 or base == 0.0:
+            return base
+        jitter = base * self.jitter_frac
+        return max(base + float(rng.uniform(-jitter, jitter)), 0.0)
+
+    def max_backoff_total_s(self) -> float:
+        """Upper bound on the summed backoff over all retries."""
+        total = 0.0
+        for i in range(self.max_retries):
+            base = min(
+                self.base_backoff_s * self.backoff_factor**i, self.max_backoff_s
+            )
+            total += base * (1.0 + self.jitter_frac)
+        return total
+
+    def worst_case_request_s(
+        self,
+        link: LinkConfig,
+        payload_bytes: int,
+        speed: float = 0.0,
+        *,
+        extra_latency_s: float = 0.0,
+        bandwidth_factor: float = 1.0,
+    ) -> float:
+        """Hard upper bound on one request's simulated duration.
+
+        Every exchange costs at most ``max_attempts`` worst-case round
+        trips; at most ``max_retries + 1`` exchanges run, separated by
+        bounded backoff.  This is the bound the scenario harness holds
+        the end-to-end systems to.
+        """
+        worst_rtt = link.round_trip_time(
+            payload_bytes,
+            speed,
+            extra_latency_s=extra_latency_s,
+            bandwidth_factor=bandwidth_factor,
+        )
+        exchanges = self.max_retries + 1
+        return exchanges * link.max_attempts * worst_rtt + self.max_backoff_total_s()
+
+
+@dataclass(frozen=True)
+class ExchangeOutcome:
+    """What one resilient request cost and whether it delivered."""
+
+    ok: bool
+    elapsed_s: float
+    retries: int
+    timed_out: bool
+
+
+class ResilientExchanger:
+    """Bounded-retry wrapper around a :class:`WirelessLink`."""
+
+    def __init__(
+        self,
+        link: WirelessLink,
+        policy: ResiliencePolicy,
+        *,
+        rng: np.random.Generator,
+    ) -> None:
+        self._link = link
+        self._policy = policy
+        self._rng = rng
+
+    @property
+    def link(self) -> WirelessLink:
+        return self._link
+
+    @property
+    def policy(self) -> ResiliencePolicy:
+        return self._policy
+
+    def request(
+        self, payload_bytes: int, *, speed: float = 0.0, now: float = 0.0
+    ) -> ExchangeOutcome:
+        """Issue one request; never raises, never blocks unboundedly.
+
+        Returns the delivered/failed outcome with the total simulated
+        time spent (link attempts plus backoff waits).
+        """
+        policy = self._policy
+        elapsed = 0.0
+        retries = 0
+        while True:
+            try:
+                elapsed += self._link.exchange(
+                    payload_bytes, speed=speed, now=now + elapsed
+                )
+                return ExchangeOutcome(
+                    ok=True, elapsed_s=elapsed, retries=retries, timed_out=False
+                )
+            except LinkExchangeError as exc:
+                elapsed += exc.elapsed_s
+                timed_out = elapsed >= policy.timeout_s
+                if retries >= policy.max_retries or timed_out:
+                    return ExchangeOutcome(
+                        ok=False,
+                        elapsed_s=elapsed,
+                        retries=retries,
+                        timed_out=timed_out,
+                    )
+                elapsed += policy.backoff_s(retries, self._rng)
+                retries += 1
+
+
+class DegradationController:
+    """Tracks the degraded window and the effective resolution floor."""
+
+    def __init__(self, policy: ResiliencePolicy) -> None:
+        self._policy = policy
+        self._degraded_until: float | None = None
+
+    @property
+    def degraded_until(self) -> float | None:
+        """End of the current degraded window, if any."""
+        return self._degraded_until
+
+    def note_failure(self, now: float) -> None:
+        """Record a failed request finishing at ``now``."""
+        until = now + self._policy.degraded_window_s
+        if self._degraded_until is None or until > self._degraded_until:
+            self._degraded_until = until
+
+    def is_degraded(self, now: float) -> bool:
+        """True while the degradation window covers ``now``."""
+        return self._degraded_until is not None and now < self._degraded_until
+
+    def effective_w_min(self, now: float, base_w_min: float) -> float:
+        """The resolution threshold to retrieve at ``now``.
+
+        Outside a degraded window this is ``base_w_min``.  Inside, the
+        floor starts at ``degraded_w_min`` and ramps linearly down to
+        ``base_w_min`` as the window expires -- monotone recovery.
+        """
+        if not 0.0 <= base_w_min <= 1.0:
+            raise ConfigurationError(
+                f"base w_min must be in [0, 1], got {base_w_min}"
+            )
+        if not self.is_degraded(now) or self._degraded_until is None:
+            return base_w_min
+        floor = self._policy.degraded_w_min
+        if floor <= base_w_min:
+            return base_w_min
+        window = self._policy.degraded_window_s
+        if window <= 0:
+            return base_w_min
+        remaining = min(self._degraded_until - now, window)
+        frac = remaining / window
+        return base_w_min + (floor - base_w_min) * frac
+
+    def reset(self) -> None:
+        """Forget any active degradation."""
+        self._degraded_until = None

@@ -14,10 +14,19 @@ Section VII-E (Figures 14/15):
 
 Both run over the same database, link model and tours.  Per tick the
 *query response time* is the time until the current frame's data is
-available: zero when everything is cached, otherwise connection cost +
-round trip + server I/O time + transfer of the demanded payload at the
-speed-degraded bandwidth.  Prefetch traffic is shipped in the
-background: it counts toward total bytes but not response time.
+available: zero when everything is cached, otherwise the resilient
+exchange of the demanded payload (retransmissions, bounded retries and
+backoff included) plus server I/O time.  Prefetch traffic is shipped in
+the background: it counts toward total bytes but not response time.
+
+Fault tolerance: demand traffic flows through a real
+:class:`~repro.net.link.WirelessLink` carrying the configured
+:class:`~repro.net.faults.FaultSchedule`.  A request that exhausts its
+bounded retries is *stale-served*: the tick renders from whatever the
+buffer holds, the fetched blocks are rolled back (the data never
+arrived), nothing is marked as shipped, and the motion-aware client
+degrades -- it raises its effective ``w_min`` for a window and recovers
+monotonically (:mod:`repro.core.resilience`).
 """
 
 from __future__ import annotations
@@ -28,6 +37,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.buffering.manager import MotionAwareBufferManager
+from repro.core.resilience import (
+    DegradationController,
+    ResiliencePolicy,
+    ResilientExchanger,
+)
 from repro.core.resolution import LinearMapper, SpeedResolutionMapper
 from repro.errors import ConfigurationError
 from repro.geometry.box import Box
@@ -35,15 +49,23 @@ from repro.geometry.grid import Grid
 from repro.index.bulk import bulk_load
 from repro.index.rstar import RStarTree
 from repro.motion.trajectory import Trajectory
-from repro.net.link import LinkConfig
-from repro.server.server import Server
+from repro.net.faults import FaultInjector, FaultSchedule
+from repro.net.link import LinkConfig, WirelessLink
+from repro.net.simclock import SimClock
+from repro.server.server import BlockQuote, Server
 
 __all__ = ["SystemConfig", "SystemRunResult", "MotionAwareSystem", "NaiveSystem"]
 
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """Shared configuration of the end-to-end simulations."""
+    """Shared configuration of the end-to-end simulations.
+
+    ``faults`` injects deterministic link misbehaviour; ``resilience``
+    bounds what the client does about it; ``seed`` feeds every random
+    stream (link loss, fault sampling, backoff jitter) so a run is a
+    pure function of its configuration and tour.
+    """
 
     space: Box
     grid_shape: tuple[int, int] = (20, 20)
@@ -51,6 +73,9 @@ class SystemConfig:
     query_frac: float = 0.05
     link: LinkConfig = LinkConfig()
     io_time_per_node_s: float = 0.005
+    faults: FaultSchedule | None = None
+    resilience: ResiliencePolicy = ResiliencePolicy()
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.space.ndim != 2:
@@ -68,10 +93,43 @@ class SystemConfig:
         extents = self.query_frac * self.space.extents
         return Box.from_center(position, extents)
 
+    def build_link(self, client_id: int) -> WirelessLink:
+        """A fault-injected link with streams derived from ``seed``."""
+        injector = None
+        if self.faults is not None:
+            injector = FaultInjector(
+                self.faults,
+                rng=np.random.default_rng([self.seed, client_id, 1]),
+            )
+        return WirelessLink(
+            self.link,
+            rng=np.random.default_rng([self.seed, client_id, 2]),
+            faults=injector,
+        )
+
+    def build_exchanger(self, link: WirelessLink, client_id: int) -> ResilientExchanger:
+        """The bounded-retry wrapper with its own jitter stream."""
+        return ResilientExchanger(
+            link,
+            self.resilience,
+            rng=np.random.default_rng([self.seed, client_id, 3]),
+        )
+
 
 @dataclass
 class SystemRunResult:
-    """Aggregates of one tour through one system."""
+    """Aggregates of one tour through one system.
+
+    Fault-path counters: ``timeouts`` (requests abandoned past the
+    timeout budget), ``retries`` (exchange-level retries issued),
+    ``degraded_ticks`` (ticks spent inside a degradation window),
+    ``stale_served_ticks`` (ticks rendered from the buffer because the
+    demand transfer failed), ``records_shipped`` (coefficient records
+    delivered over the wire -- equals the number of *distinct* records
+    when the no-reship invariant holds).  ``w_min_trace`` records the
+    effective per-tick resolution threshold and ``failure_ticks`` the
+    tick indices of failed demand transfers.
+    """
 
     ticks: int = 0
     contacts: int = 0
@@ -81,6 +139,13 @@ class SystemRunResult:
     prefetch_bytes: int = 0
     io_node_reads: int = 0
     responses: list[float] = field(default_factory=list)
+    timeouts: int = 0
+    retries: int = 0
+    degraded_ticks: int = 0
+    stale_served_ticks: int = 0
+    records_shipped: int = 0
+    w_min_trace: list[float] = field(default_factory=list)
+    failure_ticks: list[int] = field(default_factory=list)
 
     @property
     def avg_response_s(self) -> float:
@@ -132,53 +197,108 @@ class MotionAwareSystem:
             server.database.block_bytes_fn(self._grid),
         )
         self._sent_uids: frozenset[tuple[int, int, int]] = frozenset()
+        self._link = config.build_link(client_id)
+        self._exchanger = config.build_exchanger(self._link, client_id)
+        self._degradation = DegradationController(config.resilience)
 
     @property
     def manager(self) -> MotionAwareBufferManager:
         return self._manager
 
+    @property
+    def link(self) -> WirelessLink:
+        return self._link
+
+    @property
+    def sent_uids(self) -> frozenset[tuple[int, int, int]]:
+        """Every record uid the client has successfully received."""
+        return self._sent_uids
+
+    def _quote_cells(
+        self,
+        cells: tuple[tuple[int, ...], ...],
+        w_min: float,
+        exclude: frozenset[tuple[int, int, int]],
+        assume_bases: frozenset[int],
+    ) -> tuple[list[BlockQuote], frozenset[tuple[int, int, int]], frozenset[int]]:
+        """Price a set of blocks without committing server state."""
+        quotes: list[BlockQuote] = []
+        for cell in cells:
+            quote = self._server.quote_block(
+                self._client_id,
+                self._grid.cell_box(cell),
+                w_min,
+                exclude,
+                assume_shipped_bases=assume_bases,
+            )
+            quotes.append(quote)
+            exclude = exclude | quote.new_uids
+            assume_bases = assume_bases | quote.new_base_ids
+        return quotes, exclude, assume_bases
+
     def run(self, tour: Trajectory) -> SystemRunResult:
         """Drive the whole tour; returns the aggregates."""
         result = SystemRunResult()
         cfg = self._config
+        clock = SimClock(start=float(tour.times[0]))
         for i in range(len(tour)):
+            if float(tour.times[i]) > clock.now:
+                clock.advance_to(float(tour.times[i]))
+            now = clock.now
             position = tour.positions[i]
             speed = tour.nominal_speed
-            w_min = float(self._mapper(speed))
+            base_w_min = float(self._mapper(speed))
+            w_min = self._degradation.effective_w_min(now, base_w_min)
+            if self._degradation.is_degraded(now):
+                result.degraded_ticks += 1
+            result.w_min_trace.append(w_min)
             query = cfg.query_box(position)
             tick = self._manager.tick(position, speed, query, w_min)
             response_s = 0.0
             if tick.contacted_server:
-                demand_payload = 0
-                demand_io = 0
-                for cell in tick.demand_cells:
-                    payload, io, new_uids = self._server.block_payload_bytes(
-                        self._client_id,
-                        self._grid.cell_box(cell),
-                        w_min,
-                        self._sent_uids,
-                    )
-                    demand_payload += payload
-                    demand_io += io
-                    self._sent_uids = self._sent_uids | new_uids
-                prefetch_payload = 0
-                for cell in tick.prefetch_cells:
-                    payload, io, new_uids = self._server.block_payload_bytes(
-                        self._client_id,
-                        self._grid.cell_box(cell),
-                        w_min,
-                        self._sent_uids,
-                    )
-                    prefetch_payload += payload
-                    result.io_node_reads += io
-                    self._sent_uids = self._sent_uids | new_uids
-                response_s = (
-                    cfg.link.round_trip_time(demand_payload, speed)
-                    + demand_io * cfg.io_time_per_node_s
+                demand_quotes, exclude, bases = self._quote_cells(
+                    tick.demand_cells, w_min, self._sent_uids, frozenset()
                 )
-                result.demand_bytes += demand_payload
-                result.prefetch_bytes += prefetch_payload
-                result.io_node_reads += demand_io
+                demand_payload = sum(q.payload_bytes for q in demand_quotes)
+                demand_io = sum(q.io_node_reads for q in demand_quotes)
+                outcome = self._exchanger.request(
+                    demand_payload, speed=speed, now=now
+                )
+                result.retries += outcome.retries
+                if outcome.ok:
+                    prefetch_quotes, exclude, bases = self._quote_cells(
+                        tick.prefetch_cells, w_min, exclude, bases
+                    )
+                    for quote in demand_quotes + prefetch_quotes:
+                        self._server.commit_quote(quote)
+                        result.records_shipped += len(quote.new_uids)
+                    self._sent_uids = exclude
+                    prefetch_payload = sum(
+                        q.payload_bytes for q in prefetch_quotes
+                    )
+                    prefetch_io = sum(q.io_node_reads for q in prefetch_quotes)
+                    response_s = (
+                        outcome.elapsed_s + demand_io * cfg.io_time_per_node_s
+                    )
+                    result.demand_bytes += demand_payload
+                    result.prefetch_bytes += prefetch_payload
+                    result.io_node_reads += demand_io + prefetch_io
+                else:
+                    # Stale-serve: render from what the buffer still
+                    # holds, drop the phantom blocks, degrade.
+                    result.stale_served_ticks += 1
+                    result.failure_ticks.append(i)
+                    if outcome.timed_out:
+                        result.timeouts += 1
+                    self._manager.rollback(
+                        tick.demand_cells + tick.prefetch_cells
+                    )
+                    response_s = (
+                        outcome.elapsed_s + demand_io * cfg.io_time_per_node_s
+                    )
+                    result.io_node_reads += demand_io
+                    self._degradation.note_failure(now + outcome.elapsed_s)
+            clock.advance(response_s)
             result.note(response_s, tick.contacted_server)
         return result
 
@@ -210,9 +330,17 @@ class _LRUObjectCache:
 
 
 class NaiveSystem:
-    """Highest-resolution, object-granular retrieval with LRU caching."""
+    """Highest-resolution, object-granular retrieval with LRU caching.
 
-    def __init__(self, server: Server, config: SystemConfig) -> None:
+    The naive client shares the resilient transport (bounded retries,
+    timeouts) but has no resolution to shed: a failed transfer simply
+    leaves its objects uncached, to be refetched in full next tick --
+    which is exactly why it suffers more under a degraded link.
+    """
+
+    def __init__(
+        self, server: Server, config: SystemConfig, *, client_id: int = 0
+    ) -> None:
         self._server = server
         self._config = config
         db = server.database
@@ -227,14 +355,25 @@ class NaiveSystem:
             oid: max(size // page, 1) for oid, size in self._sizes.items()
         }
         self._cache = _LRUObjectCache(config.buffer_bytes)
+        self._link = config.build_link(client_id)
+        self._exchanger = config.build_exchanger(self._link, client_id)
+
+    @property
+    def link(self) -> WirelessLink:
+        return self._link
 
     def run(self, tour: Trajectory) -> SystemRunResult:
         """Drive the whole tour; returns the aggregates."""
         result = SystemRunResult()
         cfg = self._config
+        clock = SimClock(start=float(tour.times[0]))
         for i in range(len(tour)):
+            if float(tour.times[i]) > clock.now:
+                clock.advance_to(float(tour.times[i]))
+            now = clock.now
             position = tour.positions[i]
             speed = tour.nominal_speed
+            result.w_min_trace.append(0.0)
             query = cfg.query_box(position)
             self._index.stats.push()
             object_ids = self._index.search(query)
@@ -248,15 +387,26 @@ class NaiveSystem:
             for oid in missing:
                 payload += self._sizes[oid]
                 data_io += self._object_io[oid]
-                self._cache.add(oid, self._sizes[oid])
             contacted = bool(missing)
             response_s = 0.0
             if contacted:
+                outcome = self._exchanger.request(payload, speed=speed, now=now)
+                result.retries += outcome.retries
                 response_s = (
-                    cfg.link.round_trip_time(payload, speed)
+                    outcome.elapsed_s
                     + (index_io + data_io) * cfg.io_time_per_node_s
                 )
-                result.demand_bytes += payload
                 result.io_node_reads += index_io + data_io
+                if outcome.ok:
+                    for oid in missing:
+                        self._cache.add(oid, self._sizes[oid])
+                    result.demand_bytes += payload
+                    result.records_shipped += len(missing)
+                else:
+                    result.stale_served_ticks += 1
+                    result.failure_ticks.append(i)
+                    if outcome.timed_out:
+                        result.timeouts += 1
+            clock.advance(response_s)
             result.note(response_s, contacted)
         return result

@@ -15,6 +15,7 @@ __all__ = [
     "WaveletError",
     "IndexError_",
     "NetworkError",
+    "LinkExchangeError",
     "BufferError_",
     "PredictionError",
     "WorkloadError",
@@ -49,6 +50,20 @@ class IndexError_(ReproError):
 
 class NetworkError(ReproError):
     """Simulated network failure or protocol misuse."""
+
+
+class LinkExchangeError(NetworkError):
+    """An exchange exhausted its retransmission budget.
+
+    Carries the accounting the resilience layer needs to bill the
+    failed exchange to simulated time: how many attempts were made and
+    how long they took.
+    """
+
+    def __init__(self, message: str, *, attempts: int, elapsed_s: float) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
 
 
 class BufferError_(ReproError):

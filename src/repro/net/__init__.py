@@ -1,5 +1,19 @@
-"""Simulated wireless networking: clock, link model, protocol messages."""
+"""Simulated wireless networking: clock, link model, faults, messages."""
 
+from repro.net.faults import (
+    NAMED_SCHEDULES,
+    BandwidthWindow,
+    FaultInjector,
+    FaultSchedule,
+    FaultWindow,
+    GilbertElliottConfig,
+    LatencySpike,
+    bandwidth_collapse_schedule,
+    burst_loss_schedule,
+    latency_spike_schedule,
+    named_schedule,
+    outage_schedule,
+)
 from repro.net.link import LinkConfig, TransferRecord, WirelessLink
 from repro.net.messages import (
     BaseMeshPayload,
@@ -18,4 +32,16 @@ __all__ = [
     "RetrieveRequest",
     "RetrieveResponse",
     "BaseMeshPayload",
+    "FaultWindow",
+    "LatencySpike",
+    "BandwidthWindow",
+    "GilbertElliottConfig",
+    "FaultSchedule",
+    "FaultInjector",
+    "burst_loss_schedule",
+    "outage_schedule",
+    "latency_spike_schedule",
+    "bandwidth_collapse_schedule",
+    "named_schedule",
+    "NAMED_SCHEDULES",
 ]

@@ -1,0 +1,325 @@
+"""Deterministic link fault injection.
+
+The paper's serving problem exists because the wireless channel is the
+bottleneck; real channels do not merely lose packets i.i.d. -- they
+*burst*.  This module models the misbehaviours a mobile walkthrough
+client actually sees, all replayable bit-for-bit:
+
+* **Gilbert--Elliott burst loss** -- the classic two-state Markov
+  channel: a GOOD state with near-zero loss and a BAD state with heavy
+  loss; transitions happen per simulated second, so bursts have a
+  duration in :class:`~repro.net.simclock.SimClock` time rather than in
+  attempt counts.
+* **Scheduled outages** -- absolute ``[start, end)`` windows during
+  which every attempt fails (a tunnel, a dead zone between cells).
+* **Latency spikes** -- windows adding extra one-way latency
+  (congested backhaul, cell handover).
+* **Bandwidth collapse** -- windows multiplying the effective
+  bandwidth by a factor in ``(0, 1]`` (cell congestion).
+
+Determinism contract (reprolint RL001/RL002): the *schedule* is a pure
+description -- frozen dataclasses keyed on simulated time only -- and
+every random draw flows through the injected seeded
+``np.random.Generator`` held by :class:`FaultInjector`.  Replaying a
+run with the same seed and the same query/time sequence reproduces the
+exact same faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetworkError
+
+__all__ = [
+    "FaultWindow",
+    "LatencySpike",
+    "BandwidthWindow",
+    "GilbertElliottConfig",
+    "FaultSchedule",
+    "FaultInjector",
+    "burst_loss_schedule",
+    "outage_schedule",
+    "latency_spike_schedule",
+    "bandwidth_collapse_schedule",
+    "named_schedule",
+    "NAMED_SCHEDULES",
+]
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """A half-open interval ``[start_s, end_s)`` of simulated seconds."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise NetworkError(f"window cannot start negative, got {self.start_s}")
+        if self.end_s <= self.start_s:
+            raise NetworkError(
+                f"window must end after it starts, got [{self.start_s}, {self.end_s})"
+            )
+
+    def contains(self, now: float) -> bool:
+        return self.start_s <= now < self.end_s
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Extra one-way latency (seconds) applied inside ``window``."""
+
+    window: FaultWindow
+    extra_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.extra_latency_s < 0:
+            raise NetworkError(
+                f"extra latency must be non-negative, got {self.extra_latency_s}"
+            )
+
+
+@dataclass(frozen=True)
+class BandwidthWindow:
+    """Bandwidth multiplier in ``(0, 1]`` applied inside ``window``."""
+
+    window: FaultWindow
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.factor <= 1.0:
+            raise NetworkError(
+                f"bandwidth factor must be in (0, 1], got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class GilbertElliottConfig:
+    """Two-state Markov burst-loss channel parameters.
+
+    Attributes
+    ----------
+    p_good_bad:
+        Per-step probability of leaving the GOOD state.
+    p_bad_good:
+        Per-step probability of leaving the BAD state (so the mean
+        burst lasts ``step_s / p_bad_good`` simulated seconds).
+    loss_good, loss_bad:
+        Per-attempt loss probability in each state.
+    step_s:
+        Simulated seconds per Markov transition step.
+    """
+
+    p_good_bad: float = 0.05
+    p_bad_good: float = 0.25
+    loss_good: float = 0.01
+    loss_bad: float = 0.9
+    step_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_bad", "p_bad_good", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise NetworkError(f"{name} must be in [0, 1], got {value}")
+        if self.step_s <= 0:
+            raise NetworkError(f"step_s must be positive, got {self.step_s}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named, declarative bundle of link misbehaviours.
+
+    The schedule itself is stateless and time-keyed; pair it with a
+    seeded generator via :class:`FaultInjector` to sample losses.
+    """
+
+    name: str = "none"
+    gilbert_elliott: GilbertElliottConfig | None = None
+    outages: tuple[FaultWindow, ...] = ()
+    latency_spikes: tuple[LatencySpike, ...] = ()
+    bandwidth_windows: tuple[BandwidthWindow, ...] = ()
+
+    def in_outage(self, now: float) -> bool:
+        """True while a scheduled outage covers ``now``."""
+        return any(w.contains(now) for w in self.outages)
+
+    def extra_latency_s(self, now: float) -> float:
+        """Total extra one-way latency active at ``now``."""
+        return float(
+            sum(s.extra_latency_s for s in self.latency_spikes if s.window.contains(now))
+        )
+
+    def bandwidth_factor(self, now: float) -> float:
+        """Combined bandwidth multiplier active at ``now``."""
+        factor = 1.0
+        for w in self.bandwidth_windows:
+            if w.window.contains(now):
+                factor *= w.factor
+        return factor
+
+    def worst_extra_latency_s(self) -> float:
+        """Upper bound on :meth:`extra_latency_s` over all time."""
+        return float(sum(s.extra_latency_s for s in self.latency_spikes))
+
+    def min_bandwidth_factor(self) -> float:
+        """Lower bound on :meth:`bandwidth_factor` over all time."""
+        factor = 1.0
+        for w in self.bandwidth_windows:
+            factor *= w.factor
+        return factor
+
+
+class FaultInjector:
+    """Stateful sampler of a :class:`FaultSchedule`.
+
+    Holds the Gilbert--Elliott channel state and the injected seeded
+    generator.  The Markov chain advances with *simulated time*: calls
+    must pass a non-decreasing ``now`` (shared ``SimClock`` discipline),
+    and the chain performs one transition per ``step_s`` elapsed.
+    """
+
+    def __init__(
+        self, schedule: FaultSchedule, *, rng: np.random.Generator
+    ) -> None:
+        self._schedule = schedule
+        self._rng = rng
+        self._bad = False
+        self._stepped_to_s = 0.0
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        return self._schedule
+
+    @property
+    def in_bad_state(self) -> bool:
+        """Current Gilbert--Elliott state (False = GOOD)."""
+        return self._bad
+
+    def reset(self) -> None:
+        """Return the channel to the GOOD state at time zero."""
+        self._bad = False
+        self._stepped_to_s = 0.0
+
+    def _advance_chain(self, now: float) -> None:
+        ge = self._schedule.gilbert_elliott
+        if ge is None:
+            return
+        while self._stepped_to_s + ge.step_s <= now:
+            self._stepped_to_s += ge.step_s
+            flip = ge.p_bad_good if self._bad else ge.p_good_bad
+            if self._rng.random() < flip:
+                self._bad = not self._bad
+
+    def attempt_lost(self, now: float) -> bool:
+        """Sample whether one exchange attempt at ``now`` is lost."""
+        if now < 0:
+            raise NetworkError(f"time must be non-negative, got {now}")
+        if self._schedule.in_outage(now):
+            return True
+        ge = self._schedule.gilbert_elliott
+        if ge is None:
+            return False
+        self._advance_chain(now)
+        loss = ge.loss_bad if self._bad else ge.loss_good
+        return loss > 0.0 and float(self._rng.random()) < loss
+
+    def extra_latency_s(self, now: float) -> float:
+        return self._schedule.extra_latency_s(now)
+
+    def bandwidth_factor(self, now: float) -> float:
+        return self._schedule.bandwidth_factor(now)
+
+    def __repr__(self) -> str:
+        state = "bad" if self._bad else "good"
+        return f"FaultInjector(schedule={self._schedule.name!r}, state={state})"
+
+
+# -- named schedules ---------------------------------------------------------
+
+
+def burst_loss_schedule(
+    *,
+    p_good_bad: float = 0.08,
+    p_bad_good: float = 0.25,
+    loss_bad: float = 0.9,
+) -> FaultSchedule:
+    """Gilbert--Elliott bursts: multi-second episodes of heavy loss."""
+    return FaultSchedule(
+        name="burst_loss",
+        gilbert_elliott=GilbertElliottConfig(
+            p_good_bad=p_good_bad,
+            p_bad_good=p_bad_good,
+            loss_good=0.0,
+            loss_bad=loss_bad,
+        ),
+    )
+
+
+def outage_schedule(
+    *, start_s: float = 15.0, duration_s: float = 8.0, period_s: float | None = None,
+    horizon_s: float = 300.0,
+) -> FaultSchedule:
+    """Total blackout windows; optionally repeating every ``period_s``."""
+    if period_s is None:
+        windows = (FaultWindow(start_s, start_s + duration_s),)
+    else:
+        if period_s <= duration_s:
+            raise NetworkError(
+                f"period {period_s} must exceed outage duration {duration_s}"
+            )
+        count = max(int((horizon_s - start_s) // period_s) + 1, 1)
+        windows = tuple(
+            FaultWindow(start_s + i * period_s, start_s + i * period_s + duration_s)
+            for i in range(count)
+        )
+    return FaultSchedule(name="outage", outages=windows)
+
+
+def latency_spike_schedule(
+    *, start_s: float = 10.0, duration_s: float = 20.0, extra_latency_s: float = 1.5
+) -> FaultSchedule:
+    """A congestion window multiplying the round trip's latency term."""
+    return FaultSchedule(
+        name="latency_spike",
+        latency_spikes=(
+            LatencySpike(FaultWindow(start_s, start_s + duration_s), extra_latency_s),
+        ),
+    )
+
+
+def bandwidth_collapse_schedule(
+    *, start_s: float = 10.0, duration_s: float = 25.0, factor: float = 0.1
+) -> FaultSchedule:
+    """A window where the usable bandwidth drops to ``factor`` of nominal."""
+    return FaultSchedule(
+        name="bandwidth_collapse",
+        bandwidth_windows=(
+            BandwidthWindow(FaultWindow(start_s, start_s + duration_s), factor),
+        ),
+    )
+
+
+#: Default instances of the four canonical schedules, by name.
+NAMED_SCHEDULES: dict[str, FaultSchedule] = {
+    "none": FaultSchedule(),
+    "burst_loss": burst_loss_schedule(),
+    "outage": outage_schedule(),
+    "latency_spike": latency_spike_schedule(),
+    "bandwidth_collapse": bandwidth_collapse_schedule(),
+}
+
+
+def named_schedule(name: str) -> FaultSchedule:
+    """Look up one of the canonical schedules by name."""
+    try:
+        return NAMED_SCHEDULES[name]
+    except KeyError:
+        known = ", ".join(sorted(NAMED_SCHEDULES))
+        raise NetworkError(f"unknown fault schedule {name!r}; known: {known}") from None

@@ -10,6 +10,15 @@ Two further effects from its motivation (Section I) are modelled:
   stationary bandwidth (the paper cites Ofcom measurements [2]); we
   model the effective bandwidth as ``B / (1 + k * s)`` with ``s`` the
   normalised speed and ``k`` the degradation factor.
+
+On top of the stationary model the link supports deterministic fault
+injection (:mod:`repro.net.faults`): burst loss, scheduled outages,
+latency spikes and bandwidth collapse, all sampled from an injected
+seeded generator at simulated time.  Retransmission is **bounded**:
+an exchange that fails ``max_attempts`` times raises
+:class:`~repro.errors.LinkExchangeError` carrying the simulated time
+the failed attempts consumed, so callers can bill it and degrade
+instead of blocking forever.
 """
 
 from __future__ import annotations
@@ -18,7 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import NetworkError
+from repro.errors import LinkExchangeError, NetworkError
+from repro.net.faults import FaultInjector, FaultSchedule
 
 __all__ = ["LinkConfig", "WirelessLink", "TransferRecord"]
 
@@ -43,6 +53,10 @@ class LinkConfig:
     loss_rate:
         Probability that an exchange attempt fails and must be
         retransmitted (whole-exchange granularity).  0 disables loss.
+    max_attempts:
+        Retransmission cap per exchange; once reached the exchange
+        raises :class:`~repro.errors.LinkExchangeError` instead of
+        retrying forever.
     """
 
     bandwidth_bps: float = 256_000.0
@@ -50,6 +64,7 @@ class LinkConfig:
     connection_cost_s: float = 0.1
     speed_degradation: float = 3.0
     loss_rate: float = 0.0
+    max_attempts: int = 16
 
     def __post_init__(self) -> None:
         if self.bandwidth_bps <= 0:
@@ -62,6 +77,10 @@ class LinkConfig:
             raise NetworkError(
                 f"loss_rate must be in [0, 1), got {self.loss_rate}"
             )
+        if self.max_attempts < 1:
+            raise NetworkError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
 
     def effective_bandwidth(self, speed: float) -> float:
         """Usable bits/second at the given normalised speed."""
@@ -69,27 +88,45 @@ class LinkConfig:
             raise NetworkError(f"speed must be non-negative, got {speed}")
         return self.bandwidth_bps / (1.0 + self.speed_degradation * speed)
 
-    def round_trip_time(self, payload_bytes: int, speed: float = 0.0) -> float:
+    def round_trip_time(
+        self,
+        payload_bytes: int,
+        speed: float = 0.0,
+        *,
+        extra_latency_s: float = 0.0,
+        bandwidth_factor: float = 1.0,
+    ) -> float:
         """Seconds for one request/response exchange.
 
         ``payload_bytes`` is the response size; the request itself is
-        assumed negligible (a window plus two floats).
+        assumed negligible (a window plus two floats).  The keyword
+        arguments let the fault layer degrade a single attempt.
         """
         if payload_bytes < 0:
             raise NetworkError(f"payload must be non-negative, got {payload_bytes}")
-        transfer = payload_bytes * 8.0 / self.effective_bandwidth(speed)
-        return self.connection_cost_s + 2.0 * self.latency_s + transfer
+        if extra_latency_s < 0:
+            raise NetworkError(
+                f"extra latency must be non-negative, got {extra_latency_s}"
+            )
+        if bandwidth_factor <= 0:
+            raise NetworkError(
+                f"bandwidth factor must be positive, got {bandwidth_factor}"
+            )
+        bandwidth = self.effective_bandwidth(speed) * bandwidth_factor
+        transfer = payload_bytes * 8.0 / bandwidth
+        return self.connection_cost_s + 2.0 * (self.latency_s + extra_latency_s) + transfer
 
 
 @dataclass(frozen=True)
 class TransferRecord:
-    """One completed request/response exchange."""
+    """One request/response exchange (``ok=False``: attempts exhausted)."""
 
     started_at: float
     payload_bytes: int
     speed: float
     elapsed_s: float
     attempts: int = 1
+    ok: bool = True
 
 
 class WirelessLink:
@@ -97,7 +134,8 @@ class WirelessLink:
 
     The link does not own the clock; callers pass the current time and
     advance their clock by the returned duration, so several components
-    can share one clock.
+    can share one clock.  Optional ``faults`` inject deterministic
+    channel misbehaviour on top of the i.i.d. ``loss_rate``.
     """
 
     def __init__(
@@ -105,14 +143,23 @@ class WirelessLink:
         config: LinkConfig | None = None,
         *,
         rng: np.random.Generator | None = None,
+        faults: FaultInjector | FaultSchedule | None = None,
     ) -> None:
         self.config = config if config is not None else LinkConfig()
         self._transfers: list[TransferRecord] = []
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        if isinstance(faults, FaultSchedule):
+            faults = FaultInjector(faults, rng=self._rng)
+        self._faults = faults
+
+    @property
+    def faults(self) -> FaultInjector | None:
+        """The active fault injector, if any."""
+        return self._faults
 
     @property
     def transfers(self) -> list[TransferRecord]:
-        """All completed exchanges (immutable records)."""
+        """All exchanges, including failed ones (immutable records)."""
         return list(self._transfers)
 
     @property
@@ -120,13 +167,18 @@ class WirelessLink:
         return len(self._transfers)
 
     @property
+    def failed_count(self) -> int:
+        """Exchanges that exhausted their retransmission budget."""
+        return sum(1 for t in self._transfers if not t.ok)
+
+    @property
     def total_bytes(self) -> int:
-        """Total response payload carried."""
-        return sum(t.payload_bytes for t in self._transfers)
+        """Total response payload actually delivered."""
+        return sum(t.payload_bytes for t in self._transfers if t.ok)
 
     @property
     def total_time(self) -> float:
-        """Total seconds spent on the link."""
+        """Total seconds spent on the link (failed attempts included)."""
         return sum(t.elapsed_s for t in self._transfers)
 
     @property
@@ -134,19 +186,56 @@ class WirelessLink:
         """Exchange attempts including retransmissions."""
         return sum(t.attempts for t in self._transfers)
 
+    def _attempt_lost(self, now: float) -> bool:
+        """Sample one attempt's fate at simulated time ``now``."""
+        if self.config.loss_rate > 0.0 and float(self._rng.random()) < self.config.loss_rate:
+            return True
+        if self._faults is not None:
+            return self._faults.attempt_lost(now)
+        return False
+
+    def _attempt_time(self, payload_bytes: int, speed: float, now: float) -> float:
+        """One attempt's round trip at ``now`` under active faults."""
+        extra = self._faults.extra_latency_s(now) if self._faults is not None else 0.0
+        factor = self._faults.bandwidth_factor(now) if self._faults is not None else 1.0
+        return self.config.round_trip_time(
+            payload_bytes, speed, extra_latency_s=extra, bandwidth_factor=factor
+        )
+
     def exchange(self, payload_bytes: int, *, speed: float = 0.0, now: float = 0.0) -> float:
         """Perform one request/response; returns the elapsed seconds.
 
-        With a lossy link (``config.loss_rate > 0``) failed attempts are
-        retransmitted; each attempt pays the full round trip.
+        Failed attempts (i.i.d. loss or injected faults) are
+        retransmitted, each paying the full round trip at the simulated
+        time it starts.  After ``config.max_attempts`` failures the
+        exchange gives up: the wasted time is recorded and a
+        :class:`~repro.errors.LinkExchangeError` carrying it is raised.
         """
-        attempts = 1
-        while (
-            self.config.loss_rate > 0.0
-            and self._rng.random() < self.config.loss_rate
-        ):
+        elapsed = 0.0
+        attempts = 0
+        while True:
             attempts += 1
-        elapsed = attempts * self.config.round_trip_time(payload_bytes, speed)
+            lost = self._attempt_lost(now + elapsed)
+            elapsed += self._attempt_time(payload_bytes, speed, now + elapsed)
+            if not lost:
+                break
+            if attempts >= self.config.max_attempts:
+                self._transfers.append(
+                    TransferRecord(
+                        started_at=now,
+                        payload_bytes=payload_bytes,
+                        speed=speed,
+                        elapsed_s=elapsed,
+                        attempts=attempts,
+                        ok=False,
+                    )
+                )
+                raise LinkExchangeError(
+                    f"exchange failed after {attempts} attempts "
+                    f"({elapsed:.3f}s on the link)",
+                    attempts=attempts,
+                    elapsed_s=elapsed,
+                )
         self._transfers.append(
             TransferRecord(
                 started_at=now,
@@ -159,8 +248,10 @@ class WirelessLink:
         return elapsed
 
     def reset(self) -> None:
-        """Forget all accounting."""
+        """Forget all accounting (fault state included)."""
         self._transfers.clear()
+        if self._faults is not None:
+            self._faults.reset()
 
     def __repr__(self) -> str:
         return (

@@ -6,11 +6,22 @@ Executes :class:`~repro.net.messages.RetrieveRequest`s: runs each
 rectangles and executed as separate sub-queries), filters out records
 the client already holds (the server-side filtering step of Figure 3),
 and ships base meshes for objects the client sees for the first time.
+
+Per-client state is bounded: the server remembers which base meshes it
+shipped to at most ``max_clients`` clients, evicting the least recently
+served client when the table is full and on explicit
+:meth:`Server.reset_client` / :meth:`Server.disconnect`.  Block
+shipping is split into a side-effect-free *quote* and an explicit
+*commit*, so a transfer that dies on the wire never marks its records
+as delivered.
 """
 
 from __future__ import annotations
 
-from repro.errors import ProtocolError
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ProtocolError
 from repro.geometry.box import Box
 from repro.net.messages import (
     BaseMeshPayload,
@@ -21,29 +32,80 @@ from repro.net.messages import (
 from repro.server.database import ObjectDatabase
 from repro.wavelets.coefficients import CoefficientRecord
 
-__all__ = ["Server"]
+__all__ = ["Server", "BlockQuote"]
+
+#: Default cap on how many clients' shipped-base sets the server keeps.
+DEFAULT_MAX_CLIENTS = 1024
+
+
+@dataclass(frozen=True)
+class BlockQuote:
+    """A priced but uncommitted block shipment.
+
+    ``payload_bytes`` includes base-mesh connectivity for objects in
+    ``new_base_ids`` -- objects this client would see for the first
+    time.  Committing the quote marks those bases as shipped.
+    """
+
+    client_id: int
+    payload_bytes: int
+    io_node_reads: int
+    new_uids: frozenset[tuple[int, int, int]]
+    new_base_ids: frozenset[int]
 
 
 class Server:
     """Query-processing front end over an :class:`ObjectDatabase`.
 
     The server is stateless with respect to clients except for the
-    ``known_objects`` hint carried in requests, which keeps the protocol
-    one-round-trip.
+    ``known_objects`` hint carried in requests and the bounded
+    shipped-bases table, which keep the protocol one-round-trip.
     """
 
-    def __init__(self, database: ObjectDatabase):
+    def __init__(
+        self, database: ObjectDatabase, *, max_clients: int = DEFAULT_MAX_CLIENTS
+    ):
+        if max_clients < 1:
+            raise ConfigurationError(
+                f"max_clients must be >= 1, got {max_clients}"
+            )
         self._db = database
-        # Per-client set of object ids whose base mesh has been shipped.
-        self._shipped_bases: dict[int, set[int]] = {}
+        self._max_clients = max_clients
+        # Per-client set of object ids whose base mesh has been shipped,
+        # in least-recently-served order for eviction.
+        self._shipped_bases: OrderedDict[int, set[int]] = OrderedDict()
 
     @property
     def database(self) -> ObjectDatabase:
         return self._db
 
+    @property
+    def max_clients(self) -> int:
+        return self._max_clients
+
+    @property
+    def client_count(self) -> int:
+        """Clients with live shipped-base state."""
+        return len(self._shipped_bases)
+
+    def _client_bases(self, client_id: int) -> set[int]:
+        """The client's shipped set, created and LRU-touched."""
+        if client_id in self._shipped_bases:
+            self._shipped_bases.move_to_end(client_id)
+            return self._shipped_bases[client_id]
+        while len(self._shipped_bases) >= self._max_clients:
+            self._shipped_bases.popitem(last=False)
+        shipped: set[int] = set()
+        self._shipped_bases[client_id] = shipped
+        return shipped
+
     def reset_client(self, client_id: int) -> None:
         """Forget which base meshes a client already received."""
         self._shipped_bases.pop(client_id, None)
+
+    def disconnect(self, client_id: int) -> None:
+        """Drop all per-client state (alias of :meth:`reset_client`)."""
+        self.reset_client(client_id)
 
     def execute(self, request: RetrieveRequest) -> RetrieveResponse:
         """Answer one retrieve request.
@@ -102,6 +164,56 @@ class Server:
         )
         return self.execute(request)
 
+    def _base_connectivity_bytes(self, object_id: int) -> int:
+        obj = self._db.get_object(object_id)
+        return obj.base_bytes - (
+            obj.decomposition.base.vertex_count
+            * self._db.encoding.base_vertex_bytes()
+        )
+
+    def quote_block(
+        self,
+        client_id: int,
+        region: Box,
+        w_min: float,
+        exclude_uids: frozenset[tuple[int, int, int]],
+        *,
+        assume_shipped_bases: frozenset[int] = frozenset(),
+    ) -> BlockQuote:
+        """Price one block shipment without committing any state.
+
+        ``assume_shipped_bases`` lets a caller quoting several blocks in
+        one round trip avoid double-counting a base mesh two blocks
+        share; pass the union of ``new_base_ids`` quoted so far.
+        """
+        result = self._db.query_region(region, w_min, 1.0)
+        new_records = [r for r in result.records if r.uid not in exclude_uids]
+        payload = sum(r.size_bytes for r in new_records)
+        shipped = self._shipped_bases.get(client_id, set())
+        new_bases: set[int] = set()
+        for record in new_records:
+            if (
+                record.key.is_base
+                and record.object_id not in shipped
+                and record.object_id not in assume_shipped_bases
+                and record.object_id not in new_bases
+            ):
+                new_bases.add(record.object_id)
+                # Connectivity cost of the base mesh, shipped once.
+                payload += self._base_connectivity_bytes(record.object_id)
+        return BlockQuote(
+            client_id=client_id,
+            payload_bytes=payload,
+            io_node_reads=result.io.node_reads,
+            new_uids=frozenset(r.uid for r in new_records),
+            new_base_ids=frozenset(new_bases),
+        )
+
+    def commit_quote(self, quote: BlockQuote) -> None:
+        """Mark a quoted shipment as delivered (bases now shipped)."""
+        if quote.new_base_ids:
+            self._client_bases(quote.client_id).update(quote.new_base_ids)
+
     def block_payload_bytes(
         self,
         client_id: int,
@@ -109,35 +221,20 @@ class Server:
         w_min: float,
         exclude_uids: frozenset[tuple[int, int, int]],
     ) -> tuple[int, int, frozenset[tuple[int, int, int]]]:
-        """Bytes and I/O to ship one block, minus already-sent records.
+        """Quote one block and commit it immediately.
 
-        Returns ``(payload_bytes, io_node_reads, new_uids)``.  Used by
-        the end-to-end system simulation where the buffer layer fetches
-        whole blocks but the wire must not re-carry shared records.
+        Returns ``(payload_bytes, io_node_reads, new_uids)``.  Kept for
+        callers on a reliable link; the fault-aware systems quote first
+        and commit only after the wire transfer succeeds.
         """
-        result = self._db.query_region(region, w_min, 1.0)
-        new_records = [r for r in result.records if r.uid not in exclude_uids]
-        payload = sum(r.size_bytes for r in new_records)
-        shipped = self._shipped_bases.setdefault(client_id, set())
-        for record in new_records:
-            if record.key.is_base and record.object_id not in shipped:
-                shipped.add(record.object_id)
-                obj = self._db.get_object(record.object_id)
-                # Connectivity cost of the base mesh, shipped once.
-                payload += obj.base_bytes - (
-                    obj.decomposition.base.vertex_count
-                    * self._db.encoding.base_vertex_bytes()
-                )
-        return (
-            payload,
-            result.io.node_reads,
-            frozenset(r.uid for r in new_records),
-        )
+        quote = self.quote_block(client_id, region, w_min, exclude_uids)
+        self.commit_quote(quote)
+        return (quote.payload_bytes, quote.io_node_reads, quote.new_uids)
 
     def _base_payloads(
         self, client_id: int, records: tuple[CoefficientRecord, ...]
     ) -> tuple[BaseMeshPayload, ...]:
-        shipped = self._shipped_bases.setdefault(client_id, set())
+        shipped = self._client_bases(client_id)
         payloads = []
         for record in records:
             if not record.key.is_base:
@@ -147,10 +244,7 @@ class Server:
                 continue
             shipped.add(oid)
             obj = self._db.get_object(oid)
-            connectivity = obj.base_bytes - (
-                obj.decomposition.base.vertex_count
-                * self._db.encoding.base_vertex_bytes()
-            )
+            connectivity = self._base_connectivity_bytes(oid)
             payloads.append(
                 BaseMeshPayload(
                     object_id=oid,

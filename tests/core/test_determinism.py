@@ -1,0 +1,93 @@
+"""End-to-end determinism: a run is a pure function of (config, tour).
+
+Same seed => bit-identical :class:`SystemRunResult` for both systems,
+fault counters included; different seeds diverge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.resilience import ResiliencePolicy
+from repro.core.system import (
+    MotionAwareSystem,
+    NaiveSystem,
+    SystemConfig,
+    SystemRunResult,
+)
+from repro.geometry.box import Box
+from repro.motion.trajectory import tram_tour
+from repro.net.faults import GilbertElliottConfig, FaultSchedule
+from repro.net.link import LinkConfig
+from repro.server.server import Server
+
+SPACE = Box((0, 0), (1000, 1000))
+
+
+@pytest.fixture(scope="module")
+def fault_city():
+    from repro.workloads.cityscape import CityConfig, build_city
+
+    return build_city(
+        CityConfig(
+            space=SPACE,
+            object_count=16,
+            levels=2,
+            seed=11,
+            min_size_frac=0.03,
+            max_size_frac=0.08,
+        )
+    )
+
+
+SCHEDULE = FaultSchedule(
+    name="burst_loss",
+    gilbert_elliott=GilbertElliottConfig(
+        p_good_bad=0.5, p_bad_good=0.1, loss_good=0.4, loss_bad=0.98
+    ),
+)
+
+
+def make_config(seed: int) -> SystemConfig:
+    return SystemConfig(
+        space=SPACE,
+        grid_shape=(12, 12),
+        buffer_bytes=8 * 1024,
+        query_frac=0.12,
+        link=LinkConfig(max_attempts=4),
+        faults=SCHEDULE,
+        resilience=ResiliencePolicy(max_retries=2, timeout_s=30.0),
+        seed=seed,
+    )
+
+
+def run_once(city, system_cls, seed: int) -> SystemRunResult:
+    tour = tram_tour(SPACE, np.random.default_rng(21), speed=0.6, steps=50)
+    return system_cls(Server(city), make_config(seed)).run(tour)
+
+
+def exact_fields(result: SystemRunResult) -> dict:
+    return dataclasses.asdict(result)
+
+
+@pytest.mark.parametrize(
+    "system_cls",
+    [
+        pytest.param(MotionAwareSystem, id="motion"),
+        pytest.param(NaiveSystem, id="naive"),
+    ],
+)
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self, fault_city, system_cls):
+        first = run_once(fault_city, system_cls, seed=3)
+        second = run_once(fault_city, system_cls, seed=3)
+        assert exact_fields(first) == exact_fields(second)
+        assert first.contacts > 0
+
+    def test_different_seed_diverges(self, fault_city, system_cls):
+        first = run_once(fault_city, system_cls, seed=3)
+        second = run_once(fault_city, system_cls, seed=4)
+        assert exact_fields(first) != exact_fields(second)

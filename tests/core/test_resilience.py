@@ -1,0 +1,191 @@
+"""Tests for the client-side resilience policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.resilience import (
+    DegradationController,
+    ResiliencePolicy,
+    ResilientExchanger,
+)
+from repro.errors import ConfigurationError
+from repro.net.faults import FaultSchedule, outage_schedule
+from repro.net.link import LinkConfig, WirelessLink
+
+
+def make_link(
+    schedule: FaultSchedule | None = None,
+    *,
+    loss_rate: float = 0.0,
+    max_attempts: int = 4,
+    seed: int = 0,
+) -> WirelessLink:
+    return WirelessLink(
+        LinkConfig(loss_rate=loss_rate, max_attempts=max_attempts),
+        rng=np.random.default_rng(seed),
+        faults=schedule,
+    )
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(jitter_frac=1.5)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(degraded_w_min=1.2)
+
+    def test_backoff_grows_and_caps(self):
+        policy = ResiliencePolicy(
+            base_backoff_s=1.0, backoff_factor=2.0, max_backoff_s=3.0, jitter_frac=0.0
+        )
+        rng = np.random.default_rng(0)
+        assert policy.backoff_s(0, rng) == pytest.approx(1.0)
+        assert policy.backoff_s(1, rng) == pytest.approx(2.0)
+        assert policy.backoff_s(2, rng) == pytest.approx(3.0)
+        assert policy.backoff_s(5, rng) == pytest.approx(3.0)
+
+    def test_backoff_jitter_is_bounded_and_seeded(self):
+        policy = ResiliencePolicy(
+            base_backoff_s=1.0, backoff_factor=1.0, jitter_frac=0.5
+        )
+        values = [
+            policy.backoff_s(0, np.random.default_rng(s)) for s in range(50)
+        ]
+        assert all(0.5 <= v <= 1.5 for v in values)
+        assert policy.backoff_s(0, np.random.default_rng(3)) == pytest.approx(
+            policy.backoff_s(0, np.random.default_rng(3))
+        )
+
+    def test_worst_case_bound_formula(self):
+        policy = ResiliencePolicy(
+            max_retries=2, base_backoff_s=1.0, backoff_factor=2.0,
+            max_backoff_s=10.0, jitter_frac=0.0,
+        )
+        link = LinkConfig(max_attempts=3)
+        rtt = link.round_trip_time(1000)
+        bound = policy.worst_case_request_s(link, 1000)
+        assert bound == pytest.approx(3 * 3 * rtt + 3.0)
+
+
+class TestExchanger:
+    def test_success_without_faults_is_single_exchange(self):
+        link = make_link()
+        exchanger = ResilientExchanger(
+            link, ResiliencePolicy(), rng=np.random.default_rng(1)
+        )
+        outcome = exchanger.request(1000, now=0.0)
+        assert outcome.ok
+        assert outcome.retries == 0
+        assert outcome.elapsed_s == pytest.approx(
+            link.config.round_trip_time(1000)
+        )
+
+    def test_outage_exhausts_retries_without_blocking(self):
+        policy = ResiliencePolicy(max_retries=2, timeout_s=1e9, jitter_frac=0.0)
+        link = make_link(outage_schedule(start_s=0.0, duration_s=1e6))
+        exchanger = ResilientExchanger(link, policy, rng=np.random.default_rng(1))
+        outcome = exchanger.request(100, now=0.0)
+        assert not outcome.ok
+        assert outcome.retries == 2
+        assert link.total_attempts == 3 * link.config.max_attempts
+        assert outcome.elapsed_s <= policy.worst_case_request_s(
+            link.config, 100
+        )
+
+    def test_timeout_stops_retrying_early(self):
+        policy = ResiliencePolicy(max_retries=50, timeout_s=1.0)
+        link = make_link(outage_schedule(start_s=0.0, duration_s=1e6))
+        exchanger = ResilientExchanger(link, policy, rng=np.random.default_rng(1))
+        outcome = exchanger.request(100, now=0.0)
+        assert not outcome.ok
+        assert outcome.timed_out
+        # One capped exchange already exceeds a 1 s budget.
+        assert outcome.retries == 0
+
+    def test_recovers_after_outage(self):
+        policy = ResiliencePolicy(max_retries=8, timeout_s=1e9, jitter_frac=0.0)
+        # Outage covers the first attempts; backoff pushes a later retry
+        # past its end and the request ultimately succeeds.
+        link = make_link(
+            outage_schedule(start_s=0.0, duration_s=3.0), max_attempts=2
+        )
+        exchanger = ResilientExchanger(link, policy, rng=np.random.default_rng(1))
+        outcome = exchanger.request(0, now=0.0)
+        assert outcome.ok
+        assert outcome.retries > 0
+
+    def test_deterministic(self):
+        def run(seed: int) -> tuple:
+            link = make_link(
+                FaultSchedule(), loss_rate=0.6, max_attempts=3, seed=seed
+            )
+            policy = ResiliencePolicy(max_retries=3)
+            exchanger = ResilientExchanger(
+                link, policy, rng=np.random.default_rng(seed + 1)
+            )
+            outcomes = [exchanger.request(50, now=float(i)) for i in range(20)]
+            return tuple((o.ok, o.elapsed_s, o.retries) for o in outcomes)
+
+        assert run(5) == run(5)
+
+
+class TestDegradation:
+    def test_not_degraded_initially(self):
+        controller = DegradationController(ResiliencePolicy())
+        assert not controller.is_degraded(0.0)
+        assert controller.effective_w_min(0.0, 0.3) == pytest.approx(0.3)
+
+    def test_failure_raises_floor_then_ramps_down(self):
+        policy = ResiliencePolicy(degraded_window_s=10.0, degraded_w_min=0.9)
+        controller = DegradationController(policy)
+        controller.note_failure(100.0)
+        assert controller.is_degraded(100.0)
+        at_failure = controller.effective_w_min(100.0, 0.3)
+        midway = controller.effective_w_min(105.0, 0.3)
+        near_end = controller.effective_w_min(109.9, 0.3)
+        after = controller.effective_w_min(110.0, 0.3)
+        assert at_failure == pytest.approx(0.9)
+        assert 0.3 < midway < at_failure
+        assert 0.3 < near_end < midway
+        assert after == pytest.approx(0.3)
+
+    def test_recovery_is_monotone(self):
+        policy = ResiliencePolicy(degraded_window_s=20.0, degraded_w_min=0.95)
+        controller = DegradationController(policy)
+        controller.note_failure(0.0)
+        trace = [controller.effective_w_min(t * 0.5, 0.2) for t in range(100)]
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+        assert trace[-1] == pytest.approx(0.2)
+
+    def test_floor_never_below_base(self):
+        policy = ResiliencePolicy(degraded_window_s=10.0, degraded_w_min=0.5)
+        controller = DegradationController(policy)
+        controller.note_failure(0.0)
+        assert controller.effective_w_min(5.0, 0.8) == pytest.approx(0.8)
+
+    def test_repeated_failures_extend_window(self):
+        policy = ResiliencePolicy(degraded_window_s=10.0)
+        controller = DegradationController(policy)
+        controller.note_failure(0.0)
+        controller.note_failure(5.0)
+        assert controller.is_degraded(12.0)
+        assert not controller.is_degraded(15.0)
+
+    def test_reset(self):
+        controller = DegradationController(ResiliencePolicy())
+        controller.note_failure(0.0)
+        controller.reset()
+        assert not controller.is_degraded(0.0)
+
+    def test_base_w_min_validated(self):
+        controller = DegradationController(ResiliencePolicy())
+        with pytest.raises(ConfigurationError):
+            controller.effective_w_min(0.0, 1.5)

@@ -1,0 +1,168 @@
+"""Property-based tests for Box and Grid geometry.
+
+Runs under ``hypothesis`` when it is installed; otherwise the same
+properties are exercised by seeded-random parametrization, so the suite
+needs nothing beyond numpy/pytest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.geometry.grid import Grid
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+SEEDS = list(range(25))
+
+
+def random_box(rng: np.random.Generator, scale: float = 100.0) -> Box:
+    low = rng.uniform(-scale, scale, 2)
+    extents = rng.uniform(0.1, scale, 2)
+    return Box(low, low + extents)
+
+
+def check_intersection_consistency(a: Box, b: Box, rng) -> None:
+    inter = a.intersection(b)
+    assert (inter is not None) == a.intersects(b)
+    assert a.intersection_volume(b) == pytest.approx(b.intersection_volume(a))
+    assert a.intersection_volume(b) <= min(a.volume, b.volume) + 1e-9
+    points = rng.uniform(-120.0, 120.0, size=(64, 2))
+    for p in points:
+        in_both = a.contains_point(p) and b.contains_point(p)
+        if inter is None:
+            assert not in_both
+        else:
+            assert inter.contains_point(p) == in_both
+
+
+def check_union_contains(a: Box, b: Box) -> None:
+    union = a.union(b)
+    assert union.contains_box(a)
+    assert union.contains_box(b)
+    assert union.volume >= max(a.volume, b.volume)
+    assert a.enlargement(b) == pytest.approx(union.volume - a.volume)
+    assert a.enlargement(b) >= -1e-9
+
+
+def check_difference_tiles(a: Box, b: Box) -> None:
+    pieces = a.difference(b)
+    assert len(pieces) <= 2 * a.ndim
+    for piece in pieces:
+        assert a.contains_box(piece)
+        assert not piece.strictly_intersects(b)
+    for i, first in enumerate(pieces):
+        for second in pieces[i + 1 :]:
+            assert not first.strictly_intersects(second)
+    total = sum(p.volume for p in pieces)
+    assert total == pytest.approx(a.volume - a.intersection_volume(b))
+
+
+class TestBoxProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_pairs(self, seed: int):
+        rng = np.random.default_rng(seed)
+        a, b = random_box(rng), random_box(rng)
+        check_intersection_consistency(a, b, rng)
+        check_union_contains(a, b)
+        check_difference_tiles(a, b)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_overlapping_pairs(self, seed: int):
+        """Force real overlap: b is a jittered copy of a."""
+        rng = np.random.default_rng(1000 + seed)
+        a = random_box(rng)
+        b = a.translated(rng.uniform(-0.5, 0.5, 2) * a.extents)
+        assert a.strictly_intersects(b)
+        check_intersection_consistency(a, b, rng)
+        check_difference_tiles(a, b)
+        assert a.difference(a) == []
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_contained_pairs(self, seed: int):
+        rng = np.random.default_rng(2000 + seed)
+        a = random_box(rng)
+        inner = a.scaled_about_center(float(rng.uniform(0.1, 0.9)))
+        check_difference_tiles(a, inner)
+        check_difference_tiles(inner, a)
+        assert inner.difference(a) == []
+
+
+class TestGridProperties:
+    @staticmethod
+    def brute_force_cells(grid: Grid, box: Box):
+        """Strictly-overlapping cells by exhaustive volume check."""
+        return [
+            cell
+            for cell in grid.cells()
+            if grid.cell_box(cell).intersection_volume(box) > 0.0
+        ]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cells_overlapping_matches_brute_force(self, seed: int):
+        rng = np.random.default_rng(seed)
+        space = Box((0, 0), (80, 80))
+        grid = Grid(space, (8, 8))
+        low = rng.uniform(-20.0, 90.0, 2)
+        box = Box(low, low + rng.uniform(0.5, 50.0, 2))
+        assert sorted(grid.cells_overlapping(box)) == sorted(
+            self.brute_force_cells(grid, box)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_boundary_aligned_boxes(self, seed: int):
+        """Boxes snapped to cell boundaries: measure-zero touches must
+        not drag extra cells in."""
+        rng = np.random.default_rng(3000 + seed)
+        space = Box((0, 0), (80, 80))
+        grid = Grid(space, (8, 8))
+        lo = rng.integers(0, 7, 2) * 10.0
+        hi = lo + rng.integers(1, 4, 2) * 10.0
+        box = Box(lo, hi)
+        cells = grid.cells_overlapping(box)
+        assert sorted(cells) == sorted(self.brute_force_cells(grid, box))
+        assert len(cells) == int(
+            np.prod((np.minimum(hi, 80.0) - lo) / 10.0)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_point_maps_into_reported_cells(self, seed: int):
+        rng = np.random.default_rng(4000 + seed)
+        space = Box((0, 0), (80, 80))
+        grid = Grid(space, (8, 8))
+        low = rng.uniform(0.0, 60.0, 2)
+        box = Box(low, low + rng.uniform(1.0, 20.0, 2))
+        cells = set(grid.cells_overlapping(box))
+        interior = rng.uniform(box.low + 1e-6, box.high - 1e-6, size=(32, 2))
+        for p in interior:
+            assert grid.cell_of_point(p) in cells
+
+
+if HAVE_HYPOTHESIS:
+    finite = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+    positive = st.floats(0.1, 100.0, allow_nan=False, allow_infinity=False)
+
+    @st.composite
+    def boxes(draw):
+        low = (draw(finite), draw(finite))
+        ext = (draw(positive), draw(positive))
+        return Box(low, (low[0] + ext[0], low[1] + ext[1]))
+
+    class TestBoxHypothesis:
+        @given(boxes(), boxes())
+        @settings(max_examples=100, deadline=None)
+        def test_difference_tiles(self, a: Box, b: Box):
+            check_difference_tiles(a, b)
+
+        @given(boxes(), boxes())
+        @settings(max_examples=100, deadline=None)
+        def test_union_contains(self, a: Box, b: Box):
+            check_union_contains(a, b)

@@ -1,0 +1,140 @@
+"""Property-based tests: R-tree search vs a brute-force linear scan.
+
+Every variant (quadratic R-tree, R*-tree, STR bulk-loaded) must return
+exactly the payloads a linear scan finds, on random datasets and random
+queries -- including after deletions.  Runs under ``hypothesis`` when
+installed, seeded-random parametrization otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.index.bulk import bulk_load
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+SEEDS = list(range(15))
+
+
+def random_dataset(
+    rng: np.random.Generator, count: int = 80
+) -> list[tuple[Box, int]]:
+    lows = rng.uniform(0.0, 90.0, size=(count, 2))
+    extents = rng.uniform(0.1, 12.0, size=(count, 2))
+    return [
+        (Box(low, low + ext), i)
+        for i, (low, ext) in enumerate(zip(lows, extents))
+    ]
+
+
+def random_query(rng: np.random.Generator) -> Box:
+    low = rng.uniform(-10.0, 95.0, 2)
+    return Box(low, low + rng.uniform(0.5, 40.0, 2))
+
+
+def linear_scan(items: list[tuple[Box, int]], query: Box) -> list[int]:
+    return sorted(p for box, p in items if box.intersects(query))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("tree_class", [RTree, RStarTree])
+class TestDynamicTreesMatchLinearScan:
+    def test_search_matches_after_inserts(self, seed: int, tree_class):
+        rng = np.random.default_rng(seed)
+        items = random_dataset(rng)
+        tree = tree_class(max_entries=8)
+        for box, payload in items:
+            tree.insert(box, payload)
+        tree.validate()
+        assert len(tree) == len(items)
+        for _ in range(12):
+            query = random_query(rng)
+            assert sorted(tree.search(query)) == linear_scan(items, query)
+
+    def test_search_matches_after_deletes(self, seed: int, tree_class):
+        rng = np.random.default_rng(500 + seed)
+        items = random_dataset(rng)
+        tree = tree_class(max_entries=8)
+        for box, payload in items:
+            tree.insert(box, payload)
+        keep: list[tuple[Box, int]] = []
+        for index, (box, payload) in enumerate(items):
+            if index % 2 == 0:
+                assert tree.delete(box, payload)
+            else:
+                keep.append((box, payload))
+        tree.validate()
+        assert len(tree) == len(keep)
+        for _ in range(12):
+            query = random_query(rng)
+            assert sorted(tree.search(query)) == linear_scan(keep, query)
+
+    def test_count_matches_search(self, seed: int, tree_class):
+        rng = np.random.default_rng(900 + seed)
+        items = random_dataset(rng, count=40)
+        tree = tree_class(max_entries=6)
+        for box, payload in items:
+            tree.insert(box, payload)
+        query = random_query(rng)
+        assert tree.count(query) == len(tree.search(query))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bulk_loaded_tree_matches_linear_scan(seed: int):
+    rng = np.random.default_rng(2000 + seed)
+    items = random_dataset(rng, count=120)
+    tree = bulk_load(items, max_entries=8, tree_class=RStarTree)
+    assert len(tree) == len(items)
+    for _ in range(12):
+        query = random_query(rng)
+        assert sorted(tree.search(query)) == linear_scan(items, query)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:5])
+def test_point_data_degenerate_boxes(seed: int):
+    """Zero-extent rectangles (pure points) must still be searchable."""
+    rng = np.random.default_rng(3000 + seed)
+    points = rng.uniform(0.0, 100.0, size=(60, 2))
+    items = [(Box.from_point(p), i) for i, p in enumerate(points)]
+    tree = RStarTree(max_entries=8)
+    for box, payload in items:
+        tree.insert(box, payload)
+    tree.validate()
+    for _ in range(10):
+        query = random_query(rng)
+        assert sorted(tree.search(query)) == linear_scan(items, query)
+
+
+if HAVE_HYPOTHESIS:
+    coord = st.floats(0.0, 90.0, allow_nan=False, allow_infinity=False)
+    extent = st.floats(0.1, 15.0, allow_nan=False, allow_infinity=False)
+    box_tuples = st.tuples(coord, coord, extent, extent)
+
+    class TestTreesHypothesis:
+        @given(
+            st.lists(box_tuples, min_size=1, max_size=60),
+            box_tuples,
+        )
+        @settings(max_examples=50, deadline=None)
+        def test_search_matches_linear_scan(self, raw_items, raw_query):
+            items = [
+                (Box((x, y), (x + w, y + h)), i)
+                for i, (x, y, w, h) in enumerate(raw_items)
+            ]
+            qx, qy, qw, qh = raw_query
+            query = Box((qx, qy), (qx + qw, qy + qh))
+            tree = RStarTree(max_entries=6)
+            for box, payload in items:
+                tree.insert(box, payload)
+            assert sorted(tree.search(query)) == linear_scan(items, query)

@@ -1,0 +1,159 @@
+"""Tests for the deterministic fault-injection layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.faults import (
+    NAMED_SCHEDULES,
+    BandwidthWindow,
+    FaultInjector,
+    FaultSchedule,
+    FaultWindow,
+    GilbertElliottConfig,
+    LatencySpike,
+    bandwidth_collapse_schedule,
+    burst_loss_schedule,
+    latency_spike_schedule,
+    named_schedule,
+    outage_schedule,
+)
+
+
+class TestWindows:
+    def test_contains_half_open(self):
+        window = FaultWindow(10.0, 20.0)
+        assert not window.contains(9.999)
+        assert window.contains(10.0)
+        assert window.contains(19.999)
+        assert not window.contains(20.0)
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            FaultWindow(-1.0, 5.0)
+        with pytest.raises(NetworkError):
+            FaultWindow(5.0, 5.0)
+        with pytest.raises(NetworkError):
+            LatencySpike(FaultWindow(0.0, 1.0), -0.1)
+        with pytest.raises(NetworkError):
+            BandwidthWindow(FaultWindow(0.0, 1.0), 0.0)
+        with pytest.raises(NetworkError):
+            BandwidthWindow(FaultWindow(0.0, 1.0), 1.5)
+
+    def test_ge_config_validation(self):
+        with pytest.raises(NetworkError):
+            GilbertElliottConfig(p_good_bad=1.5)
+        with pytest.raises(NetworkError):
+            GilbertElliottConfig(step_s=0.0)
+
+
+class TestSchedule:
+    def test_empty_schedule_is_benign(self):
+        schedule = FaultSchedule()
+        assert not schedule.in_outage(0.0)
+        assert schedule.extra_latency_s(5.0) == 0.0
+        assert schedule.bandwidth_factor(5.0) == 1.0
+
+    def test_outage_windows(self):
+        schedule = outage_schedule(start_s=10.0, duration_s=5.0)
+        assert not schedule.in_outage(9.0)
+        assert schedule.in_outage(12.0)
+        assert not schedule.in_outage(15.0)
+
+    def test_periodic_outages(self):
+        schedule = outage_schedule(
+            start_s=10.0, duration_s=2.0, period_s=20.0, horizon_s=100.0
+        )
+        assert schedule.in_outage(11.0)
+        assert schedule.in_outage(31.0)
+        assert not schedule.in_outage(20.0)
+        with pytest.raises(NetworkError):
+            outage_schedule(duration_s=5.0, period_s=4.0)
+
+    def test_latency_and_bandwidth_windows(self):
+        schedule = FaultSchedule(
+            name="mixed",
+            latency_spikes=(
+                LatencySpike(FaultWindow(0.0, 10.0), 1.0),
+                LatencySpike(FaultWindow(5.0, 15.0), 0.5),
+            ),
+            bandwidth_windows=(
+                BandwidthWindow(FaultWindow(0.0, 10.0), 0.5),
+                BandwidthWindow(FaultWindow(5.0, 15.0), 0.4),
+            ),
+        )
+        assert schedule.extra_latency_s(7.0) == pytest.approx(1.5)
+        assert schedule.extra_latency_s(12.0) == pytest.approx(0.5)
+        assert schedule.bandwidth_factor(7.0) == pytest.approx(0.2)
+        assert schedule.worst_extra_latency_s() == pytest.approx(1.5)
+        assert schedule.min_bandwidth_factor() == pytest.approx(0.2)
+
+    def test_named_lookup(self):
+        for name in ("burst_loss", "outage", "latency_spike", "bandwidth_collapse"):
+            assert named_schedule(name).name == name
+        assert named_schedule("none").gilbert_elliott is None
+        assert len(NAMED_SCHEDULES) >= 5
+        with pytest.raises(NetworkError):
+            named_schedule("solar_flare")
+
+
+class TestInjector:
+    def test_outage_always_loses(self):
+        injector = FaultInjector(
+            outage_schedule(start_s=0.0, duration_s=10.0),
+            rng=np.random.default_rng(0),
+        )
+        assert all(injector.attempt_lost(float(t)) for t in range(10))
+        assert not injector.attempt_lost(10.0)
+
+    def test_negative_time_rejected(self):
+        injector = FaultInjector(FaultSchedule(), rng=np.random.default_rng(0))
+        with pytest.raises(NetworkError):
+            injector.attempt_lost(-1.0)
+
+    def test_burst_loss_is_bursty(self):
+        """Losses under Gilbert-Elliott cluster far more than i.i.d."""
+        schedule = burst_loss_schedule(p_good_bad=0.05, p_bad_good=0.2, loss_bad=1.0)
+        injector = FaultInjector(schedule, rng=np.random.default_rng(7))
+        outcomes = [injector.attempt_lost(float(t)) for t in range(2000)]
+        loss_rate = sum(outcomes) / len(outcomes)
+        # Stationary BAD probability = p/(p+r) = 0.2.
+        assert 0.1 < loss_rate < 0.35
+        # Conditional repeat probability far above the marginal rate.
+        repeats = sum(
+            1 for a, b in zip(outcomes, outcomes[1:]) if a and b
+        )
+        losses = sum(outcomes[:-1])
+        assert repeats / losses > 2.0 * loss_rate
+
+    def test_chain_advances_with_time_not_calls(self):
+        schedule = burst_loss_schedule()
+        a = FaultInjector(schedule, rng=np.random.default_rng(3))
+        b = FaultInjector(schedule, rng=np.random.default_rng(3))
+        # Same time point sampled repeatedly must not advance the chain.
+        for _ in range(5):
+            a.attempt_lost(0.5)
+        b.attempt_lost(0.5)
+        assert a.in_bad_state == b.in_bad_state
+
+    def test_deterministic_replay(self):
+        def trace(seed: int) -> list[bool]:
+            injector = FaultInjector(
+                burst_loss_schedule(), rng=np.random.default_rng(seed)
+            )
+            return [injector.attempt_lost(float(t) * 0.7) for t in range(500)]
+
+        assert trace(11) == trace(11)
+        assert trace(11) != trace(12)
+
+    def test_reset(self):
+        injector = FaultInjector(
+            burst_loss_schedule(p_good_bad=1.0, p_bad_good=0.0, loss_bad=1.0),
+            rng=np.random.default_rng(0),
+        )
+        injector.attempt_lost(50.0)
+        assert injector.in_bad_state
+        injector.reset()
+        assert not injector.in_bad_state

@@ -143,3 +143,109 @@ class TestLossyLink:
             return link.total_attempts
 
         assert total(7) == total(7)
+
+
+class TestBoundedRetransmission:
+    """Regression: the retransmit loop must be capped (was unbounded)."""
+
+    def test_max_attempts_validation(self):
+        with pytest.raises(NetworkError):
+            LinkConfig(max_attempts=0)
+
+    def test_extreme_loss_raises_instead_of_spinning(self):
+        import numpy as np
+
+        from repro.errors import LinkExchangeError
+
+        link = WirelessLink(
+            LinkConfig(loss_rate=0.99, max_attempts=8),
+            rng=np.random.default_rng(0),
+        )
+        failures = 0
+        for i in range(20):
+            try:
+                link.exchange(100, now=float(i))
+            except LinkExchangeError as exc:
+                failures += 1
+                assert exc.attempts == 8
+                assert exc.elapsed_s > 0
+        # At 99 % loss nearly every exchange must hit the cap.
+        assert failures >= 18
+        assert link.failed_count == failures
+        assert all(t.attempts <= 8 for t in link.transfers)
+
+    def test_failure_is_a_network_error(self):
+        import numpy as np
+
+        from repro.errors import LinkExchangeError
+
+        assert issubclass(LinkExchangeError, NetworkError)
+        link = WirelessLink(
+            LinkConfig(loss_rate=0.99, max_attempts=2),
+            rng=np.random.default_rng(1),
+        )
+        with pytest.raises(NetworkError):
+            for i in range(50):
+                link.exchange(10, now=float(i))
+
+    def test_failed_exchange_accounting(self):
+        import numpy as np
+
+        from repro.errors import LinkExchangeError
+
+        config = LinkConfig(loss_rate=0.99, max_attempts=3)
+        link = WirelessLink(config, rng=np.random.default_rng(2))
+        with pytest.raises(LinkExchangeError) as excinfo:
+            for _ in range(50):
+                link.exchange(1000)
+        record = link.transfers[-1]
+        assert not record.ok
+        assert record.elapsed_s == pytest.approx(excinfo.value.elapsed_s)
+        # Failed payload is not counted as delivered, but its time is.
+        assert link.total_bytes == 1000 * (link.request_count - link.failed_count)
+        assert link.total_time >= record.elapsed_s
+
+    def test_fault_injected_outage_fails_exchange(self):
+        import numpy as np
+
+        from repro.errors import LinkExchangeError
+        from repro.net.faults import outage_schedule
+
+        link = WirelessLink(
+            LinkConfig(max_attempts=4),
+            rng=np.random.default_rng(0),
+            faults=outage_schedule(start_s=0.0, duration_s=1e6),
+        )
+        with pytest.raises(LinkExchangeError):
+            link.exchange(100, now=0.0)
+        # Outside the outage the same link works again.
+        assert link.exchange(100, now=2e6) > 0
+
+    def test_latency_spike_and_bandwidth_collapse_slow_attempts(self):
+        import numpy as np
+
+        from repro.net.faults import (
+            bandwidth_collapse_schedule,
+            latency_spike_schedule,
+        )
+
+        config = LinkConfig()
+        base = config.round_trip_time(10_000)
+        spiked = WirelessLink(
+            config,
+            rng=np.random.default_rng(0),
+            faults=latency_spike_schedule(
+                start_s=0.0, duration_s=10.0, extra_latency_s=1.0
+            ),
+        )
+        assert spiked.exchange(10_000, now=1.0) == pytest.approx(base + 2.0)
+        collapsed = WirelessLink(
+            config,
+            rng=np.random.default_rng(0),
+            faults=bandwidth_collapse_schedule(
+                start_s=0.0, duration_s=10.0, factor=0.5
+            ),
+        )
+        slow = collapsed.exchange(10_000, now=1.0)
+        transfer = 10_000 * 8.0 / config.bandwidth_bps
+        assert slow == pytest.approx(base + transfer)

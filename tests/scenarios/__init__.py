@@ -1,0 +1,1 @@
+"""Deterministic fault-scenario harness for the end-to-end systems."""

@@ -1,0 +1,26 @@
+"""Shared fixtures for the scenario harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.box import Box
+from repro.server.database import ObjectDatabase
+from repro.workloads.cityscape import CityConfig, build_city
+
+from tests.scenarios.harness import SPACE
+
+
+@pytest.fixture(scope="session")
+def scenario_city() -> ObjectDatabase:
+    """One mid-weight city shared by every scenario (read-only)."""
+    return build_city(
+        CityConfig(
+            space=Box(tuple(SPACE.low), tuple(SPACE.high)),
+            object_count=32,
+            levels=2,
+            seed=11,
+            min_size_frac=0.03,
+            max_size_frac=0.08,
+        )
+    )

@@ -1,0 +1,145 @@
+"""Scenario suite: fixed tours replayed under named fault schedules.
+
+Invariants asserted per (scenario, system) pair:
+
+* every per-tick response stays under the closed-form worst-case bound;
+* no record is ever shipped twice, even across failed transfers;
+* the degraded resolution floor recovers monotonically after failures;
+* a rerun with the same seeds is bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import MotionAwareSystem, NaiveSystem
+
+from tests.scenarios.harness import (
+    SCENARIO_POLICY,
+    SCENARIOS,
+    fingerprint,
+    make_config,
+    response_bound,
+    run_scenario,
+)
+
+SCENARIO_PARAMS = [pytest.param(s, id=s.name) for s in SCENARIOS]
+SYSTEM_PARAMS = [
+    pytest.param(MotionAwareSystem, id="motion"),
+    pytest.param(NaiveSystem, id="naive"),
+]
+
+
+@pytest.fixture(scope="module")
+def scenario_runs(scenario_city):
+    """Memoised (scenario, system) -> (system, result)."""
+    cache: dict[tuple[str, str], tuple] = {}
+
+    def get(scenario, system_cls):
+        key = (scenario.name, system_cls.__name__)
+        if key not in cache:
+            cache[key] = run_scenario(scenario_city, scenario, system_cls)
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("system_cls", SYSTEM_PARAMS)
+@pytest.mark.parametrize("scenario", SCENARIO_PARAMS)
+class TestEverySystemUnderEverySchedule:
+    def test_run_completes_every_tick(self, scenario, system_cls, scenario_runs):
+        _, result = scenario_runs(scenario, system_cls)
+        expected_ticks = scenario.steps + 1  # a tour has steps+1 samples
+        assert result.ticks == expected_ticks
+        assert len(result.responses) == expected_ticks
+        assert len(result.w_min_trace) == expected_ticks
+        assert result.contacts > 0
+
+    def test_response_time_bounded(
+        self, scenario, system_cls, scenario_runs, scenario_city
+    ):
+        _, result = scenario_runs(scenario, system_cls)
+        bound = response_bound(scenario_city, scenario)
+        assert result.max_response_s <= bound
+        assert all(r <= bound for r in result.responses)
+
+    def test_faults_bite_where_expected(
+        self, scenario, system_cls, scenario_runs
+    ):
+        _, result = scenario_runs(scenario, system_cls)
+        if scenario.expect_failures:
+            assert result.stale_served_ticks > 0
+            assert result.failure_ticks
+            assert result.retries > 0
+        else:
+            assert result.stale_served_ticks == 0
+            assert result.timeouts == 0
+            assert not result.failure_ticks
+
+    def test_bit_identical_rerun(
+        self, scenario, system_cls, scenario_runs, scenario_city
+    ):
+        _, first = scenario_runs(scenario, system_cls)
+        _, second = run_scenario(scenario_city, scenario, system_cls)
+        assert fingerprint(first) == fingerprint(second)
+
+    def test_failure_counters_are_consistent(
+        self, scenario, system_cls, scenario_runs
+    ):
+        _, result = scenario_runs(scenario, system_cls)
+        assert result.stale_served_ticks == len(result.failure_ticks)
+        assert result.timeouts <= result.stale_served_ticks
+        assert sorted(result.failure_ticks) == result.failure_ticks
+
+
+@pytest.mark.parametrize("scenario", SCENARIO_PARAMS)
+class TestMotionAwareInvariants:
+    def test_no_reshipped_records(self, scenario, scenario_runs):
+        """Records committed over the wire == distinct records received,
+        so nothing was shipped twice -- including across failed
+        transfers, whose quotes must never have been committed."""
+        system, result = scenario_runs(scenario, MotionAwareSystem)
+        assert result.records_shipped == len(system.sent_uids)
+        assert result.records_shipped > 0
+
+    def test_monotone_resolution_recovery(self, scenario, scenario_runs):
+        """``w_min`` may only rise on the tick after a failure; between
+        failures it ramps down monotonically to the base mapping."""
+        _, result = scenario_runs(scenario, MotionAwareSystem)
+        trace = result.w_min_trace
+        failed = set(result.failure_ticks)
+        for j in range(1, len(trace)):
+            if (j - 1) not in failed:
+                assert trace[j] <= trace[j - 1] + 1e-12
+        base = min(trace)
+        assert all(
+            base <= v <= max(base, SCENARIO_POLICY.degraded_w_min) + 1e-12
+            for v in trace
+        )
+        if scenario.expect_failures:
+            assert result.degraded_ticks > 0
+            assert max(trace) > base
+
+    def test_faults_cost_response_time(self, scenario, scenario_runs):
+        """A faulted run of the same tour is never faster than clean."""
+        if scenario.name == "baseline":
+            pytest.skip("compares against the baseline itself")
+        _, faulted = scenario_runs(scenario, MotionAwareSystem)
+        _, clean = scenario_runs(SCENARIOS[0], MotionAwareSystem)
+        assert faulted.max_response_s >= clean.max_response_s
+
+
+class TestSeedSensitivity:
+    def test_different_seed_diverges(self, scenario_city):
+        """The fault process really is driven by the seeded streams."""
+        import dataclasses
+
+        scenario = next(s for s in SCENARIOS if s.name == "burst_loss")
+        _, first = run_scenario(scenario_city, scenario, MotionAwareSystem)
+        other = dataclasses.replace(scenario, seed=scenario.seed + 1)
+        _, second = run_scenario(scenario_city, other, MotionAwareSystem)
+        assert fingerprint(first) != fingerprint(second)
+
+    def test_schedule_is_part_of_config(self):
+        for scenario in SCENARIOS:
+            assert make_config(scenario).faults is scenario.schedule

@@ -121,3 +121,85 @@ class TestBlockPayload:
         )
         assert payload == 0
         assert uids == frozenset()
+
+
+class TestQuoteCommit:
+    def test_quote_has_no_side_effects(self, tiny_city):
+        server = Server(tiny_city)
+        quote = server.quote_block(1, wide_region(), 0.0, frozenset())
+        assert quote.payload_bytes > 0
+        assert quote.new_base_ids
+        assert server.client_count == 0
+        # Uncommitted, the same quote prices identically.
+        again = server.quote_block(1, wide_region(), 0.0, frozenset())
+        assert again.payload_bytes == quote.payload_bytes
+        assert again.new_base_ids == quote.new_base_ids
+
+    def test_commit_marks_bases_shipped(self, tiny_city):
+        server = Server(tiny_city)
+        quote = server.quote_block(1, wide_region(), 0.0, frozenset())
+        server.commit_quote(quote)
+        after = server.quote_block(1, wide_region(), 0.0, frozenset())
+        assert after.new_base_ids == frozenset()
+        assert after.payload_bytes < quote.payload_bytes
+
+    def test_assume_shipped_avoids_double_count(self, tiny_city):
+        server = Server(tiny_city)
+        first = server.quote_block(1, wide_region(), 0.0, frozenset())
+        second = server.quote_block(
+            1,
+            wide_region(),
+            0.0,
+            frozenset(),
+            assume_shipped_bases=first.new_base_ids,
+        )
+        assert second.new_base_ids == frozenset()
+        assert second.payload_bytes < first.payload_bytes
+
+    def test_legacy_wrapper_commits(self, tiny_city):
+        server = Server(tiny_city)
+        payload1, _, _ = server.block_payload_bytes(7, wide_region(), 0.0, frozenset())
+        payload2, _, _ = server.block_payload_bytes(7, wide_region(), 0.0, frozenset())
+        # Second call re-ships records but not base connectivity.
+        assert payload2 < payload1
+
+
+class TestBoundedClientState:
+    """Regression: ``_shipped_bases`` must not grow without bound."""
+
+    def test_max_clients_validation(self, tiny_city):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Server(tiny_city, max_clients=0)
+
+    def test_client_count_is_bounded(self, tiny_city):
+        server = Server(tiny_city, max_clients=4)
+        region = [RegionRequest(wide_region(), 0.0, 1.0)]
+        for client_id in range(20):
+            server.retrieve(client_id, 0.0, region)
+        assert server.client_count == 4
+
+    def test_least_recently_served_client_evicted(self, tiny_city):
+        server = Server(tiny_city, max_clients=2)
+        region = [RegionRequest(wide_region(), 0.0, 1.0)]
+        server.retrieve(0, 0.0, region)
+        server.retrieve(1, 1.0, region)
+        server.retrieve(0, 2.0, region)  # touch 0 so 1 is the LRU
+        server.retrieve(2, 3.0, region)  # evicts 1
+        # Client 0 was kept: nothing re-ships.
+        kept = server.retrieve(0, 4.0, region)
+        assert len(kept.base_meshes) == 0
+        # Client 1 was evicted: its bases re-ship like a fresh client.
+        reshipped = server.retrieve(1, 5.0, region)
+        assert len(reshipped.base_meshes) == server.database.object_count
+
+    def test_disconnect_drops_state(self, tiny_city):
+        server = Server(tiny_city, max_clients=8)
+        region = [RegionRequest(wide_region(), 0.0, 1.0)]
+        server.retrieve(5, 0.0, region)
+        assert server.client_count == 1
+        server.disconnect(5)
+        assert server.client_count == 0
+        again = server.retrieve(5, 1.0, region)
+        assert len(again.base_meshes) == server.database.object_count
