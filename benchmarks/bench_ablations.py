@@ -62,7 +62,7 @@ def _walk_bytes(server, incremental: bool) -> int:
         else:
             # Ablated: forget the previous frame, re-query everything.
             client._prev_box = None
-            client._sent_uids.clear()
+            client.forget_history()
             server.reset_client(client.client_id)
             total += client.step(np.array([x, 500.0]), 0.3, frame).payload_bytes
     return total

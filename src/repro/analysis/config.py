@@ -27,6 +27,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "geometry": 1,
     "mesh": 2,
     "wavelets": 3,
+    "store": 3,
     "index": 4,
     "net": 4,
     "motion": 4,

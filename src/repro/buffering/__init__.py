@@ -11,6 +11,8 @@ from repro.buffering.cost import (
     transfer_cost,
 )
 from repro.buffering.manager import (
+    BlockBytesFn,
+    BlockRowsFn,
     BufferSessionStats,
     MotionAwareBufferManager,
     NaiveBufferManager,
@@ -32,6 +34,8 @@ __all__ = [
     "direction_probabilities",
     "TickResult",
     "BufferSessionStats",
+    "BlockBytesFn",
+    "BlockRowsFn",
     "MotionAwareBufferManager",
     "NaiveBufferManager",
 ]

@@ -14,7 +14,9 @@ policy:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import BufferError_
 from repro.geometry.grid import CellId
@@ -43,6 +45,10 @@ class CachedBlock:
         Latest predicted visit probability (eviction priority).
     last_used:
         Logical timestamp of the last touch (LRU ordering).
+    rows:
+        Row ids into the server's columnar store identifying exactly
+        which coefficients this block holds (None when the caller only
+        does byte accounting).
     """
 
     cell: CellId
@@ -52,6 +58,7 @@ class CachedBlock:
     used: bool = False
     probability: float = 0.0
     last_used: int = 0
+    rows: np.ndarray | None = field(default=None, compare=False, repr=False)
 
 
 class BlockCache:
@@ -148,6 +155,7 @@ class BlockCache:
         prefetched: bool,
         probability: float = 0.0,
         protect: set[CellId] | None = None,
+        rows: np.ndarray | None = None,
     ) -> bool:
         """Insert or refine a block, evicting as needed.
 
@@ -173,6 +181,7 @@ class BlockCache:
                 prefetched=prefetched,
                 probability=probability,
                 last_used=self._tick,
+                rows=rows,
             )
             self._blocks[cell] = block
             self._bytes += size_bytes
@@ -189,7 +198,14 @@ class BlockCache:
             existing.size_bytes = size_bytes
             existing.probability = probability
             existing.last_used = self._tick
+            if rows is not None:
+                existing.rows = rows
         return True
+
+    def cached_rows(self, cell: CellId) -> np.ndarray | None:
+        """Row ids a cached block holds, when row tracking is on."""
+        block = self._blocks.get(cell)
+        return None if block is None else block.rows
 
     def update_probability(self, cell: CellId, probability: float) -> None:
         """Refresh a block's predicted visit probability."""

@@ -66,6 +66,10 @@ __all__ = [
 # Server-side size of one block at one resolution, in bytes.
 BlockBytesFn = Callable[[CellId, float], int]
 
+# Row ids (into the server's columnar store) of one block at one
+# resolution; optional -- managers without it do byte accounting only.
+BlockRowsFn = Callable[[CellId, float], np.ndarray]
+
 
 @dataclass(frozen=True)
 class TickResult:
@@ -142,9 +146,11 @@ class _BufferManagerBase:
         block_bytes: BlockBytesFn,
         *,
         eviction_policy: str,
+        block_rows: BlockRowsFn | None = None,
     ):
         self._grid = grid
         self._block_bytes = block_bytes
+        self._block_rows = block_rows
         self.cache = BlockCache(capacity_bytes, policy=eviction_policy)
         self.stats = BufferSessionStats()
         self._avg_block_estimate: float | None = None
@@ -203,6 +209,7 @@ class _BufferManagerBase:
                 prefetched=False,
                 probability=1.0,
                 protect=required_set,
+                rows=self._rows_of(cell, resolution),
             )
             if self.cache.get(cell) is not None:
                 self.cache.touch(cell)
@@ -272,6 +279,12 @@ class _BufferManagerBase:
                 self._avg_step = 0.7 * self._avg_step + 0.3 * step
         self._last_position = position.copy()
 
+    def _rows_of(self, cell: CellId, resolution: float) -> np.ndarray | None:
+        """Row ids of a block when a row source is wired in."""
+        if self._block_rows is None:
+            return None
+        return self._block_rows(cell, resolution)
+
     def _note_block_size(self, size: int) -> None:
         if self._avg_block_estimate is None:
             self._avg_block_estimate = float(size)
@@ -319,6 +332,7 @@ class _BufferManagerBase:
                 prefetched=existing is None,
                 probability=prob,
                 protect=required,
+                rows=self._rows_of(cell, resolution),
             )
             if stored:
                 total += max(size - already, 0)
@@ -340,9 +354,14 @@ class MotionAwareBufferManager(_BufferManagerBase):
         horizon: int | None = None,
         prefetch_radius: int | None = None,
         allocator: AllocatorFn | None = None,
+        block_rows: BlockRowsFn | None = None,
     ):
         super().__init__(
-            grid, capacity_bytes, block_bytes, eviction_policy="probability"
+            grid,
+            capacity_bytes,
+            block_bytes,
+            eviction_policy="probability",
+            block_rows=block_rows,
         )
         if k_directions < 1:
             raise BufferError_(f"k_directions must be >= 1, got {k_directions}")
@@ -490,8 +509,15 @@ class NaiveBufferManager(_BufferManagerBase):
         *,
         prefetch_radius: int | None = None,
         full_resolution: bool = False,
+        block_rows: BlockRowsFn | None = None,
     ):
-        super().__init__(grid, capacity_bytes, block_bytes, eviction_policy="lru")
+        super().__init__(
+            grid,
+            capacity_bytes,
+            block_bytes,
+            eviction_policy="lru",
+            block_rows=block_rows,
+        )
         if prefetch_radius is not None and prefetch_radius < 1:
             raise BufferError_(
                 f"prefetch_radius must be >= 1, got {prefetch_radius}"

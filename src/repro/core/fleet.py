@@ -73,6 +73,7 @@ class FleetResult:
     ticks: int = 0
     total_bytes: int = 0
     total_requests: int = 0
+    total_records: int = 0
     response_times: list[float] = field(default_factory=list)
     max_queue_delay_s: float = 0.0
 
@@ -143,6 +144,7 @@ def simulate_fleet(
             result.max_queue_delay_s = max(result.max_queue_delay_s, queue_delay)
             result.response_times.append(step.elapsed_s + queue_delay)
             result.total_bytes += step.payload_bytes
+            result.total_records += step.records_received
             result.total_requests += 1
         result.ticks += 1
     return result

@@ -30,9 +30,10 @@ from repro.core.resolution import LinearMapper, SpeedResolutionMapper, clamp_spe
 from repro.errors import ProtocolError
 from repro.geometry.box import Box
 from repro.net.link import WirelessLink
-from repro.net.messages import RegionRequest, RetrieveResponse
+from repro.net.messages import RegionRequest, RetrieveBatchResponse, RetrieveRequest
 from repro.net.simclock import SimClock
 from repro.server.server import Server
+from repro.store.uids import EMPTY_UIDS, UidSet
 from repro.wavelets.synthesis import ProgressiveMesh
 
 __all__ = ["RetrievalStep", "ContinuousRetrievalClient"]
@@ -104,7 +105,7 @@ class ContinuousRetrievalClient:
         self._prev_box: Box | None = None
         self._prev_w_min: float | None = None
         self._coverage: CoverageMap | None = CoverageMap() if use_coverage else None
-        self._sent_uids: set[tuple[int, int, int]] = set()
+        self._sent_uids: UidSet = EMPTY_UIDS
         self._meshes: dict[int, ProgressiveMesh] = {}
         self._steps: list[RetrievalStep] = []
 
@@ -129,6 +130,15 @@ class ContinuousRetrievalClient:
     @property
     def received_record_count(self) -> int:
         return len(self._sent_uids)
+
+    @property
+    def sent_uids(self) -> UidSet:
+        """Every record uid this client has received (packed set)."""
+        return self._sent_uids
+
+    def forget_history(self) -> None:
+        """Drop the delivered-data set (ablation: no-reship filter off)."""
+        self._sent_uids = EMPTY_UIDS
 
     def mesh_of(self, object_id: int) -> ProgressiveMesh:
         """Client-side progressive state of one object."""
@@ -194,12 +204,13 @@ class ContinuousRetrievalClient:
                 filtered_out=0,
             )
         else:
-            response = self._server.retrieve(
-                self._client_id,
-                now,
-                regions,
-                exclude_uids=frozenset(self._sent_uids),
+            request = RetrieveRequest(
+                timestamp=now,
+                client_id=self._client_id,
+                regions=tuple(regions),
+                exclude_uids=self._sent_uids,
             )
+            response = self._server.execute_batch(request)
             self._integrate(response)
             elapsed = self._link.exchange(
                 response.payload_bytes, speed=speed, now=now
@@ -224,7 +235,7 @@ class ContinuousRetrievalClient:
         self._steps.append(result)
         return result
 
-    def _integrate(self, response: RetrieveResponse) -> None:
+    def _integrate(self, response: RetrieveBatchResponse) -> None:
         for payload in response.base_meshes:
             if self._track_meshes:
                 mesh = self._meshes.setdefault(
@@ -235,10 +246,12 @@ class ContinuousRetrievalClient:
                 self._meshes.setdefault(
                     payload.object_id, ProgressiveMesh(payload.object_id)
                 )
-        for record, displacement in zip(response.records, response.displacements):
-            self._sent_uids.add(record.uid)
-            if not self._track_meshes:
-                continue
+        batch = response.batch
+        # The delivered-set update is one sorted merge of packed arrays.
+        self._sent_uids = self._sent_uids.union(batch.uids)
+        if not self._track_meshes:
+            return
+        for record, displacement in zip(batch.records(), batch.displacements()):
             mesh = self._meshes.setdefault(
                 record.object_id, ProgressiveMesh(record.object_id)
             )

@@ -53,6 +53,7 @@ from repro.net.faults import FaultInjector, FaultSchedule
 from repro.net.link import LinkConfig, WirelessLink
 from repro.net.simclock import SimClock
 from repro.server.server import BlockQuote, Server
+from repro.store.uids import EMPTY_UIDS, UidSet
 
 __all__ = ["SystemConfig", "SystemRunResult", "MotionAwareSystem", "NaiveSystem"]
 
@@ -195,8 +196,9 @@ class MotionAwareSystem:
             self._grid,
             config.buffer_bytes,
             server.database.block_bytes_fn(self._grid),
+            block_rows=server.database.block_rows_fn(self._grid),
         )
-        self._sent_uids: frozenset[tuple[int, int, int]] = frozenset()
+        self._sent_uids: UidSet = EMPTY_UIDS
         self._link = config.build_link(client_id)
         self._exchanger = config.build_exchanger(self._link, client_id)
         self._degradation = DegradationController(config.resilience)
@@ -210,7 +212,7 @@ class MotionAwareSystem:
         return self._link
 
     @property
-    def sent_uids(self) -> frozenset[tuple[int, int, int]]:
+    def sent_uids(self) -> UidSet:
         """Every record uid the client has successfully received."""
         return self._sent_uids
 
@@ -218,9 +220,9 @@ class MotionAwareSystem:
         self,
         cells: tuple[tuple[int, ...], ...],
         w_min: float,
-        exclude: frozenset[tuple[int, int, int]],
+        exclude: UidSet,
         assume_bases: frozenset[int],
-    ) -> tuple[list[BlockQuote], frozenset[tuple[int, int, int]], frozenset[int]]:
+    ) -> tuple[list[BlockQuote], UidSet, frozenset[int]]:
         """Price a set of blocks without committing server state."""
         quotes: list[BlockQuote] = []
         for cell in cells:

@@ -14,6 +14,7 @@ __all__ = [
     "MeshError",
     "WaveletError",
     "IndexError_",
+    "StoreError",
     "NetworkError",
     "LinkExchangeError",
     "BufferError_",
@@ -46,6 +47,10 @@ class IndexError_(ReproError):
     Named with a trailing underscore to avoid shadowing the builtin
     ``IndexError`` while staying greppable.
     """
+
+
+class StoreError(ReproError):
+    """Columnar coefficient-store misuse (bad rows, uid overflow...)."""
 
 
 class NetworkError(ReproError):

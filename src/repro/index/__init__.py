@@ -6,6 +6,7 @@ from repro.index.access import (
     NaivePointAccessMethod,
 )
 from repro.index.bulk import bulk_load, str_pack
+from repro.index.columnar import PAGE_BYTES, ColumnarAccessMethod, RowResult
 from repro.index.hilbert import hilbert_bulk_load, hilbert_index
 from repro.index.node import Entry, Node
 from repro.index.rstar import RStarTree
@@ -26,4 +27,7 @@ __all__ = [
     "AccessResult",
     "NaivePointAccessMethod",
     "MotionAwareAccessMethod",
+    "ColumnarAccessMethod",
+    "RowResult",
+    "PAGE_BYTES",
 ]

@@ -17,7 +17,9 @@ from repro.net.faults import (
 from repro.net.link import LinkConfig, TransferRecord, WirelessLink
 from repro.net.messages import (
     BaseMeshPayload,
+    CoefficientBatch,
     RegionRequest,
+    RetrieveBatchResponse,
     RetrieveRequest,
     RetrieveResponse,
 )
@@ -31,6 +33,8 @@ __all__ = [
     "RegionRequest",
     "RetrieveRequest",
     "RetrieveResponse",
+    "CoefficientBatch",
+    "RetrieveBatchResponse",
     "BaseMeshPayload",
     "FaultWindow",
     "LatencySpike",

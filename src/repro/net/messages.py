@@ -8,14 +8,25 @@ coefficient records (and base meshes) with their wire sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import ProtocolError
 from repro.geometry.box import Box
 from repro.mesh.trimesh import TriMesh
+from repro.store.columns import CoefficientStore
+from repro.store.uids import EMPTY_UIDS, UidSet
 from repro.wavelets.coefficients import CoefficientRecord
 
-__all__ = ["RegionRequest", "RetrieveRequest", "BaseMeshPayload", "RetrieveResponse"]
+__all__ = [
+    "RegionRequest",
+    "RetrieveRequest",
+    "BaseMeshPayload",
+    "CoefficientBatch",
+    "RetrieveResponse",
+    "RetrieveBatchResponse",
+]
 
 
 @dataclass(frozen=True)
@@ -45,16 +56,28 @@ class RegionRequest:
 
 @dataclass(frozen=True)
 class RetrieveRequest:
-    """A batch of region requests issued at one timestamp."""
+    """A batch of region requests issued at one timestamp.
+
+    ``exclude_uids`` is the delivered-data context: a sorted packed-uid
+    array (:class:`~repro.store.uids.UidSet`) the client maintains
+    incrementally, so building a request is O(1) instead of re-hashing
+    every delivered uid per frame.  Legacy callers may still pass a
+    ``frozenset`` of ``(object_id, level, index)`` triples; it is
+    coerced on construction.
+    """
 
     timestamp: float
     client_id: int
     regions: tuple[RegionRequest, ...]
-    exclude_uids: frozenset[tuple[int, int, int]] = frozenset()
+    exclude_uids: UidSet = EMPTY_UIDS
 
     def __post_init__(self) -> None:
         if not self.regions:
             raise ProtocolError("a retrieve request needs at least one region")
+        if not isinstance(self.exclude_uids, UidSet):
+            object.__setattr__(
+                self, "exclude_uids", UidSet.coerce(self.exclude_uids)
+            )
 
 
 @dataclass(frozen=True)
@@ -68,6 +91,57 @@ class BaseMeshPayload:
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
             raise ProtocolError("base mesh payload must have positive size")
+
+
+@dataclass(frozen=True)
+class CoefficientBatch:
+    """A batched coefficient payload: row ids into a columnar store.
+
+    On the simulated wire a batch is the column slices themselves
+    (uids, values, payload vectors, sizes); here it is represented as
+    the shared server-side store plus the shipped row ids, which is the
+    same information without a copy.  All wire accounting is a column
+    reduction -- no per-record objects exist unless a consumer calls
+    :meth:`records`.
+    """
+
+    store: CoefficientStore
+    rows: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        rows = np.asarray(self.rows, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ProtocolError(f"batch rows must be 1-D, got shape {rows.shape}")
+        if rows.size and (
+            int(rows.min()) < 0 or int(rows.max()) >= len(self.store)
+        ):
+            raise ProtocolError("batch row id out of store range")
+        object.__setattr__(self, "rows", rows)
+
+    @property
+    def count(self) -> int:
+        return int(self.rows.size)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Wire size of the coefficient columns, by column reduction."""
+        return self.store.payload_bytes(self.rows)
+
+    @property
+    def uids(self) -> UidSet:
+        """The shipped uids as a packed set (for delivered-set algebra)."""
+        return self.store.uid_set(self.rows)
+
+    def records(self) -> tuple[CoefficientRecord, ...]:
+        """Materialise per-record views (compatibility boundary only)."""
+        return self.store.records(self.rows)
+
+    def displacements(self) -> tuple[tuple[float, float, float], ...]:
+        """Raw payload vectors in row order (legacy wire shape)."""
+        payloads = self.store.payloads[self.rows]
+        return tuple(
+            (float(p[0]), float(p[1]), float(p[2])) for p in payloads
+        )
 
 
 @dataclass(frozen=True)
@@ -97,3 +171,39 @@ class RetrieveResponse:
     @property
     def record_count(self) -> int:
         return len(self.records)
+
+
+@dataclass(frozen=True)
+class RetrieveBatchResponse:
+    """The server's columnar answer: base meshes plus one row batch.
+
+    This is the native shape of the vectorised data path; call
+    :meth:`to_response` to materialise the per-record
+    :class:`RetrieveResponse` when a legacy consumer needs it.
+    """
+
+    request: RetrieveRequest
+    base_meshes: tuple[BaseMeshPayload, ...]
+    batch: CoefficientBatch
+    io_node_reads: int
+    filtered_out: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total bytes on the wire for this response."""
+        return sum(b.size_bytes for b in self.base_meshes) + self.batch.payload_bytes
+
+    @property
+    def record_count(self) -> int:
+        return self.batch.count
+
+    def to_response(self) -> RetrieveResponse:
+        """Materialise the legacy per-record response (views on the store)."""
+        return RetrieveResponse(
+            request=self.request,
+            base_meshes=self.base_meshes,
+            records=self.batch.records(),
+            displacements=self.batch.displacements(),
+            io_node_reads=self.io_node_reads,
+            filtered_out=self.filtered_out,
+        )

@@ -1,6 +1,6 @@
 """Server side: object database and query-processing front end."""
 
-from repro.server.database import ObjectDatabase, StoredObject
-from repro.server.server import Server
+from repro.server.database import ACCESS_METHODS, ObjectDatabase, StoredObject
+from repro.server.server import BlockQuote, Server
 
-__all__ = ["ObjectDatabase", "StoredObject", "Server"]
+__all__ = ["ObjectDatabase", "StoredObject", "Server", "BlockQuote", "ACCESS_METHODS"]

@@ -1,22 +1,28 @@
 """The server-side 3-D object database.
 
-Stores a set of wavelet-decomposed objects, flattens their coefficient
-records, and builds the spatial access method over them.  Exposes the
-two query surfaces the rest of the system needs:
+Stores a set of wavelet-decomposed objects in one columnar
+:class:`~repro.store.columns.CoefficientStore` (built at decomposition
+time, concatenated lazily across objects) and builds the spatial access
+method over it.  Exposes the query surfaces the rest of the system
+needs:
 
-* :meth:`ObjectDatabase.query_region` -- the multi-resolution window
-  query ``Q(R, w_max, w_min)`` against the configured access method;
-* :meth:`ObjectDatabase.block_bytes` -- the wire size of one buffer
-  block (grid cell x resolution), used by the buffer managers.
+* :meth:`ObjectDatabase.query_region_rows` -- the multi-resolution
+  window query ``Q(R, w_max, w_min)`` returning *row ids* into the
+  store (the vectorised currency of the serving stack);
+* :meth:`ObjectDatabase.query_region` -- the same query materialised as
+  per-record views, for legacy consumers;
+* :meth:`ObjectDatabase.block_rows` / :meth:`ObjectDatabase.block_bytes`
+  -- one buffer block (grid cell x resolution) as rows / wire bytes,
+  used by the buffer managers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
-from repro.errors import WorkloadError
+from repro.errors import StoreError, WorkloadError
 from repro.geometry.box import Box
 from repro.geometry.grid import CellId, Grid
 from repro.index.access import (
@@ -24,21 +30,43 @@ from repro.index.access import (
     MotionAwareAccessMethod,
     NaivePointAccessMethod,
 )
+from repro.index.columnar import ColumnarAccessMethod, RowResult
+from repro.index.stats import IOStats
+from repro.store.columns import CoefficientStore
+from repro.store.uids import pack_uid
 from repro.wavelets.analysis import WaveletDecomposition
 from repro.wavelets.coefficients import CoefficientRecord
 from repro.wavelets.encoding import DEFAULT_ENCODING, EncodingModel
 
-__all__ = ["StoredObject", "ObjectDatabase"]
+__all__ = ["StoredObject", "ObjectDatabase", "ACCESS_METHODS"]
+
+#: The selectable access methods.
+ACCESS_METHODS = ("motion_aware", "naive", "columnar")
+
+AnyAccessMethod = (
+    MotionAwareAccessMethod | NaivePointAccessMethod | ColumnarAccessMethod
+)
 
 
-@dataclass(frozen=True)
 class StoredObject:
-    """One object as stored on the server."""
+    """One object as stored on the server: decomposition + column rows."""
 
-    object_id: int
-    decomposition: WaveletDecomposition
-    records: tuple[CoefficientRecord, ...]
-    base_bytes: int
+    def __init__(
+        self,
+        object_id: int,
+        decomposition: WaveletDecomposition,
+        store: CoefficientStore,
+        base_bytes: int,
+    ) -> None:
+        self.object_id = object_id
+        self.decomposition = decomposition
+        self.store = store
+        self.base_bytes = base_bytes
+
+    @cached_property
+    def records(self) -> tuple[CoefficientRecord, ...]:
+        """Per-record views of this object's rows (built on first use)."""
+        return self.store.records()
 
     @property
     def footprint(self) -> Box:
@@ -48,8 +76,13 @@ class StoredObject:
 
     @property
     def total_bytes(self) -> int:
-        return self.base_bytes + sum(
-            r.size_bytes for r in self.records if not r.key.is_base
+        detail = ~self.store.base_mask
+        return self.base_bytes + int(self.store.sizes[detail].sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"StoredObject(id={self.object_id}, rows={len(self.store)}, "
+            f"base_bytes={self.base_bytes})"
         )
 
 
@@ -61,8 +94,10 @@ class ObjectDatabase:
     encoding:
         Byte accounting model for all wire sizes.
     access_method:
-        ``"motion_aware"`` (support-region index, the paper's) or
-        ``"naive"`` (point index with neighbour re-query).
+        ``"motion_aware"`` (support-region R*-tree, the paper's),
+        ``"naive"`` (point index with neighbour re-query), or
+        ``"columnar"`` (vectorised batch scan over the store with a
+        paged I/O model).
     spatial_dims:
         2 for the paper's ``(x, y, w)`` index; 3 for ``(x, y, z, w)``.
     """
@@ -74,21 +109,25 @@ class ObjectDatabase:
         access_method: str = "motion_aware",
         spatial_dims: int = 2,
     ):
-        if access_method not in ("motion_aware", "naive"):
+        if access_method not in ACCESS_METHODS:
             raise WorkloadError(f"unknown access method {access_method!r}")
         self._encoding = encoding
         self._method_name = access_method
         self._spatial_dims = spatial_dims
         self._objects: dict[int, StoredObject] = {}
-        self._method: MotionAwareAccessMethod | NaivePointAccessMethod | None = None
-        self._displacements: dict[tuple[int, int, int], np.ndarray] = {}
-        self._block_cache: dict[tuple[CellId, float, int], int] = {}
+        self._method: AnyAccessMethod | None = None
+        self._store: CoefficientStore | None = None
+        self._block_cache: dict[tuple[CellId, float, int], np.ndarray] = {}
 
     # -- construction ---------------------------------------------------------------
 
     @property
     def encoding(self) -> EncodingModel:
         return self._encoding
+
+    @property
+    def method_name(self) -> str:
+        return self._method_name
 
     @property
     def object_count(self) -> int:
@@ -102,24 +141,18 @@ class ObjectDatabase:
         """Store one decomposed object (invalidates the index)."""
         if object_id in self._objects:
             raise WorkloadError(f"object id {object_id} already stored")
-        records = tuple(decomposition.records(object_id, self._encoding))
+        store = decomposition.column_store(object_id, self._encoding)
         base_bytes = self._encoding.base_mesh_bytes(
             decomposition.base.vertex_count, decomposition.base.face_count
         )
         self._objects[object_id] = StoredObject(
             object_id=object_id,
             decomposition=decomposition,
-            records=records,
+            store=store,
             base_bytes=base_bytes,
         )
-        for record in records:
-            if record.key.is_base:
-                disp = record.position
-            else:
-                level = decomposition.levels[record.key.level]
-                disp = level.displacements[record.key.index]
-            self._displacements[record.uid] = np.asarray(disp, dtype=float)
         self._method = None
+        self._store = None
         self._block_cache.clear()
 
     def get_object(self, object_id: int) -> StoredObject:
@@ -127,11 +160,40 @@ class ObjectDatabase:
             raise WorkloadError(f"no object with id {object_id}")
         return self._objects[object_id]
 
+    def with_access_method(self, access_method: str) -> "ObjectDatabase":
+        """A database over the *same* stored objects with another method.
+
+        Shares the object table and columnar store (both immutable once
+        built); only the index differs.  Used by benchmarks and
+        experiments to compare access methods on identical data.
+        """
+        if access_method not in ACCESS_METHODS:
+            raise WorkloadError(f"unknown access method {access_method!r}")
+        clone = ObjectDatabase(
+            encoding=self._encoding,
+            access_method=access_method,
+            spatial_dims=self._spatial_dims,
+        )
+        clone._objects = self._objects
+        clone._store = self._store
+        return clone
+
+    @property
+    def store(self) -> CoefficientStore:
+        """The database-level columnar store (lazy concatenation)."""
+        if self._store is None:
+            self._store = CoefficientStore.concat(
+                obj.store for obj in self._objects.values()
+            )
+        return self._store
+
     def displacement(self, uid: tuple[int, int, int]) -> np.ndarray:
         """Raw payload vector of a record (detail displacement / base position)."""
-        if uid not in self._displacements:
-            raise WorkloadError(f"unknown record uid {uid}")
-        return self._displacements[uid]
+        try:
+            row = self.store.row_for_uid(uid)
+        except StoreError as exc:
+            raise WorkloadError(f"unknown record uid {uid}") from exc
+        return np.asarray(self.store.payloads[row], dtype=float)
 
     @property
     def total_bytes(self) -> int:
@@ -140,7 +202,7 @@ class ObjectDatabase:
 
     @property
     def record_count(self) -> int:
-        return sum(len(obj.records) for obj in self._objects.values())
+        return sum(len(obj.store) for obj in self._objects.values())
 
     def all_records(self) -> list[CoefficientRecord]:
         out: list[CoefficientRecord] = []
@@ -151,19 +213,22 @@ class ObjectDatabase:
     # -- the access method ---------------------------------------------------------
 
     @property
-    def access_method(self) -> MotionAwareAccessMethod | NaivePointAccessMethod:
+    def access_method(self) -> AnyAccessMethod:
         """The (lazily built) spatial access method over all records."""
         if self._method is None:
-            records = self.all_records()
-            if not records:
+            if not self._objects:
                 raise WorkloadError("cannot index an empty database")
-            if self._method_name == "motion_aware":
+            if self._method_name == "columnar":
+                self._method = ColumnarAccessMethod(
+                    self.store, spatial_dims=self._spatial_dims
+                )
+            elif self._method_name == "motion_aware":
                 self._method = MotionAwareAccessMethod(
-                    records, spatial_dims=self._spatial_dims
+                    self.all_records(), spatial_dims=self._spatial_dims
                 )
             else:
                 self._method = NaivePointAccessMethod(
-                    records, spatial_dims=self._spatial_dims
+                    self.all_records(), spatial_dims=self._spatial_dims
                 )
         return self._method
 
@@ -173,27 +238,66 @@ class ObjectDatabase:
         """Multi-resolution window query against the access method."""
         return self.access_method.query(region, w_min, w_max)
 
+    def query_region_rows(
+        self, region: Box, w_min: float, w_max: float
+    ) -> RowResult:
+        """The same window query returning row ids into :attr:`store`.
+
+        For the columnar method this is one vector pass.  For the tree
+        methods the traversal runs as before and the hits are mapped to
+        rows, so result sets (and I/O accounting) are unchanged -- only
+        the downstream merge/filter work becomes vectorised.
+        """
+        method = self.access_method
+        if isinstance(method, ColumnarAccessMethod):
+            return method.query_rows(region, w_min, w_max)
+        result = method.query(region, w_min, w_max)
+        if result.records:
+            keys = np.fromiter(
+                (
+                    pack_uid(r.object_id, r.key.level, r.key.index)
+                    for r in result.records
+                ),
+                dtype=np.int64,
+                count=len(result.records),
+            )
+            rows = self.store.rows_for_packed(keys)
+        else:
+            rows = np.empty(0, dtype=np.int64)
+        return RowResult(rows=rows, io=result.io)
+
     # -- block interface for the buffer layer ------------------------------------------
 
-    def block_bytes(self, grid: Grid, cell: CellId, w_min: float) -> int:
-        """Wire size of one buffer block: all records answering the cell.
+    def block_rows(self, grid: Grid, cell: CellId, w_min: float) -> np.ndarray:
+        """Row ids of one buffer block: all records answering the cell.
 
-        Uses the access method (without I/O side effects on the block
-        cache hit path) and memoises per (cell, resolution) because the
-        buffer managers ask repeatedly.
+        Memoised per (cell, resolution) because the buffer managers ask
+        repeatedly; the query runs without I/O side effects on the
+        cached path.
         """
         key = (cell, round(w_min, 6), id(grid))
         if key in self._block_cache:
             return self._block_cache[key]
-        result = self.query_region(grid.cell_box(cell), w_min, 1.0)
-        size = result.total_bytes
-        self._block_cache[key] = size
-        return size
+        rows = self.query_region_rows(grid.cell_box(cell), w_min, 1.0).rows
+        self._block_cache[key] = rows
+        return rows
+
+    def block_bytes(self, grid: Grid, cell: CellId, w_min: float) -> int:
+        """Wire size of one buffer block, by column reduction."""
+        return self.store.payload_bytes(self.block_rows(grid, cell, w_min))
 
     def block_bytes_fn(self, grid: Grid):
         """A ``(cell, w_min) -> bytes`` callable bound to ``grid``."""
 
         def fn(cell: CellId, w_min: float) -> int:
             return self.block_bytes(grid, cell, w_min)
+
+        return fn
+
+    def block_rows_fn(self, grid: Grid):
+        """A ``(cell, w_min) -> row ids`` callable bound to ``grid``."""
+
+        def fn(cell: CellId, w_min: float) -> np.ndarray:
+            return self.block_rows(grid, cell, w_min)
 
         return fn

@@ -7,6 +7,15 @@ rectangles and executed as separate sub-queries), filters out records
 the client already holds (the server-side filtering step of Figure 3),
 and ships base meshes for objects the client sees for the first time.
 
+The hot path is columnar: sub-queries return row-id arrays into the
+database's :class:`~repro.store.columns.CoefficientStore`, the
+already-delivered filter is one sorted-uid :func:`numpy.searchsorted`
+join against the request's packed
+:class:`~repro.store.uids.UidSet`, and cross-region deduplication is a
+single :func:`numpy.unique` merge -- no per-record Python objects or
+hash lookups.  :meth:`Server.execute_per_record` keeps the original
+object-at-a-time implementation for comparison benchmarks.
+
 Per-client state is bounded: the server remembers which base meshes it
 shipped to at most ``max_clients`` clients, evicting the least recently
 served client when the table is full and on explicit
@@ -20,16 +29,22 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.geometry.box import Box
 from repro.net.messages import (
     BaseMeshPayload,
+    CoefficientBatch,
     RegionRequest,
+    RetrieveBatchResponse,
     RetrieveRequest,
     RetrieveResponse,
 )
 from repro.server.database import ObjectDatabase
+from repro.store.uids import UidSet
 from repro.wavelets.coefficients import CoefficientRecord
 
 __all__ = ["Server", "BlockQuote"]
@@ -45,12 +60,14 @@ class BlockQuote:
     ``payload_bytes`` includes base-mesh connectivity for objects in
     ``new_base_ids`` -- objects this client would see for the first
     time.  Committing the quote marks those bases as shipped.
+    ``new_uids`` is a packed :class:`UidSet` (it compares equal to the
+    legacy ``frozenset`` of uid triples).
     """
 
     client_id: int
     payload_bytes: int
     io_node_reads: int
-    new_uids: frozenset[tuple[int, int, int]]
+    new_uids: UidSet
     new_base_ids: frozenset[int]
 
 
@@ -107,16 +124,76 @@ class Server:
         """Drop all per-client state (alias of :meth:`reset_client`)."""
         self.reset_client(client_id)
 
-    def execute(self, request: RetrieveRequest) -> RetrieveResponse:
-        """Answer one retrieve request.
+    # -- query answering (columnar) --------------------------------------------
 
-        Sub-queries are executed separately; their results are merged,
-        deduplicated, filtered against ``request.exclude_uids``, and
-        annotated with raw displacement payloads.
+    def execute_batch(self, request: RetrieveRequest) -> RetrieveBatchResponse:
+        """Answer one retrieve request on the columnar path.
+
+        Sub-queries return row ids; the incremental-band and
+        already-delivered filters are vectorised masks, and the
+        cross-region merge keeps the first occurrence of each uid
+        (matching the per-record dict merge exactly).
+        """
+        store = self._db.store
+        exclude = request.exclude_uids
+        kept: list[np.ndarray] = []
+        io_total = 0
+        filtered = 0
+        for region_req in request.regions:
+            result = self._db.query_region_rows(
+                region_req.region, region_req.w_min, region_req.w_max
+            )
+            io_total += result.io.node_reads
+            rows = result.rows
+            if region_req.half_open and rows.size:
+                # Incremental band [w_min, w_max): the upper edge was
+                # already delivered at the previous resolution.
+                in_band = store.values[rows] < region_req.w_max
+                filtered += int(rows.size - np.count_nonzero(in_band))
+                rows = rows[in_band]
+            if rows.size:
+                fresh = ~exclude.contains_packed(store.packed_uids[rows])
+                filtered += int(rows.size - np.count_nonzero(fresh))
+                rows = rows[fresh]
+            kept.append(rows)
+        merged = self._merge_first_occurrence(store.packed_uids, kept)
+        base_meshes = self._base_payloads_rows(request.client_id, merged)
+        return RetrieveBatchResponse(
+            request=request,
+            base_meshes=base_meshes,
+            batch=CoefficientBatch(store=store, rows=merged),
+            io_node_reads=io_total,
+            filtered_out=filtered,
+        )
+
+    @staticmethod
+    def _merge_first_occurrence(
+        packed_uids: np.ndarray, row_groups: list[np.ndarray]
+    ) -> np.ndarray:
+        """Concatenate row groups, dropping repeated uids after the first."""
+        if not row_groups:
+            return np.empty(0, dtype=np.int64)
+        rows = np.concatenate(row_groups)
+        if rows.size == 0:
+            return rows
+        _, first = np.unique(packed_uids[rows], return_index=True)
+        first.sort()
+        return rows[first]
+
+    def execute(self, request: RetrieveRequest) -> RetrieveResponse:
+        """Answer one retrieve request as a legacy per-record response."""
+        return self.execute_batch(request).to_response()
+
+    def execute_per_record(self, request: RetrieveRequest) -> RetrieveResponse:
+        """The original object-at-a-time implementation.
+
+        Kept as the reference path for parity tests and the datapath
+        benchmark; result sets are identical to :meth:`execute`.
         """
         merged: dict[tuple[int, int, int], CoefficientRecord] = {}
         io_total = 0
         filtered = 0
+        exclude = request.exclude_uids
         for region_req in request.regions:
             result = self._db.query_region(
                 region_req.region, region_req.w_min, region_req.w_max
@@ -124,11 +201,9 @@ class Server:
             io_total += result.io.node_reads
             for record in result.records:
                 if region_req.half_open and record.value >= region_req.w_max:
-                    # Incremental band [w_min, w_max): the upper edge was
-                    # already delivered at the previous resolution.
                     filtered += 1
                     continue
-                if record.uid in request.exclude_uids:
+                if record.uid in exclude:
                     filtered += 1
                     continue
                 merged[record.uid] = record
@@ -151,7 +226,7 @@ class Server:
         client_id: int,
         timestamp: float,
         regions: list[RegionRequest],
-        exclude_uids: frozenset[tuple[int, int, int]] = frozenset(),
+        exclude_uids: UidSet | Iterable[tuple[int, int, int]] | None = None,
     ) -> RetrieveResponse:
         """Convenience wrapper building the request object."""
         if not regions:
@@ -160,9 +235,11 @@ class Server:
             timestamp=timestamp,
             client_id=client_id,
             regions=tuple(regions),
-            exclude_uids=exclude_uids,
+            exclude_uids=UidSet.coerce(exclude_uids),
         )
         return self.execute(request)
+
+    # -- block quoting ---------------------------------------------------------
 
     def _base_connectivity_bytes(self, object_id: int) -> int:
         obj = self._db.get_object(object_id)
@@ -176,7 +253,7 @@ class Server:
         client_id: int,
         region: Box,
         w_min: float,
-        exclude_uids: frozenset[tuple[int, int, int]],
+        exclude_uids: UidSet | Iterable[tuple[int, int, int]] | None,
         *,
         assume_shipped_bases: frozenset[int] = frozenset(),
     ) -> BlockQuote:
@@ -186,26 +263,27 @@ class Server:
         one round trip avoid double-counting a base mesh two blocks
         share; pass the union of ``new_base_ids`` quoted so far.
         """
-        result = self._db.query_region(region, w_min, 1.0)
-        new_records = [r for r in result.records if r.uid not in exclude_uids]
-        payload = sum(r.size_bytes for r in new_records)
+        store = self._db.store
+        exclude = UidSet.coerce(exclude_uids)
+        result = self._db.query_region_rows(region, w_min, 1.0)
+        rows = result.rows
+        if rows.size:
+            rows = rows[~exclude.contains_packed(store.packed_uids[rows])]
+        payload = store.payload_bytes(rows)
         shipped = self._shipped_bases.get(client_id, set())
         new_bases: set[int] = set()
-        for record in new_records:
-            if (
-                record.key.is_base
-                and record.object_id not in shipped
-                and record.object_id not in assume_shipped_bases
-                and record.object_id not in new_bases
-            ):
-                new_bases.add(record.object_id)
+        base_rows = rows[store.levels[rows] == -1]
+        for oid in np.unique(store.object_ids[base_rows]):
+            oid = int(oid)
+            if oid not in shipped and oid not in assume_shipped_bases:
+                new_bases.add(oid)
                 # Connectivity cost of the base mesh, shipped once.
-                payload += self._base_connectivity_bytes(record.object_id)
+                payload += self._base_connectivity_bytes(oid)
         return BlockQuote(
             client_id=client_id,
             payload_bytes=payload,
             io_node_reads=result.io.node_reads,
-            new_uids=frozenset(r.uid for r in new_records),
+            new_uids=store.uid_set(rows),
             new_base_ids=frozenset(new_bases),
         )
 
@@ -219,8 +297,8 @@ class Server:
         client_id: int,
         region: Box,
         w_min: float,
-        exclude_uids: frozenset[tuple[int, int, int]],
-    ) -> tuple[int, int, frozenset[tuple[int, int, int]]]:
+        exclude_uids: UidSet | Iterable[tuple[int, int, int]] | None,
+    ) -> tuple[int, int, UidSet]:
         """Quote one block and commit it immediately.
 
         Returns ``(payload_bytes, io_node_reads, new_uids)``.  Kept for
@@ -231,15 +309,39 @@ class Server:
         self.commit_quote(quote)
         return (quote.payload_bytes, quote.io_node_reads, quote.new_uids)
 
+    # -- base-mesh shipping ----------------------------------------------------
+
+    def _base_payloads_rows(
+        self, client_id: int, rows: np.ndarray
+    ) -> tuple[BaseMeshPayload, ...]:
+        """Base meshes to ship for a merged row batch (first-seen order)."""
+        store = self._db.store
+        base_rows = rows[store.levels[rows] == -1]
+        if base_rows.size == 0:
+            # Still touch the client's LRU slot, as the legacy path did.
+            self._client_bases(client_id)
+            return ()
+        oids = store.object_ids[base_rows]
+        _, first = np.unique(oids, return_index=True)
+        first.sort()
+        return self._ship_bases(client_id, (int(oids[i]) for i in first))
+
     def _base_payloads(
         self, client_id: int, records: tuple[CoefficientRecord, ...]
     ) -> tuple[BaseMeshPayload, ...]:
+        """Per-record twin of :meth:`_base_payloads_rows`."""
+        ordered: dict[int, None] = {}
+        for record in records:
+            if record.key.is_base:
+                ordered.setdefault(record.object_id, None)
+        return self._ship_bases(client_id, iter(ordered))
+
+    def _ship_bases(
+        self, client_id: int, object_ids: Iterable[int]
+    ) -> tuple[BaseMeshPayload, ...]:
         shipped = self._client_bases(client_id)
         payloads = []
-        for record in records:
-            if not record.key.is_base:
-                continue
-            oid = record.object_id
+        for oid in object_ids:
             if oid in shipped:
                 continue
             shipped.add(oid)

@@ -1,0 +1,37 @@
+"""Columnar coefficient data path.
+
+``repro.store`` is the flat, batch-oriented representation of wavelet
+coefficients that the whole serving stack operates on: numpy structured
+columns (:class:`CoefficientStore`) plus packed-integer uid sets
+(:class:`UidSet`) for the delivered-data/no-reship algebra.  It sits
+*below* the index, server, and buffering layers in the DESIGN layering
+(rank alongside ``wavelets``, which builds stores at decomposition
+time); nothing here imports upward.
+"""
+
+from repro.store.columns import COEFF_DTYPE, CoefficientStore
+from repro.store.uids import (
+    EMPTY_UIDS,
+    INDEX_LIMIT,
+    LEVEL_LIMIT,
+    OBJECT_ID_LIMIT,
+    UidSet,
+    pack_uid,
+    pack_uid_arrays,
+    unpack_uid,
+    unpack_uid_arrays,
+)
+
+__all__ = [
+    "COEFF_DTYPE",
+    "CoefficientStore",
+    "UidSet",
+    "EMPTY_UIDS",
+    "pack_uid",
+    "pack_uid_arrays",
+    "unpack_uid",
+    "unpack_uid_arrays",
+    "OBJECT_ID_LIMIT",
+    "LEVEL_LIMIT",
+    "INDEX_LIMIT",
+]

@@ -13,6 +13,7 @@ paper's convention); base-mesh vertices get the fixed value ``1.0``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.wavelets.coefficients import (
 )
 from repro.wavelets.encoding import DEFAULT_ENCODING, EncodingModel
 from repro.wavelets.support import all_support_boxes, base_vertex_support_box
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.columns import CoefficientStore
 
 __all__ = ["LevelCoefficients", "WaveletDecomposition", "analyze_hierarchy"]
 
@@ -191,6 +195,22 @@ class WaveletDecomposition:
                     )
                 )
         return out
+
+    def column_store(
+        self, object_id: int, encoding: EncodingModel = DEFAULT_ENCODING
+    ) -> "CoefficientStore":
+        """Flatten this object into the columnar store, built once here.
+
+        Row ``i`` of the store corresponds to record ``i`` of
+        :meth:`records`; the serving stack (index, server, buffering)
+        operates on row slices of this store and only materialises
+        :class:`CoefficientRecord` views at compatibility boundaries.
+        """
+        # Imported here: store.columns imports wavelets' leaf modules, so
+        # a module-level import would cycle when repro.store loads first.
+        from repro.store.columns import CoefficientStore
+
+        return CoefficientStore.from_decomposition(object_id, self, encoding)
 
     def total_bytes(self, encoding: EncodingModel = DEFAULT_ENCODING) -> int:
         """Full-resolution wire size of this object."""

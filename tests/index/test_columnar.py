@@ -1,0 +1,96 @@
+"""ColumnarAccessMethod: tree parity and the paged I/O model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+from repro.index.access import MotionAwareAccessMethod
+from repro.index.columnar import PAGE_BYTES, ColumnarAccessMethod, RowResult
+from repro.store.columns import CoefficientStore
+
+
+@pytest.fixture(scope="module")
+def store(tiny_city) -> CoefficientStore:
+    return tiny_city.store
+
+
+@pytest.fixture(scope="module")
+def columnar(store) -> ColumnarAccessMethod:
+    return ColumnarAccessMethod(store)
+
+
+@pytest.fixture(scope="module")
+def tree(tiny_city) -> MotionAwareAccessMethod:
+    return MotionAwareAccessMethod(tiny_city.all_records())
+
+
+QUERIES = [
+    (Box((0.0, 0.0), (1000.0, 1000.0)), 0.0, 1.0),
+    (Box((100.0, 100.0), (400.0, 400.0)), 0.0, 1.0),
+    (Box((200.0, 300.0), (500.0, 700.0)), 0.3, 0.9),
+    (Box((800.0, 800.0), (999.0, 999.0)), 0.5, 1.0),
+    (Box((0.0, 0.0), (50.0, 50.0)), 0.0, 0.2),
+]
+
+
+class TestTreeParity:
+    @pytest.mark.parametrize("region,w_min,w_max", QUERIES)
+    def test_same_result_set_as_rstar_tree(
+        self, columnar, tree, region, w_min, w_max
+    ):
+        from_tree = {r.uid for r in tree.query(region, w_min, w_max).records}
+        from_cols = {
+            r.uid for r in columnar.query(region, w_min, w_max).records
+        }
+        assert from_cols == from_tree
+
+    @pytest.mark.parametrize("region,w_min,w_max", QUERIES)
+    def test_query_rows_matches_query(
+        self, columnar, store, region, w_min, w_max
+    ):
+        result = columnar.query_rows(region, w_min, w_max)
+        assert isinstance(result, RowResult)
+        materialised = columnar.query(region, w_min, w_max)
+        assert [r.uid for r in store.records(result.rows)] == [
+            r.uid for r in materialised.records
+        ]
+
+
+class TestIOModel:
+    def test_io_is_directory_plus_touched_pages(self, columnar, store):
+        region, w_min, w_max = QUERIES[1]
+        result = columnar.query_rows(region, w_min, w_max)
+        rows_per_page = max(PAGE_BYTES // store.data.dtype.itemsize, 1)
+        pages = int(np.unique(result.rows // rows_per_page).size)
+        assert result.io.node_reads == pages + 1
+        assert result.io.queries == 1
+
+    def test_io_is_deterministic(self, columnar):
+        region, w_min, w_max = QUERIES[2]
+        first = columnar.query_rows(region, w_min, w_max)
+        second = columnar.query_rows(region, w_min, w_max)
+        assert first.io.node_reads == second.io.node_reads
+        assert np.array_equal(first.rows, second.rows)
+
+    def test_stats_accumulate(self, store):
+        method = ColumnarAccessMethod(store)
+        for region, w_min, w_max in QUERIES:
+            method.query_rows(region, w_min, w_max)
+        assert method.stats.queries == len(QUERIES)
+        assert method.stats.node_reads >= len(QUERIES)
+
+
+class TestValidation:
+    def test_rejects_empty_store(self):
+        with pytest.raises(IndexError_):
+            ColumnarAccessMethod(CoefficientStore.empty())
+
+    def test_rejects_bad_spatial_dims(self, store):
+        with pytest.raises(IndexError_):
+            ColumnarAccessMethod(store, spatial_dims=4)
+
+    def test_len(self, columnar, store):
+        assert len(columnar) == len(store)

@@ -1,0 +1,114 @@
+"""Property tests: columnar filtering is exactly the per-record path.
+
+For random query boxes and value bands, ``CoefficientStore.filter_rows``
+must select exactly the records the legacy per-record predicate selects
+(the support-MBB/region overlap projected onto the query axes, and the
+closed or half-open value band).  Runs under ``hypothesis`` when it is
+installed; otherwise the same property is exercised by seeded-random
+parametrization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+SEEDS = list(range(25))
+
+
+@pytest.fixture(scope="module")
+def city_store(tiny_city):
+    return tiny_city.store
+
+
+@pytest.fixture(scope="module")
+def city_records(city_store):
+    return city_store.records()
+
+
+def reference_keys(records, region, w_min, w_max, half_open):
+    """Per-record reference: uid keys answering ``Q(region, band)``."""
+    keys = []
+    for r in records:
+        if half_open:
+            in_band = w_min <= r.value < w_max
+        else:
+            in_band = w_min <= r.value <= w_max
+        low, high = r.support_box.low, r.support_box.high
+        overlaps = all(
+            low[a] <= region.high[a] and region.low[a] <= high[a]
+            for a in range(region.ndim)
+        )
+        if in_band and overlaps:
+            keys.append(r.uid)
+    return keys
+
+
+def check_parity(store, records, region, w_min, w_max, half_open):
+    rows = store.filter_rows(region, w_min, w_max, half_open=half_open)
+    got = [records[int(r)].uid for r in rows]
+    assert got == reference_keys(records, region, w_min, w_max, half_open)
+
+
+def random_query(rng) -> tuple[Box, float, float, bool]:
+    center = rng.uniform(0.0, 1000.0, 2)
+    extent = rng.uniform(5.0, 400.0, 2)
+    band = np.sort(rng.uniform(0.0, 1.0, 2))
+    return (
+        Box(center - extent / 2, center + extent / 2),
+        float(band[0]),
+        float(band[1]),
+        bool(rng.integers(0, 2)),
+    )
+
+
+class TestFilterParitySeeded:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_queries(self, city_store, city_records, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(4):
+            check_parity(city_store, city_records, *random_query(rng))
+
+    @pytest.mark.parametrize("w", [0.0, 0.25, 0.5, 1.0])
+    def test_boundary_bands(self, city_store, city_records, w):
+        """Records exactly at a band edge: closed keeps, half-open drops."""
+        region = Box((0.0, 0.0), (1000.0, 1000.0))
+        check_parity(city_store, city_records, region, w, 1.0, False)
+        check_parity(city_store, city_records, region, 0.0, w, True)
+
+    def test_degenerate_region(self, city_store, city_records):
+        point = Box((500.0, 500.0), (500.0, 500.0))
+        check_parity(city_store, city_records, point, 0.0, 1.0, False)
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestFilterParityHypothesis:
+        @settings(max_examples=60, deadline=None)
+        @given(
+            cx=st.floats(0.0, 1000.0),
+            cy=st.floats(0.0, 1000.0),
+            wx=st.floats(1.0, 500.0),
+            wy=st.floats(1.0, 500.0),
+            w_a=st.floats(0.0, 1.0),
+            w_b=st.floats(0.0, 1.0),
+            half_open=st.booleans(),
+        )
+        def test_any_box_any_band(
+            self, city_store, city_records, cx, cy, wx, wy, w_a, w_b, half_open
+        ):
+            w_min, w_max = sorted((w_a, w_b))
+            region = Box((cx - wx / 2, cy - wy / 2), (cx + wx / 2, cy + wy / 2))
+            check_parity(
+                city_store, city_records, region, w_min, w_max, half_open
+            )

@@ -1,0 +1,169 @@
+"""Packed uid codec and UidSet set-algebra tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.store.uids import (
+    EMPTY_UIDS,
+    INDEX_LIMIT,
+    LEVEL_LIMIT,
+    OBJECT_ID_LIMIT,
+    UidSet,
+    pack_uid,
+    pack_uid_arrays,
+    unpack_uid,
+    unpack_uid_arrays,
+)
+
+
+class TestPacking:
+    @pytest.mark.parametrize(
+        "uid",
+        [
+            (0, -1, 0),
+            (0, 0, 0),
+            (7, 2, 31),
+            (OBJECT_ID_LIMIT - 1, LEVEL_LIMIT - 2, INDEX_LIMIT - 1),
+        ],
+    )
+    def test_roundtrip(self, uid):
+        assert unpack_uid(pack_uid(*uid)) == uid
+
+    @pytest.mark.parametrize(
+        "uid",
+        [
+            (-1, 0, 0),
+            (OBJECT_ID_LIMIT, 0, 0),
+            (0, -2, 0),
+            (0, LEVEL_LIMIT - 1, 0),
+            (0, 0, -1),
+            (0, 0, INDEX_LIMIT),
+        ],
+    )
+    def test_out_of_range_rejected(self, uid):
+        with pytest.raises(StoreError):
+            pack_uid(*uid)
+
+    def test_array_codec_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        oids = rng.integers(0, 500, size=200)
+        levels = rng.integers(-1, 6, size=200)
+        indices = rng.integers(0, 10_000, size=200)
+        packed = pack_uid_arrays(oids, levels, indices)
+        for i in range(200):
+            assert int(packed[i]) == pack_uid(
+                int(oids[i]), int(levels[i]), int(indices[i])
+            )
+        o2, l2, i2 = unpack_uid_arrays(packed)
+        assert np.array_equal(o2, oids)
+        assert np.array_equal(l2, levels)
+        assert np.array_equal(i2, indices)
+
+    def test_array_codec_rejects_out_of_range(self):
+        with pytest.raises(StoreError):
+            pack_uid_arrays(
+                np.array([0]), np.array([-2]), np.array([0])
+            )
+
+    def test_packing_is_order_preserving(self):
+        rng = np.random.default_rng(11)
+        triples = sorted(
+            {
+                (int(o), int(lv), int(ix))
+                for o, lv, ix in zip(
+                    rng.integers(0, 50, 300),
+                    rng.integers(-1, 5, 300),
+                    rng.integers(0, 1000, 300),
+                )
+            }
+        )
+        packed = [pack_uid(*t) for t in triples]
+        assert packed == sorted(packed)
+
+    def test_unpack_negative_rejected(self):
+        with pytest.raises(StoreError):
+            unpack_uid(-1)
+
+
+def _random_tuples(rng, n):
+    return {
+        (int(o), int(lv), int(ix))
+        for o, lv, ix in zip(
+            rng.integers(0, 20, n),
+            rng.integers(-1, 4, n),
+            rng.integers(0, 100, n),
+        )
+    }
+
+
+class TestUidSet:
+    def test_equals_frozenset(self):
+        uids = {(1, -1, 0), (1, 0, 3), (2, 1, 7)}
+        s = UidSet.from_tuples(uids)
+        assert s == frozenset(uids)
+        assert s == uids
+        assert len(s) == 3
+        assert set(s) == uids
+        assert s.to_frozenset() == frozenset(uids)
+
+    def test_deduplicates(self):
+        s = UidSet.from_tuples([(1, 0, 1), (1, 0, 1), (1, 0, 2)])
+        assert len(s) == 2
+
+    def test_coerce_forms(self):
+        uids = frozenset({(3, 0, 1), (3, 1, 2)})
+        from_fs = UidSet.coerce(uids)
+        assert from_fs == uids
+        assert UidSet.coerce(None) is EMPTY_UIDS
+        assert UidSet.coerce(from_fs) is from_fs
+        assert UidSet.coerce(from_fs.packed.copy()) == uids
+        with pytest.raises(StoreError):
+            UidSet.coerce(42)
+
+    def test_contains(self):
+        s = UidSet.from_tuples([(1, 0, 1), (2, -1, 0)])
+        assert (1, 0, 1) in s
+        assert (2, -1, 0) in s
+        assert (1, 0, 2) not in s
+        assert "nope" not in s
+
+    def test_contains_packed_matches_python_membership(self):
+        rng = np.random.default_rng(7)
+        members = _random_tuples(rng, 150)
+        probes = list(_random_tuples(rng, 150) | members)
+        s = UidSet.from_tuples(members)
+        keys = np.array([pack_uid(*t) for t in probes], dtype=np.int64)
+        mask = s.contains_packed(keys)
+        for probe, hit in zip(probes, mask):
+            assert bool(hit) == (probe in members)
+
+    def test_union_difference_match_set_algebra(self):
+        rng = np.random.default_rng(13)
+        a, b = _random_tuples(rng, 120), _random_tuples(rng, 120)
+        sa, sb = UidSet.from_tuples(a), UidSet.from_tuples(b)
+        assert sa.union(sb) == (a | b)
+        assert (sa | sb) == (a | b)
+        assert (sa | frozenset(b)) == (a | b)
+        assert sa.difference(sb) == (a - b)
+        assert sa.union(EMPTY_UIDS) is sa
+        assert EMPTY_UIDS.union(sa) is sa
+
+    def test_empty_set(self):
+        assert not EMPTY_UIDS
+        assert len(EMPTY_UIDS) == 0
+        assert EMPTY_UIDS == frozenset()
+        assert not EMPTY_UIDS.contains_packed(np.array([1, 2])).any()
+
+    def test_hashable(self):
+        a = UidSet.from_tuples([(1, 0, 1)])
+        b = UidSet.from_tuples([(1, 0, 1)])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_packed_is_read_only(self):
+        s = UidSet.from_tuples([(1, 0, 1)])
+        with pytest.raises(ValueError):
+            s.packed[0] = 0

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.wavelets",
     "repro.index",
     "repro.net",
+    "repro.store",
     "repro.motion",
     "repro.buffering",
     "repro.server",
@@ -58,6 +59,7 @@ class TestErrorHierarchy:
         errors.WaveletError,
         errors.IndexError_,
         errors.NetworkError,
+        errors.StoreError,
         errors.BufferError_,
         errors.PredictionError,
         errors.WorkloadError,
