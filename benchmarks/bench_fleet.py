@@ -1,0 +1,165 @@
+"""Fleet benchmark: clients-vs-p95 scaling on the shared server uplink.
+
+Runs growing fleets of full client stacks on the discrete-event kernel
+(:func:`repro.core.fleet.simulate_system_fleet`), motion-aware vs
+naive, all sharing one FIFO server uplink whose backlog carries across
+ticks.  The paper's system claim at fleet scale: because motion-aware
+clients demand far fewer response-critical bytes, the server sustains
+many more of them before queueing delay explodes -- the naive fleet's
+p95 response time climbs off a cliff first.
+
+Before any timing, the benchmark asserts the simulation is
+deterministic (two runs of the smallest fleet are bit-identical), so
+the reported latencies are reproducible facts of the configuration,
+not sampling noise.
+
+Run directly (not under pytest)::
+
+    python benchmarks/bench_fleet.py            # full curve, up to 200 clients
+    python benchmarks/bench_fleet.py --smoke    # CI-sized quick check
+    python benchmarks/bench_fleet.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.fleet import FleetConfig, simulate_system_fleet
+from repro.geometry.box import Box
+from repro.motion.trajectory import make_tours
+from repro.server.server import Server
+from repro.workloads.cityscape import CityConfig, build_city
+
+SPACE = Box((0.0, 0.0), (1000.0, 1000.0))
+
+#: Tight enough that a large naive fleet saturates it, roomy enough
+#: that a motion-aware fleet keeps its queueing delay bounded.
+UPLINK_BPS = 16_000.0
+
+
+def make_fleet_config(uplink_bps: float) -> FleetConfig:
+    return FleetConfig(
+        space=SPACE,
+        query_frac=0.12,
+        server_uplink_bps=uplink_bps,
+        tick_seconds=1.0,
+        seed=7,
+    )
+
+
+def run_point(city, tours, config, system: str) -> dict:
+    started = time.perf_counter()
+    result = simulate_system_fleet(Server(city), tours, config, system=system)
+    wall_s = time.perf_counter() - started
+    return {
+        "clients": result.clients,
+        "ticks": result.ticks,
+        "p95_response_s": round(result.p95_response_s, 4),
+        "avg_response_s": round(result.avg_response_s, 4),
+        "max_queue_delay_s": round(result.max_queue_delay_s, 4),
+        "demand_bytes": result.demand_bytes,
+        "prefetch_bytes": result.prefetch_bytes,
+        "failed_requests": result.failed_requests,
+        "wall_s": round(wall_s, 3),
+    }
+
+
+def assert_deterministic(city, config) -> None:
+    tours = make_tours(SPACE, "tram", count=2, speed=0.8, steps=10)
+    first = simulate_system_fleet(Server(city), tours, config, system="motion")
+    second = simulate_system_fleet(Server(city), tours, config, system="motion")
+    assert first.response_times == second.response_times, (
+        "fleet simulation is not deterministic"
+    )
+    assert first.max_queue_delay_s == second.max_queue_delay_s
+
+
+def run(smoke: bool) -> dict:
+    if smoke:
+        city_config = CityConfig(
+            space=SPACE, object_count=16, levels=2, seed=11,
+            min_size_frac=0.03, max_size_frac=0.08,
+        )
+        fleet_sizes, steps = [4, 8], 10
+    else:
+        city_config = CityConfig(
+            space=SPACE, object_count=32, levels=2, seed=11,
+            min_size_frac=0.03, max_size_frac=0.08,
+        )
+        fleet_sizes, steps = [25, 50, 100, 200], 20
+    city = build_city(city_config)
+    config = make_fleet_config(UPLINK_BPS)
+    assert_deterministic(city, config)
+
+    curve = []
+    for count in fleet_sizes:
+        tours = make_tours(SPACE, "tram", count=count, speed=0.8, steps=steps)
+        motion = run_point(city, tours, config, "motion")
+        naive = run_point(city, tours, config, "naive")
+        point = {
+            "clients": count,
+            "motion": motion,
+            "naive": naive,
+            "p95_ratio_naive_over_motion": (
+                round(naive["p95_response_s"] / motion["p95_response_s"], 2)
+                if motion["p95_response_s"] > 0
+                else None
+            ),
+        }
+        curve.append(point)
+
+    return {
+        "config": {
+            "object_count": city_config.object_count,
+            "levels": city_config.levels,
+            "records": city.record_count,
+            "dataset_bytes": city.total_bytes,
+            "server_uplink_bps": UPLINK_BPS,
+            "tick_seconds": 1.0,
+            "steps": steps,
+            "smoke": smoke,
+        },
+        "curve": curve,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small city / small fleets (CI sanity run)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the result document to PATH",
+    )
+    args = parser.parse_args()
+    result = run(smoke=args.smoke)
+    document = json.dumps(result, indent=2)
+    print(document)
+    if args.json is not None:
+        args.json.write_text(document + "\n")
+    last = result["curve"][-1]
+    if not args.smoke:
+        if last["clients"] < 200:
+            print("FAIL: full run must scale to 200 clients", file=sys.stderr)
+            return 1
+        ratio = last["p95_ratio_naive_over_motion"]
+        if ratio is None or ratio < 2.0:
+            print(
+                f"FAIL: at {last['clients']} clients the naive/motion p95 ratio "
+                f"{ratio} is below the 2x target",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,9 +19,9 @@ else
     echo "ruff not installed -- skipped"
 fi
 
-echo "== mypy (strict: core, geometry, net, index) =="
+echo "== mypy (strict: core, geometry, net, index, sim) =="
 if command -v mypy >/dev/null 2>&1; then
-    mypy -p repro.core -p repro.geometry -p repro.net -p repro.index
+    mypy -p repro.core -p repro.geometry -p repro.net -p repro.index -p repro.sim
 else
     echo "mypy not installed -- skipped"
 fi

@@ -31,6 +31,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "index": 4,
     "net": 4,
     "motion": 4,
+    "sim": 5,
     "buffering": 5,
     "server": 5,
     "core": 6,

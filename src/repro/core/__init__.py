@@ -18,14 +18,30 @@ from repro.core.resolution import (
 )
 from repro.core.adaptive import AdaptiveQoSMapper
 from repro.core.coverage import CoverageMap, CoveredRegion
-from repro.core.fleet import FleetConfig, FleetResult, simulate_fleet
+from repro.core.fleet import (
+    FleetConfig,
+    FleetResult,
+    simulate_fleet,
+    simulate_system_fleet,
+)
 from repro.core.resilience import (
     DegradationController,
     ExchangeOutcome,
     ResiliencePolicy,
     ResilientExchanger,
 )
-from repro.core.retrieval import ContinuousRetrievalClient, RetrievalStep
+from repro.core.retrieval import (
+    ContinuousRetrievalClient,
+    PreparedStep,
+    RetrievalStep,
+)
+from repro.core.sessions import (
+    IncrementalSessionPolicy,
+    LRUObjectCache,
+    MotionAwareSessionPolicy,
+    NaiveSessionPolicy,
+    build_naive_index,
+)
 from repro.core.system import (
     MotionAwareSystem,
     NaiveSystem,
@@ -42,6 +58,12 @@ __all__ = [
     "clamp_speed",
     "ContinuousRetrievalClient",
     "RetrievalStep",
+    "PreparedStep",
+    "MotionAwareSessionPolicy",
+    "NaiveSessionPolicy",
+    "IncrementalSessionPolicy",
+    "LRUObjectCache",
+    "build_naive_index",
     "MotionAwareSystem",
     "NaiveSystem",
     "SystemConfig",
@@ -55,6 +77,7 @@ __all__ = [
     "FleetConfig",
     "FleetResult",
     "simulate_fleet",
+    "simulate_system_fleet",
     "ResiliencePolicy",
     "ExchangeOutcome",
     "ResilientExchanger",

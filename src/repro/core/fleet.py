@@ -2,15 +2,28 @@
 
 The paper's motivation has *many* mobile clients querying the server at
 once; its related work cites the server-side load of large query
-volumes.  This module simulates a fleet of continuous-retrieval clients
-whose responses share the server's finite uplink: exchanges are
-serialised through a single bottleneck, so a client's effective
-response time includes the queueing delay behind other clients'
-transfers.
+volumes.  This module simulates a fleet of clients whose responses
+share the server's finite uplink, on the discrete-event kernel
+(:mod:`repro.sim`):
+
+* every client is a :class:`~repro.sim.session.ClientSession` over its
+  own policy, link and seeded random streams (derived exactly like
+  :meth:`~repro.core.system.SystemConfig.build_link`, so two clients
+  never share a generator and adding a client never shifts another's
+  draws);
+* tick ``t`` fires as a kernel event at ``t * tick_seconds`` for every
+  client, in client order -- the ``(time, seq)`` event ordering
+  reproduces round-robin service within a tick;
+* the server uplink is one shared :class:`~repro.sim.resources.FifoResource`:
+  a transfer holds it for its serialisation time and the backlog
+  *carries across ticks*, so a saturated tick leaves the next one
+  queueing behind it (the pre-kernel loop wrongly reset the backlog
+  every tick).  Demand queueing delay counts toward response time;
+  prefetch holds the link without charging the tick that issued it.
 
 The headline system property it demonstrates: because motion-aware
 clients ship far fewer bytes, a server sustains many more of them
-before queueing delay explodes.
+before queueing delay explodes (see ``benchmarks/bench_fleet.py``).
 """
 
 from __future__ import annotations
@@ -19,16 +32,34 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.resilience import ResiliencePolicy, ResilientExchanger
 from repro.core.resolution import LinearMapper, SpeedResolutionMapper
 from repro.core.retrieval import ContinuousRetrievalClient
+from repro.core.sessions import (
+    IncrementalSessionPolicy,
+    MotionAwareSessionPolicy,
+    NaiveSessionPolicy,
+    build_naive_index,
+)
+from repro.core.system import SystemConfig
 from repro.errors import ConfigurationError
 from repro.geometry.box import Box
 from repro.motion.trajectory import Trajectory
+from repro.net.faults import FaultInjector, FaultSchedule
 from repro.net.link import LinkConfig, WirelessLink
 from repro.net.simclock import SimClock
 from repro.server.server import Server
+from repro.sim.kernel import Action, EventKernel
+from repro.sim.resources import FifoResource
+from repro.sim.session import ClientSession, LinkTransport, Transport
+from repro.sim.streams import (
+    BACKOFF_STREAM,
+    LINK_FAULTS_STREAM,
+    LINK_LOSS_STREAM,
+    derive_rng,
+)
 
-__all__ = ["FleetConfig", "FleetResult", "simulate_fleet"]
+__all__ = ["FleetConfig", "FleetResult", "simulate_fleet", "simulate_system_fleet"]
 
 
 @dataclass(frozen=True)
@@ -45,7 +76,19 @@ class FleetConfig:
         Total bytes-per-second the server can push to all clients
         combined; transfers queue behind each other once it saturates.
     tick_seconds:
-        Wall time between consecutive query frames.
+        Simulated time between consecutive query frames.  Stretching it
+        gives the shared uplink longer to drain between ticks, so the
+        same payloads queue less.
+    seed:
+        Root of every random stream in the fleet; per-client generators
+        are derived as ``(seed, client_id, role)``.
+    faults, resilience:
+        Optional link fault schedule and bounded-retry policy applied
+        to every client (``resilience=None`` sends demand traffic over
+        the bare link).
+    grid_shape, buffer_bytes, io_time_per_node_s:
+        Client-side buffer/IO parameters, used when the fleet runs full
+        system stacks (:func:`simulate_system_fleet`).
     """
 
     space: Box
@@ -53,6 +96,12 @@ class FleetConfig:
     link: LinkConfig = LinkConfig()
     server_uplink_bps: float = 1_024_000.0
     tick_seconds: float = 1.0
+    seed: int = 0
+    faults: FaultSchedule | None = None
+    resilience: ResiliencePolicy | None = None
+    grid_shape: tuple[int, int] = (20, 20)
+    buffer_bytes: int = 64 * 1024
+    io_time_per_node_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.space.ndim != 2:
@@ -63,6 +112,50 @@ class FleetConfig:
             raise ConfigurationError("server uplink must be positive")
         if self.tick_seconds <= 0:
             raise ConfigurationError("tick duration must be positive")
+        if self.buffer_bytes <= 0:
+            raise ConfigurationError("buffer must be positive")
+        if self.io_time_per_node_s < 0:
+            raise ConfigurationError("io time must be non-negative")
+
+    def build_link(self, client_id: int) -> WirelessLink:
+        """Client ``client_id``'s fault-injected link, seeded per client."""
+        injector = None
+        if self.faults is not None:
+            injector = FaultInjector(
+                self.faults,
+                rng=derive_rng(self.seed, client_id, LINK_FAULTS_STREAM),
+            )
+        return WirelessLink(
+            self.link,
+            rng=derive_rng(self.seed, client_id, LINK_LOSS_STREAM),
+            faults=injector,
+        )
+
+    def build_transport(self, link: WirelessLink, client_id: int) -> Transport:
+        """The demand-path transport over ``link`` (resilient when configured)."""
+        if self.resilience is not None:
+            return ResilientExchanger(
+                link,
+                self.resilience,
+                rng=derive_rng(self.seed, client_id, BACKOFF_STREAM),
+            )
+        return LinkTransport(link)
+
+    def system_config(self) -> SystemConfig:
+        """This fleet's parameters as a per-client :class:`SystemConfig`."""
+        return SystemConfig(
+            space=self.space,
+            grid_shape=self.grid_shape,
+            buffer_bytes=self.buffer_bytes,
+            query_frac=self.query_frac,
+            link=self.link,
+            io_time_per_node_s=self.io_time_per_node_s,
+            faults=self.faults,
+            resilience=(
+                self.resilience if self.resilience is not None else ResiliencePolicy()
+            ),
+            seed=self.seed,
+        )
 
 
 @dataclass
@@ -71,11 +164,17 @@ class FleetResult:
 
     clients: int = 0
     ticks: int = 0
-    total_bytes: int = 0
+    demand_bytes: int = 0
+    prefetch_bytes: int = 0
     total_requests: int = 0
     total_records: int = 0
+    failed_requests: int = 0
     response_times: list[float] = field(default_factory=list)
     max_queue_delay_s: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.demand_bytes + self.prefetch_bytes
 
     @property
     def avg_response_s(self) -> float:
@@ -90,6 +189,51 @@ class FleetResult:
         return float(np.percentile(self.response_times, 95))
 
 
+def _tick_action(session: ClientSession, tour: Trajectory, t: int) -> Action:
+    def fire(kernel: EventKernel) -> None:
+        session.tick(t, kernel.now, tour.positions[t], tour.nominal_speed)
+
+    return fire
+
+
+def _drive_fleet(
+    sessions: list[ClientSession],
+    tours: list[Trajectory],
+    config: FleetConfig,
+    uplink: FifoResource,
+) -> FleetResult:
+    """Fire every (tick, client) event on the kernel and aggregate.
+
+    All tick events are scheduled up front at ``t * tick_seconds`` in
+    ``(t, client)`` order; the kernel's ``(time, seq)`` total order then
+    serves clients round-robin within each tick, with the uplink
+    backlog carrying across ticks.
+    """
+    kernel = EventKernel()
+    ticks = min(len(tour) for tour in tours)
+    for t in range(ticks):
+        when = t * config.tick_seconds
+        for i, (session, tour) in enumerate(zip(sessions, tours)):
+            kernel.schedule_at(
+                when, _tick_action(session, tour, t), label=f"tick:{t}:client:{i}"
+            )
+    kernel.run()
+    result = FleetResult(
+        clients=len(sessions),
+        ticks=ticks,
+        max_queue_delay_s=uplink.max_queued_s,
+    )
+    for session in sessions:
+        r = session.result
+        result.response_times.extend(r.responses)
+        result.demand_bytes += r.demand_bytes
+        result.prefetch_bytes += r.prefetch_bytes
+        result.total_requests += r.contacts
+        result.total_records += r.records_shipped
+        result.failed_requests += r.stale_served_ticks
+    return result
+
+
 def simulate_fleet(
     server: Server,
     tours: list[Trajectory],
@@ -98,53 +242,85 @@ def simulate_fleet(
     mapper: SpeedResolutionMapper | None = None,
     use_coverage: bool = True,
 ) -> FleetResult:
-    """Run one client per tour against a shared server uplink.
+    """Run one incremental-retrieval client per tour on the kernel.
 
-    All tours advance in lock-step ticks.  Within a tick, clients that
-    need data issue their exchanges in round-robin order; the server's
-    uplink serialises the payloads, so the *n*-th transfer of a busy
-    tick waits for the first *n-1*.  A client's recorded response time
-    is its own exchange time plus that queueing delay.
+    Each client plans region differences against its own history
+    (Algorithm 1 with semantic caching by default) and ships the
+    demanded payload over its own seeded link, serialised through the
+    shared server uplink.
     """
     if not tours:
         raise ConfigurationError("fleet needs at least one tour")
     mapper = mapper if mapper is not None else LinearMapper()
-    clients = []
+    uplink = FifoResource(name="server-uplink")
+    sessions: list[ClientSession] = []
     for i, tour in enumerate(tours):
         server.reset_client(i)
-        clients.append(
-            ContinuousRetrievalClient(
-                server,
-                WirelessLink(config.link),
-                SimClock(),
-                client_id=i,
-                mapper=mapper,
-                use_coverage=use_coverage,
+        link = config.build_link(i)
+        client = ContinuousRetrievalClient(
+            server,
+            link,
+            SimClock(),
+            client_id=i,
+            mapper=mapper,
+            use_coverage=use_coverage,
+        )
+        policy = IncrementalSessionPolicy(client, config.space, config.query_frac)
+        sessions.append(
+            ClientSession(
+                policy,
+                config.build_transport(link, i),
+                io_time_per_node_s=config.io_time_per_node_s,
+                uplink=uplink,
+                uplink_bps=config.server_uplink_bps,
             )
         )
-    result = FleetResult(clients=len(clients))
-    ticks = min(len(tour) for tour in tours)
-    for t in range(ticks):
-        uplink_backlog_s = 0.0
-        for i, (client, tour) in enumerate(zip(clients, tours)):
-            position = tour.positions[t]
-            frame = Box.from_center(
-                position, config.query_frac * config.space.extents
+    return _drive_fleet(sessions, tours, config, uplink)
+
+
+def simulate_system_fleet(
+    server: Server,
+    tours: list[Trajectory],
+    config: FleetConfig,
+    *,
+    system: str = "motion",
+    mapper: SpeedResolutionMapper | None = None,
+) -> FleetResult:
+    """Run one full system stack per tour on the kernel.
+
+    ``system="motion"`` fleets :class:`MotionAwareSessionPolicy` clients
+    (buffer manager, prefetch, degradation); ``system="naive"`` fleets
+    :class:`NaiveSessionPolicy` clients sharing one read-only
+    whole-object R*-tree.  Both share the server uplink, which is where
+    the byte savings of the motion-aware stack turn into a latency
+    cliff for the naive one as the fleet grows.
+    """
+    if not tours:
+        raise ConfigurationError("fleet needs at least one tour")
+    if system not in ("motion", "naive"):
+        raise ConfigurationError(
+            f"unknown fleet system {system!r} (expected 'motion' or 'naive')"
+        )
+    sys_cfg = config.system_config()
+    uplink = FifoResource(name="server-uplink")
+    shared_index = build_naive_index(server) if system == "naive" else None
+    sessions: list[ClientSession] = []
+    for i, tour in enumerate(tours):
+        server.reset_client(i)
+        link = config.build_link(i)
+        if system == "motion":
+            policy: MotionAwareSessionPolicy | NaiveSessionPolicy = (
+                MotionAwareSessionPolicy(server, sys_cfg, client_id=i, mapper=mapper)
             )
-            step = client.step(position, tour.nominal_speed, frame)
-            if not step.contacted_server:
-                result.response_times.append(0.0)
-                continue
-            # The server pushes this payload after the backlog ahead of it.
-            serialisation_s = (
-                step.payload_bytes * 8.0 / config.server_uplink_bps
+        else:
+            policy = NaiveSessionPolicy(server, sys_cfg, index=shared_index)
+        sessions.append(
+            ClientSession(
+                policy,
+                config.build_transport(link, i),
+                io_time_per_node_s=config.io_time_per_node_s,
+                uplink=uplink,
+                uplink_bps=config.server_uplink_bps,
             )
-            queue_delay = uplink_backlog_s
-            uplink_backlog_s += serialisation_s
-            result.max_queue_delay_s = max(result.max_queue_delay_s, queue_delay)
-            result.response_times.append(step.elapsed_s + queue_delay)
-            result.total_bytes += step.payload_bytes
-            result.total_records += step.records_received
-            result.total_requests += 1
-        result.ticks += 1
-    return result
+        )
+    return _drive_fleet(sessions, tours, config, uplink)

@@ -36,7 +36,7 @@ from repro.server.server import Server
 from repro.store.uids import EMPTY_UIDS, UidSet
 from repro.wavelets.synthesis import ProgressiveMesh
 
-__all__ = ["RetrievalStep", "ContinuousRetrievalClient"]
+__all__ = ["RetrievalStep", "PreparedStep", "ContinuousRetrievalClient"]
 
 
 @dataclass(frozen=True)
@@ -57,6 +57,45 @@ class RetrievalStep:
     @property
     def contacted_server(self) -> bool:
         return self.sub_queries > 0
+
+
+@dataclass(frozen=True)
+class PreparedStep:
+    """A planned-and-answered query frame awaiting its wire transfer.
+
+    :meth:`ContinuousRetrievalClient.prepare_step` produces one;
+    :meth:`ContinuousRetrievalClient.finalize_step` integrates it into
+    the client state once the transfer's cost is known.  Splitting the
+    two lets an external driver (the session engine, a fleet's shared
+    uplink) own the transport in between.
+    """
+
+    timestamp: float
+    query_box: Box
+    speed: float
+    w_min: float
+    regions: tuple[RegionRequest, ...]
+    response: RetrieveBatchResponse | None
+
+    @property
+    def contacted(self) -> bool:
+        return self.response is not None
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.response.payload_bytes if self.response is not None else 0
+
+    @property
+    def io_node_reads(self) -> int:
+        return self.response.io_node_reads if self.response is not None else 0
+
+    @property
+    def record_count(self) -> int:
+        return self.response.record_count if self.response is not None else 0
+
+    @property
+    def filtered_out(self) -> int:
+        return self.response.filtered_out if self.response is not None else 0
 
 
 class ContinuousRetrievalClient:
@@ -114,6 +153,16 @@ class ContinuousRetrievalClient:
     @property
     def client_id(self) -> int:
         return self._client_id
+
+    @property
+    def mapper(self) -> SpeedResolutionMapper:
+        """The speed -> ``w_min`` mapping this client retrieves at."""
+        return self._mapper
+
+    @property
+    def link(self) -> WirelessLink:
+        """The link :meth:`step` bills its own exchanges to."""
+        return self._link
 
     @property
     def steps(self) -> list[RetrievalStep]:
@@ -184,56 +233,84 @@ class ContinuousRetrievalClient:
             regions.append(RegionRequest(overlap, w_min, prev_w, half_open=True))
         return regions
 
-    def step(self, position: np.ndarray, speed: float, query_box: Box) -> RetrievalStep:
-        """Process one query frame: plan, retrieve, integrate, account."""
+    def prepare_step(
+        self,
+        position: np.ndarray,
+        speed: float,
+        query_box: Box,
+        *,
+        now: float | None = None,
+    ) -> PreparedStep:
+        """Plan one query frame and answer it server-side.
+
+        Nothing is integrated into the client state yet: the caller
+        transports the payload however it likes (own link, resilient
+        exchanger, shared fleet uplink) and then calls
+        :meth:`finalize_step` with the transfer's cost.  ``now``
+        overrides the request timestamp (an external driver's kernel
+        time); by default the client's own clock is read.
+        """
         speed = clamp_speed(speed)
         w_min = float(self._mapper(speed))
-        regions = self.plan_regions(query_box, w_min)
-        now = self._clock.now
-        if not regions:
-            result = RetrievalStep(
-                timestamp=now,
-                query_box=query_box,
-                speed=speed,
-                w_min=w_min,
-                sub_queries=0,
-                records_received=0,
-                payload_bytes=0,
-                io_node_reads=0,
-                elapsed_s=0.0,
-                filtered_out=0,
-            )
-        else:
+        regions = tuple(self.plan_regions(query_box, w_min))
+        timestamp = self._clock.now if now is None else now
+        response = None
+        if regions:
             request = RetrieveRequest(
-                timestamp=now,
+                timestamp=timestamp,
                 client_id=self._client_id,
-                regions=tuple(regions),
+                regions=regions,
                 exclude_uids=self._sent_uids,
             )
             response = self._server.execute_batch(request)
-            self._integrate(response)
-            elapsed = self._link.exchange(
-                response.payload_bytes, speed=speed, now=now
-            )
-            self._clock.advance(elapsed)
-            result = RetrievalStep(
-                timestamp=now,
-                query_box=query_box,
-                speed=speed,
-                w_min=w_min,
-                sub_queries=len(regions),
-                records_received=response.record_count,
-                payload_bytes=response.payload_bytes,
-                io_node_reads=response.io_node_reads,
-                elapsed_s=elapsed,
-                filtered_out=response.filtered_out,
-            )
-        self._prev_box = query_box
-        self._prev_w_min = w_min
+        return PreparedStep(
+            timestamp=timestamp,
+            query_box=query_box,
+            speed=speed,
+            w_min=w_min,
+            regions=regions,
+            response=response,
+        )
+
+    def finalize_step(self, prepared: PreparedStep, elapsed_s: float) -> RetrievalStep:
+        """Integrate a prepared step's data and advance the planning state.
+
+        ``elapsed_s`` is whatever the transfer cost the caller's
+        transport; it is recorded, not re-derived.  The client's clock
+        is *not* advanced -- drivers that own a clock advance it
+        themselves.
+        """
+        if prepared.response is not None:
+            self._integrate(prepared.response)
+        result = RetrievalStep(
+            timestamp=prepared.timestamp,
+            query_box=prepared.query_box,
+            speed=prepared.speed,
+            w_min=prepared.w_min,
+            sub_queries=len(prepared.regions),
+            records_received=prepared.record_count,
+            payload_bytes=prepared.payload_bytes,
+            io_node_reads=prepared.io_node_reads,
+            elapsed_s=elapsed_s,
+            filtered_out=prepared.filtered_out,
+        )
+        self._prev_box = prepared.query_box
+        self._prev_w_min = prepared.w_min
         if self._coverage is not None:
-            self._coverage.add(query_box, w_min)
+            self._coverage.add(prepared.query_box, prepared.w_min)
         self._steps.append(result)
         return result
+
+    def step(self, position: np.ndarray, speed: float, query_box: Box) -> RetrievalStep:
+        """Process one query frame: plan, retrieve, integrate, account."""
+        prepared = self.prepare_step(position, speed, query_box)
+        elapsed = 0.0
+        if prepared.contacted:
+            elapsed = self._link.exchange(
+                prepared.payload_bytes, speed=prepared.speed, now=prepared.timestamp
+            )
+            self._clock.advance(elapsed)
+        return self.finalize_step(prepared, elapsed)
 
     def _integrate(self, response: RetrieveBatchResponse) -> None:
         for payload in response.base_meshes:

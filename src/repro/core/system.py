@@ -12,6 +12,15 @@ Section VII-E (Figures 14/15):
   resolution, indexes whole objects with an R*-tree (no multiresolution
   entries), and caches whole objects with plain LRU.
 
+Both are thin configurations of the unified
+:class:`~repro.sim.session.ClientSession` engine: the per-tick skeleton
+(resolution -> plan -> transport -> commit/abort -> account) lives in
+:mod:`repro.sim.session`, the behaviours that differ live in the
+:mod:`repro.core.sessions` policies, and :meth:`run` drives the session
+through the tour on the discrete-event kernel.  The pre-kernel
+lock-step loops are preserved verbatim as :meth:`run_legacy` so the
+scenario suite can assert the refactor is bit-identical.
+
 Both run over the same database, link model and tours.  Per tick the
 *query response time* is the time until the current frame's data is
 available: zero when everything is cached, otherwise the resilient
@@ -31,31 +40,38 @@ monotonically (:mod:`repro.core.resilience`).
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.buffering.manager import MotionAwareBufferManager
-from repro.core.resilience import (
-    DegradationController,
-    ResiliencePolicy,
-    ResilientExchanger,
-)
-from repro.core.resolution import LinearMapper, SpeedResolutionMapper
+from repro.core.resilience import ResiliencePolicy, ResilientExchanger
+from repro.core.resolution import SpeedResolutionMapper
+from repro.core.sessions import MotionAwareSessionPolicy, NaiveSessionPolicy
 from repro.errors import ConfigurationError
 from repro.geometry.box import Box
-from repro.geometry.grid import Grid
-from repro.index.bulk import bulk_load
-from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
 from repro.motion.trajectory import Trajectory
 from repro.net.faults import FaultInjector, FaultSchedule
 from repro.net.link import LinkConfig, WirelessLink
 from repro.net.simclock import SimClock
-from repro.server.server import BlockQuote, Server
-from repro.store.uids import EMPTY_UIDS, UidSet
+from repro.server.server import Server
+from repro.sim.resources import FifoResource
+from repro.sim.session import ClientSession, SessionResult, run_tour
+from repro.sim.streams import (
+    BACKOFF_STREAM,
+    LINK_FAULTS_STREAM,
+    LINK_LOSS_STREAM,
+    derive_rng,
+)
+from repro.store.uids import UidSet
 
 __all__ = ["SystemConfig", "SystemRunResult", "MotionAwareSystem", "NaiveSystem"]
+
+#: One tour's aggregates.  The dataclass itself now lives with the
+#: session engine (:class:`repro.sim.session.SessionResult`); the old
+#: name remains the public spelling at this layer.
+SystemRunResult = SessionResult
 
 
 @dataclass(frozen=True)
@@ -100,11 +116,11 @@ class SystemConfig:
         if self.faults is not None:
             injector = FaultInjector(
                 self.faults,
-                rng=np.random.default_rng([self.seed, client_id, 1]),
+                rng=derive_rng(self.seed, client_id, LINK_FAULTS_STREAM),
             )
         return WirelessLink(
             self.link,
-            rng=np.random.default_rng([self.seed, client_id, 2]),
+            rng=derive_rng(self.seed, client_id, LINK_LOSS_STREAM),
             faults=injector,
         )
 
@@ -113,67 +129,8 @@ class SystemConfig:
         return ResilientExchanger(
             link,
             self.resilience,
-            rng=np.random.default_rng([self.seed, client_id, 3]),
+            rng=derive_rng(self.seed, client_id, BACKOFF_STREAM),
         )
-
-
-@dataclass
-class SystemRunResult:
-    """Aggregates of one tour through one system.
-
-    Fault-path counters: ``timeouts`` (requests abandoned past the
-    timeout budget), ``retries`` (exchange-level retries issued),
-    ``degraded_ticks`` (ticks spent inside a degradation window),
-    ``stale_served_ticks`` (ticks rendered from the buffer because the
-    demand transfer failed), ``records_shipped`` (coefficient records
-    delivered over the wire -- equals the number of *distinct* records
-    when the no-reship invariant holds).  ``w_min_trace`` records the
-    effective per-tick resolution threshold and ``failure_ticks`` the
-    tick indices of failed demand transfers.
-    """
-
-    ticks: int = 0
-    contacts: int = 0
-    total_response_s: float = 0.0
-    max_response_s: float = 0.0
-    demand_bytes: int = 0
-    prefetch_bytes: int = 0
-    io_node_reads: int = 0
-    responses: list[float] = field(default_factory=list)
-    timeouts: int = 0
-    retries: int = 0
-    degraded_ticks: int = 0
-    stale_served_ticks: int = 0
-    records_shipped: int = 0
-    w_min_trace: list[float] = field(default_factory=list)
-    failure_ticks: list[int] = field(default_factory=list)
-
-    @property
-    def avg_response_s(self) -> float:
-        return self.total_response_s / self.ticks if self.ticks else 0.0
-
-    def steady_avg_response_s(self, warmup_ticks: int = 10) -> float:
-        """Average response time excluding the cold-start ticks.
-
-        Both systems pay a one-off initial fetch when the tour starts;
-        on short scaled-down tours that cold start can dominate the
-        plain average, so the steady-state figure drops the first
-        ``warmup_ticks`` ticks.
-        """
-        tail = self.responses[warmup_ticks:]
-        return sum(tail) / len(tail) if tail else 0.0
-
-    @property
-    def total_bytes(self) -> int:
-        return self.demand_bytes + self.prefetch_bytes
-
-    def note(self, response_s: float, contacted: bool) -> None:
-        self.ticks += 1
-        self.total_response_s += response_s
-        self.max_response_s = max(self.max_response_s, response_s)
-        self.responses.append(response_s)
-        if contacted:
-            self.contacts += 1
 
 
 class MotionAwareSystem:
@@ -190,22 +147,19 @@ class MotionAwareSystem:
         self._server = server
         self._config = config
         self._client_id = client_id
-        self._mapper = mapper if mapper is not None else LinearMapper()
-        self._grid = Grid(config.space, config.grid_shape)
-        self._manager = MotionAwareBufferManager(
-            self._grid,
-            config.buffer_bytes,
-            server.database.block_bytes_fn(self._grid),
-            block_rows=server.database.block_rows_fn(self._grid),
+        self._policy = MotionAwareSessionPolicy(
+            server, config, client_id=client_id, mapper=mapper
         )
-        self._sent_uids: UidSet = EMPTY_UIDS
         self._link = config.build_link(client_id)
         self._exchanger = config.build_exchanger(self._link, client_id)
-        self._degradation = DegradationController(config.resilience)
+
+    @property
+    def policy(self) -> MotionAwareSessionPolicy:
+        return self._policy
 
     @property
     def manager(self) -> MotionAwareBufferManager:
-        return self._manager
+        return self._policy.manager
 
     @property
     def link(self) -> WirelessLink:
@@ -214,34 +168,39 @@ class MotionAwareSystem:
     @property
     def sent_uids(self) -> UidSet:
         """Every record uid the client has successfully received."""
-        return self._sent_uids
+        return self._policy.sent_uids
 
-    def _quote_cells(
+    def session(
         self,
-        cells: tuple[tuple[int, ...], ...],
-        w_min: float,
-        exclude: UidSet,
-        assume_bases: frozenset[int],
-    ) -> tuple[list[BlockQuote], UidSet, frozenset[int]]:
-        """Price a set of blocks without committing server state."""
-        quotes: list[BlockQuote] = []
-        for cell in cells:
-            quote = self._server.quote_block(
-                self._client_id,
-                self._grid.cell_box(cell),
-                w_min,
-                exclude,
-                assume_shipped_bases=assume_bases,
-            )
-            quotes.append(quote)
-            exclude = exclude | quote.new_uids
-            assume_bases = assume_bases | quote.new_base_ids
-        return quotes, exclude, assume_bases
+        *,
+        uplink: FifoResource | None = None,
+        uplink_bps: float = 0.0,
+        result: SessionResult | None = None,
+    ) -> ClientSession:
+        """This system's client as a :class:`ClientSession`."""
+        return ClientSession(
+            self._policy,
+            self._exchanger,
+            io_time_per_node_s=self._config.io_time_per_node_s,
+            uplink=uplink,
+            uplink_bps=uplink_bps,
+            result=result,
+        )
 
     def run(self, tour: Trajectory) -> SystemRunResult:
         """Drive the whole tour; returns the aggregates."""
+        return run_tour(self.session(), tour)
+
+    def run_legacy(self, tour: Trajectory) -> SystemRunResult:
+        """The pre-kernel lock-step loop, preserved verbatim.
+
+        Kept only as the reference implementation for the bit-identity
+        parity suite (``tests/scenarios/test_parity.py``); new callers
+        use :meth:`run`.
+        """
         result = SystemRunResult()
         cfg = self._config
+        policy = self._policy
         clock = SimClock(start=float(tour.times[0]))
         for i in range(len(tour)):
             if float(tour.times[i]) > clock.now:
@@ -249,17 +208,17 @@ class MotionAwareSystem:
             now = clock.now
             position = tour.positions[i]
             speed = tour.nominal_speed
-            base_w_min = float(self._mapper(speed))
-            w_min = self._degradation.effective_w_min(now, base_w_min)
-            if self._degradation.is_degraded(now):
+            base_w_min = float(policy.mapper(speed))
+            w_min = policy.degradation.effective_w_min(now, base_w_min)
+            if policy.degradation.is_degraded(now):
                 result.degraded_ticks += 1
             result.w_min_trace.append(w_min)
             query = cfg.query_box(position)
-            tick = self._manager.tick(position, speed, query, w_min)
+            tick = policy.manager.tick(position, speed, query, w_min)
             response_s = 0.0
             if tick.contacted_server:
-                demand_quotes, exclude, bases = self._quote_cells(
-                    tick.demand_cells, w_min, self._sent_uids, frozenset()
+                demand_quotes, exclude, bases = policy.quote_cells(
+                    tick.demand_cells, w_min, policy.sent_uids, frozenset()
                 )
                 demand_payload = sum(q.payload_bytes for q in demand_quotes)
                 demand_io = sum(q.io_node_reads for q in demand_quotes)
@@ -268,13 +227,13 @@ class MotionAwareSystem:
                 )
                 result.retries += outcome.retries
                 if outcome.ok:
-                    prefetch_quotes, exclude, bases = self._quote_cells(
+                    prefetch_quotes, exclude, bases = policy.quote_cells(
                         tick.prefetch_cells, w_min, exclude, bases
                     )
                     for quote in demand_quotes + prefetch_quotes:
                         self._server.commit_quote(quote)
                         result.records_shipped += len(quote.new_uids)
-                    self._sent_uids = exclude
+                    policy.sent_uids = exclude
                     prefetch_payload = sum(
                         q.payload_bytes for q in prefetch_quotes
                     )
@@ -292,43 +251,17 @@ class MotionAwareSystem:
                     result.failure_ticks.append(i)
                     if outcome.timed_out:
                         result.timeouts += 1
-                    self._manager.rollback(
+                    policy.manager.rollback(
                         tick.demand_cells + tick.prefetch_cells
                     )
                     response_s = (
                         outcome.elapsed_s + demand_io * cfg.io_time_per_node_s
                     )
                     result.io_node_reads += demand_io
-                    self._degradation.note_failure(now + outcome.elapsed_s)
+                    policy.degradation.note_failure(now + outcome.elapsed_s)
             clock.advance(response_s)
             result.note(response_s, tick.contacted_server)
         return result
-
-
-class _LRUObjectCache:
-    """Byte-bounded LRU cache of whole objects (naive client state)."""
-
-    def __init__(self, capacity_bytes: int) -> None:
-        self._capacity = capacity_bytes
-        self._items: OrderedDict[int, int] = OrderedDict()  # id -> bytes
-        self._bytes = 0
-
-    def __contains__(self, object_id: int) -> bool:
-        return object_id in self._items
-
-    def touch(self, object_id: int) -> None:
-        self._items.move_to_end(object_id)
-
-    def add(self, object_id: int, size: int) -> None:
-        if object_id in self._items:
-            self.touch(object_id)
-            return
-        while self._bytes + size > self._capacity and self._items:
-            _, evicted = self._items.popitem(last=False)
-            self._bytes -= evicted
-        if self._bytes + size <= self._capacity:
-            self._items[object_id] = size
-            self._bytes += size
 
 
 class NaiveSystem:
@@ -341,33 +274,58 @@ class NaiveSystem:
     """
 
     def __init__(
-        self, server: Server, config: SystemConfig, *, client_id: int = 0
+        self,
+        server: Server,
+        config: SystemConfig,
+        *,
+        client_id: int = 0,
+        index: RTree | None = None,
     ) -> None:
         self._server = server
         self._config = config
-        db = server.database
-        items = [
-            (obj.footprint, obj.object_id) for obj in db.objects
-        ]
-        self._index = bulk_load(items, tree_class=RStarTree)
-        self._sizes = {obj.object_id: obj.total_bytes for obj in db.objects}
-        # I/O to read one object's full data off disk, in pages.
-        page = 4096
-        self._object_io = {
-            oid: max(size // page, 1) for oid, size in self._sizes.items()
-        }
-        self._cache = _LRUObjectCache(config.buffer_bytes)
+        self._policy = NaiveSessionPolicy(server, config, index=index)
         self._link = config.build_link(client_id)
         self._exchanger = config.build_exchanger(self._link, client_id)
+
+    @property
+    def policy(self) -> NaiveSessionPolicy:
+        return self._policy
 
     @property
     def link(self) -> WirelessLink:
         return self._link
 
+    def session(
+        self,
+        *,
+        uplink: FifoResource | None = None,
+        uplink_bps: float = 0.0,
+        result: SessionResult | None = None,
+    ) -> ClientSession:
+        """This system's client as a :class:`ClientSession`."""
+        return ClientSession(
+            self._policy,
+            self._exchanger,
+            io_time_per_node_s=self._config.io_time_per_node_s,
+            uplink=uplink,
+            uplink_bps=uplink_bps,
+            result=result,
+        )
+
     def run(self, tour: Trajectory) -> SystemRunResult:
         """Drive the whole tour; returns the aggregates."""
+        return run_tour(self.session(), tour)
+
+    def run_legacy(self, tour: Trajectory) -> SystemRunResult:
+        """The pre-kernel lock-step loop, preserved verbatim.
+
+        Kept only as the reference implementation for the bit-identity
+        parity suite (``tests/scenarios/test_parity.py``); new callers
+        use :meth:`run`.
+        """
         result = SystemRunResult()
         cfg = self._config
+        policy = self._policy
         clock = SimClock(start=float(tour.times[0]))
         for i in range(len(tour)):
             if float(tour.times[i]) > clock.now:
@@ -377,18 +335,18 @@ class NaiveSystem:
             speed = tour.nominal_speed
             result.w_min_trace.append(0.0)
             query = cfg.query_box(position)
-            self._index.stats.push()
-            object_ids = self._index.search(query)
-            index_io = self._index.stats.pop_delta().node_reads
+            policy.index.stats.push()
+            object_ids = policy.index.search(query)
+            index_io = policy.index.stats.pop_delta().node_reads
             payload = 0
             data_io = 0
-            missing = [oid for oid in object_ids if oid not in self._cache]
+            missing = [oid for oid in object_ids if oid not in policy.cache]
             for oid in object_ids:
-                if oid in self._cache:
-                    self._cache.touch(oid)
+                if oid in policy.cache:
+                    policy.cache.touch(oid)
             for oid in missing:
-                payload += self._sizes[oid]
-                data_io += self._object_io[oid]
+                payload += policy.object_sizes[oid]
+                data_io += policy.object_io[oid]
             contacted = bool(missing)
             response_s = 0.0
             if contacted:
@@ -401,7 +359,7 @@ class NaiveSystem:
                 result.io_node_reads += index_io + data_io
                 if outcome.ok:
                     for oid in missing:
-                        self._cache.add(oid, self._sizes[oid])
+                        policy.cache.add(oid, policy.object_sizes[oid])
                     result.demand_bytes += payload
                     result.records_shipped += len(missing)
                 else:

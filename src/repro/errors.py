@@ -22,6 +22,7 @@ __all__ = [
     "WorkloadError",
     "ProtocolError",
     "ConfigurationError",
+    "SimulationError",
 ]
 
 
@@ -89,3 +90,7 @@ class ProtocolError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid experiment or system configuration."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event kernel misuse (past scheduling, bad holds)."""

@@ -1,0 +1,56 @@
+"""Deterministic discrete-event simulation kernel.
+
+The substrate the serving stack runs on:
+
+* :mod:`repro.sim.kernel` -- a priority-queue event loop over
+  :class:`~repro.net.simclock.SimClock`, events totally ordered by
+  ``(time, seq)``, no wall clock, no hidden randomness;
+* :mod:`repro.sim.resources` -- shared serialising resources (the
+  server uplink) whose backlog carries across ticks;
+* :mod:`repro.sim.session` -- the unified :class:`ClientSession` drive
+  loop composed from pluggable policy and transport objects;
+* :mod:`repro.sim.streams` -- seeded random-stream derivation.
+
+Layering: ``sim`` sits below ``core`` (which implements the concrete
+motion-aware/naive/fleet policies) and above ``net`` (whose clock and
+link models it consumes).
+"""
+
+from repro.sim.kernel import Action, EventKernel, TraceEntry
+from repro.sim.resources import FifoResource, Grant
+from repro.sim.session import (
+    ClientSession,
+    LinkTransport,
+    SessionPolicy,
+    SessionResult,
+    TickPlan,
+    TransferOutcome,
+    Transport,
+    run_tour,
+)
+from repro.sim.streams import (
+    BACKOFF_STREAM,
+    LINK_FAULTS_STREAM,
+    LINK_LOSS_STREAM,
+    derive_rng,
+)
+
+__all__ = [
+    "Action",
+    "EventKernel",
+    "TraceEntry",
+    "FifoResource",
+    "Grant",
+    "ClientSession",
+    "LinkTransport",
+    "SessionPolicy",
+    "SessionResult",
+    "TickPlan",
+    "TransferOutcome",
+    "Transport",
+    "run_tour",
+    "derive_rng",
+    "LINK_FAULTS_STREAM",
+    "LINK_LOSS_STREAM",
+    "BACKOFF_STREAM",
+]

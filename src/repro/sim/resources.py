@@ -1,0 +1,108 @@
+"""Shared serialising resources (the server uplink bottleneck).
+
+A :class:`FifoResource` models a single-server FIFO queue in the style
+of the wireless-walkthrough frameworks: a transfer *holds* the resource
+for its serialisation time, and a transfer arriving while the resource
+is busy starts when the backlog drains.  Crucially the backlog is
+**carried state** -- it does not reset between simulation ticks, so a
+saturating burst of traffic delays requests that arrive much later,
+which is exactly the queueing behaviour lock-step fleet loops get
+wrong.
+
+The resource performs no event scheduling itself: ``acquire`` is a pure
+state update returning the grant window, which keeps it usable both
+inside kernel event actions and in closed-form tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["FifoResource", "Grant"]
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One admitted hold on a FIFO resource.
+
+    ``queued_s`` is how long the request waited behind the backlog
+    before its hold started (``start_s - arrival``).
+    """
+
+    start_s: float
+    finish_s: float
+    hold_s: float
+    queued_s: float
+
+
+class FifoResource:
+    """A serialising resource whose backlog carries across time.
+
+    ``acquire(now, hold_s)`` admits a request arriving at ``now`` that
+    needs the resource for ``hold_s`` seconds: it starts when the
+    current backlog drains (``max(busy_until, now)``) and pushes the
+    backlog out by its own hold.  Accounting (grants, busy seconds,
+    worst queueing delay) is accumulated for fleet-level reporting.
+    """
+
+    def __init__(self, name: str = "resource") -> None:
+        self.name = name
+        self._busy_until = 0.0
+        self._grants = 0
+        self._busy_s = 0.0
+        self._max_queued_s = 0.0
+
+    @property
+    def busy_until(self) -> float:
+        """Absolute time the current backlog drains."""
+        return self._busy_until
+
+    @property
+    def grants(self) -> int:
+        """Requests admitted so far."""
+        return self._grants
+
+    @property
+    def busy_s(self) -> float:
+        """Total seconds of granted hold time."""
+        return self._busy_s
+
+    @property
+    def max_queued_s(self) -> float:
+        """Worst queueing delay any request has seen."""
+        return self._max_queued_s
+
+    def backlog_s(self, now: float) -> float:
+        """Seconds a request arriving at ``now`` would wait."""
+        return max(self._busy_until - now, 0.0)
+
+    def acquire(self, now: float, hold_s: float) -> Grant:
+        """Admit a request at ``now`` holding the resource ``hold_s``."""
+        if now < 0:
+            raise SimulationError(f"arrival time must be non-negative, got {now}")
+        if hold_s < 0:
+            raise SimulationError(f"hold time must be non-negative, got {hold_s}")
+        start = max(self._busy_until, now)
+        finish = start + hold_s
+        queued = start - now
+        self._busy_until = finish
+        self._grants += 1
+        self._busy_s += hold_s
+        if queued > self._max_queued_s:
+            self._max_queued_s = queued
+        return Grant(start_s=start, finish_s=finish, hold_s=hold_s, queued_s=queued)
+
+    def reset(self) -> None:
+        """Drop all backlog and accounting."""
+        self._busy_until = 0.0
+        self._grants = 0
+        self._busy_s = 0.0
+        self._max_queued_s = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"FifoResource({self.name!r}, busy_until={self._busy_until:.3f}, "
+            f"grants={self._grants})"
+        )

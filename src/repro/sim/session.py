@@ -1,0 +1,351 @@
+"""The unified client session: one drive loop, pluggable policies.
+
+Before this module existed the repo had three near-duplicate lock-step
+loops (``MotionAwareSystem.run``, ``NaiveSystem.run`` and the fleet
+loop).  They all share one skeleton per tick:
+
+1. decide the resolution threshold ``w_min`` (speed mapping, possibly
+   raised by a degradation controller);
+2. *plan* the tick -- consult the cache/buffer strategy, price the
+   demanded payload and the server I/O it costs;
+3. if anything is missing, push the demand through a transport (and,
+   in a fleet, through the shared server-uplink FIFO);
+4. *commit* the plan on success (integrate data, account prefetch) or
+   *abort* it on failure (roll back phantom blocks, degrade);
+5. record the tick's response time.
+
+:class:`ClientSession` owns that skeleton exactly once.  What differs
+between the motion-aware stack, the naive stack and fleet clients is
+captured by a :class:`SessionPolicy` (steps 1, 2 and 4) and a
+:class:`Transport` (step 3); the concrete policies live in
+:mod:`repro.core.sessions`, above this layer -- the session engine only
+sees the protocols.
+
+Response-time model: a contacted tick costs ``uplink queueing delay +
+transport exchange time + demanded server I/O``.  Prefetch payloads are
+shipped in the background -- they hold the shared uplink for their
+serialisation time (delaying *later* transfers) and count toward total
+bytes, but never toward the tick's own response time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.motion.trajectory import Trajectory
+from repro.net.link import WirelessLink
+from repro.errors import LinkExchangeError, SimulationError
+from repro.sim.kernel import Action, EventKernel
+from repro.sim.resources import FifoResource
+
+__all__ = [
+    "SessionResult",
+    "TickPlan",
+    "TransferOutcome",
+    "Transport",
+    "LinkTransport",
+    "SessionPolicy",
+    "ClientSession",
+    "run_tour",
+]
+
+
+@dataclass
+class SessionResult:
+    """Aggregates of one client session (one tour through one system).
+
+    Fault-path counters: ``timeouts`` (requests abandoned past the
+    timeout budget), ``retries`` (exchange-level retries issued),
+    ``degraded_ticks`` (ticks spent inside a degradation window),
+    ``stale_served_ticks`` (ticks rendered from the buffer because the
+    demand transfer failed), ``records_shipped`` (coefficient records
+    delivered over the wire -- equals the number of *distinct* records
+    when the no-reship invariant holds).  ``w_min_trace`` records the
+    effective per-tick resolution threshold and ``failure_ticks`` the
+    tick indices of failed demand transfers.
+    """
+
+    ticks: int = 0
+    contacts: int = 0
+    total_response_s: float = 0.0
+    max_response_s: float = 0.0
+    demand_bytes: int = 0
+    prefetch_bytes: int = 0
+    io_node_reads: int = 0
+    responses: list[float] = field(default_factory=list)
+    timeouts: int = 0
+    retries: int = 0
+    degraded_ticks: int = 0
+    stale_served_ticks: int = 0
+    records_shipped: int = 0
+    w_min_trace: list[float] = field(default_factory=list)
+    failure_ticks: list[int] = field(default_factory=list)
+
+    @property
+    def avg_response_s(self) -> float:
+        return self.total_response_s / self.ticks if self.ticks else 0.0
+
+    def steady_avg_response_s(self, warmup_ticks: int = 10) -> float:
+        """Average response time excluding the cold-start ticks.
+
+        Both systems pay a one-off initial fetch when the tour starts;
+        on short scaled-down tours that cold start can dominate the
+        plain average, so the steady-state figure drops the first
+        ``warmup_ticks`` ticks.
+        """
+        tail = self.responses[warmup_ticks:]
+        return sum(tail) / len(tail) if tail else 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.demand_bytes + self.prefetch_bytes
+
+    def note(self, response_s: float, contacted: bool) -> None:
+        self.ticks += 1
+        self.total_response_s += response_s
+        self.max_response_s = max(self.max_response_s, response_s)
+        self.responses.append(response_s)
+        if contacted:
+            self.contacts += 1
+
+
+@dataclass(frozen=True)
+class TickPlan:
+    """What one planned tick demands from the wire and the disks.
+
+    ``response_io_reads`` is the I/O charged to *this tick's* response
+    time (demanded data, index traversal); I/O spent on background
+    prefetch is accounted by the policy's ``commit`` instead.
+    ``state`` is opaque policy data threaded through to
+    ``commit``/``abort``.
+    """
+
+    contacted: bool
+    demand_payload_bytes: int = 0
+    response_io_reads: int = 0
+    state: Any = None
+
+
+class TransferOutcome(Protocol):
+    """What a transport reports for one request."""
+
+    @property
+    def ok(self) -> bool: ...
+
+    @property
+    def elapsed_s(self) -> float: ...
+
+    @property
+    def retries(self) -> int: ...
+
+    @property
+    def timed_out(self) -> bool: ...
+
+
+class Transport(Protocol):
+    """Moves one demand payload; never raises, always bills its time."""
+
+    def request(
+        self, payload_bytes: int, *, speed: float = 0.0, now: float = 0.0
+    ) -> TransferOutcome: ...
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    ok: bool
+    elapsed_s: float
+    retries: int = 0
+    timed_out: bool = False
+
+
+class LinkTransport:
+    """A bare :class:`WirelessLink` as a :class:`Transport`.
+
+    No retries beyond the link's own retransmission budget: an exchange
+    that exhausts ``max_attempts`` becomes a failed outcome carrying the
+    wasted time (fleet clients without a resilience wrapper).
+    """
+
+    def __init__(self, link: WirelessLink) -> None:
+        self._link = link
+
+    @property
+    def link(self) -> WirelessLink:
+        return self._link
+
+    def request(
+        self, payload_bytes: int, *, speed: float = 0.0, now: float = 0.0
+    ) -> TransferOutcome:
+        try:
+            elapsed = self._link.exchange(payload_bytes, speed=speed, now=now)
+        except LinkExchangeError as exc:
+            return _Outcome(ok=False, elapsed_s=exc.elapsed_s)
+        return _Outcome(ok=True, elapsed_s=elapsed)
+
+
+class SessionPolicy(Protocol):
+    """The pluggable three-quarters of a client: resolution mapping,
+    buffer/cache strategy and degradation behaviour.
+
+    Implementations live above this layer (:mod:`repro.core.sessions`);
+    the engine only calls the four hooks below, in tick order.
+    """
+
+    def resolution(self, now: float, speed: float) -> tuple[float, bool]:
+        """The effective ``w_min`` at ``now`` and whether it is degraded."""
+        ...
+
+    def plan(
+        self, index: int, now: float, position: Any, speed: float, w_min: float
+    ) -> TickPlan:
+        """Plan one tick; may mutate client-side caches optimistically."""
+        ...
+
+    def commit(
+        self, plan: TickPlan, outcome: TransferOutcome, result: SessionResult
+    ) -> int:
+        """The demand transfer arrived: integrate and account.
+
+        Returns the *prefetch* payload shipped alongside (0 when the
+        policy does not prefetch); the session charges it to the shared
+        uplink but not to the response time.
+        """
+        ...
+
+    def abort(
+        self,
+        plan: TickPlan,
+        outcome: TransferOutcome,
+        failed_at: float,
+        result: SessionResult,
+    ) -> None:
+        """The demand transfer failed: roll back and degrade."""
+        ...
+
+
+class ClientSession:
+    """One client driven tick by tick through the shared skeleton.
+
+    Parameters
+    ----------
+    policy:
+        Resolution/buffer/degradation behaviour (see
+        :class:`SessionPolicy`).
+    transport:
+        Demand-path byte mover (resilient exchanger, bare link, ...).
+    io_time_per_node_s:
+        Server I/O cost charged per node read on the response path.
+    uplink, uplink_bps:
+        When set, every transfer additionally serialises through this
+        shared FIFO at ``uplink_bps``: the demand's queueing delay is
+        added to the response time, and committed prefetch bytes hold
+        the link without affecting the response.
+    """
+
+    def __init__(
+        self,
+        policy: SessionPolicy,
+        transport: Transport,
+        *,
+        io_time_per_node_s: float = 0.0,
+        uplink: FifoResource | None = None,
+        uplink_bps: float = 0.0,
+        result: SessionResult | None = None,
+    ) -> None:
+        if io_time_per_node_s < 0:
+            raise SimulationError("io time must be non-negative")
+        if uplink is not None and uplink_bps <= 0:
+            raise SimulationError("a shared uplink needs a positive uplink_bps")
+        self._policy = policy
+        self._transport = transport
+        self._io_time = io_time_per_node_s
+        self._uplink = uplink
+        self._uplink_bps = uplink_bps
+        self.result = result if result is not None else SessionResult()
+
+    @property
+    def policy(self) -> SessionPolicy:
+        return self._policy
+
+    @property
+    def transport(self) -> Transport:
+        return self._transport
+
+    def _serialisation_s(self, payload_bytes: int) -> float:
+        return payload_bytes * 8.0 / self._uplink_bps
+
+    def tick(self, index: int, now: float, position: Any, speed: float) -> float:
+        """Run one tick at simulated time ``now``; returns its response time."""
+        result = self.result
+        w_min, degraded = self._policy.resolution(now, speed)
+        if degraded:
+            result.degraded_ticks += 1
+        result.w_min_trace.append(w_min)
+        plan = self._policy.plan(index, now, position, speed, w_min)
+        response_s = 0.0
+        if plan.contacted:
+            queued_s = 0.0
+            if self._uplink is not None:
+                grant = self._uplink.acquire(
+                    now, self._serialisation_s(plan.demand_payload_bytes)
+                )
+                queued_s = grant.queued_s
+            outcome = self._transport.request(
+                plan.demand_payload_bytes, speed=speed, now=now
+            )
+            result.retries += outcome.retries
+            response_s = (
+                queued_s
+                + outcome.elapsed_s
+                + plan.response_io_reads * self._io_time
+            )
+            if outcome.ok:
+                prefetch_bytes = self._policy.commit(plan, outcome, result)
+                if self._uplink is not None and prefetch_bytes > 0:
+                    # Background traffic: holds the bottleneck, delays
+                    # later transfers, charges nothing to this tick.
+                    self._uplink.acquire(now, self._serialisation_s(prefetch_bytes))
+            else:
+                result.stale_served_ticks += 1
+                result.failure_ticks.append(index)
+                if outcome.timed_out:
+                    result.timeouts += 1
+                self._policy.abort(plan, outcome, now + outcome.elapsed_s, result)
+        result.note(response_s, plan.contacted)
+        return response_s
+
+
+def run_tour(
+    session: ClientSession,
+    tour: Trajectory,
+    *,
+    kernel: EventKernel | None = None,
+) -> SessionResult:
+    """Drive one session through a tour on the event kernel.
+
+    Tick ``i`` fires at ``max(end of tick i-1, tour.times[i])`` -- the
+    client samples its next query frame as soon as both the tour reaches
+    the timestamp and the previous response has been delivered, which is
+    exactly the timing of the legacy lock-step loops.
+    """
+    if kernel is None:
+        kernel = EventKernel(start=float(tour.times[0]))
+
+    def tick_action(i: int) -> Action:
+        def fire(k: EventKernel) -> None:
+            response_s = session.tick(
+                i, k.now, tour.positions[i], tour.nominal_speed
+            )
+            if i + 1 < len(tour):
+                k.schedule_at(
+                    max(k.now + response_s, float(tour.times[i + 1])),
+                    tick_action(i + 1),
+                    label=f"tick:{i + 1}",
+                )
+
+        return fire
+
+    kernel.schedule_at(float(tour.times[0]), tick_action(0), label="tick:0")
+    kernel.run()
+    return session.result

@@ -1,0 +1,28 @@
+"""Seeded random-stream derivation for simulated components.
+
+Every random stream in a simulation must be (a) injected, never global,
+and (b) derived from the run's seed plus a stable integer key path, so
+adding a client or reordering construction cannot silently shift
+another component's draws.  ``derive_rng(seed, client_id, role)``
+mirrors the derivation :meth:`repro.core.system.SystemConfig.build_link`
+established: ``numpy`` seed sequences accept an integer list, and
+distinct key paths yield statistically independent streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["derive_rng", "LINK_FAULTS_STREAM", "LINK_LOSS_STREAM", "BACKOFF_STREAM"]
+
+#: Conventional role ids for the per-client link stack, shared by
+#: :class:`~repro.core.system.SystemConfig` and the fleet so a client
+#: behaves identically whether it runs alone or in a fleet.
+LINK_FAULTS_STREAM = 1
+LINK_LOSS_STREAM = 2
+BACKOFF_STREAM = 3
+
+
+def derive_rng(*key: int) -> np.random.Generator:
+    """A generator for the integer key path ``key`` (e.g. seed, client, role)."""
+    return np.random.default_rng(list(key))

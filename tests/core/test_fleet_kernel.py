@@ -1,0 +1,169 @@
+"""Kernel-era fleet behaviour: carried backlog, honoured tick_seconds,
+per-client random streams, determinism, and system fleets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fleet import FleetConfig, simulate_fleet, simulate_system_fleet
+from repro.errors import ConfigurationError
+from repro.geometry.box import Box
+from repro.motion.trajectory import make_tours
+from repro.net.link import LinkConfig
+from repro.server.database import ObjectDatabase
+from repro.server.server import Server
+from repro.workloads.cityscape import CityConfig, build_city
+
+SPACE = Box((0, 0), (1000, 1000))
+
+
+class FullResolution:
+    """Speed-oblivious mapper: always demand every coefficient."""
+
+    def __call__(self, speed: float) -> float:
+        return 0.0
+
+
+@pytest.fixture(scope="module")
+def fleet_city() -> ObjectDatabase:
+    """Dense enough that tram tours actually hit objects every tick
+    (the 6-object ``tiny_city`` leaves most query frames empty)."""
+    return build_city(
+        CityConfig(
+            space=SPACE,
+            object_count=32,
+            levels=2,
+            seed=11,
+            min_size_frac=0.03,
+            max_size_frac=0.08,
+        )
+    )
+
+
+class TestBacklogCarry:
+    def test_single_client_queues_behind_itself(self, fleet_city):
+        """One client's burst must delay its own later ticks.
+
+        The pre-kernel loop reset the uplink backlog every tick, so a
+        lone client could never see queueing delay; with carried
+        backlog a saturating transfer spills into the following ticks.
+        """
+        tours = make_tours(SPACE, "tram", count=1, speed=0.8, steps=25)
+        result = simulate_fleet(
+            Server(fleet_city),
+            tours,
+            FleetConfig(space=SPACE, query_frac=0.2, server_uplink_bps=2_000.0),
+            mapper=FullResolution(),
+            use_coverage=False,
+        )
+        assert result.max_queue_delay_s > 0.0
+
+    def test_tick_seconds_drains_backlog(self, fleet_city):
+        """Stretching tick_seconds gives the uplink longer to drain, so
+        the same payloads must queue less (the parameter used to be
+        dead: the old loop never read it)."""
+        tours = make_tours(SPACE, "tram", count=6, speed=0.8, steps=25)
+        results = {}
+        for tick_seconds in (1.0, 60.0):
+            results[tick_seconds] = simulate_fleet(
+                Server(fleet_city),
+                tours,
+                FleetConfig(
+                    space=SPACE,
+                    query_frac=0.2,
+                    server_uplink_bps=500.0,
+                    tick_seconds=tick_seconds,
+                ),
+                mapper=FullResolution(),
+                use_coverage=False,
+            )
+        assert results[1.0].max_queue_delay_s > results[60.0].max_queue_delay_s
+        assert results[1.0].p95_response_s > results[60.0].p95_response_s
+
+
+class TestSeededStreams:
+    def test_clients_draw_from_distinct_streams(self):
+        """Every client gets its own derived generator (the old fleet
+        gave all clients ``default_rng(0)`` links)."""
+        config = FleetConfig(
+            space=SPACE, link=LinkConfig(loss_rate=0.5, max_attempts=32), seed=9
+        )
+        a = config.build_link(0)
+        b = config.build_link(1)
+        draws_a = [a.exchange(1000, now=float(t)) for t in range(20)]
+        draws_b = [b.exchange(1000, now=float(t)) for t in range(20)]
+        assert draws_a != draws_b
+
+    def test_seed_changes_fleet_outcome(self, fleet_city):
+        tours = make_tours(SPACE, "tram", count=3, speed=0.8, steps=20)
+        link = LinkConfig(loss_rate=0.4, max_attempts=32)
+        one = simulate_fleet(
+            Server(fleet_city), tours, FleetConfig(space=SPACE, seed=1, link=link)
+        )
+        two = simulate_fleet(
+            Server(fleet_city), tours, FleetConfig(space=SPACE, seed=2, link=link)
+        )
+        assert one.response_times != two.response_times
+
+    def test_rerun_is_bit_identical(self, fleet_city):
+        tours = make_tours(SPACE, "tram", count=4, speed=0.8, steps=20)
+        config = FleetConfig(
+            space=SPACE, link=LinkConfig(loss_rate=0.3, max_attempts=32), seed=5
+        )
+        first = simulate_fleet(Server(fleet_city), tours, config)
+        second = simulate_fleet(Server(fleet_city), tours, config)
+        assert first.response_times == second.response_times
+        assert first.total_bytes == second.total_bytes
+        assert first.max_queue_delay_s == second.max_queue_delay_s
+
+
+class TestSystemFleets:
+    def test_motion_fleet_beats_naive_under_pressure(self, fleet_city):
+        """The headline property: motion-aware clients demand far fewer
+        response-critical bytes, so a starved shared uplink hurts them
+        much less than a full-resolution naive fleet."""
+        tours = make_tours(SPACE, "tram", count=8, speed=0.8, steps=20)
+        config = FleetConfig(
+            space=SPACE, query_frac=0.12, server_uplink_bps=16_000.0
+        )
+        motion = simulate_system_fleet(
+            Server(fleet_city), tours, config, system="motion"
+        )
+        naive = simulate_system_fleet(
+            Server(fleet_city), tours, config, system="naive"
+        )
+        assert motion.clients == naive.clients == 8
+        assert motion.ticks == naive.ticks == 21
+        assert 0 < motion.demand_bytes < naive.demand_bytes
+        assert motion.p95_response_s < naive.p95_response_s
+
+    def test_prefetch_accounted_separately(self, fleet_city):
+        tours = make_tours(SPACE, "tram", count=2, speed=0.8, steps=20)
+        result = simulate_system_fleet(
+            Server(fleet_city),
+            tours,
+            FleetConfig(space=SPACE, query_frac=0.12),
+            system="motion",
+        )
+        assert result.demand_bytes > 0
+        assert result.prefetch_bytes > 0
+        assert result.total_bytes == result.demand_bytes + result.prefetch_bytes
+
+    def test_unknown_system_rejected(self, fleet_city):
+        tours = make_tours(SPACE, "tram", count=1, speed=0.5, steps=5)
+        with pytest.raises(ConfigurationError):
+            simulate_system_fleet(
+                Server(fleet_city), tours, FleetConfig(space=SPACE), system="psychic"
+            )
+
+    def test_empty_fleet_rejected(self, fleet_city):
+        with pytest.raises(ConfigurationError):
+            simulate_system_fleet(Server(fleet_city), [], FleetConfig(space=SPACE))
+
+
+class TestConfigValidation:
+    def test_new_fields_validated(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(space=SPACE, buffer_bytes=0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(space=SPACE, io_time_per_node_s=-1.0)

@@ -1,0 +1,209 @@
+"""The discrete-event kernel: ordering, determinism, misuse errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventKernel, TraceEntry
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+
+class TestOrdering:
+    def test_time_orders_events(self):
+        fired: list[str] = []
+        k = EventKernel()
+        k.schedule_at(2.0, lambda _: fired.append("late"))
+        k.schedule_at(1.0, lambda _: fired.append("early"))
+        k.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_schedule_order(self):
+        fired: list[int] = []
+        k = EventKernel()
+        for i in range(10):
+            k.schedule_at(1.0, lambda _, i=i: fired.append(i))
+        k.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        seen: list[float] = []
+        k = EventKernel(start=5.0)
+        k.schedule_at(7.5, lambda kk: seen.append(kk.now))
+        k.run()
+        assert seen == [7.5]
+        assert k.now == 7.5
+
+    def test_actions_schedule_followups(self):
+        fired: list[str] = []
+        k = EventKernel()
+
+        def first(kk: EventKernel) -> None:
+            fired.append("first")
+            kk.schedule_in(1.0, lambda _: fired.append("second"))
+
+        k.schedule_at(1.0, first)
+        k.run()
+        assert fired == ["first", "second"]
+        assert k.now == 2.0
+
+    def test_interleaved_followup_respects_time(self):
+        fired: list[str] = []
+        k = EventKernel()
+
+        def first(kk: EventKernel) -> None:
+            fired.append("a")
+            # Scheduled *after* b was, but for an earlier time.
+            kk.schedule_at(1.5, lambda _: fired.append("between"))
+
+        k.schedule_at(1.0, first)
+        k.schedule_at(2.0, lambda _: fired.append("b"))
+        k.run()
+        assert fired == ["a", "between", "b"]
+
+
+class TestMisuse:
+    def test_cannot_schedule_in_the_past(self):
+        k = EventKernel()
+        k.schedule_at(3.0, lambda _: None)
+        k.run()
+        with pytest.raises(SimulationError):
+            k.schedule_at(1.0, lambda _: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventKernel().schedule_in(-0.1, lambda _: None)
+
+    def test_same_time_reschedule_is_allowed(self):
+        fired: list[str] = []
+        k = EventKernel()
+
+        def action(kk: EventKernel) -> None:
+            fired.append("x")
+            if len(fired) < 3:
+                kk.schedule_at(kk.now, action)
+
+        k.schedule_at(1.0, action)
+        k.run()
+        assert fired == ["x", "x", "x"]
+
+
+class TestRunBounds:
+    def test_until_leaves_later_events_queued(self):
+        fired: list[float] = []
+        k = EventKernel()
+        for t in (1.0, 2.0, 3.0):
+            k.schedule_at(t, lambda kk: fired.append(kk.now))
+        assert k.run(until=2.0) == 2
+        assert fired == [1.0, 2.0]
+        assert k.pending == 1
+        assert k.run() == 1
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_backstop(self):
+        k = EventKernel()
+
+        def forever(kk: EventKernel) -> None:
+            kk.schedule_in(1.0, forever)
+
+        k.schedule_at(0.0, forever)
+        assert k.run(max_events=25) == 25
+        assert k.pending == 1
+
+    def test_processed_counts(self):
+        k = EventKernel()
+        for t in range(5):
+            k.schedule_at(float(t), lambda _: None)
+        k.run()
+        assert k.processed == 5
+        assert k.pending == 0
+
+
+class TestDeterminism:
+    @staticmethod
+    def _trace(seed: int) -> tuple[TraceEntry, ...]:
+        """A jittered self-scheduling simulation; pure function of seed."""
+        rng = np.random.default_rng(seed)
+        k = EventKernel(record_trace=True)
+
+        def worker(name: str):
+            def fire(kk: EventKernel) -> None:
+                delay = float(rng.uniform(0.1, 2.0))
+                if kk.processed < 40:
+                    kk.schedule_in(delay, worker(name), label=name)
+
+            return fire
+
+        for i in range(4):
+            k.schedule_at(float(rng.uniform(0.0, 1.0)), worker(f"w{i}"), label=f"w{i}")
+        k.run(max_events=60)
+        return k.trace
+
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_same_seed_bit_identical_trace(self, seed: int):
+        assert self._trace(seed) == self._trace(seed)
+
+    def test_different_seed_different_trace(self):
+        assert self._trace(1) != self._trace(2)
+
+    def test_trace_is_time_seq_sorted(self):
+        trace = self._trace(9)
+        keys = [(e.time, e.seq) for e in trace]
+        assert keys == sorted(keys)
+
+    def test_trace_off_by_default(self):
+        k = EventKernel()
+        k.schedule_at(1.0, lambda _: None)
+        k.run()
+        assert k.trace == ()
+
+
+def check_schedule_order_property(times: list[float]) -> None:
+    """Any batch of schedule times fires time-sorted, ties in schedule
+    order, and the trace is invariant under replay."""
+    fired: list[int] = []
+    k = EventKernel(record_trace=True)
+    for i, t in enumerate(times):
+        k.schedule_at(t, lambda _, i=i: fired.append(i), label=str(i))
+    k.run()
+    assert len(fired) == len(times)
+    # Fired order is exactly a stable sort of the schedule by time.
+    expected = [i for _, i in sorted((t, i) for i, t in enumerate(times))]
+    assert fired == expected
+
+    replay = EventKernel(record_trace=True)
+    for i, t in enumerate(times):
+        replay.schedule_at(t, lambda _: None, label=str(i))
+    replay.run()
+    assert replay.trace == k.trace
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            max_size=40,
+        )
+    )
+    def test_schedule_order_property_hypothesis(times):
+        check_schedule_order_property(times)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_schedule_order_property_seeded(seed: int):
+    rng = np.random.default_rng(seed)
+    times = list(rng.uniform(0.0, 100.0, size=rng.integers(0, 40)))
+    # Force ties so the (time, seq) tie-break is actually exercised.
+    if len(times) > 4:
+        times[3] = times[1]
+    check_schedule_order_property(times)

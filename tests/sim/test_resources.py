@@ -1,0 +1,77 @@
+"""The FIFO uplink resource: carried backlog and grant accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import FifoResource
+
+
+class TestAcquire:
+    def test_idle_resource_starts_immediately(self):
+        r = FifoResource()
+        grant = r.acquire(5.0, 2.0)
+        assert grant.start_s == 5.0
+        assert grant.finish_s == 7.0
+        assert grant.queued_s == 0.0
+
+    def test_busy_resource_queues(self):
+        r = FifoResource()
+        r.acquire(0.0, 3.0)
+        grant = r.acquire(1.0, 2.0)
+        assert grant.start_s == 3.0
+        assert grant.queued_s == 2.0
+        assert grant.finish_s == 5.0
+
+    def test_backlog_carries_across_ticks(self):
+        """The essential fix over the lock-step loop: a burst at tick 0
+        still delays a request arriving several ticks later."""
+        r = FifoResource()
+        r.acquire(0.0, 10.0)  # saturating burst
+        late = r.acquire(4.0, 1.0)  # a "later tick" arrival
+        assert late.queued_s == 6.0
+        assert r.backlog_s(11.0) == 0.0
+        assert r.backlog_s(10.5) == pytest.approx(0.5)
+
+    def test_fifo_order_of_arrivals(self):
+        r = FifoResource()
+        a = r.acquire(0.0, 1.0)
+        b = r.acquire(0.0, 1.0)
+        c = r.acquire(0.0, 1.0)
+        assert (a.start_s, b.start_s, c.start_s) == (0.0, 1.0, 2.0)
+
+    def test_zero_hold_is_free(self):
+        r = FifoResource()
+        grant = r.acquire(1.0, 0.0)
+        assert grant.finish_s == 1.0
+        assert r.busy_until == 1.0
+
+
+class TestAccounting:
+    def test_counters(self):
+        r = FifoResource("uplink")
+        r.acquire(0.0, 2.0)
+        r.acquire(0.0, 3.0)
+        assert r.grants == 2
+        assert r.busy_s == 5.0
+        assert r.max_queued_s == 2.0
+
+    def test_reset(self):
+        r = FifoResource()
+        r.acquire(0.0, 9.0)
+        r.reset()
+        assert r.busy_until == 0.0
+        assert r.grants == 0
+        assert r.max_queued_s == 0.0
+        assert r.acquire(0.0, 1.0).queued_s == 0.0
+
+
+class TestMisuse:
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(SimulationError):
+            FifoResource().acquire(-1.0, 1.0)
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(SimulationError):
+            FifoResource().acquire(0.0, -1.0)

@@ -1,0 +1,228 @@
+"""The unified ClientSession drive loop, exercised with stub policies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.motion.trajectory import Trajectory
+from repro.sim import (
+    ClientSession,
+    EventKernel,
+    FifoResource,
+    SessionResult,
+    TickPlan,
+    run_tour,
+)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    ok: bool = True
+    elapsed_s: float = 0.0
+    retries: int = 0
+    timed_out: bool = False
+
+
+@dataclass
+class ScriptedTransport:
+    """Pops one scripted outcome per request."""
+
+    outcomes: list[Outcome]
+    requests: list[tuple[int, float, float]] = field(default_factory=list)
+
+    def request(self, payload_bytes: int, *, speed: float = 0.0, now: float = 0.0):
+        self.requests.append((payload_bytes, speed, now))
+        return self.outcomes.pop(0)
+
+
+@dataclass
+class ScriptedPolicy:
+    """Returns one scripted plan per tick; records hook calls."""
+
+    plans: list[TickPlan]
+    w_min: float = 0.25
+    degraded: bool = False
+    prefetch_bytes: int = 0
+    commits: list[TickPlan] = field(default_factory=list)
+    aborts: list[float] = field(default_factory=list)
+
+    def resolution(self, now: float, speed: float) -> tuple[float, bool]:
+        return self.w_min, self.degraded
+
+    def plan(self, index, now, position, speed, w_min) -> TickPlan:
+        return self.plans.pop(0)
+
+    def commit(self, plan, outcome, result) -> int:
+        self.commits.append(plan)
+        result.demand_bytes += plan.demand_payload_bytes
+        return self.prefetch_bytes
+
+    def abort(self, plan, outcome, failed_at, result) -> None:
+        self.aborts.append(failed_at)
+
+
+def one_tick_session(policy, transport, **kwargs) -> ClientSession:
+    return ClientSession(policy, transport, **kwargs)
+
+
+class TestTick:
+    def test_quiet_tick_costs_nothing(self):
+        policy = ScriptedPolicy(plans=[TickPlan(contacted=False)])
+        session = one_tick_session(policy, ScriptedTransport([]))
+        response = session.tick(0, 1.0, np.zeros(2), 0.5)
+        assert response == 0.0
+        r = session.result
+        assert r.ticks == 1
+        assert r.contacts == 0
+        assert r.responses == [0.0]
+        assert r.w_min_trace == [0.25]
+        assert not policy.commits and not policy.aborts
+
+    def test_response_is_exchange_plus_io(self):
+        policy = ScriptedPolicy(
+            plans=[TickPlan(contacted=True, demand_payload_bytes=100, response_io_reads=4)]
+        )
+        transport = ScriptedTransport([Outcome(ok=True, elapsed_s=2.0, retries=1)])
+        session = one_tick_session(policy, transport, io_time_per_node_s=0.5)
+        response = session.tick(0, 3.0, np.zeros(2), 0.5)
+        assert response == pytest.approx(2.0 + 4 * 0.5)
+        assert transport.requests == [(100, 0.5, 3.0)]
+        assert session.result.retries == 1
+        assert session.result.contacts == 1
+        assert policy.commits and not policy.aborts
+
+    def test_degraded_tick_counted(self):
+        policy = ScriptedPolicy(plans=[TickPlan(contacted=False)], degraded=True)
+        session = one_tick_session(policy, ScriptedTransport([]))
+        session.tick(0, 0.0, np.zeros(2), 0.5)
+        assert session.result.degraded_ticks == 1
+
+    def test_failed_transfer_aborts(self):
+        policy = ScriptedPolicy(
+            plans=[TickPlan(contacted=True, demand_payload_bytes=50, response_io_reads=2)]
+        )
+        transport = ScriptedTransport(
+            [Outcome(ok=False, elapsed_s=4.0, retries=2, timed_out=True)]
+        )
+        session = one_tick_session(policy, transport, io_time_per_node_s=0.5)
+        response = session.tick(7, 10.0, np.zeros(2), 0.5)
+        # A failed demand still bills the wasted exchange and the I/O.
+        assert response == pytest.approx(4.0 + 2 * 0.5)
+        r = session.result
+        assert r.stale_served_ticks == 1
+        assert r.failure_ticks == [7]
+        assert r.timeouts == 1
+        assert r.retries == 2
+        assert not policy.commits
+        assert policy.aborts == [pytest.approx(14.0)]  # now + elapsed
+
+
+class TestSharedUplink:
+    def test_queueing_delay_charged_to_response(self):
+        policy = ScriptedPolicy(
+            plans=[TickPlan(contacted=True, demand_payload_bytes=1000)]
+        )
+        uplink = FifoResource()
+        uplink.acquire(0.0, 5.0)  # someone else holds the uplink
+        session = one_tick_session(
+            policy,
+            ScriptedTransport([Outcome(ok=True, elapsed_s=1.0)]),
+            uplink=uplink,
+            uplink_bps=8000.0,  # 1000 bytes -> 1 s serialisation
+        )
+        response = session.tick(0, 0.0, np.zeros(2), 0.5)
+        assert response == pytest.approx(5.0 + 1.0)
+        assert uplink.busy_until == pytest.approx(6.0)
+
+    def test_prefetch_holds_uplink_without_charging_response(self):
+        policy = ScriptedPolicy(
+            plans=[TickPlan(contacted=True, demand_payload_bytes=1000)],
+            prefetch_bytes=4000,
+        )
+        uplink = FifoResource()
+        session = one_tick_session(
+            policy,
+            ScriptedTransport([Outcome(ok=True, elapsed_s=1.0)]),
+            uplink=uplink,
+            uplink_bps=8000.0,
+        )
+        response = session.tick(0, 0.0, np.zeros(2), 0.5)
+        assert response == pytest.approx(1.0)  # demand only
+        # 1 s of demand + 4 s of prefetch hold the shared bottleneck.
+        assert uplink.busy_until == pytest.approx(5.0)
+
+    def test_failed_transfer_ships_no_prefetch(self):
+        policy = ScriptedPolicy(
+            plans=[TickPlan(contacted=True, demand_payload_bytes=1000)],
+            prefetch_bytes=4000,
+        )
+        uplink = FifoResource()
+        session = one_tick_session(
+            policy,
+            ScriptedTransport([Outcome(ok=False, elapsed_s=1.0)]),
+            uplink=uplink,
+            uplink_bps=8000.0,
+        )
+        session.tick(0, 0.0, np.zeros(2), 0.5)
+        assert uplink.busy_until == pytest.approx(1.0)  # demand hold only
+
+
+class TestValidation:
+    def test_uplink_requires_bps(self):
+        with pytest.raises(SimulationError):
+            ClientSession(
+                ScriptedPolicy(plans=[]), ScriptedTransport([]), uplink=FifoResource()
+            )
+
+    def test_negative_io_time_rejected(self):
+        with pytest.raises(SimulationError):
+            ClientSession(
+                ScriptedPolicy(plans=[]),
+                ScriptedTransport([]),
+                io_time_per_node_s=-0.1,
+            )
+
+
+def make_tour(times: list[float]) -> Trajectory:
+    n = len(times)
+    return Trajectory(
+        times=np.asarray(times, dtype=float),
+        positions=np.zeros((n, 2)),
+        nominal_speed=0.5,
+        kind="test",
+    )
+
+
+class TestRunTour:
+    def test_slow_response_pushes_next_tick(self):
+        """Tick i+1 fires at max(end of tick i, its tour timestamp)."""
+        policy = ScriptedPolicy(
+            plans=[
+                TickPlan(contacted=True, demand_payload_bytes=1),
+                TickPlan(contacted=False),
+                TickPlan(contacted=False),
+            ]
+        )
+        transport = ScriptedTransport([Outcome(ok=True, elapsed_s=5.0)])
+        kernel = EventKernel(start=0.0, record_trace=True)
+        run_tour(
+            ClientSession(policy, transport), make_tour([0.0, 1.0, 7.0]), kernel=kernel
+        )
+        fired_at = [entry.time for entry in kernel.trace]
+        # Tick 1's timestamp (1.0) has passed when tick 0 finishes at
+        # 5.0, so it fires immediately; tick 2 waits for its timestamp.
+        assert fired_at == [0.0, 5.0, 7.0]
+
+    def test_result_covers_every_tick(self):
+        policy = ScriptedPolicy(plans=[TickPlan(contacted=False)] * 4)
+        result = run_tour(
+            ClientSession(policy, ScriptedTransport([])),
+            make_tour([0.0, 1.0, 2.0, 3.0]),
+        )
+        assert isinstance(result, SessionResult)
+        assert result.ticks == 4
+        assert result.responses == [0.0] * 4

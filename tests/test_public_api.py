@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.net",
     "repro.store",
     "repro.motion",
+    "repro.sim",
     "repro.buffering",
     "repro.server",
     "repro.core",
