@@ -7,6 +7,8 @@ import pytest
 
 from repro.geometry.box import Box
 from repro.index.bulk import bulk_load
+from repro.index.hilbert import hilbert_bulk_load
+from repro.index.packed import PackedIndex
 from repro.index.rstar import RStarTree
 from repro.index.rtree import RTree
 
@@ -61,6 +63,55 @@ def test_window_query(benchmark, loaded_tree):
         return loaded_tree.search(q)
 
     benchmark(run_query)
+
+
+def test_packed_compile_20000(benchmark, loaded_tree):
+    packed = benchmark.pedantic(
+        lambda: PackedIndex.from_tree(loaded_tree), rounds=1, iterations=1
+    )
+    assert len(packed) == 20_000
+
+
+@pytest.mark.parametrize("path", ["object", "packed"])
+def test_window_query_packed_vs_object(benchmark, loaded_tree, path):
+    """The tentpole comparison: flat frontier walk vs object walk."""
+    packed = PackedIndex.from_tree(loaded_tree)
+    rng = np.random.default_rng(1)
+    queries = [Box(c, c + 50) for c in rng.uniform(0, 950, size=(100, 2))]
+    state = {"i": 0}
+
+    def run_object():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return loaded_tree.search(q)
+
+    def run_packed():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return packed.search(q)
+
+    benchmark(run_packed if path == "packed" else run_object)
+
+
+@pytest.mark.parametrize(
+    "builder", ["str", "hilbert", "dynamic_rstar"], ids=["str", "hilbert", "rstar"]
+)
+def test_build_paths_20000(benchmark, builder):
+    """STR vs Hilbert vs dynamic R* construction at paper database size."""
+    items = _items(20_000)
+
+    def build():
+        if builder == "str":
+            return bulk_load(items, max_entries=20)
+        if builder == "hilbert":
+            return hilbert_bulk_load(items, max_entries=20)
+        tree = RStarTree(max_entries=20)
+        for box, payload in items[:4000]:  # dynamic insert is O(100x) slower
+            tree.insert(box, payload)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(tree) in (20_000, 4000)
 
 
 def test_delete_1000(benchmark):

@@ -9,6 +9,12 @@ from repro.index.bulk import bulk_load, str_pack
 from repro.index.columnar import PAGE_BYTES, ColumnarAccessMethod, RowResult
 from repro.index.hilbert import hilbert_bulk_load, hilbert_index
 from repro.index.node import Entry, Node
+from repro.index.packed import (
+    PackedAccessMethod,
+    PackedCandidates,
+    PackedIndex,
+    PackedLevel,
+)
 from repro.index.rstar import RStarTree
 from repro.index.rtree import DEFAULT_NODE_CAPACITY, RTree
 from repro.index.stats import IOStats
@@ -30,4 +36,8 @@ __all__ = [
     "ColumnarAccessMethod",
     "RowResult",
     "PAGE_BYTES",
+    "PackedIndex",
+    "PackedLevel",
+    "PackedCandidates",
+    "PackedAccessMethod",
 ]

@@ -87,6 +87,16 @@ class RTree:
         """Number of levels (1 for a single leaf root)."""
         return self._root.level + 1
 
+    @property
+    def root(self) -> Node:
+        """The root node (read-only structural access for compilers).
+
+        :class:`~repro.index.packed.PackedIndex` walks the node graph
+        from here when flattening a built tree; mutating the returned
+        structure voids the tree's invariants.
+        """
+        return self._root
+
     def __len__(self) -> int:
         return self._size
 

@@ -47,6 +47,22 @@ class IOStats:
             self.leaf_reads += 1
         self.entries_scanned += entries
 
+    def record_level(self, *, nodes: int, entries: int, is_leaf: bool) -> None:
+        """Count one whole frontier level in a packed traversal.
+
+        Equivalent to ``nodes`` calls of :meth:`record_node` scanning
+        ``entries`` entries in total, so a vectorised per-level walk
+        bills exactly what the node-by-node walk would.
+        """
+        if nodes < 0 or entries < 0:
+            raise IndexError_(
+                f"negative level accounting: nodes={nodes}, entries={entries}"
+            )
+        self.node_reads += nodes
+        if is_leaf:
+            self.leaf_reads += nodes
+        self.entries_scanned += entries
+
     def record_query(self) -> None:
         """Count one window query."""
         self.queries += 1

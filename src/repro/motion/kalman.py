@@ -45,20 +45,47 @@ class Gaussian:
         idx = np.asarray(indices, dtype=int)
         return Gaussian(self.mean[idx], self.cov[np.ix_(idx, idx)])
 
-    def pdf(self, x: np.ndarray) -> float:
-        """Density at ``x`` (covariance regularised when near-singular)."""
+    def log_pdf(self, x: np.ndarray) -> float:
+        """Log-density at ``x`` via a Cholesky factorisation.
+
+        Working with ``L`` (``cov = L L^T``) keeps tight covariances
+        exact where the old ``det``/``solve`` path had to add a fixed
+        ``1e-9`` jitter up front -- which *dominates* a covariance of
+        scale ``1e-12`` and biases the density by orders of magnitude.
+        Jitter is now escalated only when the factorisation actually
+        fails (the covariance is semi-definite to machine precision),
+        starting from a scale proportional to the matrix itself.
+        """
         x = np.asarray(x, dtype=float)
         d = self.mean.shape[0]
-        cov = self.cov + np.eye(d) * 1e-9
         diff = x - self.mean
+        chol = self._cholesky()
+        # diff = L z  =>  diff^T cov^-1 diff = ||z||^2
+        z = np.linalg.solve(chol, diff)
+        maha = float(z @ z)
+        logdet = 2.0 * float(np.sum(np.log(np.diag(chol))))
+        return -0.5 * (d * np.log(2.0 * np.pi) + logdet + maha)
+
+    def pdf(self, x: np.ndarray) -> float:
+        """Density at ``x`` (``exp`` of :meth:`log_pdf`)."""
+        return float(np.exp(self.log_pdf(x)))
+
+    def _cholesky(self) -> np.ndarray:
+        """Lower-triangular factor, escalating jitter only on failure."""
         try:
-            solve = np.linalg.solve(cov, diff)
-            _, logdet = np.linalg.slogdet(cov)
-        except np.linalg.LinAlgError as exc:
-            raise PredictionError("singular covariance in pdf") from exc
-        exponent = -0.5 * float(diff @ solve)
-        log_norm = -0.5 * (d * np.log(2.0 * np.pi) + logdet)
-        return float(np.exp(log_norm + exponent))
+            return np.linalg.cholesky(self.cov)
+        except np.linalg.LinAlgError:
+            pass
+        d = self.mean.shape[0]
+        # Scale-aware jitter: relative to the largest variance so the
+        # regularisation never swamps a uniformly tiny covariance.
+        scale = float(np.max(np.abs(np.diag(self.cov)))) or 1.0
+        for magnitude in (1e-12, 1e-9, 1e-6):
+            try:
+                return np.linalg.cholesky(self.cov + np.eye(d) * scale * magnitude)
+            except np.linalg.LinAlgError:
+                continue
+        raise PredictionError("singular covariance in pdf")
 
 
 class KalmanFilter:

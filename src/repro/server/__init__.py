@@ -1,6 +1,15 @@
 """Server side: object database and query-processing front end."""
 
 from repro.server.database import ACCESS_METHODS, ObjectDatabase, StoredObject
+from repro.server.planner import FrontierPlanner, PlannerCounters
 from repro.server.server import BlockQuote, Server
 
-__all__ = ["ObjectDatabase", "StoredObject", "Server", "BlockQuote", "ACCESS_METHODS"]
+__all__ = [
+    "ObjectDatabase",
+    "StoredObject",
+    "Server",
+    "BlockQuote",
+    "ACCESS_METHODS",
+    "FrontierPlanner",
+    "PlannerCounters",
+]

@@ -43,7 +43,10 @@ from repro.net.messages import (
     RetrieveRequest,
     RetrieveResponse,
 )
+from repro.index.columnar import RowResult
+from repro.index.packed import PackedAccessMethod
 from repro.server.database import ObjectDatabase
+from repro.server.planner import FrontierPlanner
 from repro.store.uids import UidSet
 from repro.wavelets.coefficients import CoefficientRecord
 
@@ -80,7 +83,11 @@ class Server:
     """
 
     def __init__(
-        self, database: ObjectDatabase, *, max_clients: int = DEFAULT_MAX_CLIENTS
+        self,
+        database: ObjectDatabase,
+        *,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+        plan_deltas: bool = False,
     ):
         if max_clients < 1:
             raise ConfigurationError(
@@ -88,6 +95,15 @@ class Server:
             )
         self._db = database
         self._max_clients = max_clients
+        # Opt-in frame-delta planning: per-client frontier memos over the
+        # packed index answer queries contained in the previous frame's
+        # inflated window without a root traversal.  Off by default
+        # because warm frames bill fewer node reads than the cold walk,
+        # which would break I/O-accounting parity with the per-record
+        # reference path.  Silently degrades to cold traversal when the
+        # database's access method is not packed.
+        self._plan_deltas = plan_deltas
+        self._planner: FrontierPlanner | None = None
         # Per-client set of object ids whose base mesh has been shipped,
         # in least-recently-served order for eviction.
         self._shipped_bases: OrderedDict[int, set[int]] = OrderedDict()
@@ -119,12 +135,43 @@ class Server:
     def reset_client(self, client_id: int) -> None:
         """Forget which base meshes a client already received."""
         self._shipped_bases.pop(client_id, None)
+        if self._planner is not None:
+            self._planner.forget(client_id)
 
     def disconnect(self, client_id: int) -> None:
         """Drop all per-client state (alias of :meth:`reset_client`)."""
         self.reset_client(client_id)
 
     # -- query answering (columnar) --------------------------------------------
+
+    @property
+    def planner(self) -> FrontierPlanner | None:
+        """The live frame-delta planner, or None when it cannot apply.
+
+        Built lazily (constructing it forces the index build) and torn
+        down and rebuilt whenever the database swaps its access method
+        -- e.g. after ``add_object`` invalidates the index -- so memos
+        never outlive the packed arrays they point into.
+        """
+        if not self._plan_deltas or not self._db.object_count:
+            return None
+        method = self._db.access_method
+        if not isinstance(method, PackedAccessMethod):
+            return None
+        if self._planner is None or self._planner.method is not method:
+            self._planner = FrontierPlanner(
+                method, max_clients=self._max_clients
+            )
+        return self._planner
+
+    def _region_rows(
+        self, client_id: int, region: Box, w_min: float, w_max: float
+    ) -> RowResult:
+        """One sub-query: via the client's frontier memo when planning."""
+        planner = self.planner
+        if planner is not None:
+            return planner.query_rows(client_id, region, w_min, w_max)
+        return self._db.query_region_rows(region, w_min, w_max)
 
     def execute_batch(self, request: RetrieveRequest) -> RetrieveBatchResponse:
         """Answer one retrieve request on the columnar path.
@@ -140,8 +187,11 @@ class Server:
         io_total = 0
         filtered = 0
         for region_req in request.regions:
-            result = self._db.query_region_rows(
-                region_req.region, region_req.w_min, region_req.w_max
+            result = self._region_rows(
+                request.client_id,
+                region_req.region,
+                region_req.w_min,
+                region_req.w_max,
             )
             io_total += result.io.node_reads
             rows = result.rows
@@ -265,7 +315,7 @@ class Server:
         """
         store = self._db.store
         exclude = UidSet.coerce(exclude_uids)
-        result = self._db.query_region_rows(region, w_min, 1.0)
+        result = self._region_rows(client_id, region, w_min, 1.0)
         rows = result.rows
         if rows.size:
             rows = rows[~exclude.contains_packed(store.packed_uids[rows])]

@@ -116,7 +116,7 @@ def build_city(
     config: CityConfig,
     *,
     encoding: EncodingModel = DEFAULT_ENCODING,
-    access_method: str = "motion_aware",
+    access_method: str = "packed",
     spatial_dims: int = 2,
 ) -> ObjectDatabase:
     """Generate and decompose every object into a ready database."""

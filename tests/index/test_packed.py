@@ -1,0 +1,198 @@
+"""PackedIndex vs object-tree traversal: exact parity.
+
+The packed compilation must answer every window query with the same
+payload/row sets AND the same node-access accounting as the object walk
+(``search_entries``), on every build path (dynamic Guttman, dynamic R*,
+STR and Hilbert bulk loads), so paper-figure I/O numbers survive the
+flat traversal unchanged.  Runs under ``hypothesis`` when installed;
+the same property is always exercised by seeded-random parametrization
+(pattern from ``tests/store/test_properties.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+from repro.index.access import MotionAwareAccessMethod
+from repro.index.bulk import bulk_load
+from repro.index.hilbert import hilbert_bulk_load
+from repro.index.packed import PackedAccessMethod, PackedIndex
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+SEEDS = list(range(20))
+
+
+def build_tree(builder: str, items, max_entries: int = 8) -> RTree:
+    if builder == "str":
+        return bulk_load(items, max_entries=max_entries)
+    if builder == "hilbert":
+        return hilbert_bulk_load(items, max_entries=max_entries)
+    tree_class = RTree if builder == "guttman" else RStarTree
+    tree = tree_class(max_entries=max_entries)
+    for box, payload in items:
+        tree.insert(box, payload)
+    return tree
+
+
+def random_items(rng, n: int, ndim: int):
+    low = rng.uniform(0.0, 100.0, (n, ndim))
+    high = low + rng.uniform(0.0, 8.0, (n, ndim))
+    return [(Box(low[i], high[i]), i) for i in range(n)]
+
+
+def assert_query_parity(tree: RTree, packed: PackedIndex, box: Box) -> None:
+    """Same rows AND the same I/O deltas for one window query."""
+    tree.stats.push()
+    want = sorted(int(e.payload) for e in tree.search_entries(box))
+    tree_io = tree.stats.pop_delta()
+    packed.stats.push()
+    got = sorted(int(p) for p in packed.search(box))
+    packed_io = packed.stats.pop_delta()
+    assert got == want
+    assert packed_io.node_reads == tree_io.node_reads
+    assert packed_io.leaf_reads == tree_io.leaf_reads
+    assert packed_io.entries_scanned == tree_io.entries_scanned
+    assert packed_io.queries == tree_io.queries
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("builder", ["str", "hilbert", "guttman", "rstar"])
+    def test_structure_preserved(self, builder):
+        rng = np.random.default_rng(0)
+        items = random_items(rng, 300, 2)
+        tree = build_tree(builder, items)
+        packed = PackedIndex.from_tree(tree)
+        assert len(packed) == len(tree)
+        assert packed.height == tree.height
+        assert packed.ndim == tree.ndim
+        # Every level's entries partition into its nodes.
+        for level in packed.levels:
+            assert level.node_start[0] == 0
+            assert level.node_start[-1] == level.entry_count
+            assert np.all(np.diff(level.node_start) >= 1)
+
+    def test_empty_tree(self):
+        packed = PackedIndex.from_tree(RTree())
+        assert len(packed) == 0
+        assert packed.height == 0
+        rows = packed.query_rows(Box((0.0, 0.0), (1.0, 1.0)))
+        assert rows.size == 0
+        # An empty query still counts as a query, with no node touched.
+        assert packed.stats.queries == 1
+        assert packed.stats.node_reads == 0
+
+    def test_search_returns_payloads(self):
+        rng = np.random.default_rng(1)
+        items = [(box, f"obj{i}") for box, i in random_items(rng, 120, 2)]
+        tree = bulk_load(items, max_entries=8)
+        packed = PackedIndex.from_tree(tree)
+        box = Box((10.0, 10.0), (60.0, 60.0))
+        assert sorted(packed.search(box)) == sorted(tree.search(box))
+        assert packed.count(box) == len(tree.search(box))
+
+
+class TestTraversalParitySeeded:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("builder", ["str", "hilbert", "guttman", "rstar"])
+    def test_random_boxes(self, builder, seed):
+        rng = np.random.default_rng(seed)
+        items = random_items(rng, 250, 3)
+        tree = build_tree(builder, items)
+        packed = PackedIndex.from_tree(tree)
+        for _ in range(6):
+            lo = rng.uniform(0.0, 100.0, 3)
+            assert_query_parity(tree, packed, Box(lo, lo + rng.uniform(1, 40, 3)))
+
+    def test_degenerate_and_all_covering_boxes(self):
+        rng = np.random.default_rng(99)
+        items = random_items(rng, 200, 2)
+        tree = bulk_load(items, max_entries=8)
+        packed = PackedIndex.from_tree(tree)
+        assert_query_parity(tree, packed, Box((50.0, 50.0), (50.0, 50.0)))
+        assert_query_parity(tree, packed, Box((-10.0, -10.0), (200.0, 200.0)))
+        assert_query_parity(tree, packed, Box((-20.0, -20.0), (-15.0, -15.0)))
+
+
+class TestAccessMethodParitySeeded:
+    """Store-backed packed method vs the record-backed object tree."""
+
+    @pytest.fixture(scope="class")
+    def methods(self, tiny_city):
+        packed = PackedAccessMethod(tiny_city.store)
+        reference = MotionAwareAccessMethod(tiny_city.all_records())
+        return packed, reference
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_queries(self, methods, tiny_city, seed):
+        packed, reference = methods
+        store = tiny_city.store
+        rng = np.random.default_rng(seed)
+        for _ in range(4):
+            center = rng.uniform(0.0, 1000.0, 2)
+            extent = rng.uniform(5.0, 400.0, 2)
+            region = Box(center - extent / 2, center + extent / 2)
+            band = np.sort(rng.uniform(0.0, 1.0, 2))
+            w_min, w_max = float(band[0]), float(band[1])
+            got = packed.query_rows(region, w_min, w_max)
+            want = reference.query(region, w_min, w_max)
+            got_uids = {tuple(int(x) for x in u) for u in
+                        (r.uid for r in store.records(got.rows))}
+            want_uids = {r.uid for r in want.records}
+            assert got_uids == want_uids
+            assert got.io.node_reads == want.io.node_reads
+            assert got.io.leaf_reads == want.io.leaf_reads
+            assert got.io.entries_scanned == want.io.entries_scanned
+
+    def test_half_open_band(self, methods, tiny_city):
+        packed, _ = methods
+        store = tiny_city.store
+        region = Box((0.0, 0.0), (1000.0, 1000.0))
+        closed = packed.query_rows(region, 0.0, 0.5)
+        trimmed = packed.query_rows(region, 0.0, 0.5, half_open=True)
+        assert set(trimmed.rows.tolist()) == {
+            int(r) for r in closed.rows if store.values[int(r)] < 0.5
+        }
+
+    def test_invalid_band_rejected(self, methods):
+        packed, _ = methods
+        region = Box((0.0, 0.0), (10.0, 10.0))
+        with pytest.raises(IndexError_):
+            packed.query_rows(region, 0.6, 0.4)
+
+
+if HAVE_HYPOTHESIS:
+
+    @pytest.fixture(scope="module")
+    def hyp_pair():
+        rng = np.random.default_rng(7)
+        items = random_items(rng, 400, 3)
+        tree = bulk_load(items, max_entries=8, tree_class=RStarTree)
+        return tree, PackedIndex.from_tree(tree)
+
+    class TestTraversalParityHypothesis:
+        @settings(max_examples=80, deadline=None)
+        @given(
+            cx=st.floats(-10.0, 110.0),
+            cy=st.floats(-10.0, 110.0),
+            cw=st.floats(-10.0, 110.0),
+            ex=st.floats(0.0, 60.0),
+            ey=st.floats(0.0, 60.0),
+            ew=st.floats(0.0, 60.0),
+        )
+        def test_any_box(self, hyp_pair, cx, cy, cw, ex, ey, ew):
+            tree, packed = hyp_pair
+            low = np.array([cx - ex / 2, cy - ey / 2, cw - ew / 2])
+            high = np.array([cx + ex / 2, cy + ey / 2, cw + ew / 2])
+            assert_query_parity(tree, packed, Box(low, high))

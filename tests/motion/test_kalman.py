@@ -39,6 +39,44 @@ class TestGaussian:
         )
         assert total == pytest.approx(1.0, rel=0.02)
 
+    def test_log_pdf_matches_pdf(self):
+        g = Gaussian(np.array([1.0, -2.0]), np.array([[2.0, 0.3], [0.3, 0.5]]))
+        x = np.array([0.5, -1.0])
+        assert g.pdf(x) == pytest.approx(np.exp(g.log_pdf(x)), rel=1e-12)
+
+    def test_tiny_covariance_exact(self):
+        """Regression: a fixed 1e-9 jitter used to dominate a covariance
+        of scale 1e-12 and bias the peak density by orders of magnitude."""
+        scale = 1e-12
+        g = Gaussian(np.zeros(2), np.eye(2) * scale)
+        expected_log_peak = -0.5 * 2 * np.log(2 * np.pi * scale)
+        assert g.log_pdf(np.zeros(2)) == pytest.approx(expected_log_peak, rel=1e-9)
+        # The old path returned the jittered peak, ~1e3x too small.
+        jittered = -0.5 * 2 * np.log(2 * np.pi * (scale + 1e-9))
+        assert abs(g.log_pdf(np.zeros(2)) - jittered) > 1.0
+
+    def test_log_pdf_survives_underflowing_density(self):
+        """Far tails underflow ``pdf`` to 0.0 but keep a finite log."""
+        g = Gaussian(np.zeros(2), np.eye(2) * 1e-6)
+        far = np.array([5.0, 5.0])
+        assert g.pdf(far) == 0.0
+        assert np.isfinite(g.log_pdf(far))
+
+    def test_near_singular_covariance_regularised(self):
+        """A rank-deficient covariance gets minimal, scale-aware jitter."""
+        direction = np.array([1.0, 1.0]) / np.sqrt(2.0)
+        cov = np.outer(direction, direction)  # rank 1, semi-definite
+        g = Gaussian(np.zeros(2), cov)
+        on_axis = g.log_pdf(direction * 0.1)
+        off_axis = g.log_pdf(np.array([0.1, -0.1]))
+        assert np.isfinite(on_axis) and np.isfinite(off_axis)
+        assert on_axis > off_axis
+
+    def test_truly_singular_zero_covariance_rejected(self):
+        g = Gaussian(np.zeros(2), np.array([[0.0, 0.0], [0.0, 0.0]]))
+        finite = g.log_pdf(np.zeros(2))
+        assert np.isfinite(finite)  # regularised at unit scale
+
 
 class TestKalmanFilter:
     def test_shape_validation(self):
