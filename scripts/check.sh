@@ -1,29 +1,91 @@
 #!/usr/bin/env sh
-# One-shot correctness gate: reprolint + ruff + mypy + tier-1 tests.
+# One-shot correctness gate: reprolint (per-file + whole-program),
+# ruff, mypy, and the tier-1 tests.
 #
-# ruff and mypy are optional in the offline image; when a tool is not
-# installed it is reported as skipped, never silently passed.
+# Default mode tolerates the offline image: when ruff or mypy is not
+# installed it is reported as skipped, never silently passed.  CI runs
+# `scripts/check.sh --strict`, under which a missing or wrongly-pinned
+# tool is a hard failure (pins live in [tool.check] in pyproject.toml).
 set -eu
+
+STRICT=0
+for arg in "$@"; do
+    case "$arg" in
+        --strict) STRICT=1 ;;
+        *) echo "usage: check.sh [--strict]" >&2; exit 2 ;;
+    esac
+done
 
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
-echo "== reprolint =="
-python -m repro.analysis src/repro
+pinned_version() {
+    python - "$1" <<'EOF'
+import sys, tomllib
+with open("pyproject.toml", "rb") as fh:
+    data = tomllib.load(fh)
+print(data.get("tool", {}).get("check", {}).get(sys.argv[1], ""))
+EOF
+}
+
+require_tool() {
+    # require_tool NAME INSTALLED_VERSION -- enforce the [tool.check] pin.
+    tool="$1"
+    installed="$2"
+    pin="$(pinned_version "$tool")"
+    if [ -z "$pin" ]; then
+        echo "$tool: no [tool.check] pin in pyproject.toml" >&2
+        exit 2
+    fi
+    if [ "$installed" != "$pin" ]; then
+        if [ "$STRICT" -eq 1 ]; then
+            echo "$tool: installed $installed does not match pin $pin" >&2
+            exit 1
+        fi
+        echo "$tool: installed $installed != pinned $pin (ignored; --strict enforces)"
+    fi
+}
+
+missing_tool() {
+    if [ "$STRICT" -eq 1 ]; then
+        echo "$1 not installed -- required under --strict" >&2
+        exit 1
+    fi
+    echo "$1 not installed -- skipped"
+}
+
+echo "== reprolint (whole-program) =="
+python -m repro.analysis --project src
+
+echo "== reprolint self-test (seeded fixture must fail) =="
+# The gate only means something if a real violation still trips it:
+# the committed fixture package carries known RL009 findings and the
+# project pass must exit with status exactly 1 on it (2 would be a
+# crash or a configuration error, 0 a silently broken analyser).
+status=0
+python -m repro.analysis --quiet --no-config --select RL009 \
+    --project tests/analysis/fixtures/project/rng_bad >/dev/null || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "reprolint self-test failed: expected exit 1, got $status" >&2
+    exit 1
+fi
+echo "ok (exit 1 as expected)"
 
 echo "== ruff =="
 if command -v ruff >/dev/null 2>&1; then
+    require_tool ruff "$(ruff --version | awk '{print $2}')"
     ruff check src tests
 else
-    echo "ruff not installed -- skipped"
+    missing_tool ruff
 fi
 
 echo "== mypy (strict: core, geometry, net, index, sim) =="
 if command -v mypy >/dev/null 2>&1; then
+    require_tool mypy "$(mypy --version | awk '{print $2}')"
     mypy -p repro.core -p repro.geometry -p repro.net -p repro.index -p repro.sim
 else
-    echo "mypy not installed -- skipped"
+    missing_tool mypy
 fi
 
 echo "== pytest (tier-1) =="

@@ -8,11 +8,22 @@ keeps dependencies pointing downward.  None of those invariants fail a
 unit test when violated — they corrupt benchmark numbers silently.
 This package enforces them statically.
 
+Two tiers of analysis share one engine, registry, and configuration:
+
+* per-module rules (RL001–RL008) inspect one AST at a time;
+* whole-program rules (RL009–RL012) run over a
+  :class:`~repro.analysis.graph.ProjectGraph` — the full module/import
+  graph with symbol tables — catching cross-module hazards such as an
+  unseeded generator laundered through a helper, an import cycle, a
+  re-exported symbol violating the layering, or a dangling ``__all__``
+  entry.
+
 Usage::
 
-    python -m repro.analysis src/repro        # lint a tree
-    python -m repro.analysis --list-rules     # rule catalogue
-    python -m repro lint                      # same engine via the main CLI
+    python -m repro.analysis src/repro         # per-file rules
+    python -m repro.analysis --project src     # whole program, all rules
+    python -m repro.analysis --list-rules      # rule catalogue
+    python -m repro lint                       # same engine via the main CLI
 
 Suppress a finding inline with ``# reprolint: disable=RL001`` (or
 ``disable-file=`` for a whole module) and configure via
@@ -21,27 +32,55 @@ Suppress a finding inline with ``# reprolint: disable=RL001`` (or
 
 from __future__ import annotations
 
-from repro.analysis.config import DEFAULT_LAYERS, LintConfig, load_config
+from repro.analysis.config import (
+    DEFAULT_LAYERS,
+    DEFAULT_SEED_SOURCES,
+    LintConfig,
+    load_config,
+)
 from repro.analysis.engine import (
     Suppressions,
     analyze_file,
     analyze_source,
     run_analysis,
+    run_project_analysis,
 )
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.registry import Rule, all_rules, get_rule, register, rule_ids
+from repro.analysis.graph import (
+    ModuleInfo,
+    ProjectContext,
+    ProjectGraph,
+    build_project_graph,
+)
+from repro.analysis.registry import (
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    get_rule,
+    register,
+    rule_ids,
+)
 
 __all__ = [
     "DEFAULT_LAYERS",
+    "DEFAULT_SEED_SOURCES",
     "LintConfig",
     "load_config",
     "Suppressions",
     "analyze_file",
     "analyze_source",
     "run_analysis",
+    "run_project_analysis",
     "Finding",
     "Severity",
+    "ModuleInfo",
+    "ProjectContext",
+    "ProjectGraph",
+    "build_project_graph",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
     "get_rule",
     "register",

@@ -1,5 +1,13 @@
 """Command-line front end: ``python -m repro.analysis [paths...]``.
 
+Two modes:
+
+* per-file (default): each path is analysed independently with the
+  per-module rules RL001–RL008;
+* ``--project ROOT``: the whole tree under ``ROOT`` is parsed once into
+  a project graph and analysed with *all* rules, including the
+  whole-program passes RL009–RL012.
+
 Exit status: 0 when no finding reaches the failure threshold
 (``--fail-on``, default *warning*), 1 when findings do, 2 on usage or
 configuration errors — mirroring pytest's convention so CI treats
@@ -9,15 +17,16 @@ configuration mistakes differently from lint failures.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.errors import ReproError
 
 from repro.analysis.config import LintConfig, load_config
-from repro.analysis.engine import run_analysis
-from repro.analysis.findings import Severity
-from repro.analysis.registry import all_rules, rule_ids
+from repro.analysis.engine import run_analysis, run_project_analysis
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import all_registered, rule_ids
 
 __all__ = ["main", "build_parser"]
 
@@ -63,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: the installed repro package)",
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help="whole-program mode: treat the single path as a source root, "
+        "build the project graph, and run the RL009-RL012 passes too",
+    )
+    parser.add_argument(
         "--config",
         help="pyproject.toml to read [tool.reprolint] from "
         "(default: nearest pyproject.toml above the first path)",
@@ -86,6 +101,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum severity that causes a non-zero exit (default: warning)",
     )
     parser.add_argument(
+        "--format",
+        choices=["text", "json", "github"],
+        default="text",
+        dest="output_format",
+        help="report format: human-readable text (default), structured "
+        "json records, or GitHub Actions ::error annotations",
+    )
+    parser.add_argument(
+        "--output",
+        help="also write the findings as JSON records to this file "
+        "(machine-readable CI artifact, independent of --format)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -99,10 +127,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _list_rules() -> int:
-    for rule in all_rules():
+    for rule in all_registered():
         print(f"{rule.rule_id}  [{rule.default_severity.name.lower():7s}] "
               f"{rule.description}")
     return 0
+
+
+def _render_findings(findings: list[Finding], output_format: str) -> None:
+    if output_format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    elif output_format == "github":
+        for finding in findings:
+            print(finding.render_github())
+    else:
+        for finding in findings:
+            print(finding.render())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,16 +154,23 @@ def main(argv: list[str] | None = None) -> int:
     if not paths:
         import repro
 
-        paths = [str(Path(repro.__file__).parent)]
+        package_dir = Path(repro.__file__).parent
+        paths = [str(package_dir.parent if args.project else package_dir)]
 
     try:
+        if args.project and len(paths) != 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "--project takes exactly one source-root directory"
+            )
         if args.no_config:
             config = LintConfig()
         else:
             pyproject = (
                 Path(args.config) if args.config else _default_pyproject(paths)
             )
-            config = load_config(pyproject)
+            config = load_config(pyproject, known_rules=rule_ids())
         if args.select:
             config.select = _parse_rule_list(args.select, "--select")
         if args.ignore:
@@ -133,21 +179,29 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.fail_on:
             config.fail_on = Severity.parse(args.fail_on)
-        findings = run_analysis(paths, config)
+        if args.project:
+            findings = run_project_analysis(paths[0], config)
+        else:
+            findings = run_analysis(paths, config)
+        if args.output:
+            Path(args.output).write_text(
+                json.dumps([f.to_dict() for f in findings], indent=2) + "\n",
+                encoding="utf-8",
+            )
     except ReproError as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
 
-    for finding in findings:
-        print(finding.render())
+    _render_findings(findings, args.output_format)
     failing = [f for f in findings if f.severity >= config.fail_on]
-    if not args.quiet:
+    if not args.quiet and args.output_format == "text":
         checked = ", ".join(paths)
+        mode = "project " if args.project else ""
         if findings:
             print(
-                f"reprolint: {len(findings)} finding(s) in {checked} "
+                f"reprolint: {len(findings)} finding(s) in {mode}{checked} "
                 f"({len(failing)} at/above {config.fail_on.name.lower()})"
             )
         else:
-            print(f"reprolint: clean ({checked})")
+            print(f"reprolint: clean ({mode}{checked})")
     return 1 if failing else 0

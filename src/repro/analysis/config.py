@@ -8,16 +8,17 @@ package may import packages of equal or lower rank only (RL007).
 
 from __future__ import annotations
 
+import re
 import tomllib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Collection
 
 from repro.errors import ConfigurationError
 
 from repro.analysis.findings import Severity
 
-__all__ = ["LintConfig", "load_config", "DEFAULT_LAYERS"]
+__all__ = ["LintConfig", "load_config", "DEFAULT_LAYERS", "DEFAULT_SEED_SOURCES"]
 
 #: Package → layer rank.  Lower ranks are more fundamental; a module may
 #: only import packages whose rank is <= its own.  ``errors`` is the
@@ -93,6 +94,19 @@ DEFAULT_EXCEPTION_ALLOW: frozenset[str] = frozenset(
     {"NotImplementedError", "SystemExit", "KeyboardInterrupt", "StopIteration"}
 )
 
+#: Fully-qualified callables RL009 accepts as the origin of a seed:
+#: calling one of these *is* a traceable seed, no matter what feeds it
+#: (their own arguments are still checked at their creation sites).
+DEFAULT_SEED_SOURCES: frozenset[str] = frozenset(
+    {
+        "repro.sim.derive_rng",
+        "repro.sim.streams.derive_rng",
+        "numpy.random.SeedSequence",
+    }
+)
+
+_RULE_ID_RE = re.compile(r"^RL\d{3}$")
+
 
 @dataclass
 class LintConfig:
@@ -107,6 +121,15 @@ class LintConfig:
     rng_constructors: frozenset[str] = DEFAULT_RNG_CONSTRUCTORS
     bounded_keywords: frozenset[str] = DEFAULT_BOUNDED_KEYWORDS
     exception_allow: frozenset[str] = DEFAULT_EXCEPTION_ALLOW
+    seed_sources: frozenset[str] = DEFAULT_SEED_SOURCES
+    #: per-rule path allowlists (``[tool.reprolint.allow]``): rule id →
+    #: glob patterns over report-relative posix paths whose findings for
+    #: that rule are dropped.  Generalises ``wallclock-allow`` (which is
+    #: kept for RL001 back-compat).
+    path_allow: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: repo-root-relative path of the public-API expectations test that
+    #: RL012 cross-checks package ``__all__`` coverage against.
+    public_api_test: str = "tests/test_public_api.py"
     fail_on: Severity = Severity.WARNING
 
     def is_selected(self, rule_id: str) -> bool:
@@ -121,13 +144,36 @@ def _as_str_tuple(value: Any, key: str) -> tuple[str, ...]:
     return tuple(value)
 
 
-def load_config(pyproject: str | Path | None = None) -> LintConfig:
+def _check_rule_ids(
+    ids: Collection[str], key: str, known_rules: Collection[str] | None
+) -> None:
+    """Reject malformed or (when ``known_rules`` given) unregistered ids,
+    naming the offending key so config typos fail loudly."""
+    for rule_id in ids:
+        if not _RULE_ID_RE.match(rule_id):
+            raise ConfigurationError(
+                f"[tool.reprolint] {key}: {rule_id!r} is not a rule id "
+                "(expected the form RL000)"
+            )
+        if known_rules is not None and rule_id not in known_rules:
+            raise ConfigurationError(
+                f"[tool.reprolint] {key}: unknown rule id {rule_id!r}; "
+                f"known: {', '.join(sorted(known_rules))}"
+            )
+
+
+def load_config(
+    pyproject: str | Path | None = None,
+    known_rules: Collection[str] | None = None,
+) -> LintConfig:
     """Build a :class:`LintConfig`, merging ``[tool.reprolint]`` if present.
 
     ``pyproject`` may be a path to a ``pyproject.toml``; when ``None``,
     the defaults are returned unchanged.  Unknown keys are rejected so a
     typo in configuration fails loudly instead of silently disabling a
-    rule.
+    rule; when ``known_rules`` is supplied (the CLI passes the registry)
+    every rule id referenced by ``select``/``ignore``/``severity``/
+    ``allow`` must be registered.
     """
     config = LintConfig()
     if pyproject is None:
@@ -142,9 +188,12 @@ def load_config(pyproject: str | Path | None = None) -> LintConfig:
         "select",
         "ignore",
         "severity",
+        "allow",
         "layers",
         "wallclock-allow",
         "bounded-keywords",
+        "seed-sources",
+        "public-api-test",
         "fail-on",
     }
     unknown = set(section) - known
@@ -154,15 +203,41 @@ def load_config(pyproject: str | Path | None = None) -> LintConfig:
         )
     if "select" in section:
         config.select = frozenset(_as_str_tuple(section["select"], "select"))
+        _check_rule_ids(config.select, "select", known_rules)
     if "ignore" in section:
         config.ignore = frozenset(_as_str_tuple(section["ignore"], "ignore"))
+        _check_rule_ids(config.ignore, "ignore", known_rules)
     if "severity" in section:
         overrides = section["severity"]
         if not isinstance(overrides, dict):
             raise ConfigurationError("[tool.reprolint] severity must be a table")
+        _check_rule_ids(overrides, "severity", known_rules)
         config.severity_overrides = {
             rule: Severity.parse(str(level)) for rule, level in overrides.items()
         }
+    if "allow" in section:
+        allow = section["allow"]
+        if not isinstance(allow, dict):
+            raise ConfigurationError(
+                "[tool.reprolint] allow must be a table mapping rule ids "
+                "to path-glob lists"
+            )
+        _check_rule_ids(allow, "allow", known_rules)
+        config.path_allow = {
+            rule: _as_str_tuple(patterns, f"allow.{rule}")
+            for rule, patterns in allow.items()
+        }
+    if "seed-sources" in section:
+        config.seed_sources = frozenset(
+            _as_str_tuple(section["seed-sources"], "seed-sources")
+        )
+    if "public-api-test" in section:
+        value = section["public-api-test"]
+        if not isinstance(value, str):
+            raise ConfigurationError(
+                "[tool.reprolint] public-api-test must be a string path"
+            )
+        config.public_api_test = value
     if "layers" in section:
         layers = section["layers"]
         if not isinstance(layers, dict) or not all(

@@ -16,6 +16,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
+from fnmatch import fnmatch
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -25,9 +26,16 @@ from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
 from repro.analysis.config import LintConfig
 from repro.analysis.context import build_context
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.registry import all_rules
+from repro.analysis.graph import ProjectContext, build_project_graph, find_repo_root
+from repro.analysis.registry import all_project_rules, all_rules
 
-__all__ = ["Suppressions", "analyze_source", "analyze_file", "run_analysis"]
+__all__ = [
+    "Suppressions",
+    "analyze_source",
+    "analyze_file",
+    "run_analysis",
+    "run_project_analysis",
+]
 
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*(?P<scope>disable|disable-file)\s*=\s*"
@@ -68,6 +76,43 @@ def parse_suppressions(source: str) -> Suppressions:
     return suppressions
 
 
+def _allowed(finding: Finding, config: LintConfig) -> bool:
+    """True when a ``[tool.reprolint.allow]`` glob silences the finding."""
+    patterns = config.path_allow.get(finding.rule_id, ())
+    return any(fnmatch(finding.path, pattern) for pattern in patterns)
+
+
+def _syntax_error_finding(rel: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=rel,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        rule_id="RL000",
+        message=f"syntax error: {exc.msg}",
+        severity=Severity.ERROR,
+    )
+
+
+def _module_rule_findings(
+    path: Path,
+    source: str,
+    tree: ast.Module,
+    root: Path,
+    config: LintConfig,
+    module: str | None = None,
+) -> list[Finding]:
+    """Per-module rules over one parsed tree (no suppression filtering)."""
+    ctx = build_context(path, source, tree, root, config)
+    if module is not None:
+        ctx.module = module
+    findings: list[Finding] = []
+    for rule in all_rules():
+        if not config.is_selected(rule.rule_id):
+            continue
+        findings.extend(rule.check(ctx))
+    return findings
+
+
 def analyze_source(
     source: str,
     path: Path,
@@ -83,24 +128,14 @@ def analyze_source(
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=rel,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule_id="RL000",
-                message=f"syntax error: {exc.msg}",
-                severity=Severity.ERROR,
-            )
-        ]
-    ctx = build_context(path, source, tree, root, config)
+        return [_syntax_error_finding(rel, exc)]
+    findings = _module_rule_findings(path, source, tree, root, config)
     suppressions = parse_suppressions(source)
-    findings: list[Finding] = []
-    for rule in all_rules():
-        if not config.is_selected(rule.rule_id):
-            continue
-        findings.extend(rule.check(ctx))
-    return sorted(f for f in findings if not suppressions.is_suppressed(f))
+    return sorted(
+        f
+        for f in findings
+        if not suppressions.is_suppressed(f) and not _allowed(f, config)
+    )
 
 
 def analyze_file(
@@ -148,3 +183,53 @@ def run_analysis(
     for path in discover(resolved):
         findings.extend(analyze_file(path, root_path, config))
     return sorted(findings)
+
+
+def run_project_analysis(
+    root: str | Path, config: LintConfig | None = None
+) -> list[Finding]:
+    """Whole-program analysis: parse everything under ``root`` once into a
+    :class:`~repro.analysis.graph.ProjectGraph`, run the per-module rules
+    over every module *and* the project rules (RL009–RL012) over the
+    graph.  Inline suppressions and ``[tool.reprolint.allow]`` globs
+    apply to project findings exactly as they do per-file.
+    """
+    config = config or LintConfig()
+    root_path = Path(root).resolve()
+    if not root_path.is_dir():
+        raise ConfigurationError(f"--project root is not a directory: {root_path}")
+    graph = build_project_graph(root_path)
+    findings: list[Finding] = [
+        _syntax_error_finding(rel, exc) for rel, exc in graph.syntax_errors
+    ]
+    for info in graph.modules.values():
+        findings.extend(
+            _module_rule_findings(
+                info.path, info.source, info.tree, root_path, config, info.name
+            )
+        )
+    project = ProjectContext(
+        graph=graph,
+        root=root_path,
+        repo_root=find_repo_root(root_path),
+        config=config,
+    )
+    for rule in all_project_rules():
+        if not config.is_selected(rule.rule_id):
+            continue
+        findings.extend(rule.check_project(project))
+    suppressions = {
+        info.rel_path: parse_suppressions(info.source)
+        for info in graph.modules.values()
+    }
+    kept: list[Finding] = []
+    for finding in findings:
+        module_suppressions = suppressions.get(finding.path)
+        if module_suppressions is not None and module_suppressions.is_suppressed(
+            finding
+        ):
+            continue
+        if _allowed(finding, config):
+            continue
+        kept.append(finding)
+    return sorted(kept)

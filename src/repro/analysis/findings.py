@@ -50,3 +50,28 @@ class Finding:
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.rule_id} [{self.severity.name.lower()}] {self.message}"
         )
+
+    def to_dict(self) -> dict[str, object]:
+        """Structured record for ``--format json`` / CI artifacts."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+        }
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotation for this finding."""
+        level = {
+            Severity.INFO: "notice",
+            Severity.WARNING: "warning",
+            Severity.ERROR: "error",
+        }[self.severity]
+        # '::' would terminate the command's parameter block early
+        message = self.message.replace("::", ":")
+        return (
+            f"::{level} file={self.path},line={self.line},"
+            f"col={self.col + 1},title={self.rule_id}::{message}"
+        )

@@ -1,0 +1,574 @@
+"""Whole-program project model for reprolint.
+
+The per-file rules (RL001–RL008) see one translation unit at a time, so
+they cannot observe cross-module hazards: an unseeded generator
+laundered through a helper in another module, a layering violation
+hidden behind a re-export, an import cycle, or an ``__all__`` entry that
+resolves nowhere.  This module parses an entire source tree **once**
+into a :class:`ProjectGraph` — module/import graph, per-symbol
+definition/export tables, and name-binding maps with relative imports
+resolved — that the project-level rules (RL009–RL012) analyse.
+
+The model is a deliberate approximation (documented in DESIGN.md §11):
+
+* bindings are flow-insensitive — the last top-level binding of a name
+  wins for symbol resolution, every assignment is considered for
+  dataflow;
+* only explicit imports create edges; the implicit execution of parent
+  ``__init__`` modules is not modelled (it would make every package a
+  false cycle);
+* imports under ``if TYPE_CHECKING:`` or inside function bodies are
+  recorded with ``runtime=False`` and excluded from cycle detection —
+  they never execute at import time — but still participate in
+  layering, which polices design intent rather than import order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+
+__all__ = [
+    "ImportEdge",
+    "SymbolDef",
+    "SymbolImport",
+    "ModuleInfo",
+    "ResolvedSymbol",
+    "EXTERNAL",
+    "ProjectGraph",
+    "ProjectContext",
+    "build_project_graph",
+    "find_repo_root",
+]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import of a project module by another."""
+
+    target: str  #: dotted name of the imported project module
+    lineno: int
+    #: False for imports that never run at import time (function bodies,
+    #: ``if TYPE_CHECKING:`` blocks); cycle detection uses runtime edges only.
+    runtime: bool = True
+
+
+@dataclass(frozen=True)
+class SymbolImport:
+    """``from <module> import <symbol>`` where ``module`` is in-project."""
+
+    module: str
+    symbol: str
+    lineno: int
+    runtime: bool = True
+
+
+@dataclass
+class SymbolDef:
+    """One top-level binding of a name inside a module."""
+
+    name: str
+    kind: str  #: ``function`` | ``class`` | ``assign`` | ``import``
+    lineno: int
+    #: AST node carrying the definition (FunctionDef/ClassDef/Assign value).
+    node: ast.AST | None = None
+    #: for ``kind == "import"``: the fully-qualified target this name
+    #: denotes, e.g. ``repro.sim.streams.derive_rng`` or ``repro.errors``.
+    target: str | None = None
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the project analyses need to know about one module."""
+
+    name: str  #: dotted module name relative to the project root
+    path: Path
+    rel_path: str  #: posix path relative to the project root (for reports)
+    is_package: bool
+    source: str
+    tree: ast.Module
+    #: top-level name → last binding of that name (flow-insensitive).
+    definitions: dict[str, SymbolDef] = field(default_factory=dict)
+    #: module-level assignments name → every value expression assigned,
+    #: used by the RL009 dataflow to trace module constants.
+    assignments: dict[str, list[ast.expr]] = field(default_factory=dict)
+    #: ``__all__`` as a list of strings when statically resolvable.
+    exports: list[str] | None = None
+    exports_lineno: int = 0
+    #: False when ``__all__`` exists but is built dynamically.
+    exports_resolvable: bool = True
+    edges: list[ImportEdge] = field(default_factory=list)
+    symbol_imports: list[SymbolImport] = field(default_factory=list)
+    #: project modules star-imported (``from x import *``).
+    star_imports: list[str] = field(default_factory=list)
+    #: True when the module star-imports something outside the project,
+    #: making "name not found" undecidable for it.
+    has_external_star: bool = False
+    #: local name → fully-qualified target for every import binding
+    #: (absolute *and* relative imports resolved), e.g.
+    #: ``np → numpy``, ``derive_rng → repro.sim.derive_rng``.
+    bindings: dict[str, str] = field(default_factory=dict)
+
+    def public_names(self) -> set[str]:
+        """Names ``from m import *`` would bind."""
+        if self.exports is not None:
+            return set(self.exports)
+        return {n for n in self.definitions if not n.startswith("_")}
+
+
+@dataclass(frozen=True)
+class ResolvedSymbol:
+    """Where a symbol is actually defined, after following re-exports."""
+
+    module: "ModuleInfo"
+    symbol: SymbolDef
+
+
+#: Sentinel: the resolution chain left the project (stdlib/third-party),
+#: so the symbol must be presumed to exist.
+EXTERNAL = object()
+
+
+def _resolve_relative(
+    module_name: str, is_package: bool, node: ast.ImportFrom
+) -> str | None:
+    """Absolute dotted base for a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module
+    parts = module_name.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop > len(parts):
+        return None  # relative import escaping the project root
+    if drop:
+        parts = parts[:-drop]
+    if node.module:
+        parts = parts + node.module.split(".")
+    return ".".join(parts) if parts else None
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+
+class ProjectGraph:
+    """All modules under one root, with symbol-level resolution."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.modules: dict[str, ModuleInfo] = {}
+        #: files that failed to parse: (rel_path, SyntaxError).
+        self.syntax_errors: list[tuple[str, SyntaxError]] = []
+
+    # -- construction ---------------------------------------------------
+
+    def add_module(self, info: ModuleInfo) -> None:
+        self.modules[info.name] = info
+
+    # -- queries --------------------------------------------------------
+
+    def packages(self) -> list[ModuleInfo]:
+        return [m for m in self.modules.values() if m.is_package]
+
+    def top_level_packages(self) -> set[str]:
+        return {name.split(".")[0] for name in self.modules}
+
+    def split_qualified(self, qualified: str) -> tuple[str | None, str]:
+        """Split ``a.b.c.sym`` into (longest project-module prefix, rest).
+
+        Returns ``(None, qualified)`` when no prefix names a project
+        module — the name is external.
+        """
+        parts = qualified.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                return prefix, ".".join(parts[cut:])
+        return None, qualified
+
+    def resolve_symbol(
+        self,
+        module_name: str,
+        symbol: str,
+        _seen: set[tuple[str, str]] | None = None,
+    ) -> ResolvedSymbol | object | None:
+        """Find where ``module_name.symbol`` is actually defined.
+
+        Follows re-export chains (``from x import y`` in ``__init__``
+        files) and star imports, with a cycle guard.  Returns a
+        :class:`ResolvedSymbol`, the :data:`EXTERNAL` sentinel when the
+        chain leaves the project, or ``None`` when the symbol resolves
+        nowhere (a genuine dangling name).
+        """
+        seen = _seen if _seen is not None else set()
+        key = (module_name, symbol)
+        if key in seen:
+            return None  # re-export cycle never reaching a definition
+        seen.add(key)
+        info = self.modules.get(module_name)
+        if info is None:
+            return EXTERNAL
+        # a submodule is itself a valid attribute of its package
+        if f"{module_name}.{symbol}" in self.modules:
+            sub = self.modules[f"{module_name}.{symbol}"]
+            return ResolvedSymbol(
+                module=sub, symbol=SymbolDef(name=symbol, kind="module", lineno=1)
+            )
+        definition = info.definitions.get(symbol)
+        if definition is not None and definition.kind != "import":
+            return ResolvedSymbol(module=info, symbol=definition)
+        if definition is not None and definition.target is not None:
+            target_module, rest = self.split_qualified(definition.target)
+            if target_module is None:
+                return EXTERNAL
+            if not rest:  # the name denotes a whole project module
+                mod = self.modules[target_module]
+                return ResolvedSymbol(
+                    module=mod,
+                    symbol=SymbolDef(name=symbol, kind="module", lineno=1),
+                )
+            head = rest.split(".")[0]
+            return self.resolve_symbol(target_module, head, seen)
+        for star_target in info.star_imports:
+            target = self.modules.get(star_target)
+            if target is None:
+                continue
+            if symbol in target.public_names():
+                resolved = self.resolve_symbol(star_target, symbol, seen)
+                if resolved is not None:
+                    return resolved
+        if info.has_external_star:
+            return EXTERNAL
+        return None
+
+    def runtime_cycles(self) -> list[list[str]]:
+        """Strongly-connected components of the runtime import graph.
+
+        Returns each non-trivial SCC (size > 1, or a self-loop) as a
+        sorted module-name list; the result is deterministic.
+        """
+        adjacency: dict[str, set[str]] = {name: set() for name in self.modules}
+        for info in self.modules.values():
+            for edge in info.edges:
+                if edge.runtime and edge.target in self.modules:
+                    adjacency[info.name].add(edge.target)
+        # iterative Tarjan
+        index_of: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = 0
+        for start in sorted(adjacency):
+            if start in index_of:
+                continue
+            work: list[tuple[str, list[str], int]] = [
+                (start, sorted(adjacency[start]), 0)
+            ]
+            index_of[start] = low[start] = counter
+            counter += 1
+            stack.append(start)
+            on_stack.add(start)
+            while work:
+                node, children, child_index = work.pop()
+                advanced = False
+                while child_index < len(children):
+                    child = children[child_index]
+                    child_index += 1
+                    if child not in index_of:
+                        work.append((node, children, child_index))
+                        index_of[child] = low[child] = counter
+                        counter += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, sorted(adjacency[child]), 0))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index_of[child])
+                if advanced:
+                    continue
+                if low[node] == index_of[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1 or node in adjacency[node]:
+                        sccs.append(sorted(component))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return sorted(sccs)
+
+
+@dataclass
+class ProjectContext:
+    """Whole-program context handed to every :class:`ProjectRule`."""
+
+    graph: ProjectGraph
+    root: Path
+    #: nearest ancestor of ``root`` holding a pyproject.toml (else root);
+    #: anchors out-of-tree cross-checks like the public-API test file.
+    repo_root: Path
+    config: LintConfig
+
+
+def find_repo_root(root: Path) -> Path:
+    for candidate in (root, *root.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return root
+
+
+# ---------------------------------------------------------------------------
+# builder
+
+
+class _ModuleCollector:
+    """Single pass over one module body, tracking import-time reachability."""
+
+    def __init__(self, graph: ProjectGraph, info: ModuleInfo) -> None:
+        self.graph = graph
+        self.info = info
+
+    def collect(self) -> None:
+        self._visit_body(self.info.tree.body, module_scope=True, runtime=True)
+
+    # -- statement walk -------------------------------------------------
+
+    def _visit_body(
+        self, body: list[ast.stmt], *, module_scope: bool, runtime: bool
+    ) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt, module_scope=module_scope, runtime=runtime)
+
+    def _visit_stmt(
+        self, stmt: ast.stmt, *, module_scope: bool, runtime: bool
+    ) -> None:
+        if isinstance(stmt, ast.Import):
+            self._record_import(stmt, module_scope=module_scope, runtime=runtime)
+        elif isinstance(stmt, ast.ImportFrom):
+            self._record_import_from(
+                stmt, module_scope=module_scope, runtime=runtime
+            )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if module_scope:
+                self._define(stmt.name, "function", stmt.lineno, stmt)
+            self._visit_body(stmt.body, module_scope=False, runtime=False)
+        elif isinstance(stmt, ast.ClassDef):
+            if module_scope:
+                self._define(stmt.name, "class", stmt.lineno, stmt)
+            # class bodies execute at import time
+            self._visit_body(stmt.body, module_scope=False, runtime=runtime)
+        elif isinstance(stmt, ast.If):
+            guarded = _is_type_checking_test(stmt.test)
+            self._visit_body(
+                stmt.body, module_scope=module_scope, runtime=runtime and not guarded
+            )
+            self._visit_body(stmt.orelse, module_scope=module_scope, runtime=runtime)
+        elif isinstance(stmt, ast.Try):
+            self._visit_body(stmt.body, module_scope=module_scope, runtime=runtime)
+            for handler in stmt.handlers:
+                self._visit_body(
+                    handler.body, module_scope=module_scope, runtime=runtime
+                )
+            self._visit_body(stmt.orelse, module_scope=module_scope, runtime=runtime)
+            self._visit_body(
+                stmt.finalbody, module_scope=module_scope, runtime=runtime
+            )
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_body(stmt.body, module_scope=module_scope, runtime=runtime)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            self._visit_body(stmt.body, module_scope=module_scope, runtime=runtime)
+            self._visit_body(stmt.orelse, module_scope=module_scope, runtime=runtime)
+        elif module_scope and isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._record_assign(target, stmt.value, stmt.lineno)
+        elif module_scope and isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._record_assign(stmt.target, stmt.value, stmt.lineno)
+        elif module_scope and isinstance(stmt, ast.AugAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                self.info.exports_resolvable = False
+
+    # -- recorders ------------------------------------------------------
+
+    def _define(
+        self,
+        name: str,
+        kind: str,
+        lineno: int,
+        node: ast.AST | None,
+        target: str | None = None,
+    ) -> None:
+        self.info.definitions[name] = SymbolDef(
+            name=name, kind=kind, lineno=lineno, node=node, target=target
+        )
+
+    def _record_assign(self, target: ast.expr, value: ast.expr, lineno: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_assign(element, value, lineno)
+            return
+        if not isinstance(target, ast.Name):
+            return
+        if target.id == "__all__":
+            self._record_exports(value, lineno)
+            return
+        self._define(target.id, "assign", lineno, value)
+        self.info.assignments.setdefault(target.id, []).append(value)
+
+    def _record_exports(self, value: ast.expr, lineno: int) -> None:
+        self.info.exports_lineno = lineno
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            self.info.exports = [e.value for e in value.elts]  # type: ignore[misc]
+            self.info.exports_resolvable = True
+        else:
+            self.info.exports = None
+            self.info.exports_resolvable = False
+
+    def _project_module_for(self, dotted: str) -> str | None:
+        """Longest project-module prefix of ``dotted``, if any."""
+        prefix, _rest = self.graph.split_qualified(dotted)
+        return prefix
+
+    def _record_import(
+        self, node: ast.Import, *, module_scope: bool, runtime: bool
+    ) -> None:
+        for item in node.names:
+            local = item.asname or item.name.split(".")[0]
+            bound = item.name if item.asname else item.name.split(".")[0]
+            if module_scope:
+                self.info.bindings[local] = bound
+                self._define(local, "import", node.lineno, node, target=bound)
+            target = self._project_module_for(item.name)
+            if target is not None and target != self.info.name:
+                self.info.edges.append(
+                    ImportEdge(target=target, lineno=node.lineno, runtime=runtime)
+                )
+
+    def _record_import_from(
+        self, node: ast.ImportFrom, *, module_scope: bool, runtime: bool
+    ) -> None:
+        base = _resolve_relative(self.info.name, self.info.is_package, node)
+        if base is None:
+            return
+        base_module = self._project_module_for(base)
+        for item in node.names:
+            if item.name == "*":
+                if base_module == base and base_module is not None:
+                    if base_module != self.info.name:
+                        self.info.star_imports.append(base_module)
+                        self.info.edges.append(
+                            ImportEdge(
+                                target=base_module,
+                                lineno=node.lineno,
+                                runtime=runtime,
+                            )
+                        )
+                else:
+                    self.info.has_external_star = True
+                continue
+            local = item.asname or item.name
+            qualified = f"{base}.{item.name}"
+            if module_scope:
+                self.info.bindings[local] = qualified
+                self._define(local, "import", node.lineno, node, target=qualified)
+            if base_module is None:
+                continue
+            # ``from pkg import submodule`` is a module import in disguise
+            submodule = (
+                qualified if qualified in self.graph.modules else None
+            )
+            if submodule is not None:
+                if submodule != self.info.name:
+                    self.info.edges.append(
+                        ImportEdge(
+                            target=submodule, lineno=node.lineno, runtime=runtime
+                        )
+                    )
+                continue
+            if base_module != self.info.name:
+                self.info.edges.append(
+                    ImportEdge(
+                        target=base_module, lineno=node.lineno, runtime=runtime
+                    )
+                )
+            if base_module == base:
+                self.info.symbol_imports.append(
+                    SymbolImport(
+                        module=base_module,
+                        symbol=item.name,
+                        lineno=node.lineno,
+                        runtime=runtime,
+                    )
+                )
+
+
+def _discover_project_files(root: Path) -> list[Path]:
+    files: list[Path] = []
+    for child in sorted(root.iterdir()):
+        if child.is_dir() and (child / "__init__.py").is_file():
+            files.extend(sorted(child.rglob("*.py")))
+        elif child.is_file() and child.suffix == ".py":
+            files.append(child)
+    return files
+
+
+def _module_name(root: Path, path: Path) -> tuple[str, bool]:
+    parts = list(path.relative_to(root).with_suffix("").parts)
+    is_package = parts[-1] == "__init__"
+    if is_package:
+        parts = parts[:-1]
+    return ".".join(parts), is_package
+
+
+def build_project_graph(root: str | Path) -> ProjectGraph:
+    """Parse every module under ``root`` into a :class:`ProjectGraph`.
+
+    ``root`` is a directory containing top-level packages (directories
+    with ``__init__.py``) and/or bare modules — e.g. ``src`` for this
+    repository.  Files that fail to parse are recorded in
+    :attr:`ProjectGraph.syntax_errors` rather than aborting the build.
+    """
+    root_path = Path(root).resolve()
+    graph = ProjectGraph(root_path)
+    parsed: list[ModuleInfo] = []
+    for path in _discover_project_files(root_path):
+        rel = path.relative_to(root_path).as_posix()
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            graph.syntax_errors.append((rel, exc))
+            continue
+        name, is_package = _module_name(root_path, path)
+        if not name:
+            continue
+        info = ModuleInfo(
+            name=name,
+            path=path,
+            rel_path=rel,
+            is_package=is_package,
+            source=source,
+            tree=tree,
+        )
+        graph.add_module(info)
+        parsed.append(info)
+    # second pass: edges need the full module table to resolve targets
+    for info in parsed:
+        _ModuleCollector(graph, info).collect()
+    return graph

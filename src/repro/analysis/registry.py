@@ -1,4 +1,10 @@
-"""Rule base class and registry.
+"""Rule base classes and registry.
+
+Two rule families share one id space and registry:
+
+* :class:`Rule` — per-module checks run against each file's AST;
+* :class:`ProjectRule` — whole-program checks run once against the
+  :class:`~repro.analysis.graph.ProjectContext` (``--project`` mode).
 
 Rules self-register at import time via the :func:`register` decorator;
 ``repro.analysis.rules`` imports every rule module so that loading the
@@ -8,26 +14,56 @@ package populates the registry exactly once.
 from __future__ import annotations
 
 import abc
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ConfigurationError
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding, Severity
 
-__all__ = ["Rule", "register", "get_rule", "all_rules", "rule_ids"]
+if TYPE_CHECKING:
+    from repro.analysis.graph import ProjectContext
 
-_REGISTRY: dict[str, "Rule"] = {}
+__all__ = [
+    "BaseRule",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "get_rule",
+    "all_rules",
+    "all_project_rules",
+    "all_registered",
+    "rule_ids",
+]
+
+_REGISTRY: dict[str, "BaseRule"] = {}
 
 
-class Rule(abc.ABC):
-    """One invariant check run against each module's AST."""
+class BaseRule(abc.ABC):
+    """Metadata and finding construction shared by both rule families."""
 
     #: e.g. ``RL001``; unique across the registry.
     rule_id: str = ""
     #: one-line description shown by ``--list-rules`` and the docs table.
     description: str = ""
     default_severity: Severity = Severity.ERROR
+
+    def _make_finding(
+        self, config_severity: Severity | None, path: str, line: int, col: int,
+        message: str,
+    ) -> Finding:
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            message=message,
+            severity=config_severity or self.default_severity,
+        )
+
+
+class Rule(BaseRule):
+    """One invariant check run against each module's AST."""
 
     @abc.abstractmethod
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
@@ -36,21 +72,39 @@ class Rule(abc.ABC):
     def finding(
         self, ctx: ModuleContext, line: int, col: int, message: str
     ) -> Finding:
-        severity = ctx.config.severity_overrides.get(
-            self.rule_id, self.default_severity
-        )
-        return Finding(
-            path=ctx.rel_path,
-            line=line,
-            col=col,
-            rule_id=self.rule_id,
-            message=message,
-            severity=severity,
+        return self._make_finding(
+            ctx.config.severity_overrides.get(self.rule_id),
+            ctx.rel_path,
+            line,
+            col,
+            message,
         )
 
 
-def register(cls: type[Rule]) -> type[Rule]:
+class ProjectRule(BaseRule):
+    """One invariant check run once over the whole project graph."""
+
+    @abc.abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings for the whole program; must not mutate it."""
+
+    def finding(
+        self, project: "ProjectContext", path: str, line: int, col: int,
+        message: str,
+    ) -> Finding:
+        return self._make_finding(
+            project.config.severity_overrides.get(self.rule_id),
+            path,
+            line,
+            col,
+            message,
+        )
+
+
+def register(cls: type) -> type:
     """Class decorator adding one instance of ``cls`` to the registry."""
+    if not issubclass(cls, BaseRule):
+        raise ConfigurationError(f"{cls.__name__} is not a reprolint rule")
     if not cls.rule_id:
         raise ConfigurationError(f"{cls.__name__} has no rule_id")
     if cls.rule_id in _REGISTRY:
@@ -59,7 +113,7 @@ def register(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
-def get_rule(rule_id: str) -> Rule:
+def get_rule(rule_id: str) -> BaseRule:
     try:
         return _REGISTRY[rule_id]
     except KeyError:
@@ -67,7 +121,19 @@ def get_rule(rule_id: str) -> Rule:
 
 
 def all_rules() -> list[Rule]:
-    """Registered rules in rule-id order."""
+    """Registered per-module rules in rule-id order."""
+    return [r for k in sorted(_REGISTRY) if isinstance(r := _REGISTRY[k], Rule)]
+
+
+def all_project_rules() -> list[ProjectRule]:
+    """Registered whole-program rules in rule-id order."""
+    return [
+        r for k in sorted(_REGISTRY) if isinstance(r := _REGISTRY[k], ProjectRule)
+    ]
+
+
+def all_registered() -> list[BaseRule]:
+    """Every registered rule, both families, in rule-id order."""
     return [_REGISTRY[k] for k in sorted(_REGISTRY)]
 
 

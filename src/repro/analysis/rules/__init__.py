@@ -10,6 +10,9 @@ Grouped by the invariant family they protect:
   RL005 (``__all__``)
 * :mod:`~repro.analysis.rules.architecture` — RL006 (exception types),
   RL007 (layering)
+* :mod:`~repro.analysis.rules.project` — whole-program passes: RL009
+  (RNG provenance dataflow), RL010 (import cycles), RL011 (symbol-level
+  layering), RL012 (public-API contract)
 """
 
 from __future__ import annotations
@@ -18,6 +21,12 @@ from repro.analysis.rules.architecture import LayeringRule, LibraryExceptionRule
 from repro.analysis.rules.determinism import GlobalRngRule, WallClockRule
 from repro.analysis.rules.hygiene import DeclareAllRule, MutableDefaultRule
 from repro.analysis.rules.numerics import BoundedLiteralRule, FloatEqualityRule
+from repro.analysis.rules.project import (
+    ImportCycleRule,
+    PublicApiContractRule,
+    RngProvenanceRule,
+    SymbolLayeringRule,
+)
 
 __all__ = [
     "WallClockRule",
@@ -28,4 +37,8 @@ __all__ = [
     "LibraryExceptionRule",
     "LayeringRule",
     "BoundedLiteralRule",
+    "RngProvenanceRule",
+    "ImportCycleRule",
+    "SymbolLayeringRule",
+    "PublicApiContractRule",
 ]

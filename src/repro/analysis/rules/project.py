@@ -1,0 +1,942 @@
+"""Whole-program rules over the :class:`~repro.analysis.graph.ProjectGraph`.
+
+RL009 — **RNG provenance.**  Every ``numpy.random.default_rng`` /
+``Generator`` creation site must take a seed traceable (through
+intra-procedural assignment chains, module constants, and one
+interprocedural step per helper) to an explicit constant, a function
+parameter, or a recognised seed source (``repro.sim.derive_rng``,
+``numpy.random.SeedSequence`` — configurable via
+``[tool.reprolint] seed-sources``).  The pass also follows *laundered*
+seeds: when a helper's parameter flows into a seed, every project call
+site of that helper is checked, so ``def make_rng(seed=None): return
+np.random.default_rng(seed)`` is flagged at the call that omits the
+seed, not hidden by the helper boundary.
+
+RL010 — **import cycles.**  The runtime import graph (module-level
+imports outside ``if TYPE_CHECKING:``) must be acyclic; each
+strongly-connected component is reported once.
+
+RL011 — **symbol-level layering.**  ``from x import y`` is resolved
+through re-export chains to the module that actually *defines* ``y``;
+the defining package must obey the ``layers`` ranks.  This catches a
+low layer laundering a high-layer symbol through a mid-layer
+``__init__`` re-export — invisible to the per-module RL007 heuristic.
+
+RL012 — **public-API contract.**  Every ``__all__`` entry must resolve
+to a definition, import, or submodule (through re-export chains);
+``__all__`` must be a static string list with no duplicates; and
+package coverage is cross-checked against the ``PACKAGES`` expectations
+in ``tests/test_public_api.py`` when that file exists.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import (
+    EXTERNAL,
+    ModuleInfo,
+    ProjectContext,
+    ResolvedSymbol,
+)
+from repro.analysis.registry import ProjectRule, register
+
+__all__ = [
+    "RngProvenanceRule",
+    "ImportCycleRule",
+    "SymbolLayeringRule",
+    "PublicApiContractRule",
+]
+
+
+def _qualified_name(info: ModuleInfo, expr: ast.expr) -> str | None:
+    """Fully-qualified dotted name for a Name/Attribute chain, resolving
+    the base through the module's import bindings."""
+    parts: list[str] = []
+    node: ast.expr = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(info.bindings.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+def _package_of(module_name: str) -> str:
+    """Rank-table key for a module: ``repro.store.columns`` → ``store``."""
+    parts = module_name.split(".")
+    if parts[0] == "repro" and len(parts) > 1:
+        return parts[1]
+    return parts[0]
+
+
+# ---------------------------------------------------------------------------
+# RL009 — RNG provenance dataflow
+
+
+_DEFAULT_RNG = "numpy.random.default_rng"
+_GENERATOR = "numpy.random.Generator"
+_BIT_GENERATORS = frozenset(
+    {
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.MT19937",
+        "numpy.random.SFC64",
+    }
+)
+#: builtins that merely transform their arguments' values.
+_PASS_THROUGH = frozenset(
+    {"list", "tuple", "int", "float", "bool", "str", "abs", "min", "max",
+     "sum", "sorted", "len", "round", "pow", "divmod", "range"}
+)
+_SELF_NAMES = frozenset({"self", "cls"})
+_MAX_DEPTH = 12
+
+
+@dataclass(frozen=True)
+class _Trace:
+    """Outcome of tracing one seed expression."""
+
+    kind: str  #: ``ok`` | ``bad`` | ``params``
+    params: frozenset[str] = frozenset()
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "ok"
+
+
+_OK = _Trace("ok")
+
+
+def _bad(reason: str) -> _Trace:
+    return _Trace("bad", reason=reason)
+
+
+def _combine(traces: list[_Trace]) -> _Trace:
+    params: set[str] = set()
+    for trace in traces:
+        if trace.kind == "bad":
+            return trace
+        params |= trace.params
+    if params:
+        return _Trace("params", params=frozenset(params))
+    return _OK
+
+
+@dataclass
+class _Scope:
+    """Name-resolution scope: a module, optionally inside one function."""
+
+    info: ModuleInfo
+    func: ast.FunctionDef | ast.AsyncFunctionDef | None = None
+    #: local name → value expressions assigned to it ("..." marks names
+    #: bound opaquely: loop/with/except targets, assumed traceable).
+    env: dict[str, list[ast.expr | None]] = field(default_factory=dict)
+
+    def param_names(self) -> set[str]:
+        if self.func is None:
+            return set()
+        args = self.func.args
+        names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+        return names - _SELF_NAMES
+
+
+def _build_local_env(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, list[ast.expr | None]]:
+    """Flow-insensitive assignment map for one function body (nested
+    function/class bodies excluded — they are separate scopes)."""
+    env: dict[str, list[ast.expr | None]] = {}
+
+    def bind_target(target: ast.expr, value: ast.expr | None) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind_target(element, None)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value, None)
+        elif isinstance(target, ast.Name):
+            env.setdefault(target.id, []).append(value)
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    bind_target(
+                        target,
+                        child.value if isinstance(target, ast.Name) else None,
+                    )
+            elif isinstance(child, ast.AnnAssign):
+                bind_target(child.target, child.value)
+            elif isinstance(child, ast.AugAssign):
+                bind_target(child.target, child.value)
+            elif isinstance(child, ast.NamedExpr):
+                bind_target(child.target, child.value)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                bind_target(child.target, None)
+            elif isinstance(child, ast.withitem):
+                if child.optional_vars is not None:
+                    bind_target(child.optional_vars, None)
+            elif isinstance(child, ast.ExceptHandler):
+                if child.name:
+                    env.setdefault(child.name, []).append(None)
+            elif isinstance(child, ast.comprehension):
+                bind_target(child.target, None)
+            visit(child)
+
+    visit(func)
+    return env
+
+
+@dataclass(frozen=True)
+class _Sensitivity:
+    """Parameter ``param`` of ``callable_key`` in ``module`` flows into a
+    generator seed; every call site must supply a traceable value."""
+
+    module: str
+    callable_key: str  #: function name, or class name (for ``__init__``)
+    param: str
+    origin: str  #: ``path:line`` of the generator creation site
+
+
+@dataclass
+class _CallSite:
+    info: ModuleInfo
+    call: ast.Call
+    #: (defining module, callable key) the call resolves to, or None.
+    resolved: tuple[str, str] | None
+    scope: _Scope
+
+
+@register
+class RngProvenanceRule(ProjectRule):
+    rule_id = "RL009"
+    description = (
+        "every numpy Generator's seed must trace to a constant, a "
+        "parameter, or a seed source (whole-program dataflow)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = _RngAnalysis(project, self)
+        yield from analysis.run()
+
+
+class _RngAnalysis:
+    """One whole-program RL009 pass; separated from the Rule for state."""
+
+    def __init__(self, project: ProjectContext, rule: RngProvenanceRule) -> None:
+        self.project = project
+        self.graph = project.graph
+        self.config = project.config
+        self.rule = rule
+        self.findings: dict[tuple[str, int, str], Finding] = {}
+        #: (module, callable_key) → FunctionDef + method flag
+        self.callables: dict[
+            tuple[str, str], tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]
+        ] = {}
+        self.call_sites: list[_CallSite] = []
+        self.sensitivities: dict[tuple[str, str, str], str] = {}
+
+    # -- public entry ----------------------------------------------------
+
+    def run(self) -> Iterator[Finding]:
+        for info in self.graph.modules.values():
+            self._scan_module(info)
+        self._propagate()
+        for key in sorted(self.findings):
+            yield self.findings[key]
+
+    # -- module scan -----------------------------------------------------
+
+    def _scan_module(self, info: ModuleInfo) -> None:
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(info.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        self._index_callables(info)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            scope = self._scope_for(info, node, parents)
+            qualified = _qualified_name(info, node.func)
+            self.call_sites.append(
+                _CallSite(
+                    info=info,
+                    call=node,
+                    resolved=self._resolve_callable(info, qualified),
+                    scope=scope,
+                )
+            )
+            self._check_creation_site(info, node, scope, parents, qualified)
+
+    def _index_callables(self, info: ModuleInfo) -> None:
+        for stmt in info.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.callables[(info.name, stmt.name)] = (stmt, False)
+            elif isinstance(stmt, ast.ClassDef):
+                for member in stmt.body:
+                    if (
+                        isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and member.name == "__init__"
+                    ):
+                        self.callables[(info.name, stmt.name)] = (member, True)
+
+    def _scope_for(
+        self,
+        info: ModuleInfo,
+        node: ast.AST,
+        parents: dict[ast.AST, ast.AST],
+    ) -> _Scope:
+        current = parents.get(node)
+        while current is not None and not isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            current = parents.get(current)
+        if current is None:
+            return _Scope(info=info)
+        return _Scope(info=info, func=current, env=_build_local_env(current))
+
+    def _resolvable_key(
+        self,
+        scope: _Scope,
+        parents: dict[ast.AST, ast.AST],
+    ) -> str | None:
+        """Callable key for a scope whose call sites we can enumerate:
+        a module-level function, or ``__init__`` of a module-level class
+        (matched at instantiation sites).  Other methods and nested
+        functions return None — their parameters are trusted."""
+        func = scope.func
+        if func is None:
+            return None
+        parent = parents.get(func)
+        if isinstance(parent, ast.Module):
+            return func.name
+        if (
+            isinstance(parent, ast.ClassDef)
+            and isinstance(parents.get(parent), ast.Module)
+            and func.name == "__init__"
+        ):
+            return parent.name
+        return None
+
+    def _resolve_callable(
+        self, info: ModuleInfo, qualified: str | None
+    ) -> tuple[str, str] | None:
+        if qualified is None:
+            return None
+        if "." not in qualified:
+            if qualified not in info.definitions:
+                return None
+            resolved = self.graph.resolve_symbol(info.name, qualified)
+        else:
+            module, rest = self.graph.split_qualified(qualified)
+            if module is None or "." in rest or not rest:
+                return None
+            resolved = self.graph.resolve_symbol(module, rest)
+        if not isinstance(resolved, ResolvedSymbol):
+            return None
+        if resolved.symbol.kind in ("function", "class"):
+            return (resolved.module.name, resolved.symbol.name)
+        return None
+
+    # -- creation sites --------------------------------------------------
+
+    def _check_creation_site(
+        self,
+        info: ModuleInfo,
+        call: ast.Call,
+        scope: _Scope,
+        parents: dict[ast.AST, ast.AST],
+        qualified: str | None,
+    ) -> None:
+        if qualified == _DEFAULT_RNG:
+            seed = self._argument(call, 0, "seed")
+            if seed is None:
+                return  # unseeded default_rng() is RL002's finding
+        elif qualified == _GENERATOR:
+            bit_generator = self._argument(call, 0, "bit_generator")
+            if bit_generator is None:
+                return
+            seed = bit_generator
+            if isinstance(bit_generator, ast.Call):
+                inner = _qualified_name(info, bit_generator.func)
+                if inner in _BIT_GENERATORS:
+                    seed = self._argument(bit_generator, 0, "seed")
+                    if seed is None:
+                        self._record(
+                            info,
+                            call.lineno,
+                            call.col_offset,
+                            f"{inner.rsplit('.', 1)[1]}() without a seed is "
+                            "entropy-seeded; pass an explicit seed",
+                        )
+                        return
+        else:
+            return
+        trace = self._trace(seed, scope, 0, set())
+        origin = f"{info.rel_path}:{call.lineno}"
+        if trace.kind == "bad":
+            self._record(
+                info,
+                call.lineno,
+                call.col_offset,
+                "generator seed cannot be traced to a constant, parameter, "
+                f"or seed source: {trace.reason}",
+            )
+        elif trace.kind == "params":
+            key = self._resolvable_key(scope, parents)
+            if key is not None:
+                for param in sorted(trace.params):
+                    self.sensitivities.setdefault(
+                        (info.name, key, param), origin
+                    )
+
+    @staticmethod
+    def _argument(call: ast.Call, index: int, keyword: str) -> ast.expr | None:
+        if len(call.args) > index and not any(
+            isinstance(a, ast.Starred) for a in call.args[: index + 1]
+        ):
+            return call.args[index]
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                return kw.value
+        return None
+
+    # -- interprocedural propagation -------------------------------------
+
+    def _propagate(self) -> None:
+        worklist = list(self.sensitivities.items())
+        processed: set[tuple[str, str, str]] = set()
+        while worklist:
+            (module, key, param), origin = worklist.pop()
+            if (module, key, param) in processed:
+                continue
+            processed.add((module, key, param))
+            definition = self.callables.get((module, key))
+            if definition is None:
+                continue
+            func, is_method = definition
+            for site in self.call_sites:
+                if site.resolved != (module, key):
+                    continue
+                outcome = self._check_call_argument(
+                    site, func, is_method, param, origin
+                )
+                for caller_param in outcome:
+                    caller_key = self._site_caller_key(site)
+                    if caller_key is None:
+                        continue
+                    entry = (site.info.name, caller_key, caller_param)
+                    if entry not in processed:
+                        worklist.append((entry, origin))
+
+    def _site_caller_key(self, site: _CallSite) -> str | None:
+        func = site.scope.func
+        if func is None:
+            return None
+        for (module, key), (node, _method) in self.callables.items():
+            if module == site.info.name and node is func:
+                return key
+        return None
+
+    def _check_call_argument(
+        self,
+        site: _CallSite,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        is_method: bool,
+        param: str,
+        origin: str,
+    ) -> frozenset[str]:
+        """Trace the value a call site supplies for ``param``; record a
+        finding when untraceable.  Returns caller parameters the value
+        depends on (for further propagation)."""
+        call = site.call
+        if any(isinstance(a, ast.Starred) for a in call.args) or any(
+            kw.arg is None for kw in call.keywords
+        ):
+            return frozenset()  # *args/**kwargs forwarding: not modelled
+        args = func.args
+        positional = [a.arg for a in args.posonlyargs + args.args]
+        if is_method and positional and positional[0] in _SELF_NAMES:
+            positional = positional[1:]
+        values: list[ast.expr] = []
+        if args.vararg is not None and param == args.vararg.arg:
+            start = len(positional)
+            values = list(call.args[start:]) or list(call.args)
+        elif param in positional:
+            index = positional.index(param)
+            if index < len(call.args):
+                values = [call.args[index]]
+        if not values:
+            for kw in call.keywords:
+                if kw.arg == param:
+                    values = [kw.value]
+                    break
+        if not values:
+            default = self._default_for(func, is_method, param)
+            if default is None:
+                return frozenset()
+            defining = self.graph.modules.get(site.resolved[0]) if site.resolved else None
+            scope = _Scope(info=defining) if defining is not None else site.scope
+            trace = self._trace(default, scope, 0, set())
+            if trace.kind == "bad":
+                self._record(
+                    site.info,
+                    call.lineno,
+                    call.col_offset,
+                    f"call omits seed parameter {param!r} whose default is "
+                    f"untraceable ({trace.reason}); generator created at "
+                    f"{origin}",
+                )
+            return frozenset()
+        traces = [self._trace(v, site.scope, 0, set()) for v in values]
+        combined = _combine(traces)
+        if combined.kind == "bad":
+            self._record(
+                site.info,
+                call.lineno,
+                call.col_offset,
+                f"seed argument {param!r} cannot be traced to a constant, "
+                f"parameter, or seed source ({combined.reason}); generator "
+                f"created at {origin}",
+            )
+            return frozenset()
+        return combined.params
+
+    @staticmethod
+    def _default_for(
+        func: ast.FunctionDef | ast.AsyncFunctionDef, is_method: bool, param: str
+    ) -> ast.expr | None:
+        args = func.args
+        positional = [a.arg for a in args.posonlyargs + args.args]
+        if is_method and positional and positional[0] in _SELF_NAMES:
+            positional = positional[1:]
+            offset = 1
+        else:
+            offset = 0
+        defaults = args.defaults
+        if param in positional:
+            index = positional.index(param) + offset
+            total = len(args.posonlyargs) + len(args.args)
+            default_index = index - (total - len(defaults))
+            if 0 <= default_index < len(defaults):
+                return defaults[default_index]
+            return None
+        for kw_arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_arg.arg == param:
+                return default
+        return None
+
+    # -- the tracer ------------------------------------------------------
+
+    def _trace(
+        self,
+        expr: ast.expr,
+        scope: _Scope,
+        depth: int,
+        visiting: set[tuple[int, str]],
+    ) -> _Trace:
+        if depth > _MAX_DEPTH:
+            return _OK  # optimistic cutoff; documented approximation
+        if isinstance(expr, ast.Constant):
+            if expr.value is None:
+                return _bad("literal None selects OS entropy")
+            return _OK
+        if isinstance(expr, ast.Name):
+            return self._trace_name(expr, scope, depth, visiting)
+        if isinstance(expr, ast.Attribute):
+            return self._trace_attribute(expr, scope, depth, visiting)
+        if isinstance(expr, ast.Call):
+            return self._trace_call(expr, scope, depth, visiting)
+        if isinstance(expr, ast.BinOp):
+            return _combine(
+                [
+                    self._trace(expr.left, scope, depth + 1, visiting),
+                    self._trace(expr.right, scope, depth + 1, visiting),
+                ]
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self._trace(expr.operand, scope, depth + 1, visiting)
+        if isinstance(expr, ast.BoolOp):
+            return _combine(
+                [self._trace(v, scope, depth + 1, visiting) for v in expr.values]
+            )
+        if isinstance(expr, ast.IfExp):
+            return _combine(
+                [
+                    self._trace(expr.body, scope, depth + 1, visiting),
+                    self._trace(expr.orelse, scope, depth + 1, visiting),
+                ]
+            )
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return _combine(
+                [self._trace(e, scope, depth + 1, visiting) for e in expr.elts]
+            )
+        if isinstance(expr, ast.Starred):
+            return self._trace(expr.value, scope, depth + 1, visiting)
+        if isinstance(expr, ast.Subscript):
+            return self._trace(expr.value, scope, depth + 1, visiting)
+        if isinstance(expr, ast.NamedExpr):
+            return self._trace(expr.value, scope, depth + 1, visiting)
+        if isinstance(expr, ast.Compare):
+            return _combine(
+                [self._trace(expr.left, scope, depth + 1, visiting)]
+                + [self._trace(c, scope, depth + 1, visiting) for c in expr.comparators]
+            )
+        return _bad(f"untraceable {type(expr).__name__} expression")
+
+    def _trace_name(
+        self,
+        expr: ast.Name,
+        scope: _Scope,
+        depth: int,
+        visiting: set[tuple[int, str]],
+    ) -> _Trace:
+        name = expr.id
+        if name in _SELF_NAMES:
+            return _OK
+        key = (id(scope.func) if scope.func else id(scope.info), name)
+        if key in visiting:
+            # self-referential rebinding (x = x + 1): fall through to the
+            # parameter / outer-scope meaning of the name.
+            if name in scope.param_names():
+                return _Trace("params", params=frozenset({name}))
+            return _OK
+        if scope.func is not None and name in scope.env:
+            visiting.add(key)
+            try:
+                traces = []
+                for value in scope.env[name]:
+                    if value is None:
+                        traces.append(_OK)  # opaque binding (loop target …)
+                    else:
+                        traces.append(self._trace(value, scope, depth + 1, visiting))
+                return _combine(traces)
+            finally:
+                visiting.discard(key)
+        if name in scope.param_names():
+            return _Trace("params", params=frozenset({name}))
+        info = scope.info
+        if name in info.assignments:
+            visiting.add(key)
+            try:
+                module_scope = _Scope(info=info)
+                return _combine(
+                    [
+                        self._trace(value, module_scope, depth + 1, visiting)
+                        for value in info.assignments[name]
+                    ]
+                )
+            finally:
+                visiting.discard(key)
+        if name in info.bindings:
+            return self._trace_imported(info.bindings[name], depth, visiting)
+        return _bad(f"cannot trace name {name!r}")
+
+    def _trace_imported(
+        self, qualified: str, depth: int, visiting: set[tuple[int, str]]
+    ) -> _Trace:
+        module, rest = self.graph.split_qualified(qualified)
+        if module is None:
+            return _bad(f"{qualified} is imported from outside the project")
+        if not rest:
+            return _bad(f"module object {qualified} used as a seed")
+        head = rest.split(".")[0]
+        resolved = self.graph.resolve_symbol(module, head)
+        if resolved is EXTERNAL:
+            return _bad(f"{qualified} resolves outside the project")
+        if not isinstance(resolved, ResolvedSymbol):
+            return _bad(f"{qualified} does not resolve to a definition")
+        if resolved.symbol.kind == "assign" and isinstance(
+            resolved.symbol.node, ast.expr
+        ):
+            return self._trace(
+                resolved.symbol.node,
+                _Scope(info=resolved.module),
+                depth + 1,
+                visiting,
+            )
+        return _bad(f"{qualified} is not a traceable value")
+
+    def _trace_attribute(
+        self,
+        expr: ast.Attribute,
+        scope: _Scope,
+        depth: int,
+        visiting: set[tuple[int, str]],
+    ) -> _Trace:
+        qualified = _qualified_name(scope.info, expr)
+        if qualified is not None:
+            module, rest = self.graph.split_qualified(qualified)
+            if module is not None and rest and "." not in rest:
+                trace = self._trace_imported(qualified, depth, visiting)
+                if trace.ok or trace.kind == "params":
+                    return trace
+                # fall through: maybe an attribute of a traced object
+        base: ast.expr = expr
+        while isinstance(base, ast.Attribute):
+            base = base.value
+        if isinstance(base, ast.Name):
+            base_trace = self._trace_name(base, scope, depth + 1, visiting)
+            if base_trace.kind == "bad":
+                return _bad(
+                    f"attribute of untraceable object ({base_trace.reason})"
+                )
+            # attributes of parameters / traced objects are presumed to be
+            # injected, already-seeded state (cfg.seed, self._rng …)
+            return _OK
+        base_trace = self._trace(base, scope, depth + 1, visiting)
+        if base_trace.kind == "bad":
+            return base_trace
+        return _OK
+
+    def _trace_call(
+        self,
+        expr: ast.Call,
+        scope: _Scope,
+        depth: int,
+        visiting: set[tuple[int, str]],
+    ) -> _Trace:
+        qualified = _qualified_name(scope.info, expr.func)
+        if qualified is not None:
+            if qualified in self.config.seed_sources:
+                return _OK
+            if (
+                qualified in (_DEFAULT_RNG, _GENERATOR)
+                or qualified in _BIT_GENERATORS
+            ):
+                # a generator/bit-generator *value* is as traced as its own
+                # creation site, which this rule checks independently
+                return _OK
+            if qualified in _PASS_THROUGH:
+                children = [
+                    self._trace(a, scope, depth + 1, visiting) for a in expr.args
+                ] + [
+                    self._trace(kw.value, scope, depth + 1, visiting)
+                    for kw in expr.keywords
+                ]
+                return _combine(children)
+        if isinstance(expr.func, ast.Attribute):
+            # a draw from an already-traced object (rng.integers(...),
+            # seed_sequence.spawn(...)) is as deterministic as the object
+            base_trace = self._trace(expr.func.value, scope, depth + 1, visiting)
+            if base_trace.kind == "bad":
+                return _bad(
+                    f"call on untraceable object ({base_trace.reason})"
+                )
+            return _OK
+        label = qualified or "<dynamic>"
+        return _bad(
+            f"call to {label}() is not a recognised seed source (extend "
+            "[tool.reprolint] seed-sources if it derives seeds "
+            "deterministically)"
+        )
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _record(self, info: ModuleInfo, line: int, col: int, message: str) -> None:
+        finding = self.rule.finding(self.project, info.rel_path, line, col, message)
+        self.findings.setdefault((info.rel_path, line, message), finding)
+
+
+# ---------------------------------------------------------------------------
+# RL010 — import cycles
+
+
+@register
+class ImportCycleRule(ProjectRule):
+    rule_id = "RL010"
+    description = (
+        "the runtime import graph must be acyclic (TYPE_CHECKING and "
+        "function-local imports exempt)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        for cycle in graph.runtime_cycles():
+            anchor = graph.modules[cycle[0]]
+            members = set(cycle)
+            line = next(
+                (
+                    edge.lineno
+                    for edge in anchor.edges
+                    if edge.runtime and edge.target in members
+                ),
+                1,
+            )
+            yield self.finding(
+                project,
+                anchor.rel_path,
+                line,
+                0,
+                "import cycle among " + " ↔ ".join(cycle)
+                + "; break it with an interface module or a deferred import",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RL011 — symbol-level layering
+
+
+@register
+class SymbolLayeringRule(ProjectRule):
+    rule_id = "RL011"
+    description = (
+        "from-imports resolved to their defining module must respect the "
+        "layer ranks (re-export laundering)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        layers = project.config.layers
+        for info in graph.modules.values():
+            own_package = _package_of(info.name)
+            own_rank = layers.get(own_package)
+            if own_rank is None:
+                continue
+            for imported in info.symbol_imports:
+                resolved = graph.resolve_symbol(imported.module, imported.symbol)
+                if not isinstance(resolved, ResolvedSymbol):
+                    continue
+                defining = resolved.module.name
+                defining_package = _package_of(defining)
+                target_package = _package_of(imported.module)
+                if defining_package in (own_package, target_package):
+                    continue  # direct-import rank is RL007's business
+                defining_rank = layers.get(defining_package)
+                if defining_rank is None or defining_rank <= own_rank:
+                    continue
+                yield self.finding(
+                    project,
+                    info.rel_path,
+                    imported.lineno,
+                    0,
+                    f"symbol-level layer violation: {imported.symbol!r} is "
+                    f"re-exported by {imported.module} but defined in "
+                    f"{defining} ({defining_package} rank {defining_rank} > "
+                    f"{own_package} rank {own_rank})",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL012 — public-API contract
+
+
+@register
+class PublicApiContractRule(ProjectRule):
+    rule_id = "RL012"
+    description = (
+        "__all__ must be static, duplicate-free, resolvable, and (for "
+        "packages) covered by the public-API test expectations"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        for info in graph.modules.values():
+            if info.exports_lineno and not info.exports_resolvable:
+                yield self.finding(
+                    project,
+                    info.rel_path,
+                    info.exports_lineno,
+                    0,
+                    "__all__ is not a static list of string literals; the "
+                    "public surface must be statically auditable",
+                )
+                continue
+            if info.exports is None:
+                continue
+            seen: set[str] = set()
+            for name in info.exports:
+                if name in seen:
+                    yield self.finding(
+                        project,
+                        info.rel_path,
+                        info.exports_lineno,
+                        0,
+                        f"duplicate name {name!r} in __all__",
+                    )
+                    continue
+                seen.add(name)
+                resolved = graph.resolve_symbol(info.name, name)
+                if resolved is None:
+                    yield self.finding(
+                        project,
+                        info.rel_path,
+                        info.exports_lineno,
+                        0,
+                        f"__all__ exports {name!r} but it resolves to no "
+                        "definition, import, or submodule",
+                    )
+        yield from self._check_test_expectations(project)
+
+    def _check_test_expectations(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        test_path = project.repo_root / project.config.public_api_test
+        if not test_path.is_file():
+            return
+        try:
+            tree = ast.parse(test_path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            return
+        packages_node: ast.expr | None = None
+        lineno = 1
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == "PACKAGES":
+                        packages_node = stmt.value
+                        lineno = stmt.lineno
+        if not isinstance(packages_node, (ast.List, ast.Tuple)):
+            return
+        listed = [
+            element.value
+            for element in packages_node.elts
+            if isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ]
+        graph = project.graph
+        roots = {name.split(".")[0] for name in listed}
+        if not (roots & graph.top_level_packages()):
+            return  # the expectations file covers a different project
+        try:
+            test_rel = test_path.relative_to(project.repo_root).as_posix()
+        except ValueError:
+            test_rel = test_path.as_posix()
+        for name in listed:
+            if name.split(".")[0] not in graph.top_level_packages():
+                continue
+            if name not in graph.modules:
+                yield self.finding(
+                    project,
+                    test_rel,
+                    lineno,
+                    0,
+                    f"PACKAGES lists {name!r} but no such module exists in "
+                    "the project",
+                )
+        listed_set = set(listed)
+        for package in graph.packages():
+            if package.name.split(".")[0] not in roots:
+                continue
+            if package.name not in listed_set:
+                yield self.finding(
+                    project,
+                    package.rel_path,
+                    package.exports_lineno or 1,
+                    0,
+                    f"package {package.name} is not listed in PACKAGES of "
+                    f"{test_rel}; its __all__ is untested",
+                )

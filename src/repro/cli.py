@@ -208,8 +208,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as lint_main
 
     forwarded = list(args.paths)
+    if args.project:
+        forwarded.append("--project")
     if args.select:
         forwarded += ["--select", args.select]
+    if args.output_format:
+        forwarded += ["--format", args.output_format]
     if args.no_config:
         forwarded.append("--no-config")
     return lint_main(forwarded)
@@ -254,7 +258,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser("lint", help="run reprolint static analysis")
     lint.add_argument("paths", nargs="*", help="files/dirs (default: repro pkg)")
+    lint.add_argument(
+        "--project",
+        action="store_true",
+        help="whole-program mode (RL009-RL012 over one source root)",
+    )
     lint.add_argument("--select", help="comma-separated rule ids")
+    lint.add_argument(
+        "--format",
+        choices=["text", "json", "github"],
+        dest="output_format",
+        help="report format (default: text)",
+    )
     lint.add_argument("--no-config", action="store_true")
     lint.set_defaults(func=_cmd_lint)
 

@@ -1,0 +1,9 @@
+"""Fixture: ``__all__`` contract violations (RL012)."""
+
+from apipkg.impl import exists
+
+__all__ = [  # VIOLATION RL012
+    "exists",
+    "missing",
+    "exists",
+]

@@ -1,0 +1,7 @@
+"""Fixture: a dynamically-built ``__all__`` is not statically auditable."""
+
+_NAMES = ["a"]
+
+__all__ = list(_NAMES)  # VIOLATION RL012
+
+a = 1

@@ -1,0 +1,5 @@
+"""Fixture: the definition side of the re-export chain."""
+
+__all__ = ["exists"]
+
+exists = 1

@@ -1,0 +1,3 @@
+"""Fixture package: a runtime import cycle a → b → c → a (RL010)."""
+
+__all__ = []

@@ -1,0 +1,11 @@
+"""First member of the cycle; the SCC is reported at this anchor."""
+
+from cycpkg import b  # VIOLATION RL010
+
+__all__ = ["A", "use_b"]
+
+A = 1
+
+
+def use_b():
+    return b.B

@@ -1,0 +1,11 @@
+"""Second member of the cycle."""
+
+from cycpkg import c
+
+__all__ = ["B", "use_c"]
+
+B = 2
+
+
+def use_c():
+    return c.C

@@ -1,0 +1,11 @@
+"""Closes the cycle back to ``a``."""
+
+import cycpkg.a
+
+__all__ = ["C", "use_a"]
+
+C = 3
+
+
+def use_a():
+    return cycpkg.a.A

@@ -1,0 +1,17 @@
+"""A would-be cycle with ``e`` that is NOT one at runtime: the back
+edge is TYPE_CHECKING-only, the forward edge function-local."""
+
+from typing import TYPE_CHECKING
+
+__all__ = ["D", "lazy_e"]
+
+if TYPE_CHECKING:
+    from cycpkg import e
+
+D = 4
+
+
+def lazy_e() -> "e.EType":
+    from cycpkg import e as runtime_e
+
+    return runtime_e.make()

@@ -1,0 +1,13 @@
+"""Imports ``d`` at runtime; the reverse edge is typing-only."""
+
+from cycpkg import d
+
+__all__ = ["EType", "make"]
+
+
+class EType:
+    value = d.D
+
+
+def make() -> EType:
+    return EType()

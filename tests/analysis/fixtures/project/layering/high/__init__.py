@@ -1,0 +1,7 @@
+"""Fixture: the high-rank package actually defining ``Thing``."""
+
+__all__ = ["Thing"]
+
+
+class Thing:
+    pass

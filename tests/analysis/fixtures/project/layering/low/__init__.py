@@ -1,0 +1,14 @@
+"""Fixture: low-rank package importing a high-rank symbol through mid.
+
+The module-name heuristic (RL007) sees only ``low ← mid`` which is a
+legal downward edge; symbol resolution (RL011) sees that ``Thing`` is
+*defined* two ranks up.
+"""
+
+from mid import Thing  # VIOLATION RL011
+
+__all__ = ["use"]
+
+
+def use() -> Thing:
+    return Thing()

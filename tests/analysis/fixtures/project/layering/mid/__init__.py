@@ -1,0 +1,5 @@
+"""Fixture: mid-rank package laundering ``Thing`` via a re-export."""
+
+from high import Thing
+
+__all__ = ["Thing"]

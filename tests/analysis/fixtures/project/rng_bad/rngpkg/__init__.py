@@ -1,0 +1,3 @@
+"""Fixture package: RNG-provenance violations for RL009."""
+
+__all__ = []

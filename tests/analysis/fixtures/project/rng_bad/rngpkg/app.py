@@ -1,0 +1,41 @@
+"""Call sites: laundered and direct RL009 violations, plus clean uses."""
+
+import os
+
+import numpy as np
+
+from rngpkg.helpers import DEFAULT_SEED, make_rng, make_rng_from
+
+__all__ = [
+    "bad_default",
+    "bad_env",
+    "bad_argument",
+    "good_constant",
+    "good_param",
+    "good_chain",
+]
+
+
+def bad_default():
+    return make_rng()  # VIOLATION RL009
+
+
+def bad_env():
+    return np.random.default_rng(int(os.environ.get("SEED", "0")))  # VIOLATION RL009
+
+
+def bad_argument(label):
+    return make_rng_from(hash(label))  # VIOLATION RL009
+
+
+def good_constant():
+    return make_rng(1234)
+
+
+def good_param(seed):
+    return make_rng(seed)
+
+
+def good_chain():
+    parent = np.random.default_rng(DEFAULT_SEED)
+    return np.random.default_rng(parent.integers(0, 2**31))

@@ -1,0 +1,21 @@
+"""Helpers that *launder* generator seeds across a module boundary.
+
+Every creation site here is locally innocent — the seed is a function
+parameter — which is exactly why a per-file lint cannot flag the
+callers in ``app.py`` that feed them nothing (entropy) or untraceable
+values.
+"""
+
+import numpy as np
+
+__all__ = ["DEFAULT_SEED", "make_rng", "make_rng_from"]
+
+DEFAULT_SEED = 123
+
+
+def make_rng(seed=None):
+    return np.random.default_rng(seed)
+
+
+def make_rng_from(seed=0):
+    return np.random.default_rng(seed)

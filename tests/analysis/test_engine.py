@@ -103,8 +103,8 @@ class TestEngine:
         with pytest.raises(ConfigurationError):
             run_analysis([tmp_path / "missing"])
 
-    def test_registry_has_the_eight_rules(self) -> None:
-        assert rule_ids() == [f"RL00{i}" for i in range(1, 9)]
+    def test_registry_has_the_twelve_rules(self) -> None:
+        assert rule_ids() == [f"RL{i:03d}" for i in range(1, 13)]
 
 
 class TestCli:

@@ -1,0 +1,233 @@
+"""Project-graph builder: synthetic packages exercising import cycles,
+star imports, conditional imports, relative imports, and re-export
+chains — the structures the whole-program rules depend on."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.graph import (
+    EXTERNAL,
+    ResolvedSymbol,
+    build_project_graph,
+)
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+class TestDiscovery:
+    def test_modules_packages_and_bare_modules(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "__all__ = []\n",
+                "pkg/mod.py": "__all__ = []\n",
+                "pkg/sub/__init__.py": "__all__ = []\n",
+                "pkg/sub/deep.py": "__all__ = []\n",
+                "loose.py": "__all__ = []\n",
+            },
+        )
+        graph = build_project_graph(tmp_path)
+        assert set(graph.modules) == {
+            "pkg",
+            "pkg.mod",
+            "pkg.sub",
+            "pkg.sub.deep",
+            "loose",
+        }
+        assert graph.modules["pkg"].is_package
+        assert not graph.modules["pkg.mod"].is_package
+        assert graph.top_level_packages() == {"pkg", "loose"}
+
+    def test_syntax_errors_collected_not_raised(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {"pkg/__init__.py": "", "pkg/broken.py": "def f(:\n"},
+        )
+        graph = build_project_graph(tmp_path)
+        assert "pkg.broken" not in graph.modules
+        assert [rel for rel, _ in graph.syntax_errors] == ["pkg/broken.py"]
+
+    def test_split_qualified_longest_prefix(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {"pkg/__init__.py": "", "pkg/sub/__init__.py": "", "pkg/sub/m.py": ""},
+        )
+        graph = build_project_graph(tmp_path)
+        assert graph.split_qualified("pkg.sub.m.symbol") == ("pkg.sub.m", "symbol")
+        assert graph.split_qualified("pkg.sub") == ("pkg.sub", "")
+        assert graph.split_qualified("numpy.random") == (None, "numpy.random")
+
+
+class TestEdges:
+    def test_runtime_vs_deferred_edges(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/other.py": "X = 1\n",
+                "pkg/m.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from pkg import other\n"
+                    "def f():\n"
+                    "    import pkg.other\n"
+                    "    return pkg.other.X\n"
+                ),
+            },
+        )
+        graph = build_project_graph(tmp_path)
+        edges = graph.modules["pkg.m"].edges
+        assert {e.target for e in edges} == {"pkg.other"}
+        assert all(not e.runtime for e in edges)
+
+    def test_conditional_module_level_import_is_runtime(
+        self, tmp_path: Path
+    ) -> None:
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/opt.py": "X = 1\n",
+                "pkg/m.py": (
+                    "try:\n"
+                    "    from pkg import opt\n"
+                    "except ImportError:\n"
+                    "    opt = None\n"
+                ),
+            },
+        )
+        graph = build_project_graph(tmp_path)
+        edges = graph.modules["pkg.m"].edges
+        assert [(e.target, e.runtime) for e in edges] == [("pkg.opt", True)]
+
+    def test_cycle_detection_finds_the_scc(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "from pkg import b\n",
+                "pkg/b.py": "from pkg import c\n",
+                "pkg/c.py": "import pkg.a\n",
+                "pkg/standalone.py": "from pkg import a\n",
+            },
+        )
+        graph = build_project_graph(tmp_path)
+        assert graph.runtime_cycles() == [["pkg.a", "pkg.b", "pkg.c"]]
+
+    def test_type_checking_back_edge_breaks_no_cycle(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from pkg import b\n"
+                ),
+                "pkg/b.py": "from pkg import a\n",
+            },
+        )
+        graph = build_project_graph(tmp_path)
+        assert graph.runtime_cycles() == []
+
+
+class TestSymbolResolution:
+    def test_reexport_chain_resolves_to_definition(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "def target():\n    return 1\n",
+                "pkg/b.py": "from pkg.a import target\n",
+                "pkg/c.py": "from pkg.b import target as renamed\n",
+            },
+        )
+        graph = build_project_graph(tmp_path)
+        resolved = graph.resolve_symbol("pkg.c", "renamed")
+        assert isinstance(resolved, ResolvedSymbol)
+        assert resolved.module.name == "pkg.a"
+        assert resolved.symbol.kind == "function"
+
+    def test_relative_imports_resolve(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "X = 1\n",
+                "pkg/sub/__init__.py": "",
+                "pkg/sub/m.py": "from ..a import X\nfrom . import helper\n",
+                "pkg/sub/helper.py": "H = 2\n",
+            },
+        )
+        graph = build_project_graph(tmp_path)
+        info = graph.modules["pkg.sub.m"]
+        assert info.bindings["X"] == "pkg.a.X"
+        resolved = graph.resolve_symbol("pkg.sub.m", "X")
+        assert isinstance(resolved, ResolvedSymbol)
+        assert resolved.module.name == "pkg.a"
+        assert {e.target for e in info.edges} == {"pkg.a", "pkg.sub.helper"}
+
+    def test_star_import_resolution(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "from pkg.base import *\n",
+                "pkg/base.py": "__all__ = ['f']\n\ndef f():\n    return 1\n\ndef _hidden():\n    return 2\n",
+            },
+        )
+        graph = build_project_graph(tmp_path)
+        resolved = graph.resolve_symbol("pkg", "f")
+        assert isinstance(resolved, ResolvedSymbol)
+        assert resolved.module.name == "pkg.base"
+        # _hidden is not in base's __all__, so the star does not carry it
+        assert graph.resolve_symbol("pkg", "_hidden") is None
+
+    def test_external_star_makes_lookup_undecidable(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {"pkg/__init__.py": "from os.path import *\n"},
+        )
+        graph = build_project_graph(tmp_path)
+        assert graph.resolve_symbol("pkg", "join") is EXTERNAL
+
+    def test_submodule_is_an_attribute_of_its_package(
+        self, tmp_path: Path
+    ) -> None:
+        write_tree(
+            tmp_path,
+            {"pkg/__init__.py": "", "pkg/sub.py": "X = 1\n"},
+        )
+        graph = build_project_graph(tmp_path)
+        resolved = graph.resolve_symbol("pkg", "sub")
+        assert isinstance(resolved, ResolvedSymbol)
+        assert resolved.symbol.kind == "module"
+
+    def test_reexport_cycle_returns_none(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "from pkg.b import ghost\n",
+                "pkg/b.py": "from pkg.a import ghost\n",
+            },
+        )
+        graph = build_project_graph(tmp_path)
+        assert graph.resolve_symbol("pkg.a", "ghost") is None
+
+    def test_dynamic_all_flagged_unresolvable(self, tmp_path: Path) -> None:
+        write_tree(
+            tmp_path,
+            {"pkg/__init__.py": "_N = ['a']\n__all__ = list(_N)\na = 1\n"},
+        )
+        graph = build_project_graph(tmp_path)
+        info = graph.modules["pkg"]
+        assert info.exports is None
+        assert not info.exports_resolvable
+        assert info.exports_lineno == 2
