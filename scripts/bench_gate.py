@@ -2,9 +2,10 @@
 """Benchmark regression gate.
 
 Compares a freshly produced benchmark document against the committed
-reference (``BENCH_datapath.json`` / ``BENCH_index.json``) and fails
-when a speedup ratio regressed beyond the tolerance, or when a parity
-flag (``identical_*``) that the reference asserts is no longer true.
+reference (``BENCH_datapath.json`` / ``BENCH_index.json`` /
+``BENCH_serve.json``) and fails when a speedup ratio regressed beyond
+the tolerance, or when a parity flag (``identical_*``) that the
+reference asserts is no longer true.
 
 Only *ratios* are compared -- absolute seconds differ across machines,
 but "columnar is Nx faster than per-record on the same box" should

@@ -37,6 +37,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "server": 5,
     "core": 6,
     "workloads": 7,
+    "serve": 7,
     "experiments": 8,
     "analysis": 9,
     "cli": 9,

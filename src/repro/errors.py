@@ -21,6 +21,10 @@ __all__ = [
     "PredictionError",
     "WorkloadError",
     "ProtocolError",
+    "WireFormatError",
+    "FrameTooLargeError",
+    "ServeError",
+    "RemoteServeError",
     "ConfigurationError",
     "SimulationError",
 ]
@@ -86,6 +90,41 @@ class WorkloadError(ReproError):
 
 class ProtocolError(ReproError):
     """Client/server protocol violation in the simulated system."""
+
+
+class WireFormatError(ProtocolError):
+    """Malformed bytes on the binary wire (bad magic, truncation,
+    unknown tag, out-of-range field...).
+
+    Raised by the :mod:`repro.serve` codec whenever a frame or payload
+    cannot be decoded; adversarial input must surface as this type (or
+    a subclass), never as a bare ``struct.error`` or a hang.
+    """
+
+
+class FrameTooLargeError(WireFormatError):
+    """A frame's length prefix exceeds the configured maximum.
+
+    Split out from :class:`WireFormatError` because a peer advertising
+    a multi-gigabyte frame is a resource-exhaustion attempt, not mere
+    corruption; servers reject it before allocating anything.
+    """
+
+
+class ServeError(NetworkError):
+    """Async serving-layer failure (connection closed, server full...)."""
+
+
+class RemoteServeError(ServeError):
+    """The server answered with an error frame.
+
+    Carries the wire-level error ``code`` so clients can distinguish a
+    malformed request from an overloaded or draining server.
+    """
+
+    def __init__(self, message: str, *, code: int) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 class ConfigurationError(ReproError):

@@ -118,6 +118,28 @@ class CoefficientBatch:
             raise ProtocolError("batch row id out of store range")
         object.__setattr__(self, "rows", rows)
 
+    def __eq__(self, other: object) -> bool:
+        """Content equality: the same rows on the wire.
+
+        Two batches are equal when the *selected row data* matches,
+        regardless of which store backs them or which row ids select
+        it -- exactly what survives a serialisation round trip, where
+        the receiver re-bases the batch onto a store holding only the
+        shipped rows.
+        """
+        if not isinstance(other, CoefficientBatch):
+            return NotImplemented
+        if self.count != other.count:
+            return False
+        return bool(
+            np.array_equal(
+                self.store.data[self.rows], other.store.data[other.rows]
+            )
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.count, self.store.data[self.rows].tobytes()))
+
     @property
     def count(self) -> int:
         return int(self.rows.size)

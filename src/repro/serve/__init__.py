@@ -1,0 +1,77 @@
+"""Async socket serving of the motion-aware retrieval pipeline.
+
+The :mod:`repro.serve` package turns the in-process
+:class:`~repro.server.server.Server` into a deployable network
+service:
+
+* :mod:`repro.serve.framing` -- the frame layer: versioned header,
+  length-prefixed frames, typed errors for anything malformed;
+* :mod:`repro.serve.wire` -- the payload codec: columnar
+  ``to_bytes`` / ``from_bytes`` for the :mod:`repro.net.messages`
+  wire types;
+* :mod:`repro.serve.engine` -- the decode -> plan -> execute -> encode
+  pipeline over one query server;
+* :mod:`repro.serve.service` -- the asyncio TCP server: bounded send
+  queues, connection limits, graceful drain;
+* :mod:`repro.serve.client` -- the pipelined async client.
+
+Run a demo server with ``python -m repro.serve``.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.engine import EngineStats, QueryPlan, ServeEngine
+from repro.serve.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER_SIZE,
+    MAGIC,
+    PROTOCOL_VERSION,
+    MessageTag,
+    decode_frame,
+    encode_frame,
+    parse_header,
+    read_frame,
+)
+from repro.serve.service import RetrieveService, ServeConfig, ServiceStats
+from repro.serve.wire import (
+    ErrorCode,
+    decode_batch,
+    decode_error,
+    decode_request,
+    decode_response,
+    encode_batch,
+    encode_error,
+    encode_request,
+    encode_response,
+    from_bytes,
+    to_bytes,
+)
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "HEADER_SIZE",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "MessageTag",
+    "ErrorCode",
+    "encode_frame",
+    "parse_header",
+    "decode_frame",
+    "read_frame",
+    "to_bytes",
+    "from_bytes",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "encode_batch",
+    "decode_batch",
+    "encode_error",
+    "decode_error",
+    "ServeEngine",
+    "QueryPlan",
+    "EngineStats",
+    "RetrieveService",
+    "ServeConfig",
+    "ServiceStats",
+    "ServeClient",
+]

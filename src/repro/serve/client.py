@@ -1,0 +1,243 @@
+"""Async client for the retrieval wire protocol.
+
+A :class:`ServeClient` owns one TCP connection and supports pipelined
+requests: because the server answers strictly in request order per
+connection, responses are correlated FIFO -- each in-flight call holds
+a future that the single reader task resolves in turn.  Concurrent
+``retrieve`` calls from many coroutines are safe; writes are ordered
+under a lock so a future's position in the pending queue always
+matches its frame's position on the wire.
+
+Error frames resolve the oldest pending call with a typed
+:class:`~repro.errors.RemoteServeError`; connection loss fails every
+pending call with :class:`~repro.errors.ServeError`.  The client never
+hangs on a dead server: end-of-stream is detected by the reader task
+and propagated immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.errors import RemoteServeError, ServeError
+from repro.geometry.box import Box
+from repro.net.messages import (
+    RegionRequest,
+    RetrieveBatchResponse,
+    RetrieveRequest,
+)
+from repro.serve.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    MessageTag,
+    encode_frame,
+    read_frame,
+)
+from repro.serve.wire import (
+    decode_error,
+    decode_response,
+    encode_request,
+)
+from repro.store.uids import EMPTY_UIDS, UidSet
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One pipelined protocol connection.  Build via :meth:`connect`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        client_id: int,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._client_id = client_id
+        self._max_frame_bytes = max_frame_bytes
+        #: In-flight calls, oldest first: ``(expected_tag, future)``.
+        self._pending: deque[tuple[int, asyncio.Future]] = deque()
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._conn_error: ServeError | None = None
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        client_id: int = 0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(
+            reader,
+            writer,
+            client_id=client_id,
+            max_frame_bytes=max_frame_bytes,
+        )
+
+    @property
+    def client_id(self) -> int:
+        return self._client_id
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- calls -------------------------------------------------------------
+
+    async def retrieve(self, request: RetrieveRequest) -> RetrieveBatchResponse:
+        """Send one request; await its (order-correlated) response."""
+        frame = encode_frame(MessageTag.REQUEST, encode_request(request))
+        future = await self._send(MessageTag.RESPONSE, frame)
+        result = await future
+        assert isinstance(result, RetrieveBatchResponse)
+        return result
+
+    async def retrieve_regions(
+        self,
+        timestamp: float,
+        regions: tuple[RegionRequest, ...] | list[RegionRequest],
+        exclude_uids: UidSet = EMPTY_UIDS,
+    ) -> RetrieveBatchResponse:
+        """Convenience wrapper building the request for this client id."""
+        return await self.retrieve(
+            RetrieveRequest(
+                timestamp=timestamp,
+                client_id=self._client_id,
+                regions=tuple(regions),
+                exclude_uids=exclude_uids,
+            )
+        )
+
+    async def retrieve_window(
+        self,
+        timestamp: float,
+        window: Box,
+        w_min: float,
+        w_max: float = 1.0,
+        exclude_uids: UidSet = EMPTY_UIDS,
+    ) -> RetrieveBatchResponse:
+        """One-region retrieve of ``window`` at band ``[w_min, w_max]``."""
+        return await self.retrieve_regions(
+            timestamp,
+            (RegionRequest(region=window, w_min=w_min, w_max=w_max),),
+            exclude_uids,
+        )
+
+    async def ping(self) -> None:
+        """Round-trip an empty liveness frame."""
+        future = await self._send(
+            MessageTag.PONG, encode_frame(MessageTag.PING, b"")
+        )
+        await future
+
+    async def close(self) -> None:
+        """Close the connection; in-flight calls fail with ServeError."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._fail_pending(ServeError("client closed"))
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # -- plumbing ----------------------------------------------------------
+
+    async def _send(self, expected_tag: int, frame: bytes) -> asyncio.Future:
+        if self._closed:
+            raise ServeError("client is closed")
+        if self._conn_error is not None:
+            raise self._conn_error
+        future = asyncio.get_running_loop().create_future()
+        async with self._write_lock:
+            # Append inside the lock: pending order == wire order.
+            self._pending.append((expected_tag, future))
+            try:
+                self._writer.write(frame)
+                await self._writer.drain()
+            except (ConnectionError, OSError) as exc:
+                self._pending.remove((expected_tag, future))
+                raise ServeError(f"connection lost on send: {exc}") from exc
+        return future
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(
+                    self._reader, max_frame_bytes=self._max_frame_bytes
+                )
+                if frame is None:
+                    self._fail_pending(ServeError("server closed connection"))
+                    return
+                tag, payload = frame
+                if tag == MessageTag.ERROR:
+                    code, message = decode_error(payload)
+                    error = RemoteServeError(message, code=code)
+                    if self._pending:
+                        _, future = self._pending.popleft()
+                        if not future.done():
+                            future.set_exception(error)
+                    else:
+                        # Unsolicited (e.g. SERVER_FULL on connect):
+                        # poison the connection for later calls.
+                        self._conn_error = error
+                        self._fail_pending(error)
+                    continue
+                if not self._pending:
+                    self._fail_pending(
+                        ServeError(f"unsolicited frame tag {tag}")
+                    )
+                    return
+                expected_tag, future = self._pending.popleft()
+                if tag != expected_tag:
+                    if not future.done():
+                        future.set_exception(
+                            ServeError(
+                                f"out-of-order frame: got tag {tag}, "
+                                f"expected {expected_tag}"
+                            )
+                        )
+                    continue
+                if future.done():
+                    continue
+                if tag == MessageTag.PONG:
+                    future.set_result(None)
+                else:
+                    try:
+                        future.set_result(decode_response(payload))
+                    except Exception as exc:  # typed WireFormatError
+                        future.set_exception(exc)
+        except (ConnectionError, OSError) as exc:
+            self._fail_pending(ServeError(f"connection lost: {exc}"))
+        except Exception as exc:  # wire errors from read_frame
+            self._fail_pending(ServeError(f"protocol failure: {exc}"))
+
+    def _fail_pending(self, error: ServeError) -> None:
+        if self._conn_error is None:
+            self._conn_error = error
+        while self._pending:
+            _, future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(error)

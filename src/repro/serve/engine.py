@@ -1,0 +1,123 @@
+"""The serving engine: decode -> plan -> execute -> encode.
+
+One :class:`ServeEngine` wraps one in-process
+:class:`~repro.server.server.Server` and turns request payload bytes
+into response frame bytes, mirroring the parser / planner / executor
+split of a query front end:
+
+* **decode** -- :func:`repro.serve.wire.decode_request` parses the
+  framed payload into a :class:`~repro.net.messages.RetrieveRequest`
+  (malformed bytes raise typed errors before any state is touched);
+* **plan** -- resolves the execution strategy for this client: the
+  frame-delta :class:`~repro.server.planner.FrontierPlanner` path when
+  the server has one live, the cold columnar traversal otherwise;
+* **execute** -- :meth:`Server.execute_batch` answers on the columnar
+  path, maintaining per-client planner memos and shipped-base state;
+* **encode** -- the columnar response is serialised straight from the
+  store's columns into one RESPONSE frame.
+
+The engine is transport-free and synchronous; the asyncio service
+(:mod:`repro.serve.service`) calls :meth:`handle` once per REQUEST
+frame.  All counters are plain ints updated on the event loop thread,
+so they are exact without locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.messages import RetrieveBatchResponse, RetrieveRequest
+from repro.serve.framing import MessageTag, encode_frame
+from repro.serve.wire import decode_request, encode_response
+from repro.server.server import Server
+
+__all__ = ["ServeEngine", "QueryPlan", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A decoded request bound to its execution strategy."""
+
+    request: RetrieveRequest
+    #: True when the frame-delta planner will answer the sub-queries
+    #: from this client's leaf-frontier memo (warm or cold).
+    delta_planned: bool
+
+    @property
+    def client_id(self) -> int:
+        return self.request.client_id
+
+
+@dataclass
+class EngineStats:
+    """Pipeline counters (exact: mutated only on the event loop)."""
+
+    requests: int = 0
+    decode_errors: int = 0
+    rows_shipped: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    clients: set[int] = field(default_factory=set)
+
+
+class ServeEngine:
+    """Binds the wire codec to one in-process query server."""
+
+    def __init__(self, server: Server) -> None:
+        self._server = server
+        self.stats = EngineStats()
+
+    @property
+    def server(self) -> Server:
+        return self._server
+
+    # -- pipeline stages ---------------------------------------------------
+
+    def decode(self, payload: bytes) -> RetrieveRequest:
+        """Parse stage: payload bytes to a validated request."""
+        try:
+            request = decode_request(payload)
+        except Exception:
+            self.stats.decode_errors += 1
+            raise
+        self.stats.bytes_in += len(payload)
+        return request
+
+    def plan(self, request: RetrieveRequest) -> QueryPlan:
+        """Plan stage: pick the delta or cold path for this client."""
+        return QueryPlan(
+            request=request, delta_planned=self._server.planner is not None
+        )
+
+    def execute(self, plan: QueryPlan) -> RetrieveBatchResponse:
+        """Execute stage: answer on the columnar batch path."""
+        response = self._server.execute_batch(plan.request)
+        self.stats.requests += 1
+        self.stats.rows_shipped += response.record_count
+        self.stats.clients.add(plan.client_id)
+        return response
+
+    def encode(self, response: RetrieveBatchResponse) -> bytes:
+        """Encode stage: one complete RESPONSE frame."""
+        frame = encode_frame(MessageTag.RESPONSE, encode_response(response))
+        self.stats.bytes_out += len(frame)
+        return frame
+
+    # -- one-shot ----------------------------------------------------------
+
+    def handle(self, payload: bytes) -> tuple[bytes, int]:
+        """Run the full pipeline on one REQUEST payload.
+
+        Returns ``(response_frame, client_id)`` so the transport can
+        associate the connection with the client state it must free on
+        disconnect.  Raises the stage's typed error on failure; the
+        caller maps it to an ERROR frame.
+        """
+        request = self.decode(payload)
+        plan = self.plan(request)
+        response = self.execute(plan)
+        return self.encode(response), plan.client_id
+
+    def release_client(self, client_id: int) -> None:
+        """Free all server-side state for a disconnected client."""
+        self._server.disconnect(client_id)

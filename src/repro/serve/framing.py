@@ -1,0 +1,157 @@
+"""Frame layer of the binary wire protocol.
+
+Every message travels inside one *frame*::
+
+    offset  size  field
+    0       2     magic   b"RW"  (Retrieval Wire)
+    2       1     version protocol version, currently 1
+    3       1     tag     message type (:class:`MessageTag`)
+    4       4     length  payload byte count, unsigned little-endian
+    8       n     payload tag-specific binary body (:mod:`repro.serve.wire`)
+
+All integers on the wire are little-endian.  The frame layer is
+deliberately dumb: it never inspects payloads, it only guarantees that
+a reader either yields a complete ``(tag, payload)`` pair or raises a
+typed :mod:`repro.errors` exception -- truncated streams, bad magic,
+foreign versions, and oversized length prefixes can never hang a
+connection or leak into payload decoding.
+
+The length prefix is checked against ``max_frame_bytes`` *before* any
+allocation, so a peer advertising a multi-gigabyte frame costs the
+server eight header bytes, not memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import struct
+
+from repro.errors import FrameTooLargeError, WireFormatError
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "HEADER_SIZE",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "MessageTag",
+    "encode_frame",
+    "parse_header",
+    "decode_frame",
+    "read_frame",
+]
+
+#: First two bytes of every frame.
+MAGIC = b"RW"
+
+#: Wire protocol version this codec speaks.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct("<2sBBI")
+
+#: Bytes of the fixed frame header.
+HEADER_SIZE = _HEADER.size
+
+#: Default cap on one frame's payload (requests and responses both).
+DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class MessageTag(enum.IntEnum):
+    """Message types multiplexed over one connection."""
+
+    REQUEST = 1  #: client -> server, a RetrieveRequest
+    RESPONSE = 2  #: server -> client, a RetrieveBatchResponse
+    ERROR = 3  #: server -> client, (code, message)
+    PING = 4  #: client -> server, empty liveness probe
+    PONG = 5  #: server -> client, empty liveness answer
+    BATCH = 6  #: a standalone CoefficientBatch (tooling/replay, not RPC)
+
+
+def encode_frame(tag: int, payload: bytes) -> bytes:
+    """One complete frame: header plus payload."""
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, int(tag), len(payload)) + payload
+
+
+def parse_header(
+    header: bytes, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> tuple[int, int]:
+    """Validate a frame header, returning ``(tag, payload_length)``.
+
+    The tag is *not* required to be a known :class:`MessageTag`: an
+    unknown tag is a recoverable condition (the payload length is still
+    trustworthy, so the stream stays in sync) and is left to the
+    dispatch layer to reject with a typed error.
+    """
+    if len(header) != HEADER_SIZE:
+        raise WireFormatError(
+            f"frame header needs {HEADER_SIZE} bytes, got {len(header)}"
+        )
+    magic, version, tag, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad frame magic {magic!r}, want {MAGIC!r}")
+    if version != PROTOCOL_VERSION:
+        raise WireFormatError(
+            f"unsupported protocol version {version}, speak {PROTOCOL_VERSION}"
+        )
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte cap"
+        )
+    return tag, length
+
+
+def decode_frame(
+    buffer: bytes, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> tuple[int, bytes, int]:
+    """Split one frame off a byte buffer (sans-I/O twin of :func:`read_frame`).
+
+    Returns ``(tag, payload, bytes_consumed)``.  Raises
+    :class:`WireFormatError` when the buffer holds less than one
+    complete frame -- framing over a byte string is all-or-nothing.
+    """
+    if len(buffer) < HEADER_SIZE:
+        raise WireFormatError(
+            f"truncated frame header: {len(buffer)} of {HEADER_SIZE} bytes"
+        )
+    tag, length = parse_header(
+        buffer[:HEADER_SIZE], max_frame_bytes=max_frame_bytes
+    )
+    end = HEADER_SIZE + length
+    if len(buffer) < end:
+        raise WireFormatError(
+            f"truncated frame payload: {len(buffer) - HEADER_SIZE} of "
+            f"{length} bytes"
+        )
+    return tag, buffer[HEADER_SIZE:end], end
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> tuple[int, bytes] | None:
+    """Read one frame from a stream.
+
+    Returns ``None`` on a clean end-of-stream (the peer closed between
+    frames).  EOF *inside* a frame raises :class:`WireFormatError`, an
+    advertised length over ``max_frame_bytes`` raises
+    :class:`FrameTooLargeError` -- before the payload is read.
+    """
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireFormatError(
+            f"connection closed mid-header ({len(exc.partial)} of "
+            f"{HEADER_SIZE} bytes)"
+        ) from exc
+    tag, length = parse_header(header, max_frame_bytes=max_frame_bytes)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireFormatError(
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{length} payload bytes)"
+        ) from exc
+    return tag, payload

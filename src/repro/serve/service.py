@@ -1,0 +1,364 @@
+"""Asyncio TCP service multiplexing connections onto one query server.
+
+Promotes the in-process :class:`~repro.server.server.Server` to a
+long-lived socket service.  Every connection runs two tasks:
+
+* a **read loop** (the connection's handler task) that frames the
+  inbound byte stream, runs each REQUEST through the
+  :class:`~repro.serve.engine.ServeEngine` pipeline, and enqueues the
+  response frame;
+* a **write loop** draining a *bounded* per-connection send queue to
+  the socket with flow control (``await drain()``).
+
+Backpressure is explicit and end-to-end: when a client reads slowly,
+``drain()`` blocks the write loop, the send queue fills to its bound,
+the read loop blocks on ``queue.put`` and therefore stops reading the
+socket, and TCP pushes back on the client.  Server memory per
+connection is bounded by ``send_queue_frames`` frames plus the
+transport's write buffer (capped via ``write_buffer_bytes``).
+
+Connection lifecycle invariants:
+
+* a connection over the ``max_connections`` limit is answered with one
+  SERVER_FULL error frame and closed -- it never consumes a slot;
+* malformed *framing* (bad magic, truncated stream, oversized length
+  prefix) kills only that connection, after a best-effort MALFORMED
+  error frame; malformed *payloads* and unknown tags inside valid
+  frames are answered with an error frame and the connection lives on;
+* every client id seen on a connection is released on close
+  (:meth:`Server.disconnect`), freeing its shipped-base and
+  frontier-planner LRU slots;
+* :meth:`shutdown` drains gracefully: the listener closes, read loops
+  stop, queued responses are flushed, then sockets close.  Connections
+  still stuck after ``drain_grace_s`` are aborted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ConfigurationError,
+    FrameTooLargeError,
+    ReproError,
+    WireFormatError,
+)
+from repro.serve.engine import ServeEngine
+from repro.serve.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    MessageTag,
+    encode_frame,
+    read_frame,
+)
+from repro.serve.wire import ErrorCode, encode_error
+from repro.server.server import Server
+
+__all__ = ["ServeConfig", "ServiceStats", "RetrieveService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one :class:`RetrieveService`."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (read it back via ``service.port``).
+    port: int = 0
+    #: Hard cap on concurrently served connections.
+    max_connections: int = 1024
+    #: Bound of each connection's send queue, in frames.
+    send_queue_frames: int = 32
+    #: Reject any frame whose length prefix exceeds this.
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    #: Transport write-buffer high-water mark (None keeps asyncio's).
+    write_buffer_bytes: int | None = None
+    #: Seconds :meth:`shutdown` waits for queued frames to flush.
+    drain_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_connections < 1:
+            raise ConfigurationError(
+                f"max_connections must be >= 1, got {self.max_connections}"
+            )
+        if self.send_queue_frames < 1:
+            raise ConfigurationError(
+                f"send_queue_frames must be >= 1, got {self.send_queue_frames}"
+            )
+        if self.max_frame_bytes < 1:
+            raise ConfigurationError(
+                f"max_frame_bytes must be >= 1, got {self.max_frame_bytes}"
+            )
+        if self.drain_grace_s < 0:
+            raise ConfigurationError(
+                f"drain_grace_s must be >= 0, got {self.drain_grace_s}"
+            )
+
+
+@dataclass
+class ServiceStats:
+    """Service-wide counters (exact: mutated only on the event loop)."""
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    connections_rejected: int = 0
+    frames_sent: int = 0
+    wire_errors: int = 0
+    request_errors: int = 0
+    #: Highest send-queue depth observed on any connection; bounded by
+    #: ``send_queue_frames`` by construction.
+    queue_high_water: int = 0
+
+
+@dataclass(eq=False)
+class _Connection:
+    """Per-connection state shared by the read and write loops.
+
+    ``eq=False`` keeps identity hashing so live connections can sit in
+    the service's tracking set.
+    """
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    queue: asyncio.Queue
+    client_ids: set = field(default_factory=set)
+    #: Set when the socket died under the write loop; frames are then
+    #: drained and discarded so the read loop can never deadlock on put.
+    broken: bool = False
+    handler_task: asyncio.Task | None = None
+    writer_task: asyncio.Task | None = None
+
+
+class RetrieveService:
+    """A TCP front end over one :class:`~repro.server.server.Server`.
+
+    Usage::
+
+        service = RetrieveService(Server(database), ServeConfig())
+        await service.start()
+        ...  # service.port is bound; clients may connect
+        await service.shutdown()
+
+    or as an async context manager, which starts on enter and drains
+    on exit.
+    """
+
+    def __init__(self, server: Server, config: ServeConfig | None = None):
+        self._engine = ServeEngine(server)
+        self._config = config if config is not None else ServeConfig()
+        self._listener: asyncio.AbstractServer | None = None
+        self._connections: set[_Connection] = set()
+        self._draining = False
+        self.stats = ServiceStats()
+
+    @property
+    def engine(self) -> ServeEngine:
+        return self._engine
+
+    @property
+    def config(self) -> ServeConfig:
+        return self._config
+
+    @property
+    def connection_count(self) -> int:
+        return len(self._connections)
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (only valid after :meth:`start`)."""
+        if self._listener is None or not self._listener.sockets:
+            raise ConfigurationError("service is not started")
+        return int(self._listener.sockets[0].getsockname()[1])
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._listener is not None:
+            raise ConfigurationError("service already started")
+        self._listener = await asyncio.start_server(
+            self._on_connection, self._config.host, self._config.port
+        )
+
+    async def serve_forever(self) -> None:
+        if self._listener is None:
+            raise ConfigurationError("service is not started")
+        await self._listener.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain queued responses, close every socket."""
+        self._draining = True
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+        connections = list(self._connections)
+        for conn in connections:
+            if conn.handler_task is not None:
+                conn.handler_task.cancel()
+        handler_tasks = [
+            conn.handler_task
+            for conn in connections
+            if conn.handler_task is not None
+        ]
+        if handler_tasks:
+            done, pending = await asyncio.wait(
+                handler_tasks, timeout=self._config.drain_grace_s
+            )
+            if pending:
+                # Stuck flushing to unreachable peers: abort them.
+                for conn in connections:
+                    if conn.writer_task is not None:
+                        conn.writer_task.cancel()
+                    conn.writer.transport.abort()
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._connections.clear()
+
+    async def __aenter__(self) -> "RetrieveService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.shutdown()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining or len(self._connections) >= self._config.max_connections:
+            await self._reject(writer)
+            return
+        conn = _Connection(
+            reader=reader,
+            writer=writer,
+            queue=asyncio.Queue(maxsize=self._config.send_queue_frames),
+        )
+        conn.handler_task = asyncio.current_task()
+        if self._config.write_buffer_bytes is not None:
+            writer.transport.set_write_buffer_limits(
+                high=self._config.write_buffer_bytes
+            )
+        self._connections.add(conn)
+        self.stats.connections_opened += 1
+        conn.writer_task = asyncio.get_running_loop().create_task(
+            self._write_loop(conn)
+        )
+        try:
+            await self._read_loop(conn)
+        except asyncio.CancelledError:
+            # Shutdown drain: stop reading, still flush what is queued.
+            pass
+        except (ConnectionError, OSError):
+            conn.broken = True
+        finally:
+            await conn.queue.put(None)
+            await conn.writer_task
+            for client_id in conn.client_ids:
+                self._engine.release_client(client_id)
+            self._connections.discard(conn)
+            self.stats.connections_closed += 1
+            await self._close_writer(writer)
+
+    async def _reject(self, writer: asyncio.StreamWriter) -> None:
+        """One error frame and goodbye; never occupies a slot."""
+        self.stats.connections_rejected += 1
+        code = (
+            ErrorCode.SHUTTING_DOWN if self._draining else ErrorCode.SERVER_FULL
+        )
+        reason = "server draining" if self._draining else "connection limit"
+        try:
+            writer.write(
+                encode_frame(MessageTag.ERROR, encode_error(code, reason))
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        await self._close_writer(writer)
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- read side ---------------------------------------------------------
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        while True:
+            try:
+                frame = await read_frame(
+                    conn.reader, max_frame_bytes=self._config.max_frame_bytes
+                )
+            except (FrameTooLargeError, WireFormatError) as exc:
+                # Stream-level damage: framing can no longer be trusted,
+                # so answer once and close this connection only.
+                self.stats.wire_errors += 1
+                await self._enqueue_error(conn, ErrorCode.MALFORMED, str(exc))
+                return
+            if frame is None:
+                return  # clean EOF between frames
+            tag, payload = frame
+            if tag == MessageTag.PING:
+                await self._enqueue(conn, encode_frame(MessageTag.PONG, b""))
+                continue
+            if tag != MessageTag.REQUEST:
+                # The length prefix was honoured, the stream is still in
+                # sync: reject the message, keep the connection.
+                self.stats.wire_errors += 1
+                await self._enqueue_error(
+                    conn,
+                    ErrorCode.UNSUPPORTED,
+                    f"unexpected message tag {tag}",
+                )
+                continue
+            try:
+                response_frame, client_id = self._engine.handle(payload)
+            except WireFormatError as exc:
+                self.stats.request_errors += 1
+                await self._enqueue_error(conn, ErrorCode.MALFORMED, str(exc))
+                continue
+            except ReproError as exc:
+                self.stats.request_errors += 1
+                await self._enqueue_error(conn, ErrorCode.INTERNAL, str(exc))
+                continue
+            conn.client_ids.add(client_id)
+            await self._enqueue(conn, response_frame)
+
+    async def _enqueue(self, conn: _Connection, frame: bytes) -> None:
+        """Bounded put: blocks the read loop when the peer reads slowly."""
+        await conn.queue.put(frame)
+        depth = conn.queue.qsize()
+        if depth > self.stats.queue_high_water:
+            self.stats.queue_high_water = depth
+
+    async def _enqueue_error(
+        self, conn: _Connection, code: int, message: str
+    ) -> None:
+        await self._enqueue(
+            conn, encode_frame(MessageTag.ERROR, encode_error(code, message))
+        )
+
+    # -- write side --------------------------------------------------------
+
+    async def _write_loop(self, conn: _Connection) -> None:
+        """Drain the send queue to the socket until the sentinel.
+
+        Never exits early on a dead socket: it keeps consuming (and
+        discarding) frames so the read loop's bounded ``put`` can
+        always complete -- otherwise a peer that vanished with a full
+        queue would wedge its handler task forever.
+        """
+        while True:
+            frame = await conn.queue.get()
+            if frame is None:
+                return
+            if conn.broken:
+                continue
+            try:
+                conn.writer.write(frame)
+                await conn.writer.drain()
+                self.stats.frames_sent += 1
+            except (ConnectionError, OSError):
+                conn.broken = True

@@ -1,0 +1,447 @@
+"""Binary payload codec for the retrieval wire protocol.
+
+Gives the existing :mod:`repro.net.messages` wire types a *real* byte
+representation.  The design rule is the same one the columnar data path
+follows in RAM: messages travel as **columns, not objects**.  A
+:class:`~repro.net.messages.CoefficientBatch` serialises as seven flat
+numpy column blobs (packed uids, values, support bounds, positions,
+payload vectors, sizes); the receiver re-bases them onto a fresh
+:class:`~repro.store.columns.CoefficientStore` holding exactly the
+shipped rows, so ``from_bytes(to_bytes(msg)) == msg`` under the
+batch's content equality and decoding a million-coefficient response
+is a handful of ``np.frombuffer`` calls, not a parse loop.
+
+Payload grammar (all integers little-endian; ``f64[n]`` is a raw
+column of ``n`` doubles)::
+
+    region    := u8 ndim, f64[ndim] low, f64[ndim] high,
+                 f64 w_min, f64 w_max, u8 half_open
+    request   := f64 timestamp, i64 client_id,
+                 u32 n_regions, region*, u32 n_exclude, i64[n_exclude]
+    mesh      := u32 n_vertices, u32 n_faces,
+                 f64[n_vertices*3], i64[n_faces*3]
+    base      := i64 object_id, i64 size_bytes, mesh
+    batch     := u32 n_rows, i64[n] uids, f64[n] w, f64[n*3] sup_low,
+                 f64[n*3] sup_high, f64[n*3] position, f64[n*3] payload,
+                 i64[n] size_bytes
+    response  := request, u32 n_bases, base*, batch,
+                 i64 io_node_reads, i64 filtered_out
+    error     := u16 code, u32 n_bytes, utf8[n_bytes]
+
+Every decoder is *total* over arbitrary bytes: any malformed input --
+truncation, trailing garbage, out-of-range counts, non-finite floats,
+invalid geometry -- raises :class:`~repro.errors.WireFormatError`
+(semantic validation failures from the message constructors are
+wrapped, preserving the cause).  Nothing here ever raises a bare
+``struct.error`` or hangs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import ReproError, WireFormatError
+from repro.geometry.box import Box
+from repro.mesh.trimesh import TriMesh
+from repro.net.messages import (
+    BaseMeshPayload,
+    CoefficientBatch,
+    RegionRequest,
+    RetrieveBatchResponse,
+    RetrieveRequest,
+)
+from repro.serve.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    MessageTag,
+    decode_frame,
+    encode_frame,
+)
+from repro.store.columns import COEFF_DTYPE, CoefficientStore
+from repro.store.uids import UidSet, unpack_uid_arrays
+
+__all__ = [
+    "ErrorCode",
+    "to_bytes",
+    "from_bytes",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "encode_batch",
+    "decode_batch",
+    "encode_error",
+    "decode_error",
+]
+
+_I64 = np.dtype("<i8")
+_F64 = np.dtype("<f8")
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I64S = struct.Struct("<q")
+_F64S = struct.Struct("<d")
+
+#: Sanity cap on per-message element counts (regions, meshes) that the
+#: frame-size cap alone would let grow into parse-time DoS.
+_MAX_REGIONS = 4096
+
+
+class ErrorCode:
+    """Error-frame codes (u16 on the wire)."""
+
+    MALFORMED = 1  #: the request could not be decoded
+    UNSUPPORTED = 2  #: unknown message tag or protocol feature
+    SERVER_FULL = 3  #: connection-count limit reached
+    SHUTTING_DOWN = 4  #: server is draining; no new requests
+    INTERNAL = 5  #: request decoded but execution failed
+
+
+class _Cursor:
+    """Bounds-checked reader over one payload buffer.
+
+    Every read validates the remaining byte count *before* touching
+    (or allocating for) the data, so truncated and lying inputs fail
+    fast with a typed error.
+    """
+
+    __slots__ = ("_view", "_pos")
+
+    def __init__(self, payload: bytes) -> None:
+        self._view = memoryview(payload)
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._view) - self._pos
+
+    def take(self, count: int) -> memoryview:
+        if count < 0 or count > self.remaining:
+            raise WireFormatError(
+                f"truncated payload: need {count} bytes at offset "
+                f"{self._pos}, have {self.remaining}"
+            )
+        view = self._view[self._pos : self._pos + count]
+        self._pos += count
+        return view
+
+    def unpack(self, fmt: struct.Struct) -> tuple:
+        return fmt.unpack(self.take(fmt.size))
+
+    def take_array(self, dtype: np.dtype, count: int) -> np.ndarray:
+        """A copied (writable, native-order) array of ``count`` items."""
+        raw = self.take(count * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype).astype(dtype.newbyteorder("="))
+
+    def finish(self) -> None:
+        if self.remaining:
+            raise WireFormatError(
+                f"{self.remaining} trailing bytes after message payload"
+            )
+
+
+def _column_bytes(array: np.ndarray, dtype: np.dtype) -> bytes:
+    return np.ascontiguousarray(array, dtype=dtype).tobytes()
+
+
+def _finite_or_raise(array: np.ndarray, what: str) -> np.ndarray:
+    if array.size and not bool(np.all(np.isfinite(array))):
+        raise WireFormatError(f"non-finite float in {what}")
+    return array
+
+
+# -- regions / requests ------------------------------------------------------
+
+
+def _encode_region(out: bytearray, region: RegionRequest) -> None:
+    box = region.region
+    out += _U8.pack(box.ndim)
+    out += _column_bytes(box.low, _F64)
+    out += _column_bytes(box.high, _F64)
+    out += _F64S.pack(region.w_min)
+    out += _F64S.pack(region.w_max)
+    out += _U8.pack(1 if region.half_open else 0)
+
+
+def _decode_region(cur: _Cursor) -> RegionRequest:
+    (ndim,) = cur.unpack(_U8)
+    if not 1 <= ndim <= 4:
+        raise WireFormatError(f"region dimensionality {ndim} outside [1, 4]")
+    low = cur.take_array(_F64, ndim)
+    high = cur.take_array(_F64, ndim)
+    (w_min,) = cur.unpack(_F64S)
+    (w_max,) = cur.unpack(_F64S)
+    (half_open,) = cur.unpack(_U8)
+    if half_open not in (0, 1):
+        raise WireFormatError(f"half_open flag must be 0 or 1, got {half_open}")
+    return RegionRequest(
+        region=Box(low, high),
+        w_min=w_min,
+        w_max=w_max,
+        half_open=bool(half_open),
+    )
+
+
+def encode_request(request: RetrieveRequest) -> bytes:
+    """Serialise one :class:`RetrieveRequest` payload (no frame header)."""
+    out = bytearray()
+    out += _F64S.pack(request.timestamp)
+    out += _I64S.pack(request.client_id)
+    out += _U32.pack(len(request.regions))
+    for region in request.regions:
+        _encode_region(out, region)
+    exclude = request.exclude_uids.packed
+    out += _U32.pack(exclude.size)
+    out += _column_bytes(exclude, _I64)
+    return bytes(out)
+
+
+def _decode_request_cursor(cur: _Cursor) -> RetrieveRequest:
+    (timestamp,) = cur.unpack(_F64S)
+    if not np.isfinite(timestamp):
+        raise WireFormatError(f"non-finite request timestamp {timestamp}")
+    (client_id,) = cur.unpack(_I64S)
+    (n_regions,) = cur.unpack(_U32)
+    if not 1 <= n_regions <= _MAX_REGIONS:
+        raise WireFormatError(
+            f"request region count {n_regions} outside [1, {_MAX_REGIONS}]"
+        )
+    regions = tuple(_decode_region(cur) for _ in range(n_regions))
+    (n_exclude,) = cur.unpack(_U32)
+    exclude = cur.take_array(_I64, n_exclude)
+    if exclude.size and int(exclude.min()) < 0:
+        raise WireFormatError("negative packed uid in exclude set")
+    return RetrieveRequest(
+        timestamp=timestamp,
+        client_id=int(client_id),
+        regions=regions,
+        exclude_uids=UidSet.from_packed(exclude),
+    )
+
+
+def decode_request(payload: bytes) -> RetrieveRequest:
+    """Parse one request payload; malformed bytes raise typed errors."""
+    with _wire_errors("request"):
+        cur = _Cursor(payload)
+        request = _decode_request_cursor(cur)
+        cur.finish()
+        return request
+
+
+# -- batches / base meshes / responses ---------------------------------------
+
+
+def encode_batch(batch: CoefficientBatch) -> bytes:
+    """Serialise one :class:`CoefficientBatch` payload (no frame header)."""
+    out = bytearray()
+    _encode_batch(out, batch)
+    return bytes(out)
+
+
+def _encode_batch(out: bytearray, batch: CoefficientBatch) -> None:
+    store = batch.store
+    rows = batch.rows
+    out += _U32.pack(rows.size)
+    out += _column_bytes(store.packed_uids[rows], _I64)
+    out += _column_bytes(store.values[rows], _F64)
+    out += _column_bytes(store.support_low[rows], _F64)
+    out += _column_bytes(store.support_high[rows], _F64)
+    out += _column_bytes(store.positions[rows], _F64)
+    out += _column_bytes(store.payloads[rows], _F64)
+    out += _column_bytes(store.sizes[rows], _I64)
+
+
+def _decode_batch_cursor(cur: _Cursor) -> CoefficientBatch:
+    (n,) = cur.unpack(_U32)
+    packed = cur.take_array(_I64, n)
+    if packed.size and int(packed.min()) < 0:
+        raise WireFormatError("negative packed uid in batch")
+    data = np.zeros(n, dtype=COEFF_DTYPE)
+    oid, level, index = unpack_uid_arrays(packed)
+    data["object_id"] = oid
+    data["level"] = level
+    data["index"] = index
+    data["w"] = _finite_or_raise(cur.take_array(_F64, n), "batch values")
+    data["sup_low"] = _finite_or_raise(
+        cur.take_array(_F64, 3 * n), "batch support bounds"
+    ).reshape(n, 3)
+    data["sup_high"] = _finite_or_raise(
+        cur.take_array(_F64, 3 * n), "batch support bounds"
+    ).reshape(n, 3)
+    data["position"] = _finite_or_raise(
+        cur.take_array(_F64, 3 * n), "batch positions"
+    ).reshape(n, 3)
+    data["payload"] = _finite_or_raise(
+        cur.take_array(_F64, 3 * n), "batch payloads"
+    ).reshape(n, 3)
+    data["size_bytes"] = cur.take_array(_I64, n)
+    if n and int(data["size_bytes"].min()) < 0:
+        raise WireFormatError("negative wire size in batch")
+    # Re-base onto a store holding exactly the shipped rows; the store
+    # re-packs the uid columns, rejecting out-of-range components.
+    return CoefficientBatch(
+        store=CoefficientStore(data), rows=np.arange(n, dtype=np.int64)
+    )
+
+
+def decode_batch(payload: bytes) -> CoefficientBatch:
+    """Parse one batch payload; malformed bytes raise typed errors."""
+    with _wire_errors("batch"):
+        cur = _Cursor(payload)
+        batch = _decode_batch_cursor(cur)
+        cur.finish()
+        return batch
+
+
+def _encode_base(out: bytearray, base: BaseMeshPayload) -> None:
+    out += _I64S.pack(base.object_id)
+    out += _I64S.pack(base.size_bytes)
+    mesh = base.mesh
+    out += _U32.pack(mesh.vertex_count)
+    out += _U32.pack(mesh.face_count)
+    out += _column_bytes(mesh.vertices, _F64)
+    out += _column_bytes(mesh.faces, _I64)
+
+
+def _decode_base(cur: _Cursor) -> BaseMeshPayload:
+    (object_id,) = cur.unpack(_I64S)
+    (size_bytes,) = cur.unpack(_I64S)
+    (n_vertices,) = cur.unpack(_U32)
+    (n_faces,) = cur.unpack(_U32)
+    vertices = cur.take_array(_F64, 3 * n_vertices).reshape(n_vertices, 3)
+    faces = cur.take_array(_I64, 3 * n_faces).reshape(n_faces, 3)
+    return BaseMeshPayload(
+        object_id=int(object_id),
+        mesh=TriMesh(vertices, faces),
+        size_bytes=int(size_bytes),
+    )
+
+
+def encode_response(response: RetrieveBatchResponse) -> bytes:
+    """Serialise one :class:`RetrieveBatchResponse` payload."""
+    out = bytearray()
+    out += encode_request(response.request)
+    out += _U32.pack(len(response.base_meshes))
+    for base in response.base_meshes:
+        _encode_base(out, base)
+    _encode_batch(out, response.batch)
+    out += _I64S.pack(response.io_node_reads)
+    out += _I64S.pack(response.filtered_out)
+    return bytes(out)
+
+
+def decode_response(payload: bytes) -> RetrieveBatchResponse:
+    """Parse one response payload; malformed bytes raise typed errors."""
+    with _wire_errors("response"):
+        cur = _Cursor(payload)
+        request = _decode_request_cursor(cur)
+        (n_bases,) = cur.unpack(_U32)
+        if n_bases > _MAX_REGIONS:
+            raise WireFormatError(
+                f"response base-mesh count {n_bases} exceeds {_MAX_REGIONS}"
+            )
+        bases = tuple(_decode_base(cur) for _ in range(n_bases))
+        batch = _decode_batch_cursor(cur)
+        (io_node_reads,) = cur.unpack(_I64S)
+        (filtered_out,) = cur.unpack(_I64S)
+        cur.finish()
+        if io_node_reads < 0 or filtered_out < 0:
+            raise WireFormatError("negative response accounting counter")
+        return RetrieveBatchResponse(
+            request=request,
+            base_meshes=bases,
+            batch=batch,
+            io_node_reads=int(io_node_reads),
+            filtered_out=int(filtered_out),
+        )
+
+
+# -- error frames ------------------------------------------------------------
+
+
+def encode_error(code: int, message: str) -> bytes:
+    """Serialise one error payload."""
+    raw = message.encode("utf-8")
+    return _U16.pack(code) + _U32.pack(len(raw)) + raw
+
+
+def decode_error(payload: bytes) -> tuple[int, str]:
+    """Parse one error payload into ``(code, message)``."""
+    with _wire_errors("error"):
+        cur = _Cursor(payload)
+        (code,) = cur.unpack(_U16)
+        (n,) = cur.unpack(_U32)
+        raw = bytes(cur.take(n))
+        cur.finish()
+        try:
+            message = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"error message is not utf-8: {exc}") from exc
+        return int(code), message
+
+
+# -- framed convenience entry points -----------------------------------------
+
+
+def to_bytes(
+    message: RetrieveRequest | RetrieveBatchResponse | CoefficientBatch,
+) -> bytes:
+    """One complete frame (header + payload) for a wire message."""
+    if isinstance(message, RetrieveRequest):
+        return encode_frame(MessageTag.REQUEST, encode_request(message))
+    if isinstance(message, RetrieveBatchResponse):
+        return encode_frame(MessageTag.RESPONSE, encode_response(message))
+    if isinstance(message, CoefficientBatch):
+        return encode_frame(MessageTag.BATCH, encode_batch(message))
+    raise WireFormatError(
+        f"no wire encoding for {type(message).__name__!r}"
+    )
+
+
+def from_bytes(
+    frame: bytes, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> RetrieveRequest | RetrieveBatchResponse | CoefficientBatch:
+    """Parse one complete frame back into its message object.
+
+    The whole buffer must be exactly one frame; unknown tags and
+    error frames raise :class:`WireFormatError`.
+    """
+    tag, payload, consumed = decode_frame(frame, max_frame_bytes=max_frame_bytes)
+    if consumed != len(frame):
+        raise WireFormatError(
+            f"{len(frame) - consumed} trailing bytes after frame"
+        )
+    if tag == MessageTag.REQUEST:
+        return decode_request(payload)
+    if tag == MessageTag.RESPONSE:
+        return decode_response(payload)
+    if tag == MessageTag.BATCH:
+        return decode_batch(payload)
+    raise WireFormatError(f"unknown or non-message frame tag {tag}")
+
+
+class _wire_errors:
+    """Context manager normalising decode failures to wire errors.
+
+    Structural failures already raise :class:`WireFormatError`; this
+    wraps the *semantic* validation errors raised by message and
+    geometry constructors (inverted boxes, bad bands, uid overflow...)
+    and any escaping ``struct``/numpy error, preserving the cause.
+    """
+
+    __slots__ = ("_what",)
+
+    def __init__(self, what: str) -> None:
+        self._what = what
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        if exc is None or isinstance(exc, WireFormatError):
+            return False
+        if isinstance(exc, (ReproError, struct.error, ValueError)):
+            raise WireFormatError(f"malformed {self._what}: {exc}") from exc
+        return False

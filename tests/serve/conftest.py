@@ -1,0 +1,51 @@
+"""Shared fixtures and async plumbing for the serving-layer tests.
+
+The suite runs without pytest-asyncio: every async test body is driven
+through :func:`run`, which wraps it in ``asyncio.wait_for`` under a
+hard timeout -- a protocol bug that would hang the event loop fails
+the test instead of hanging the run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import AsyncIterator, Awaitable, TypeVar
+
+import pytest
+
+from repro.serve.service import RetrieveService, ServeConfig
+from repro.server.server import Server
+
+T = TypeVar("T")
+
+#: Hard wall for any single async test body.
+TEST_TIMEOUT_S = 30.0
+
+
+def run(coro: Awaitable[T], timeout: float = TEST_TIMEOUT_S) -> T:
+    """Drive one async test body to completion with a hang guard."""
+
+    async def guarded() -> T:
+        return await asyncio.wait_for(coro, timeout)
+
+    return asyncio.run(guarded())
+
+
+@contextlib.asynccontextmanager
+async def serving(
+    server: Server, config: ServeConfig | None = None
+) -> AsyncIterator[RetrieveService]:
+    """A started service that is always drained, even on test failure."""
+    service = RetrieveService(server, config)
+    await service.start()
+    try:
+        yield service
+    finally:
+        await service.shutdown()
+
+
+@pytest.fixture()
+def tiny_serve_server(tiny_city) -> Server:
+    """A fresh in-process server over the shared 6-object city."""
+    return Server(tiny_city)

@@ -1,0 +1,293 @@
+"""Round-trip conformance of the binary wire codec.
+
+``from_bytes(to_bytes(msg)) == msg`` must hold for every wire type,
+over randomly generated messages (hypothesis where installed, the same
+generators under seeded parametrization otherwise) and over the named
+edge cases the protocol is most likely to get wrong: empty batches,
+max-band coefficients, and packed-uid extremes (0 and ``2**63 - 1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.mesh.trimesh import TriMesh
+from repro.net.messages import (
+    BaseMeshPayload,
+    CoefficientBatch,
+    RegionRequest,
+    RetrieveBatchResponse,
+    RetrieveRequest,
+)
+from repro.serve import wire
+from repro.store.columns import COEFF_DTYPE, CoefficientStore
+from repro.store.uids import (
+    INDEX_LIMIT,
+    LEVEL_LIMIT,
+    OBJECT_ID_LIMIT,
+    UidSet,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+SEEDS = list(range(40))
+
+#: Largest packed uid an int64 can carry; UidSets must round-trip it.
+UID_MAX = 2**63 - 1
+
+
+# -- seeded message generators ----------------------------------------------
+
+
+def random_box(rng: np.random.Generator) -> Box:
+    ndim = int(rng.integers(2, 4))
+    low = rng.uniform(-500.0, 500.0, ndim)
+    extent = rng.uniform(0.0, 400.0, ndim)
+    return Box(low, low + extent)
+
+
+def random_region(rng: np.random.Generator) -> RegionRequest:
+    band = np.sort(rng.uniform(0.0, 1.0, 2))
+    return RegionRequest(
+        region=random_box(rng),
+        w_min=float(band[0]),
+        w_max=float(band[1]),
+        half_open=bool(rng.integers(0, 2)),
+    )
+
+
+def random_uid_set(rng: np.random.Generator, max_size: int = 64) -> UidSet:
+    n = int(rng.integers(0, max_size + 1))
+    keys = rng.integers(0, UID_MAX, n, dtype=np.int64, endpoint=True)
+    return UidSet.from_packed(keys)
+
+
+def random_request(rng: np.random.Generator) -> RetrieveRequest:
+    n_regions = int(rng.integers(1, 5))
+    return RetrieveRequest(
+        timestamp=float(rng.uniform(-1e6, 1e6)),
+        client_id=int(rng.integers(0, 2**31)),
+        regions=tuple(random_region(rng) for _ in range(n_regions)),
+        exclude_uids=random_uid_set(rng),
+    )
+
+
+def random_batch(rng: np.random.Generator, max_rows: int = 48) -> CoefficientBatch:
+    n = int(rng.integers(0, max_rows + 1))
+    data = np.zeros(n, dtype=COEFF_DTYPE)
+    data["object_id"] = rng.integers(0, OBJECT_ID_LIMIT, n)
+    data["level"] = rng.integers(-1, LEVEL_LIMIT - 1, n)
+    data["index"] = rng.integers(0, INDEX_LIMIT, n)
+    data["w"] = rng.uniform(0.0, 1.0, n)
+    data["sup_low"] = rng.uniform(-100.0, 100.0, (n, 3))
+    data["sup_high"] = data["sup_low"] + rng.uniform(0.0, 50.0, (n, 3))
+    data["position"] = rng.uniform(-100.0, 100.0, (n, 3))
+    data["payload"] = rng.normal(0.0, 10.0, (n, 3))
+    data["size_bytes"] = rng.integers(0, 10_000, n)
+    return CoefficientBatch(
+        store=CoefficientStore(data), rows=np.arange(n, dtype=np.int64)
+    )
+
+
+def random_base_mesh(rng: np.random.Generator) -> BaseMeshPayload:
+    n_extra = int(rng.integers(0, 4))
+    vertices = rng.uniform(-50.0, 50.0, (3 + n_extra, 3))
+    faces = [[0, 1, 2]] + [
+        [int(i), int(i + 1), int(i + 2)] for i in range(1, n_extra + 1)
+    ]
+    return BaseMeshPayload(
+        object_id=int(rng.integers(0, OBJECT_ID_LIMIT)),
+        mesh=TriMesh(vertices, np.asarray(faces)),
+        size_bytes=int(rng.integers(1, 100_000)),
+    )
+
+
+def random_response(rng: np.random.Generator) -> RetrieveBatchResponse:
+    n_bases = int(rng.integers(0, 4))
+    return RetrieveBatchResponse(
+        request=random_request(rng),
+        base_meshes=tuple(random_base_mesh(rng) for _ in range(n_bases)),
+        batch=random_batch(rng),
+        io_node_reads=int(rng.integers(0, 10_000)),
+        filtered_out=int(rng.integers(0, 10_000)),
+    )
+
+
+def check_roundtrip(message) -> None:
+    frame = wire.to_bytes(message)
+    decoded = wire.from_bytes(frame)
+    assert type(decoded) is type(message)
+    assert decoded == message
+    # A second trip through bytes must be byte-identical (canonical form).
+    assert wire.to_bytes(decoded) == frame
+
+
+# -- seeded sweeps (always run) ----------------------------------------------
+
+
+class TestSeededRoundTrips:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_request(self, seed: int):
+        check_roundtrip(random_request(np.random.default_rng(seed)))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batch(self, seed: int):
+        check_roundtrip(random_batch(np.random.default_rng(1000 + seed)))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_response(self, seed: int):
+        check_roundtrip(random_response(np.random.default_rng(2000 + seed)))
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestHypothesisRoundTrips:
+        """Shrinking search over the same generators, seed-driven."""
+
+        @settings(max_examples=120, deadline=None)
+        @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+        def test_request(self, seed: int):
+            check_roundtrip(random_request(np.random.default_rng(seed)))
+
+        @settings(max_examples=60, deadline=None)
+        @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+        def test_batch(self, seed: int):
+            check_roundtrip(random_batch(np.random.default_rng(seed)))
+
+        @settings(max_examples=40, deadline=None)
+        @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+        def test_response(self, seed: int):
+            check_roundtrip(random_response(np.random.default_rng(seed)))
+
+        @settings(max_examples=120, deadline=None)
+        @given(
+            keys=st.lists(
+                st.integers(min_value=0, max_value=UID_MAX), max_size=64
+            ),
+            timestamp=st.floats(allow_nan=False, allow_infinity=False),
+            client_id=st.integers(min_value=0, max_value=2**62),
+        )
+        def test_exclude_set_values(self, keys, timestamp, client_id):
+            """Arbitrary packed keys (incl. extremes) survive the wire."""
+            request = RetrieveRequest(
+                timestamp=timestamp,
+                client_id=client_id,
+                regions=(RegionRequest(Box((0.0,), (1.0,)), 0.0, 1.0),),
+                exclude_uids=UidSet.from_packed(
+                    np.asarray(keys, dtype=np.int64)
+                ),
+            )
+            check_roundtrip(request)
+
+
+# -- named edge cases ---------------------------------------------------------
+
+
+class TestEdgeCases:
+    def test_empty_batch(self):
+        batch = CoefficientBatch(store=CoefficientStore.empty())
+        assert batch.count == 0
+        check_roundtrip(batch)
+
+    def test_empty_batch_inside_response(self):
+        rng = np.random.default_rng(7)
+        response = RetrieveBatchResponse(
+            request=random_request(rng),
+            base_meshes=(),
+            batch=CoefficientBatch(store=CoefficientStore.empty()),
+            io_node_reads=0,
+            filtered_out=0,
+        )
+        check_roundtrip(response)
+
+    def test_max_band_coefficients(self):
+        """w == 1.0 exactly (base rows and max-resolution details)."""
+        data = np.zeros(3, dtype=COEFF_DTYPE)
+        data["object_id"] = (0, OBJECT_ID_LIMIT - 1, 5)
+        data["level"] = (-1, LEVEL_LIMIT - 2, 0)
+        data["index"] = (0, INDEX_LIMIT - 1, 9)
+        data["w"] = 1.0
+        data["size_bytes"] = (24, 14, 14)
+        batch = CoefficientBatch(
+            store=CoefficientStore(data), rows=np.arange(3, dtype=np.int64)
+        )
+        decoded = wire.from_bytes(wire.to_bytes(batch))
+        assert decoded == batch
+        assert decoded.store.values.tolist() == [1.0, 1.0, 1.0]
+
+    @pytest.mark.parametrize("key", [0, UID_MAX])
+    def test_packed_uid_extremes(self, key: int):
+        request = RetrieveRequest(
+            timestamp=0.0,
+            client_id=0,
+            regions=(RegionRequest(Box((0.0, 0.0), (1.0, 1.0)), 0.0, 1.0),),
+            exclude_uids=UidSet.from_packed(np.asarray([key], dtype=np.int64)),
+        )
+        decoded = wire.from_bytes(wire.to_bytes(request))
+        assert decoded == request
+        assert int(decoded.exclude_uids.packed[0]) == key
+
+    def test_store_extreme_uid_components(self):
+        """The largest uid a store row can carry survives re-packing."""
+        data = np.zeros(1, dtype=COEFF_DTYPE)
+        data["object_id"] = OBJECT_ID_LIMIT - 1
+        data["level"] = LEVEL_LIMIT - 2
+        data["index"] = INDEX_LIMIT - 1
+        data["w"] = 1.0
+        batch = CoefficientBatch(
+            store=CoefficientStore(data), rows=np.zeros(1, dtype=np.int64)
+        )
+        decoded = wire.from_bytes(wire.to_bytes(batch))
+        assert decoded == batch
+        assert decoded.store.object_ids[0] == OBJECT_ID_LIMIT - 1
+        assert decoded.store.levels[0] == LEVEL_LIMIT - 2
+        assert decoded.store.indices[0] == INDEX_LIMIT - 1
+
+    def test_degenerate_and_3d_regions(self):
+        request = RetrieveRequest(
+            timestamp=-0.0,
+            client_id=2**31,
+            regions=(
+                RegionRequest(Box.from_point((3.0, 4.0)), 0.0, 0.0),
+                RegionRequest(
+                    Box((0.0, 0.0, 0.0), (1.0, 2.0, 3.0)),
+                    1.0,
+                    1.0,
+                    half_open=True,
+                ),
+            ),
+        )
+        check_roundtrip(request)
+
+    def test_real_server_response_roundtrips(self, tiny_serve_server):
+        """A live execute_batch answer survives the wire bit-for-bit."""
+        request = RetrieveRequest(
+            timestamp=0.0,
+            client_id=3,
+            regions=(
+                RegionRequest(Box((0.0, 0.0), (1000.0, 1000.0)), 0.0, 1.0),
+            ),
+        )
+        response = tiny_serve_server.execute_batch(request)
+        assert response.record_count > 0
+        assert len(response.base_meshes) > 0
+        decoded = wire.from_bytes(wire.to_bytes(response))
+        assert decoded == response
+        assert decoded.payload_bytes == response.payload_bytes
+        assert decoded.batch.uids == response.batch.uids
+        assert decoded.io_node_reads == response.io_node_reads
+
+    def test_error_payload_roundtrips(self):
+        payload = wire.encode_error(wire.ErrorCode.SERVER_FULL, "no room — über")
+        assert wire.decode_error(payload) == (
+            wire.ErrorCode.SERVER_FULL,
+            "no room — über",
+        )

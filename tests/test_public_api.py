@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.sim",
     "repro.buffering",
     "repro.server",
+    "repro.serve",
     "repro.core",
     "repro.workloads",
     "repro.experiments",
@@ -65,6 +66,9 @@ class TestErrorHierarchy:
         errors.PredictionError,
         errors.WorkloadError,
         errors.ProtocolError,
+        errors.WireFormatError,
+        errors.FrameTooLargeError,
+        errors.ServeError,
         errors.ConfigurationError,
     ]
 
