@@ -1,0 +1,233 @@
+"""Sharded scatter-gather benchmark: process-parallel retrieval.
+
+Builds the default-scale cityscape, replays a fleet of moving-window
+retrieve requests against three server stacks, and reports:
+
+* ``scatter_gather`` -- the headline: the sharded coordinator
+  (``execute_many`` batching every sub-query per shard, scattered over
+  a forked worker pool) against the old single-process unsharded
+  per-request loop, plus the serial-sharded decomposition in between.
+  All three produce bit-identical responses (rows, uid merge order,
+  base shipping, filter counts); the speedups come from (a) batching
+  all sub-queries bound for a shard into one shared frontier walk, (b)
+  shard pruning skipping non-intersecting slices, and (c) process
+  parallelism across shards -- (c) contributes whatever the machine's
+  core count allows, (a)+(b) alone already beat the baseline on one
+  core.
+* ``shard_scaling`` -- wall time per (shard count x client count)
+  combination for both executors: the scaling curve.
+
+Before any timing, responses of every stack are digested and compared,
+so the reported speedups are for *identical* answers.
+
+Run directly (not under pytest)::
+
+    python benchmarks/bench_shard.py            # full run, default scale
+    python benchmarks/bench_shard.py --smoke    # CI-sized quick check
+    python benchmarks/bench_shard.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.geometry.box import Box
+from repro.net.messages import RegionRequest, RetrieveRequest
+from repro.server.server import Server
+from repro.shard import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardCoordinator,
+    ShardedDatabase,
+)
+from repro.store.uids import UidSet
+from repro.workloads.cityscape import CityConfig, build_city
+
+SPACE = Box((0.0, 0.0), (1000.0, 1000.0))
+
+#: Shard counts of the scaling curve (1 == sharding machinery, no cut).
+SHARD_COUNTS = [1, 4, 8]
+
+#: Request-stream counts of the scaling curve ("clients" per tick).
+CLIENT_COUNTS = [64, 256, 1024]
+
+
+def make_requests(count: int, ticks: int, seed: int) -> list[RetrieveRequest]:
+    """``count`` clients x ``ticks`` moving two-region window requests."""
+    rng = np.random.default_rng(seed)
+    extent = SPACE.extents
+    origin = rng.uniform(SPACE.low + 0.1 * extent, SPACE.high - 0.2 * extent,
+                         size=(count, 2))
+    velocity = rng.uniform(-0.01, 0.01, size=(count, 2)) * extent
+    half = rng.uniform(0.02, 0.05, size=count)[:, None] * extent
+    w_min = rng.uniform(0.0, 0.3, size=count)
+    requests = []
+    for t in range(ticks):
+        for i in range(count):
+            centre = origin[i] + t * velocity[i]
+            lead = centre + 0.4 * velocity[i]
+            regions = (
+                RegionRequest(
+                    region=Box(centre - half[i], centre + half[i]),
+                    w_min=float(w_min[i]), w_max=1.0,
+                ),
+                RegionRequest(
+                    region=Box(lead - half[i], lead + half[i]),
+                    w_min=float(min(w_min[i] + 0.2, 1.0)), w_max=1.0,
+                    half_open=False,
+                ),
+            )
+            requests.append(
+                RetrieveRequest(
+                    timestamp=float(t), client_id=i, regions=regions,
+                    exclude_uids=UidSet.coerce(None),
+                )
+            )
+    return requests
+
+
+def digest(responses) -> list[tuple]:
+    return [
+        (
+            tuple(r.batch.store.packed_uids[r.batch.rows].tolist()),
+            r.filtered_out,
+            tuple(p.object_id for p in r.base_meshes),
+        )
+        for r in responses
+    ]
+
+
+def time_baseline(city, requests) -> tuple[float, list[tuple]]:
+    server = Server(city)
+    server.execute_batch(requests[0])  # warm the index build
+    started = time.perf_counter()
+    responses = [server.execute_batch(r) for r in requests]
+    return time.perf_counter() - started, digest(responses)
+
+
+def time_sharded(city, requests, shards: int, executor) -> tuple[float, list[tuple]]:
+    with ShardedDatabase.from_database(city, shards, executor=executor) as db:
+        coordinator = ShardCoordinator(db)
+        coordinator.execute_many(requests[:1])  # warm pool / indexes
+        started = time.perf_counter()
+        responses = coordinator.execute_many(requests)
+        elapsed = time.perf_counter() - started
+        return elapsed, digest(responses)
+
+
+def run(smoke: bool) -> dict:
+    if smoke:
+        city_config = CityConfig(
+            space=SPACE, object_count=24, levels=2, seed=11,
+            min_size_frac=0.02, max_size_frac=0.05,
+        )
+        headline_shards, clients, ticks = 4, 32, 2
+        shard_counts, client_counts = [1, 4], [16, 32]
+    else:
+        city_config = CityConfig(
+            space=SPACE, object_count=100, levels=3, seed=11,
+            min_size_frac=0.02, max_size_frac=0.05,
+        )
+        headline_shards, clients, ticks = 8, 256, 4
+        shard_counts, client_counts = SHARD_COUNTS, CLIENT_COUNTS
+    city = build_city(city_config)
+    requests = make_requests(clients, ticks, seed=3)
+
+    baseline_s, reference = time_baseline(city, requests)
+    serial_s, serial_digest = time_sharded(
+        city, requests, headline_shards, SerialShardExecutor()
+    )
+    process_ok = ProcessShardExecutor.available()
+    if process_ok:
+        process_s, process_digest = time_sharded(
+            city, requests, headline_shards, ProcessShardExecutor()
+        )
+    else:  # pragma: no cover - fork is available on every CI platform
+        process_s, process_digest = serial_s, serial_digest
+    identical = reference == serial_digest == process_digest
+    scatter_gather = {
+        "shards": headline_shards,
+        "requests": len(requests),
+        "subqueries": 2 * len(requests),
+        "baseline_single_process_s": round(baseline_s, 4),
+        "sharded_serial_s": round(serial_s, 4),
+        "sharded_process_s": round(process_s, 4),
+        "batched_serial_speedup": round(baseline_s / serial_s, 2),
+        "speedup": round(baseline_s / process_s, 2),
+        "identical_responses": identical,
+    }
+
+    curve = []
+    for shards in shard_counts:
+        for count in client_counts:
+            tick_requests = make_requests(count, 1, seed=5)
+            serial_point_s, _ = time_sharded(
+                city, tick_requests, shards, SerialShardExecutor()
+            )
+            point = {
+                "shards": shards,
+                "clients": count,
+                "serial_s": round(serial_point_s, 4),
+            }
+            if process_ok:
+                process_point_s, _ = time_sharded(
+                    city, tick_requests, shards, ProcessShardExecutor()
+                )
+                point["process_s"] = round(process_point_s, 4)
+            curve.append(point)
+
+    return {
+        "config": {
+            "object_count": city_config.object_count,
+            "levels": city_config.levels,
+            "records": city.record_count,
+            "dataset_bytes": city.total_bytes,
+            "clients": clients,
+            "ticks": ticks,
+            "smoke": smoke,
+        },
+        "scatter_gather": scatter_gather,
+        "shard_scaling": curve,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small city / small request batch (CI sanity run)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the result document to PATH",
+    )
+    args = parser.parse_args()
+    result = run(smoke=args.smoke)
+    document = json.dumps(result, indent=2)
+    print(document)
+    if args.json is not None:
+        args.json.write_text(document + "\n")
+    headline = result["scatter_gather"]
+    if not headline["identical_responses"]:
+        print("FAIL: sharded responses diverged from baseline", file=sys.stderr)
+        return 1
+    if not args.smoke and headline["speedup"] < 1.0:
+        print(
+            f"FAIL: process scatter-gather speedup {headline['speedup']}x "
+            "is below 1x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

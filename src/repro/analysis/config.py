@@ -36,6 +36,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "buffering": 5,
     "server": 5,
     "core": 6,
+    "shard": 6,
     "workloads": 7,
     "serve": 7,
     "experiments": 8,

@@ -25,6 +25,7 @@ __all__ = [
     "FrameTooLargeError",
     "ServeError",
     "RemoteServeError",
+    "ShardError",
     "ConfigurationError",
     "SimulationError",
 ]
@@ -125,6 +126,10 @@ class RemoteServeError(ServeError):
     def __init__(self, message: str, *, code: int) -> None:
         super().__init__(message)
         self.code = code
+
+
+class ShardError(ReproError):
+    """Spatial-sharding misuse (bad tiling, mutation of a sharded DB)."""
 
 
 class ConfigurationError(ReproError):

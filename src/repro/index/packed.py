@@ -275,6 +275,82 @@ class PackedIndex:
         self._check_query(box)
         return self._descend(box)
 
+    def query_slots_many(
+        self, qlow: np.ndarray, qhigh: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One shared frontier walk answering many queries at once.
+
+        ``qlow``/``qhigh`` are ``(Q, ndim)`` stacked query-box corners.
+        Returns ``(slots, slot_qid, io)``: the surviving leaf entry
+        slots, the query index each slot answers (grouped by ascending
+        query index, slots ascending within a query -- exactly the
+        order :meth:`query_slots` yields per query), and a ``(Q, 3)``
+        int64 matrix of per-query ``(node_reads, leaf_reads,
+        entries_scanned)``.
+
+        Per query the walk visits exactly the nodes a solo
+        :meth:`query_slots` call would (a node is expanded iff its
+        parent entry intersects *that* query), and the per-query
+        accounting matches it; the aggregate is billed to
+        :attr:`stats` as ``Q`` queries.  Sharing the per-level numpy
+        work across queries is what makes a scatter batch cheap: the
+        fixed per-level call overhead is paid once for the whole batch
+        instead of once per query.
+        """
+        qlow = np.asarray(qlow, dtype=np.float64)
+        qhigh = np.asarray(qhigh, dtype=np.float64)
+        if qlow.shape != qhigh.shape or qlow.ndim != 2:
+            raise IndexError_(
+                f"query corners must be matching (Q, ndim) stacks, got "
+                f"{qlow.shape} and {qhigh.shape}"
+            )
+        nq = int(qlow.shape[0])
+        io = np.zeros((nq, 3), dtype=np.int64)
+        self.stats.queries += nq
+        empty = np.empty(0, dtype=np.int64)
+        if nq == 0 or not self._levels:
+            return empty, empty, io
+        if self._ndim is not None and qlow.shape[1] != self._ndim:
+            raise IndexError_(
+                f"box dimension {qlow.shape[1]} does not match index "
+                f"dimension {self._ndim}"
+            )
+        # The frontier is a (node, query) pair list kept sorted by
+        # (query, node); root node 0 seeds every query.
+        frontier = np.zeros(nq, dtype=np.int64)
+        qid = np.arange(nq, dtype=np.int64)
+        last = len(self._levels) - 1
+        for depth, level in enumerate(self._levels):
+            starts = level.node_start[frontier]
+            counts = level.node_start[frontier + 1] - starts
+            nodes_per_q = np.bincount(qid, minlength=nq)
+            entries_per_q = np.bincount(qid, weights=counts, minlength=nq)
+            io[:, 0] += nodes_per_q
+            if depth == last:
+                io[:, 1] += nodes_per_q
+            io[:, 2] += entries_per_q.astype(np.int64)
+            self.stats.record_level(
+                nodes=int(frontier.size),
+                entries=int(counts.sum()),
+                is_leaf=depth == last,
+            )
+            slots = _expand_ranges(starts, counts)
+            slot_qid = np.repeat(qid, counts)
+            low = level.low[slots]
+            high = level.high[slots]
+            hit = np.all(
+                (low <= qhigh[slot_qid]) & (high >= qlow[slot_qid]), axis=1
+            )
+            slots = slots[hit]
+            slot_qid = slot_qid[hit]
+            if depth == last:
+                return slots, slot_qid, io
+            if slots.size == 0:
+                return empty, empty, io
+            frontier = slots
+            qid = slot_qid
+        return empty, empty, io
+
     def query_rows(self, box: Box) -> np.ndarray:
         """Payload row ids whose boxes intersect ``box``."""
         return self._rows[self.query_slots(box)]
@@ -418,6 +494,57 @@ class PackedAccessMethod:
         if half_open and rows.size:
             rows = rows[self._store.values[rows] < w_max]
         return RowResult(rows=rows, io=io)
+
+    def query_batch(
+        self, subqueries: Sequence[tuple[Box, float, float]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compact batch answer: ``(rows, counts, io)``.
+
+        ``rows`` concatenates every sub-query's store rows grouped by
+        ascending sub-query index (sub-query ``q`` owns the slice of
+        length ``counts[q]``); ``io`` is the ``(Q, 3)`` per-sub-query
+        ``(node_reads, leaf_reads, entries_scanned)`` matrix.  This is
+        the scatter-gather currency: three flat arrays, no per-query
+        Python objects, cheap to ship across a process boundary.
+        """
+        if not subqueries:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.zeros((0, 3), dtype=np.int64)
+        boxes = [
+            self.query_box(region, w_min, w_max)
+            for region, w_min, w_max in subqueries
+        ]
+        qlow = np.vstack([box.low for box in boxes])
+        qhigh = np.vstack([box.high for box in boxes])
+        slots, slot_qid, io = self._packed.query_slots_many(qlow, qhigh)
+        counts = np.bincount(slot_qid, minlength=len(boxes)).astype(np.int64)
+        return self._packed.rows[slots], counts, io
+
+    def query_rows_many(
+        self, subqueries: Sequence[tuple[Box, float, float]]
+    ) -> list[RowResult]:
+        """Answer a batch of ``(region, w_min, w_max)`` sub-queries.
+
+        One shared frontier walk (:meth:`PackedIndex.query_slots_many`)
+        answers the whole batch; per sub-query the returned rows and
+        :class:`~repro.index.stats.IOStats` are identical to a serial
+        loop of :meth:`query_rows` calls -- only the numpy call
+        overhead is amortised across the batch.
+        """
+        rows, counts, io = self.query_batch(subqueries)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        out: list[RowResult] = []
+        for q in range(len(subqueries)):
+            stats = IOStats(
+                node_reads=int(io[q, 0]),
+                leaf_reads=int(io[q, 1]),
+                entries_scanned=int(io[q, 2]),
+                queries=1,
+            )
+            out.append(
+                RowResult(rows=rows[bounds[q] : bounds[q + 1]], io=stats)
+            )
+        return out
 
     def query(self, region: Box, w_min: float, w_max: float) -> AccessResult:
         """Tree-compatible query surface (materialises record views)."""

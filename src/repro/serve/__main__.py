@@ -24,9 +24,10 @@ import asyncio
 from repro.geometry.box import Box
 from repro.serve.service import RetrieveService, ServeConfig
 from repro.server.server import Server
+from repro.shard import ShardCoordinator, ShardedDatabase
 from repro.workloads.cityscape import CityConfig, build_city
 
-__all__ = ["main"]
+__all__ = ["main", "build_server"]
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -50,10 +51,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--plan-deltas", action="store_true",
         help="enable per-client frame-delta planning",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="spatial shard count; N > 1 serves scatter-gather over a "
+        "sharded database (responses are wire-identical)",
+    )
     return parser
 
 
-async def _serve(args: argparse.Namespace) -> None:  # pragma: no cover
+def build_server(args: argparse.Namespace) -> Server:
+    """The configured query front end: plain server or shard coordinator."""
     city = build_city(
         CityConfig(
             space=Box((0.0, 0.0), (1000.0, 1000.0)),
@@ -64,16 +71,24 @@ async def _serve(args: argparse.Namespace) -> None:  # pragma: no cover
             max_size_frac=0.05,
         )
     )
-    server = Server(city, plan_deltas=args.plan_deltas)
+    if args.shards > 1:
+        sharded = ShardedDatabase.from_database(city, args.shards)
+        return ShardCoordinator(sharded, plan_deltas=args.plan_deltas)
+    return Server(city, plan_deltas=args.plan_deltas)
+
+
+async def _serve(args: argparse.Namespace) -> None:  # pragma: no cover
+    server = build_server(args)
     config = ServeConfig(
         host=args.host, port=args.port, max_connections=args.max_connections
     )
     service = RetrieveService(server, config)
     await service.start()
     print(
-        f"serving {city.record_count} coefficient records on "
+        f"serving {server.database.record_count} coefficient records on "
         f"{args.host}:{service.port} "
-        f"(plan_deltas={args.plan_deltas}, ctrl-c to stop)"
+        f"(plan_deltas={args.plan_deltas}, shards={args.shards}, "
+        f"ctrl-c to stop)"
     )
     try:
         await service.serve_forever()

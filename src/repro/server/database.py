@@ -19,6 +19,7 @@ needs:
 from __future__ import annotations
 
 from functools import cached_property
+from typing import Iterable
 
 import numpy as np
 
@@ -139,6 +140,11 @@ class ObjectDatabase:
         return self._method_name
 
     @property
+    def spatial_dims(self) -> int:
+        """2 for the paper's ``(x, y, w)`` index; 3 for ``(x, y, z, w)``."""
+        return self._spatial_dims
+
+    @property
     def object_count(self) -> int:
         return len(self._objects)
 
@@ -176,16 +182,43 @@ class ObjectDatabase:
         built); only the index differs.  Used by benchmarks and
         experiments to compare access methods on identical data.
         """
-        if access_method not in ACCESS_METHODS:
-            raise WorkloadError(f"unknown access method {access_method!r}")
-        clone = ObjectDatabase(
+        clone = ObjectDatabase.from_objects(
+            self._objects.values(),
             encoding=self._encoding,
             access_method=access_method,
             spatial_dims=self._spatial_dims,
         )
-        clone._objects = self._objects
         clone._store = self._store
         return clone
+
+    @classmethod
+    def from_objects(
+        cls,
+        objects: "Iterable[StoredObject]",
+        *,
+        encoding: EncodingModel = DEFAULT_ENCODING,
+        access_method: str = "packed",
+        spatial_dims: int = 2,
+    ) -> "ObjectDatabase":
+        """A database over already-stored objects, sharing their stores.
+
+        The objects are registered in iteration order (which fixes the
+        concatenated store's row order) without re-running any
+        decomposition work; this is how shard slices and access-method
+        clones are built.
+        """
+        db = cls(
+            encoding=encoding,
+            access_method=access_method,
+            spatial_dims=spatial_dims,
+        )
+        for obj in objects:
+            if obj.object_id in db._objects:
+                raise WorkloadError(
+                    f"object id {obj.object_id} already stored"
+                )
+            db._objects[obj.object_id] = obj
+        return db
 
     @property
     def store(self) -> CoefficientStore:
@@ -244,6 +277,20 @@ class ObjectDatabase:
                     self.all_records(), spatial_dims=self._spatial_dims
                 )
         return self._method
+
+    def packed_access_method(self) -> PackedAccessMethod | None:
+        """The live packed index, or None when this database has none.
+
+        The server's frame-delta planner keys its memos off this hook
+        instead of :attr:`access_method` so alternative backends (a
+        sharded database has *many* packed indexes, none global) can
+        opt out without forcing an index build.
+        """
+        if self._method_name != "packed" or not self._objects:
+            return None
+        method = self.access_method
+        assert isinstance(method, PackedAccessMethod)
+        return method
 
     def query_region(
         self, region: Box, w_min: float, w_max: float

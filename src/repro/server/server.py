@@ -16,6 +16,17 @@ single :func:`numpy.unique` merge -- no per-record Python objects or
 hash lookups.  :meth:`Server.execute_per_record` keeps the original
 object-at-a-time implementation for comparison benchmarks.
 
+Query answering is decomposed coordinator-style into two stages so a
+sharded backend (:mod:`repro.shard`) can swap the fetch stage without
+touching the merge semantics: *fetch* (:meth:`Server._region_rows`, one
+:class:`RowResult` per sub-query) and *gather*
+(:meth:`Server.gather_batch`, the half-open / no-reship filters plus
+the first-occurrence uid merge).  Every fetch result is canonicalised
+to ascending packed-uid order, which makes the response independent of
+the access method's traversal order -- a scatter-gather over spatial
+shards reassembles bit-identical responses because each shard's rows
+land in the same canonical sequence the monolithic index would yield.
+
 Per-client state is bounded: the server remembers which base meshes it
 shipped to at most ``max_clients`` clients, evicting the least recently
 served client when the table is full and on explicit
@@ -44,10 +55,9 @@ from repro.net.messages import (
     RetrieveResponse,
 )
 from repro.index.columnar import RowResult
-from repro.index.packed import PackedAccessMethod
 from repro.server.database import ObjectDatabase
 from repro.server.planner import FrontierPlanner
-from repro.store.uids import UidSet
+from repro.store.uids import UidSet, pack_uid
 from repro.wavelets.coefficients import CoefficientRecord
 
 __all__ = ["Server", "BlockQuote"]
@@ -155,8 +165,8 @@ class Server:
         """
         if not self._plan_deltas or not self._db.object_count:
             return None
-        method = self._db.access_method
-        if not isinstance(method, PackedAccessMethod):
+        method = self._db.packed_access_method()
+        if method is None:
             return None
         if self._planner is None or self._planner.method is not method:
             self._planner = FrontierPlanner(
@@ -164,14 +174,49 @@ class Server:
             )
         return self._planner
 
+    def _canonical(self, result: RowResult) -> RowResult:
+        """Re-order a sub-query's rows into ascending packed-uid order.
+
+        The canonical delivery order decouples responses from the
+        access method's traversal order: any backend producing the same
+        row *set* (monolithic tree, columnar scan, sharded
+        scatter-gather) yields a bit-identical response.
+        """
+        rows = result.rows
+        if rows.size > 1:
+            order = np.argsort(
+                self._db.store.packed_uids[rows], kind="stable"
+            )
+            rows = rows[order]
+        return RowResult(rows=rows, io=result.io)
+
     def _region_rows(
         self, client_id: int, region: Box, w_min: float, w_max: float
     ) -> RowResult:
         """One sub-query: via the client's frontier memo when planning."""
         planner = self.planner
         if planner is not None:
-            return planner.query_rows(client_id, region, w_min, w_max)
-        return self._db.query_region_rows(region, w_min, w_max)
+            return self._canonical(
+                planner.query_rows(client_id, region, w_min, w_max)
+            )
+        return self._canonical(self._db.query_region_rows(region, w_min, w_max))
+
+    def fetch_batch(self, request: RetrieveRequest) -> list[RowResult]:
+        """Fetch stage: one canonical :class:`RowResult` per sub-query.
+
+        The default implementation runs the sub-queries serially
+        against the database; a sharded coordinator overrides this with
+        a scatter-gather over the intersecting shards.
+        """
+        return [
+            self._region_rows(
+                request.client_id,
+                region_req.region,
+                region_req.w_min,
+                region_req.w_max,
+            )
+            for region_req in request.regions
+        ]
 
     def execute_batch(self, request: RetrieveRequest) -> RetrieveBatchResponse:
         """Answer one retrieve request on the columnar path.
@@ -181,18 +226,36 @@ class Server:
         cross-region merge keeps the first occurrence of each uid
         (matching the per-record dict merge exactly).
         """
+        return self.gather_batch(request, self.fetch_batch(request))
+
+    def execute_many(
+        self, requests: Iterable[RetrieveRequest]
+    ) -> list[RetrieveBatchResponse]:
+        """Answer several requests; a hook for batch-amortised backends.
+
+        The base server simply loops; a sharded coordinator groups all
+        sub-queries per shard and scatters each group as one batched
+        traversal, which is where process-parallel execution pays off.
+        """
+        return [self.execute_batch(request) for request in requests]
+
+    def gather_batch(
+        self, request: RetrieveRequest, region_results: list[RowResult]
+    ) -> RetrieveBatchResponse:
+        """Gather stage: filter, merge and price fetched sub-queries.
+
+        ``region_results`` holds one canonical-order :class:`RowResult`
+        per ``request.regions`` entry.  All per-client state mutation
+        (shipped-base bookkeeping) happens here, in request order, so
+        any fetch strategy that produces the same row sets commits the
+        same state.
+        """
         store = self._db.store
         exclude = request.exclude_uids
         kept: list[np.ndarray] = []
         io_total = 0
         filtered = 0
-        for region_req in request.regions:
-            result = self._region_rows(
-                request.client_id,
-                region_req.region,
-                region_req.w_min,
-                region_req.w_max,
-            )
+        for region_req, result in zip(request.regions, region_results):
             io_total += result.io.node_reads
             rows = result.rows
             if region_req.half_open and rows.size:
@@ -249,7 +312,13 @@ class Server:
                 region_req.region, region_req.w_min, region_req.w_max
             )
             io_total += result.io.node_reads
-            for record in result.records:
+            # Canonical per-region delivery order (ascending packed uid),
+            # mirroring the batch path's _canonical re-ordering.
+            records = sorted(
+                result.records,
+                key=lambda r: pack_uid(r.object_id, r.key.level, r.key.index),
+            )
+            for record in records:
                 if region_req.half_open and record.value >= region_req.w_max:
                     filtered += 1
                     continue

@@ -1,0 +1,37 @@
+"""Spatial sharding with process-parallel scatter-gather retrieval.
+
+Splits the cityscape into spatial shards -- each with its own
+coefficient-store slice and packed index -- and answers retrieve
+requests coordinator-style: plan the ``(box, w-band)`` query against
+the shard map, scatter batched sub-queries to the intersecting
+shards (in process or across a forked worker pool), and gather with
+the server's canonical uid merge so responses stay bit-identical to
+the single-index path.  See DESIGN.md section 13.
+"""
+
+from __future__ import annotations
+
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.database import ShardedDatabase
+from repro.shard.mapping import TILINGS, ShardMap
+from repro.shard.parallel import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardBatchResult,
+    ShardExecutor,
+    ShardSlice,
+    ShardTask,
+)
+
+__all__ = [
+    "ShardMap",
+    "TILINGS",
+    "ShardedDatabase",
+    "ShardCoordinator",
+    "ShardExecutor",
+    "ShardSlice",
+    "ShardTask",
+    "ShardBatchResult",
+    "SerialShardExecutor",
+    "ProcessShardExecutor",
+]

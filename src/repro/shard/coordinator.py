@@ -1,0 +1,161 @@
+"""The scatter-gather query coordinator.
+
+:class:`ShardCoordinator` is a :class:`~repro.server.server.Server`
+whose fetch stage runs against a :class:`ShardedDatabase`.  The gather
+stage -- half-open band filter, no-reship filter, first-occurrence uid
+merge, base-mesh shipping -- is inherited untouched, so responses are
+bit-identical to an unsharded server over the same objects (both paths
+deliver each sub-query in the canonical ascending packed-uid order).
+
+What the coordinator adds over a plain ``Server(sharded_db)``:
+
+* :meth:`execute_many` plans *every* sub-query of *every* request,
+  groups them by shard, and scatters **one batched task per shard**.
+  Each shard then answers its whole batch in a single shared frontier
+  walk (:meth:`~repro.index.packed.PackedAccessMethod.query_rows_many`)
+  -- and with a :class:`~repro.shard.parallel.ProcessShardExecutor`
+  those per-shard batches run in separate processes.  Batching is what
+  makes scattering pay: the per-level numpy overhead is amortised over
+  the batch instead of paid per sub-query.
+* Frame-delta planning becomes shard-aware: one
+  :class:`~repro.server.planner.FrontierPlanner` per shard, keyed off
+  the shard's own packed index, with per-client memos per shard.
+  ``reset_client`` forgets the client in every shard's planner.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ShardError
+from repro.geometry.box import Box
+from repro.index.columnar import RowResult
+from repro.net.messages import RetrieveBatchResponse, RetrieveRequest
+from repro.server.planner import FrontierPlanner
+from repro.server.server import DEFAULT_MAX_CLIENTS, Server
+from repro.shard.database import ShardedDatabase
+from repro.shard.parallel import ShardTask
+
+__all__ = ["ShardCoordinator"]
+
+
+class ShardCoordinator(Server):
+    """Server front end scattering fetches over a sharded database."""
+
+    def __init__(
+        self,
+        database: ShardedDatabase,
+        *,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+        plan_deltas: bool = False,
+    ) -> None:
+        if not isinstance(database, ShardedDatabase):
+            raise ShardError(
+                "ShardCoordinator requires a ShardedDatabase; wrap a plain "
+                "database with ShardedDatabase.from_database first"
+            )
+        super().__init__(
+            database, max_clients=max_clients, plan_deltas=plan_deltas
+        )
+        self._shard_planners: dict[int, FrontierPlanner] = {}
+
+    @property
+    def sharded(self) -> ShardedDatabase:
+        db = self._db
+        assert isinstance(db, ShardedDatabase)
+        return db
+
+    # -- shard-aware frame-delta planning --------------------------------------
+
+    def _shard_planner(self, shard: int) -> FrontierPlanner:
+        planner = self._shard_planners.get(shard)
+        if planner is None:
+            method = self.sharded.slices[shard].db.packed_access_method()
+            if method is None:
+                raise ShardError(f"shard {shard} has no packed index")
+            planner = FrontierPlanner(method, max_clients=self.max_clients)
+            self._shard_planners[shard] = planner
+        return planner
+
+    @property
+    def shard_planners(self) -> dict[int, FrontierPlanner]:
+        """Live per-shard planners (built lazily; counters for tests)."""
+        return self._shard_planners
+
+    def reset_client(self, client_id: int) -> None:
+        super().reset_client(client_id)
+        for planner in self._shard_planners.values():
+            planner.forget(client_id)
+
+    def _region_rows(
+        self, client_id: int, region: Box, w_min: float, w_max: float
+    ) -> RowResult:
+        if not self._plan_deltas:
+            # The sharded database itself scatters; canonicalisation in
+            # _canonical is a no-op on its already-sorted gather.
+            return super()._region_rows(client_id, region, w_min, w_max)
+        db = self.sharded
+        parts: list[RowResult] = []
+        for shard in db.plan(region, w_min, w_max):
+            shard = int(shard)
+            result = self._shard_planner(shard).query_rows(
+                client_id, region, w_min, w_max
+            )
+            parts.append(
+                RowResult(
+                    rows=db.slices[shard].row_map[result.rows], io=result.io
+                )
+            )
+        return self._canonical(db.gather_rows(parts))
+
+    # -- batched scatter-gather ------------------------------------------------
+
+    def execute_many(
+        self, requests: Iterable[RetrieveRequest]
+    ) -> list[RetrieveBatchResponse]:
+        """Answer a request batch with one scattered task per shard.
+
+        Falls back to the serial per-request loop under frame-delta
+        planning (memos are per-client warm state, not batchable).
+        Responses come back in request order and match a serial
+        :meth:`execute_batch` loop bit for bit.
+        """
+        requests = list(requests)
+        if self._plan_deltas or len(requests) == 0:
+            return super().execute_many(requests)
+        db = self.sharded
+        # Flatten every (request, region) sub-query, then plan the
+        # whole batch in one broadcast intersection test.
+        flat: list[tuple[Box, float, float]] = []
+        bounds: list[int] = [0]
+        for request in requests:
+            for region_req in request.regions:
+                flat.append(
+                    (region_req.region, region_req.w_min, region_req.w_max)
+                )
+            bounds.append(len(flat))
+        per_shard: dict[int, list[int]] = {}
+        for sub_idx, shards in enumerate(db.plan_many(flat)):
+            for shard in shards:
+                per_shard.setdefault(int(shard), []).append(sub_idx)
+        assignments = [
+            sub_indices for _, sub_indices in sorted(per_shard.items())
+        ]
+        tasks = [
+            ShardTask(
+                shard=shard,
+                subqueries=tuple(flat[sub_idx] for sub_idx in sub_indices),
+            )
+            for shard, sub_indices in sorted(per_shard.items())
+        ]
+        batches = db.executor.run(tasks)
+        # Gather per sub-query (ascending shard order via the sorted
+        # task order), then run the response stage in request order so
+        # state mutation matches the serial loop exactly.
+        fetched = db.assemble(assignments, batches, len(flat))
+        return [
+            self.gather_batch(
+                request, fetched[bounds[req_idx] : bounds[req_idx + 1]]
+            )
+            for req_idx, request in enumerate(requests)
+        ]

@@ -1,0 +1,378 @@
+"""A spatially sharded :class:`~repro.server.database.ObjectDatabase`.
+
+:class:`ShardedDatabase` splits a built database into spatial shards
+(per a :class:`~repro.shard.mapping.ShardMap` over object footprints).
+Each shard owns a slice: its own :class:`ObjectDatabase` over the
+member objects' existing stores (no decomposition is re-run, the
+:class:`~repro.store.columns.CoefficientStore` rows are shared) and
+hence its own packed index, plus a ``row_map`` translating
+slice-local store rows back to rows of the *global* concatenated
+store.  The sharded database keeps the full object table and the
+global store, so every consumer of the :class:`ObjectDatabase`
+contract -- payload pricing, base-mesh shipping, block buffering --
+keeps working on global row ids unchanged.
+
+Query answering becomes plan / scatter / gather:
+
+* **plan** -- intersect the query's index-space box ``(x, y[, z], w)``
+  with each shard's bounds (the union of its rows' support-region x
+  value boxes) and keep the intersecting shards.  With a single shard
+  the pruning is bypassed so even a miss bills the same root traversal
+  the unsharded index would -- exact I/O parity at ``S == 1``.
+* **scatter** -- run the sub-query on every planned shard's packed
+  index through a :class:`~repro.shard.parallel.ShardExecutor`
+  (serial in-process, or a forked worker pool), mapping slice rows to
+  global rows.
+* **gather** -- concatenate in ascending shard order, sum the
+  per-shard :class:`~repro.index.stats.IOStats`, and sort the rows
+  into ascending packed-uid order -- the server's canonical delivery
+  order, which is what makes the scatter-gather response bit-identical
+  to the monolithic index's (same row *set*, same canonical order).
+
+A sharded database is immutable: :meth:`add_object` raises, and there
+is no global access method (each shard has its own), so
+:attr:`access_method` raises too and
+:meth:`packed_access_method` reports ``None`` -- the server's
+frame-delta planner is instead sharded by the coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShardError
+from repro.geometry.box import Box
+from repro.index.access import AccessResult, _spatial_query_box
+from repro.index.columnar import RowResult
+from repro.index.stats import IOStats
+from repro.server.database import AnyAccessMethod, ObjectDatabase
+from repro.shard.mapping import ShardMap
+from repro.shard.parallel import (
+    SerialShardExecutor,
+    ShardBatchResult,
+    ShardExecutor,
+    ShardSlice,
+    ShardTask,
+)
+from repro.wavelets.analysis import WaveletDecomposition
+
+__all__ = ["ShardedDatabase"]
+
+
+class ShardedDatabase(ObjectDatabase):
+    """Scatter-gather facade over per-shard object databases.
+
+    Build one with :meth:`from_database`; the two-argument constructor
+    is for callers that already hold a :class:`ShardMap`.
+    """
+
+    def __init__(
+        self,
+        source: ObjectDatabase,
+        shard_map: ShardMap,
+        *,
+        executor: ShardExecutor | None = None,
+    ) -> None:
+        super().__init__(
+            encoding=source.encoding,
+            access_method="packed",
+            spatial_dims=source.spatial_dims,
+        )
+        objects = source.objects
+        if not objects:
+            raise ShardError("cannot shard an empty database")
+        if shard_map.object_count != len(objects):
+            raise ShardError(
+                f"shard map covers {shard_map.object_count} objects, "
+                f"database holds {len(objects)}"
+            )
+        for obj in objects:
+            self._objects[obj.object_id] = obj
+        # The *global* store: same lazy concatenation (and row order) the
+        # source database exposes, so global row ids stay interchangeable.
+        self._store = source.store
+        self._shard_map = shard_map
+        # Global row extent of each object, in insertion order.
+        lengths = np.fromiter(
+            (len(obj.store) for obj in objects),
+            dtype=np.int64,
+            count=len(objects),
+        )
+        starts = np.concatenate([[0], np.cumsum(lengths)])
+        slices: list[ShardSlice] = []
+        for shard in range(shard_map.shard_count):
+            members = shard_map.members(shard)
+            slice_db = ObjectDatabase.from_objects(
+                (objects[int(i)] for i in members),
+                encoding=self._encoding,
+                access_method="packed",
+                spatial_dims=self._spatial_dims,
+            )
+            row_map = np.concatenate(
+                [
+                    np.arange(starts[i], starts[i] + lengths[i], dtype=np.int64)
+                    for i in members
+                ]
+            )
+            if row_map.size == 0:
+                raise ShardError(f"shard {shard} owns no store rows")
+            row_map.setflags(write=False)
+            slices.append(ShardSlice(shard=shard, db=slice_db, row_map=row_map))
+        self._slices = tuple(slices)
+        # Per-shard index-space bounds (support MBB x value union) for
+        # the planning step, straight off the global store columns.
+        sd = self._spatial_dims
+        low_cols = np.concatenate(
+            [self._store.support_low[:, :sd], self._store.values[:, None]],
+            axis=1,
+        )
+        high_cols = np.concatenate(
+            [self._store.support_high[:, :sd], self._store.values[:, None]],
+            axis=1,
+        )
+        self._bounds_low = np.vstack(
+            [low_cols[sl.row_map].min(axis=0) for sl in slices]
+        )
+        self._bounds_high = np.vstack(
+            [high_cols[sl.row_map].max(axis=0) for sl in slices]
+        )
+        self._executor: ShardExecutor = executor or SerialShardExecutor()
+        self._executor.bind(self._slices)
+
+    @classmethod
+    def from_database(
+        cls,
+        source: ObjectDatabase,
+        shard_count: int,
+        *,
+        tiling: str = "str",
+        executor: ShardExecutor | None = None,
+    ) -> "ShardedDatabase":
+        """Shard ``source`` by tiling its object footprints."""
+        shard_map = ShardMap.build(
+            [obj.footprint for obj in source.objects],
+            shard_count,
+            tiling=tiling,
+        )
+        return cls(source, shard_map, executor=executor)
+
+    # -- topology --------------------------------------------------------------
+
+    @property
+    def shard_map(self) -> ShardMap:
+        return self._shard_map
+
+    @property
+    def shard_count(self) -> int:
+        return self._shard_map.shard_count
+
+    @property
+    def slices(self) -> tuple[ShardSlice, ...]:
+        return self._slices
+
+    @property
+    def executor(self) -> ShardExecutor:
+        return self._executor
+
+    def shard_bounds(self, shard: int) -> Box:
+        """Index-space bounds of one shard's rows."""
+        if not 0 <= shard < self.shard_count:
+            raise ShardError(
+                f"shard {shard} out of range [0, {self.shard_count})"
+            )
+        return Box(self._bounds_low[shard], self._bounds_high[shard])
+
+    def close(self) -> None:
+        """Release the executor (worker pool, if any)."""
+        self._executor.close()
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- frozen-contract overrides ---------------------------------------------
+
+    def add_object(
+        self, object_id: int, decomposition: WaveletDecomposition
+    ) -> None:
+        raise ShardError(
+            "a sharded database is immutable; re-shard the source database "
+            "after mutating it"
+        )
+
+    @property
+    def access_method(self) -> AnyAccessMethod:
+        raise ShardError(
+            "a sharded database has per-shard access methods, not a global "
+            "one; query through query_region_rows / query_region"
+        )
+
+    def packed_access_method(self) -> None:
+        """No *global* packed index exists; see the shard coordinator."""
+        return None
+
+    # -- plan / scatter / gather ----------------------------------------------
+
+    def query_box(self, region: Box, w_min: float, w_max: float) -> Box:
+        """The index-space box of ``Q(region, w_min, w_max)``."""
+        if not 0.0 <= w_min <= w_max <= 1.0:
+            raise ShardError(
+                f"invalid value band [{w_min}, {w_max}]; "
+                f"need 0 <= min <= max <= 1"
+            )
+        spatial = _spatial_query_box(region, self._spatial_dims)
+        return spatial.augment([w_min], [w_max])
+
+    def _query_corners(
+        self, subqueries: Sequence[tuple[Box, float, float]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked index-space corners of many sub-queries at once."""
+        sd = self._spatial_dims
+        qlow = np.empty((len(subqueries), sd + 1))
+        qhigh = np.empty((len(subqueries), sd + 1))
+        for i, (region, w_min, w_max) in enumerate(subqueries):
+            if not 0.0 <= w_min <= w_max <= 1.0:
+                raise ShardError(
+                    f"invalid value band [{w_min}, {w_max}]; "
+                    f"need 0 <= min <= max <= 1"
+                )
+            if region.ndim == sd:
+                qlow[i, :sd] = region.low
+                qhigh[i, :sd] = region.high
+            else:
+                spatial = _spatial_query_box(region, sd)
+                qlow[i, :sd] = spatial.low
+                qhigh[i, :sd] = spatial.high
+            qlow[i, sd] = w_min
+            qhigh[i, sd] = w_max
+        return qlow, qhigh
+
+    def plan(self, region: Box, w_min: float, w_max: float) -> np.ndarray:
+        """Shard ids whose bounds intersect the query, ascending.
+
+        With one shard the pruning is bypassed: the unsharded index
+        always bills at least a root read even for a miss, so the
+        single shard must be consulted unconditionally for the
+        ``S == 1`` I/O-parity invariant to hold exactly.
+        """
+        return self.plan_many([(region, w_min, w_max)])[0]
+
+    def plan_many(
+        self, subqueries: Sequence[tuple[Box, float, float]]
+    ) -> list[np.ndarray]:
+        """Plan a batch: per sub-query, ascending intersecting shards.
+
+        One broadcast intersection test covers the whole batch -- the
+        planning cost of a scatter is a single ``(Q, S, ndim)`` numpy
+        comparison, not ``Q`` box constructions.
+        """
+        if not subqueries:
+            return []
+        if self.shard_count == 1:
+            # Pruning bypass, see :meth:`plan`.
+            return [np.zeros(1, dtype=np.int64) for _ in subqueries]
+        qlow, qhigh = self._query_corners(subqueries)
+        hits = np.all(
+            (self._bounds_low[None, :, :] <= qhigh[:, None, :])
+            & (self._bounds_high[None, :, :] >= qlow[:, None, :]),
+            axis=2,
+        )
+        return [np.flatnonzero(row) for row in hits]
+
+    def assemble(
+        self,
+        assignments: Sequence[Sequence[int]],
+        batches: Sequence[ShardBatchResult],
+        total: int,
+    ) -> list[RowResult]:
+        """Gather compact shard batches into per-sub-query results.
+
+        ``assignments[t]`` lists the (global) sub-query indices that
+        task ``t``'s batch answered, in its sub-query order; tasks must
+        be in ascending shard order.  Every sub-query's rows end up in
+        canonical ascending packed-uid order, its I/O is the sum over
+        the shards consulted, and ``queries`` counts those shards --
+        one, matching the unsharded path exactly, when ``S == 1``.
+        """
+        parts: list[list[np.ndarray]] = [[] for _ in range(total)]
+        io = np.zeros((total, 3), dtype=np.int64)
+        consulted = np.zeros(total, dtype=np.int64)
+        for indices, batch in zip(assignments, batches):
+            offsets = batch.offsets()
+            for local_q, sub_idx in enumerate(indices):
+                group = batch.rows[offsets[local_q] : offsets[local_q + 1]]
+                if group.size:
+                    parts[sub_idx].append(group)
+            if len(indices):
+                index_arr = np.asarray(indices, dtype=np.int64)
+                io[index_arr] += batch.io
+                consulted[index_arr] += 1
+        uids = self.store.packed_uids
+        out: list[RowResult] = []
+        empty = np.empty(0, dtype=np.int64)
+        for q in range(total):
+            groups = parts[q]
+            rows = groups[0] if len(groups) == 1 else (
+                np.concatenate(groups) if groups else empty
+            )
+            if rows.size > 1:
+                rows = rows[np.argsort(uids[rows], kind="stable")]
+            out.append(
+                RowResult(
+                    rows=rows,
+                    io=IOStats(
+                        node_reads=int(io[q, 0]),
+                        leaf_reads=int(io[q, 1]),
+                        entries_scanned=int(io[q, 2]),
+                        queries=int(consulted[q]),
+                    ),
+                )
+            )
+        return out
+
+    def gather_rows(self, parts: Sequence[RowResult]) -> RowResult:
+        """Merge per-shard partials into one canonical result.
+
+        ``parts`` must arrive in ascending shard order (the plan
+        order); rows are re-sorted into ascending packed-uid order and
+        the I/O counters are the per-shard sums.
+        """
+        if not parts:
+            return RowResult(rows=np.empty(0, dtype=np.int64), io=IOStats())
+        io = IOStats()
+        for part in parts:
+            io = io.merged(part.io)
+        rows = np.concatenate([part.rows for part in parts])
+        if rows.size > 1:
+            rows = rows[
+                np.argsort(self.store.packed_uids[rows], kind="stable")
+            ]
+        return RowResult(rows=rows, io=io)
+
+    def query_region_rows(
+        self, region: Box, w_min: float, w_max: float
+    ) -> RowResult:
+        """One window query, scattered to the intersecting shards."""
+        shards = self.plan(region, w_min, w_max)
+        tasks = [
+            ShardTask(shard=int(shard), subqueries=((region, w_min, w_max),))
+            for shard in shards
+        ]
+        batches = self._executor.run(tasks)
+        return self.assemble([[0]] * len(tasks), batches, 1)[0]
+
+    def query_region(
+        self, region: Box, w_min: float, w_max: float
+    ) -> AccessResult:
+        """The scattered query materialised as per-record views."""
+        result = self.query_region_rows(region, w_min, w_max)
+        records = list(self.store.records(result.rows))
+        return AccessResult(
+            records=records,
+            io=result.io,
+            retrieved_with_duplicates=len(records),
+        )

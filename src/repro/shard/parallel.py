@@ -1,0 +1,237 @@
+"""Shard execution engines: serial reference and forked worker pool.
+
+A :class:`ShardTask` bundles every sub-query bound for one shard; an
+executor runs a batch of tasks and returns one compact
+:class:`ShardBatchResult` per task -- three flat arrays (concatenated
+rows already mapped into the *global* store's row space, per-sub-query
+counts, per-sub-query I/O) rather than per-sub-query Python objects,
+so a result is one small pickle on the process path.  Both engines
+produce identical results (same rows, same per-sub-query I/O
+accounting) because a shard-local batch runs through the same
+:meth:`~repro.index.packed.PackedAccessMethod.query_batch` frontier
+walk either way -- the process pool only changes *where* it runs.
+
+:class:`ProcessShardExecutor` relies on ``fork``: the parent compiles
+every shard's packed index *before* forking, the children inherit the
+flat numpy columns copy-on-write through the module-global
+:data:`_POOL_SLICES`, and tasks cross the process boundary as small
+pickles (boxes in, row ids out) -- no store columns are ever
+serialised.  ``pool.map`` preserves task order, so scatter results
+gather deterministically regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ShardError
+from repro.geometry.box import Box
+from repro.index.packed import PackedAccessMethod
+
+if TYPE_CHECKING:
+    from repro.server.database import ObjectDatabase
+
+__all__ = [
+    "ShardSlice",
+    "ShardTask",
+    "ShardBatchResult",
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ProcessShardExecutor",
+]
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One shard's worth of a sharded database.
+
+    ``db`` holds the member objects (sharing their stores with the
+    source database) and builds the shard-local packed index on first
+    use; ``row_map`` translates slice-local store rows to global rows.
+    """
+
+    shard: int
+    db: "ObjectDatabase"
+    row_map: np.ndarray
+
+    @property
+    def row_count(self) -> int:
+        return int(self.row_map.size)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """All sub-queries scattered to one shard, batched as one unit."""
+
+    shard: int
+    subqueries: tuple[tuple[Box, float, float], ...]
+
+
+@dataclass(frozen=True)
+class ShardBatchResult:
+    """One shard's compact answer to a :class:`ShardTask`.
+
+    ``rows`` holds *global* store rows for every sub-query of the
+    task, concatenated in sub-query order; sub-query ``q`` owns the
+    slice of length ``counts[q]``.  ``io`` is the ``(Q, 3)``
+    per-sub-query ``(node_reads, leaf_reads, entries_scanned)``
+    matrix.
+    """
+
+    shard: int
+    rows: np.ndarray
+    counts: np.ndarray
+    io: np.ndarray
+
+    def offsets(self) -> np.ndarray:
+        """Row offsets: sub-query ``q`` owns ``rows[o[q]:o[q+1]]``."""
+        return np.concatenate([[0], np.cumsum(self.counts)])
+
+
+def _compiled_method(shard_slice: ShardSlice) -> PackedAccessMethod:
+    method = shard_slice.db.packed_access_method()
+    if method is None:
+        raise ShardError(
+            f"shard {shard_slice.shard} slice has no packed access method"
+        )
+    return method
+
+
+def _execute_task(
+    slices: Sequence[ShardSlice], task: ShardTask
+) -> ShardBatchResult:
+    """Run one task against its slice, mapping rows to global ids."""
+    if not 0 <= task.shard < len(slices):
+        raise ShardError(
+            f"task targets shard {task.shard}, only {len(slices)} bound"
+        )
+    shard_slice = slices[task.shard]
+    rows, counts, io = _compiled_method(shard_slice).query_batch(
+        list(task.subqueries)
+    )
+    return ShardBatchResult(
+        shard=task.shard,
+        rows=shard_slice.row_map[rows],
+        counts=counts,
+        io=io,
+    )
+
+
+#: Shard slices of the currently bound ProcessShardExecutor.  Set in the
+#: parent immediately before the pool forks; the children inherit the
+#: compiled indexes and store columns copy-on-write and read them here.
+_POOL_SLICES: tuple[ShardSlice, ...] | None = None
+
+
+def _pool_run_task(task: ShardTask) -> ShardBatchResult:
+    """Worker-side entry point: execute against the inherited slices."""
+    slices = _POOL_SLICES
+    if slices is None:
+        raise ShardError("worker process has no inherited shard slices")
+    return _execute_task(slices, task)
+
+
+class ShardExecutor(Protocol):
+    """The executor contract :class:`ShardedDatabase` scatters through."""
+
+    def bind(self, slices: Sequence[ShardSlice]) -> None:
+        """Attach to a database's slices (compiling their indexes)."""
+
+    def run(self, tasks: Sequence[ShardTask]) -> list[ShardBatchResult]:
+        """Execute tasks, one compact batch result per task."""
+
+    def close(self) -> None:
+        """Release any resources (idempotent)."""
+
+
+class SerialShardExecutor:
+    """In-process executor: the reference the pool must match exactly."""
+
+    def __init__(self) -> None:
+        self._slices: tuple[ShardSlice, ...] | None = None
+
+    def bind(self, slices: Sequence[ShardSlice]) -> None:
+        bound = tuple(slices)
+        for shard_slice in bound:
+            _compiled_method(shard_slice)
+        self._slices = bound
+
+    def run(self, tasks: Sequence[ShardTask]) -> list[ShardBatchResult]:
+        if self._slices is None:
+            raise ShardError("executor is not bound to a sharded database")
+        return [_execute_task(self._slices, task) for task in tasks]
+
+    def close(self) -> None:
+        self._slices = None
+
+
+class ProcessShardExecutor:
+    """Forked worker pool scattering shard tasks across processes.
+
+    Parameters
+    ----------
+    processes:
+        Pool size; defaults to ``min(shard_count, cpu_count)`` at bind
+        time.  A fresh bind tears down any previous pool.
+    """
+
+    def __init__(self, processes: int | None = None) -> None:
+        if processes is not None and processes < 1:
+            raise ShardError(f"processes must be >= 1, got {processes}")
+        if not self.available():
+            raise ShardError(
+                "process execution needs the 'fork' start method; use "
+                "SerialShardExecutor on this platform"
+            )
+        self._processes = processes
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    @staticmethod
+    def available() -> bool:
+        """True when copy-on-write forking is supported here."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    @property
+    def workers(self) -> int:
+        """Live pool size (0 before bind / after close)."""
+        if self._pool is None:
+            return 0
+        return self._pool._processes  # type: ignore[attr-defined]
+
+    def bind(self, slices: Sequence[ShardSlice]) -> None:
+        global _POOL_SLICES
+        self.close()
+        bound = tuple(slices)
+        # Compile every shard index in the parent so the children
+        # inherit the packed arrays instead of rebuilding them.
+        for shard_slice in bound:
+            _compiled_method(shard_slice)
+        _POOL_SLICES = bound
+        size = self._processes or min(
+            max(len(bound), 1), os.cpu_count() or 1
+        )
+        self._pool = multiprocessing.get_context("fork").Pool(processes=size)
+
+    def run(self, tasks: Sequence[ShardTask]) -> list[ShardBatchResult]:
+        if self._pool is None:
+            raise ShardError("executor is not bound to a sharded database")
+        if not tasks:
+            return []
+        return self._pool.map(_pool_run_task, list(tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -161,6 +161,40 @@ class TestSystemFleets:
             simulate_system_fleet(Server(fleet_city), [], FleetConfig(space=SPACE))
 
 
+class TestFlatDrive:
+    """The vectorised flat tick loop vs the event kernel: since every
+    tick event is pre-scheduled at ``t * tick_seconds`` in (t, client)
+    order, the kernel's (time, seq) total order replays the nested
+    loop exactly -- the drives must be bit-identical."""
+
+    @pytest.mark.parametrize("loss_rate", [0.0, 0.3])
+    def test_flat_matches_kernel_bit_for_bit(self, fleet_city, loss_rate):
+        tours = make_tours(SPACE, "tram", count=4, speed=0.8, steps=20)
+        kwargs = dict(
+            space=SPACE,
+            link=LinkConfig(loss_rate=loss_rate, max_attempts=32),
+            seed=5,
+            query_frac=0.15,
+            server_uplink_bps=4_000.0,
+        )
+        flat = simulate_fleet(
+            Server(fleet_city), tours, FleetConfig(drive="flat", **kwargs)
+        )
+        kernel = simulate_fleet(
+            Server(fleet_city), tours, FleetConfig(drive="kernel", **kwargs)
+        )
+        assert flat.response_times == kernel.response_times
+        assert flat.total_bytes == kernel.total_bytes
+        assert flat.max_queue_delay_s == kernel.max_queue_delay_s
+
+    def test_flat_is_the_default(self):
+        assert FleetConfig(space=SPACE).drive == "flat"
+
+    def test_unknown_drive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(space=SPACE, drive="warp")
+
+
 class TestConfigValidation:
     def test_new_fields_validated(self):
         with pytest.raises(ConfigurationError):

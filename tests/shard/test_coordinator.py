@@ -1,0 +1,279 @@
+"""ShardCoordinator vs a plain Server: response-level parity.
+
+The coordinator's scatter-gather (serial, batched ``execute_many``,
+and process-pool) must reproduce the unsharded server's responses --
+same uids in the same first-occurrence merge order, same filtered-out
+accounting, same base-mesh shipping, same payload bytes.  Only the
+I/O node-read counts may differ at ``S > 1`` (per-shard trees have
+their own shapes); at ``S == 1`` even those match.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShardError
+from repro.geometry.box import Box
+from repro.net.messages import RegionRequest, RetrieveRequest
+from repro.server.server import Server
+from repro.shard import (
+    ProcessShardExecutor,
+    ShardCoordinator,
+    ShardedDatabase,
+)
+from repro.store.uids import EMPTY_UIDS, UidSet
+
+
+def make_request(client_id, t, regions, exclude=None):
+    return RetrieveRequest(
+        timestamp=float(t),
+        client_id=client_id,
+        regions=tuple(regions),
+        exclude_uids=exclude,
+    )
+
+
+def tour_requests(client_id):
+    """Frames with multi-shard spans, half-open bands, and overlaps."""
+    yield make_request(
+        client_id, 0.0, [RegionRequest(Box((50, 50), (600, 600)), 0.1, 1.0)]
+    )
+    yield make_request(
+        client_id,
+        1.0,
+        [
+            RegionRequest(Box((300, 50), (900, 600)), 0.0, 1.0),
+            RegionRequest(Box((50, 50), (600, 600)), 0.0, 0.1, half_open=True),
+        ],
+    )
+    yield make_request(
+        client_id,
+        2.0,
+        [
+            RegionRequest(Box((0, 0), (1000, 1000)), 0.3, 1.0),
+            RegionRequest(Box((600, 600), (1000, 1000)), 0.0, 1.0),
+        ],
+    )
+
+
+def drive(server, client_id, *, with_io=False):
+    """Serial per-frame digests, chaining the delivered-uid exclude set."""
+    server.reset_client(client_id)
+    sent = EMPTY_UIDS
+    digests = []
+    for request in tour_requests(client_id):
+        request = make_request(
+            client_id, request.timestamp, request.regions, exclude=sent
+        )
+        response = server.execute_batch(request).to_response()
+        uids = [r.uid for r in response.records]
+        sent = sent.union(UidSet.from_tuples(uids))
+        digest = {
+            "uids": uids,
+            "payload_bytes": response.payload_bytes,
+            "filtered_out": response.filtered_out,
+            "bases": [b.object_id for b in response.base_meshes],
+        }
+        if with_io:
+            digest["io_node_reads"] = response.io_node_reads
+        digests.append(digest)
+    return digests
+
+
+def drive_many(coordinator, client_id):
+    """The same tour through one batched ``execute_many`` scatter.
+
+    The tour's exclude chaining is stateful, so each frame is its own
+    batch; multi-request batching is covered separately below.
+    """
+    coordinator.reset_client(client_id)
+    sent = EMPTY_UIDS
+    digests = []
+    for request in tour_requests(client_id):
+        request = make_request(
+            client_id, request.timestamp, request.regions, exclude=sent
+        )
+        (batch,) = coordinator.execute_many([request])
+        response = batch.to_response()
+        uids = [r.uid for r in response.records]
+        sent = sent.union(UidSet.from_tuples(uids))
+        digests.append(
+            {
+                "uids": uids,
+                "payload_bytes": response.payload_bytes,
+                "filtered_out": response.filtered_out,
+                "bases": [b.object_id for b in response.base_meshes],
+            }
+        )
+    return digests
+
+
+class TestResponseParity:
+    @pytest.mark.parametrize("shards", [1, 4, 8])
+    def test_serial_scatter_matches_unsharded(self, shard_city, shards):
+        baseline = drive(Server(shard_city), 21)
+        with ShardedDatabase.from_database(shard_city, shards) as db:
+            assert drive(ShardCoordinator(db), 21) == baseline
+
+    def test_single_shard_matches_io_too(self, shard_city):
+        baseline = drive(Server(shard_city), 22, with_io=True)
+        with ShardedDatabase.from_database(shard_city, 1) as db:
+            assert drive(ShardCoordinator(db), 22, with_io=True) == baseline
+
+    def test_execute_many_matches_serial_loop(self, shard_city):
+        baseline = drive(Server(shard_city), 23)
+        with ShardedDatabase.from_database(shard_city, 8) as db:
+            assert drive_many(ShardCoordinator(db), 23) == baseline
+
+    def test_multi_client_batch_in_request_order(self, shard_city):
+        """One scatter answering several clients' frames must mutate
+        per-client state in request order, like the serial loop."""
+        requests = [
+            next(tour_requests(client_id)) for client_id in (31, 32, 33)
+        ]
+        with ShardedDatabase.from_database(shard_city, 8) as db:
+            coordinator = ShardCoordinator(db)
+            batched = [
+                b.to_response() for b in coordinator.execute_many(requests)
+            ]
+        serial_server = Server(shard_city)
+        serial = [
+            serial_server.execute_batch(r).to_response() for r in requests
+        ]
+        for got, want in zip(batched, serial):
+            assert [r.uid for r in got.records] == [
+                r.uid for r in want.records
+            ]
+            assert got.payload_bytes == want.payload_bytes
+            assert [b.object_id for b in got.base_meshes] == [
+                b.object_id for b in want.base_meshes
+            ]
+
+    def test_exclude_set_spans_shard_boundaries(self, shard_city):
+        """Uids delivered from several shards are excluded wholesale on
+        the next frame -- no shard re-ships another shard's rows."""
+        frame = Box((0.0, 0.0), (1000.0, 1000.0))
+        with ShardedDatabase.from_database(shard_city, 8) as db:
+            assert db.plan(frame, 0.0, 1.0).size > 1
+            coordinator = ShardCoordinator(db)
+            first = coordinator.execute_batch(
+                make_request(24, 0.0, [RegionRequest(frame, 0.0, 1.0)])
+            )
+            position = {
+                obj.object_id: pos for pos, obj in enumerate(db.objects)
+            }
+            shards_hit = {
+                int(db.shard_map.shard_of[position[int(oid)]])
+                for oid in db.store.object_ids[first.batch.rows]
+            }
+            delivered = first.batch.uids
+            second = coordinator.execute_batch(
+                make_request(
+                    24,
+                    1.0,
+                    [RegionRequest(frame, 0.0, 1.0)],
+                    exclude=delivered,
+                )
+            )
+        assert first.record_count > 0
+        assert len(shards_hit) > 1
+        assert second.record_count == 0
+        assert second.filtered_out == first.record_count
+
+
+class TestProcessExecution:
+    def test_process_pool_matches_serial(self, shard_city):
+        if not ProcessShardExecutor.available():
+            pytest.skip("fork start method unavailable")
+        baseline = drive(Server(shard_city), 25)
+        executor = ProcessShardExecutor(processes=2)
+        with ShardedDatabase.from_database(
+            shard_city, 8, executor=executor
+        ) as db:
+            coordinator = ShardCoordinator(db)
+            assert executor.workers == 2
+            assert drive(coordinator, 25) == baseline
+            assert drive_many(coordinator, 26) == baseline
+        assert executor.workers == 0
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ShardError):
+            ProcessShardExecutor(processes=0)
+
+
+class TestShardAwarePlanning:
+    def test_plan_deltas_matches_unsharded(self, shard_city):
+        baseline = drive(Server(shard_city, plan_deltas=True), 27)
+        with ShardedDatabase.from_database(shard_city, 4) as db:
+            coordinator = ShardCoordinator(db, plan_deltas=True)
+            assert drive(coordinator, 27) == baseline
+            warm = sum(
+                p.counters.warm for p in coordinator.shard_planners.values()
+            )
+            assert len(coordinator.shard_planners) >= 1
+            assert warm > 0
+
+    def test_reset_client_forgets_in_every_shard(self, shard_city):
+        with ShardedDatabase.from_database(shard_city, 4) as db:
+            coordinator = ShardCoordinator(db, plan_deltas=True)
+            drive(coordinator, 28)
+            coordinator.reset_client(28)
+            before = {
+                shard: planner.counters.cold
+                for shard, planner in coordinator.shard_planners.items()
+            }
+            coordinator.execute_batch(next(tour_requests(28)))
+            after = {
+                shard: planner.counters.cold
+                for shard, planner in coordinator.shard_planners.items()
+            }
+            assert any(after[s] > before.get(s, 0) for s in after)
+
+
+class TestWireLevel:
+    def test_serve_engine_bytes_identical_over_shards(self, shard_city):
+        """The socket engine runs over the coordinator unchanged: the
+        encoded response frames match the unsharded server byte for
+        byte (S == 1 also matches the I/O counters on the wire)."""
+        from repro.serve.engine import ServeEngine
+        from repro.serve.wire import encode_request
+
+        for shards in (1, 8):
+            with ShardedDatabase.from_database(shard_city, shards) as db:
+                sharded_engine = ServeEngine(ShardCoordinator(db))
+                baseline_engine = ServeEngine(Server(shard_city))
+                for request in tour_requests(29):
+                    payload = encode_request(request)
+                    got, got_client = sharded_engine.handle(payload)
+                    want, want_client = baseline_engine.handle(payload)
+                    assert got_client == want_client == 29
+                    if shards == 1:
+                        assert got == want
+                    else:
+                        # Frames differ only through the io counters.
+                        assert len(got) == len(want)
+
+
+class TestConstruction:
+    def test_requires_sharded_database(self, shard_city):
+        with pytest.raises(ShardError):
+            ShardCoordinator(shard_city)
+
+    def test_serve_entrypoint_builds_coordinator(self):
+        from repro.serve.__main__ import build_arg_parser, build_server
+
+        args = build_arg_parser().parse_args(
+            ["--objects", "8", "--levels", "2", "--shards", "4"]
+        )
+        server = build_server(args)
+        assert isinstance(server, ShardCoordinator)
+        assert server.sharded.shard_count >= 2
+        server.sharded.close()
+
+    def test_serve_entrypoint_default_is_plain_server(self):
+        from repro.serve.__main__ import build_arg_parser, build_server
+
+        args = build_arg_parser().parse_args(["--objects", "6"])
+        server = build_server(args)
+        assert isinstance(server, Server)
+        assert not isinstance(server, ShardCoordinator)

@@ -1,0 +1,210 @@
+"""ShardedDatabase vs the monolithic packed index: exact parity.
+
+The scatter-gather path must return the same *row set* (hence the same
+uid set and payloads) as the single packed index for every window
+query, at every shard count -- including ``S == 1``, where the I/O
+accounting must also match bit for bit (same tree, pruning bypassed).
+Runs under ``hypothesis`` when installed, seeded-random
+parametrization otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardError
+from repro.geometry.box import Box
+from repro.shard import SerialShardExecutor, ShardMap, ShardedDatabase
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+SHARD_COUNTS = [1, 2, 4, 8]
+
+#: Mixed workload: a broad sweep, two mid-size windows, a band-limited
+#: window, and a guaranteed miss (outside the cityscape).
+QUERIES = [
+    (Box((0.0, 0.0), (1000.0, 1000.0)), 0.0, 1.0),
+    (Box((100.0, 100.0), (450.0, 450.0)), 0.2, 1.0),
+    (Box((500.0, 200.0), (900.0, 800.0)), 0.0, 0.6),
+    (Box((250.0, 600.0), (750.0, 950.0)), 0.5, 0.9),
+    (Box((2000.0, 2000.0), (2100.0, 2100.0)), 0.0, 1.0),
+]
+
+_CACHE: dict = {}
+
+
+def sharded_for(city, shards: int, tiling: str = "str") -> ShardedDatabase:
+    """Cache builds: hypothesis reruns must not re-tile per example."""
+    key = (id(city), shards, tiling)
+    if key not in _CACHE:
+        _CACHE[key] = ShardedDatabase.from_database(
+            city, shards, tiling=tiling
+        )
+    return _CACHE[key]
+
+
+def assert_same_rows(sharded_result, reference_result, store) -> None:
+    assert np.array_equal(
+        np.sort(sharded_result.rows), np.sort(reference_result.rows)
+    )
+    assert set(store.packed_uids[sharded_result.rows].tolist()) == set(
+        store.packed_uids[reference_result.rows].tolist()
+    )
+
+
+class TestScatterGatherParity:
+    @pytest.mark.parametrize("tiling", ["str", "grid"])
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_rows_and_uids_match_unsharded(self, shard_city, shards, tiling):
+        db = sharded_for(shard_city, shards, tiling)
+        for region, w_min, w_max in QUERIES:
+            result = db.query_region_rows(region, w_min, w_max)
+            reference = shard_city.query_region_rows(region, w_min, w_max)
+            assert_same_rows(result, reference, shard_city.store)
+
+    def test_single_shard_io_is_bit_identical(self, shard_city):
+        """S == 1 is the same tree: every I/O counter must agree, even
+        on a miss (the pruning bypass keeps the root-read billing)."""
+        db = sharded_for(shard_city, 1)
+        for region, w_min, w_max in QUERIES:
+            result = db.query_region_rows(region, w_min, w_max)
+            reference = shard_city.query_region_rows(region, w_min, w_max)
+            assert result.io == reference.io
+
+    def test_gathered_rows_in_canonical_uid_order(self, shard_city):
+        db = sharded_for(shard_city, 8)
+        result = db.query_region_rows(Box((0, 0), (1000, 1000)), 0.0, 1.0)
+        uids = shard_city.store.packed_uids[result.rows]
+        assert result.rows.size > 0
+        assert np.all(np.diff(uids) > 0)
+
+    def test_io_queries_counts_consulted_shards(self, shard_city):
+        db = sharded_for(shard_city, 8)
+        region, w_min, w_max = QUERIES[0]
+        planned = db.plan(region, w_min, w_max)
+        result = db.query_region_rows(region, w_min, w_max)
+        assert result.io.queries == planned.size
+
+    def test_query_region_materialises_same_records(self, shard_city):
+        db = sharded_for(shard_city, 4)
+        region, w_min, w_max = QUERIES[1]
+        sharded = db.query_region(region, w_min, w_max)
+        reference = shard_city.query_region(region, w_min, w_max)
+        assert {r.uid for r in sharded.records} == {
+            r.uid for r in reference.records
+        }
+        assert len(sharded.records) == len(reference.records)
+
+
+def check_random_query(city, shards, cx, cy, half, w_lo, w_hi) -> None:
+    region = Box((cx - half, cy - half), (cx + half, cy + half))
+    w_min, w_max = min(w_lo, w_hi), max(w_lo, w_hi)
+    db = sharded_for(city, shards)
+    result = db.query_region_rows(region, w_min, w_max)
+    reference = city.query_region_rows(region, w_min, w_max)
+    assert_same_rows(result, reference, city.store)
+    if shards == 1:
+        assert result.io == reference.io
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestPropertyParity:
+        @settings(max_examples=60, deadline=None)
+        @given(
+            shards=st.sampled_from([1, 3, 8]),
+            cx=st.floats(-100.0, 1100.0),
+            cy=st.floats(-100.0, 1100.0),
+            half=st.floats(1.0, 500.0),
+            w_lo=st.floats(0.0, 1.0),
+            w_hi=st.floats(0.0, 1.0),
+        )
+        def test_any_window_any_shard_count(
+            self, shard_city, shards, cx, cy, half, w_lo, w_hi
+        ):
+            check_random_query(shard_city, shards, cx, cy, half, w_lo, w_hi)
+
+else:  # pragma: no cover - depends on the environment
+
+    class TestPropertyParity:
+        @pytest.mark.parametrize("seed", range(20))
+        def test_any_window_any_shard_count(self, shard_city, seed):
+            rng = np.random.default_rng(seed)
+            shards = int(rng.choice([1, 3, 8]))
+            cx, cy = rng.uniform(-100.0, 1100.0, 2)
+            check_random_query(
+                shard_city,
+                shards,
+                cx,
+                cy,
+                float(rng.uniform(1.0, 500.0)),
+                float(rng.uniform(0.0, 1.0)),
+                float(rng.uniform(0.0, 1.0)),
+            )
+
+
+class TestPlanning:
+    def test_corner_query_prunes_shards(self, shard_city):
+        db = sharded_for(shard_city, 8)
+        planned = db.plan(Box((0.0, 0.0), (60.0, 60.0)), 0.0, 1.0)
+        assert planned.size < db.shard_count
+
+    def test_single_shard_bypasses_pruning(self, shard_city):
+        """Even a sure miss consults the lone shard, so its root read
+        is billed exactly like the unsharded index would bill it."""
+        db = sharded_for(shard_city, 1)
+        miss = Box((5000.0, 5000.0), (5100.0, 5100.0))
+        assert db.plan(miss, 0.0, 1.0).tolist() == [0]
+        assert db.query_region_rows(miss, 0.0, 1.0).io.node_reads >= 1
+
+    def test_plan_many_empty(self, shard_city):
+        assert sharded_for(shard_city, 4).plan_many([]) == []
+
+    def test_invalid_band_rejected(self, shard_city):
+        db = sharded_for(shard_city, 4)
+        with pytest.raises(ShardError):
+            db.plan(Box((0, 0), (10, 10)), 0.9, 0.1)
+
+
+class TestContract:
+    def test_immutable(self, shard_city, small_decomposition):
+        db = sharded_for(shard_city, 4)
+        with pytest.raises(ShardError):
+            db.add_object(999, small_decomposition)
+
+    def test_no_global_access_method(self, shard_city):
+        db = sharded_for(shard_city, 4)
+        with pytest.raises(ShardError):
+            db.access_method
+        assert db.packed_access_method() is None
+
+    def test_shard_map_must_cover_database(self, shard_city):
+        partial = ShardMap.build(
+            [obj.footprint for obj in shard_city.objects[:5]], 2
+        )
+        with pytest.raises(ShardError):
+            ShardedDatabase(shard_city, partial)
+
+    def test_shard_bounds(self, shard_city):
+        db = sharded_for(shard_city, 4)
+        for shard in range(db.shard_count):
+            bounds = db.shard_bounds(shard)
+            assert np.all(bounds.low <= bounds.high)
+        with pytest.raises(ShardError):
+            db.shard_bounds(db.shard_count)
+
+    def test_row_maps_partition_global_store(self, shard_city):
+        db = sharded_for(shard_city, 8)
+        rows = np.concatenate([sl.row_map for sl in db.slices])
+        assert np.array_equal(np.sort(rows), np.arange(len(db.store)))
+
+    def test_unbound_executor_rejected(self):
+        with pytest.raises(ShardError):
+            SerialShardExecutor().run([])

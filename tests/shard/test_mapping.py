@@ -1,0 +1,105 @@
+"""Shard assignment: determinism, density, partitioning, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardError
+from repro.geometry.box import Box
+from repro.shard import TILINGS, ShardMap
+
+
+def grid_footprints(n: int, *, jitter_seed: int = 0) -> list[Box]:
+    """n small boxes scattered deterministically over a 1000x1000 plane."""
+    rng = np.random.default_rng(jitter_seed)
+    lows = rng.uniform(0.0, 950.0, size=(n, 2))
+    return [Box(low, low + 20.0) for low in lows]
+
+
+class TestBuild:
+    @pytest.mark.parametrize("tiling", TILINGS)
+    @pytest.mark.parametrize("requested", [1, 2, 4, 7, 9])
+    def test_partition_covers_every_object_once(self, tiling, requested):
+        footprints = grid_footprints(40)
+        shard_map = ShardMap.build(footprints, requested, tiling=tiling)
+        assert shard_map.object_count == 40
+        assert 1 <= shard_map.shard_count <= requested
+        assert shard_map.requested == requested
+        seen = np.concatenate(
+            [shard_map.members(s) for s in range(shard_map.shard_count)]
+        )
+        assert sorted(seen.tolist()) == list(range(40))
+
+    @pytest.mark.parametrize("tiling", TILINGS)
+    def test_deterministic(self, tiling):
+        footprints = grid_footprints(25)
+        first = ShardMap.build(footprints, 6, tiling=tiling)
+        second = ShardMap.build(footprints, 6, tiling=tiling)
+        assert np.array_equal(first.shard_of, second.shard_of)
+
+    def test_str_balances_object_counts(self):
+        """STR splits evenly within each slab; across slabs the counts
+        stay within a factor of two (40 objects / 8 shards here)."""
+        shard_map = ShardMap.build(grid_footprints(40), 8, tiling="str")
+        counts = np.bincount(shard_map.shard_of)
+        assert shard_map.shard_count == 8
+        assert counts.min() >= 1
+        assert counts.max() <= 2 * counts.min()
+
+    def test_requested_clamped_to_object_count(self):
+        shard_map = ShardMap.build(grid_footprints(3), 10)
+        assert shard_map.shard_count <= 3
+        assert shard_map.requested == 10
+
+    def test_single_shard_owns_everything(self):
+        shard_map = ShardMap.build(grid_footprints(12), 1)
+        assert shard_map.shard_count == 1
+        assert shard_map.members(0).size == 12
+
+    def test_grid_compresses_empty_tiles(self):
+        """Two tight clusters cannot fill a 3x3 grid; ids stay dense."""
+        cluster_a = [Box((i, 0.0), (i + 1.0, 1.0)) for i in range(5)]
+        cluster_b = [
+            Box((900.0 + i, 900.0), (901.0 + i, 901.0)) for i in range(5)
+        ]
+        shard_map = ShardMap.build(cluster_a + cluster_b, 9, tiling="grid")
+        assert shard_map.shard_count < 9
+        assert np.array_equal(
+            np.unique(shard_map.shard_of),
+            np.arange(shard_map.shard_count),
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ShardError):
+            ShardMap.build(grid_footprints(4), 0)
+
+    def test_rejects_unknown_tiling(self):
+        with pytest.raises(ShardError):
+            ShardMap.build(grid_footprints(4), 2, tiling="hilbert")
+
+    def test_rejects_empty_footprints(self):
+        with pytest.raises(ShardError):
+            ShardMap.build([], 2)
+
+    def test_rejects_non_planar_footprints(self):
+        with pytest.raises(ShardError):
+            ShardMap.build([Box((0, 0, 0), (1, 1, 1))], 2)
+
+    def test_rejects_sparse_ids(self):
+        with pytest.raises(ShardError):
+            ShardMap(
+                shard_of=np.array([0, 2, 2]), tiling="str", requested=3
+            )
+
+    def test_members_out_of_range(self):
+        shard_map = ShardMap.build(grid_footprints(4), 2)
+        with pytest.raises(ShardError):
+            shard_map.members(shard_map.shard_count)
+
+    def test_assignment_is_frozen(self):
+        shard_map = ShardMap.build(grid_footprints(4), 2)
+        with pytest.raises(ValueError):
+            shard_map.shard_of[0] = 99

@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.sim",
     "repro.buffering",
     "repro.server",
+    "repro.shard",
     "repro.serve",
     "repro.core",
     "repro.workloads",
@@ -69,6 +70,7 @@ class TestErrorHierarchy:
         errors.WireFormatError,
         errors.FrameTooLargeError,
         errors.ServeError,
+        errors.ShardError,
         errors.ConfigurationError,
     ]
 
