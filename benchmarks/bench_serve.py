@@ -20,12 +20,19 @@ Run directly (not under pytest)::
     python benchmarks/bench_serve.py            # full curve, up to 1000 connections
     python benchmarks/bench_serve.py --smoke    # CI-sized quick check
     python benchmarks/bench_serve.py --json out.json
+    python benchmarks/bench_serve.py --shards 1 2 4 8   # coordinator sweep
+
+The ``--shards`` sweep serves the same city through a
+:class:`~repro.shard.coordinator.ShardCoordinator` per count; the
+pinned ``identical_across_shards`` flag asserts the scattered responses
+stay byte-identical to the unsharded server's.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import dataclasses
 import json
 import sys
 import time
@@ -40,6 +47,8 @@ from repro.motion.trajectory import Trajectory, make_tours
 from repro.net.messages import RegionRequest, RetrieveRequest
 from repro.serve import ServeClient, ServeConfig, RetrieveService, wire
 from repro.server.server import Server
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.database import ShardedDatabase
 from repro.store.uids import EMPTY_UIDS, UidSet
 from repro.workloads.cityscape import CityConfig, build_city
 
@@ -185,19 +194,85 @@ async def measure_pipelining(service: RetrieveService, requests: int) -> dict:
     }
 
 
-async def run_async(smoke: bool) -> dict:
+async def check_shard_parity(service: RetrieveService, mirror: Server) -> bool:
+    """One seeded socket tour over the coordinator vs the unsharded server.
+
+    Delivered data must be byte-identical; the I/O counter is excluded
+    from the comparison because per-shard traversals are shallower than
+    one global traversal (their sum only matches exactly at one shard).
+    """
+
+    def payload_bytes(response) -> bytes:
+        return wire.encode_response(
+            dataclasses.replace(response, io_node_reads=0)
+        )
+
+    (tour,) = make_tours(SPACE, "tram", count=1, speed=0.8, steps=12)
+    identical = True
+    async with await ServeClient.connect(
+        "127.0.0.1", service.port, client_id=0
+    ) as client:
+        sent = EMPTY_UIDS
+        for t, position in zip(tour.times, tour.positions):
+            request = frame_request(0, t, position, sent)
+            expected = payload_bytes(mirror.execute_batch(request))
+            response = await client.retrieve(request)
+            identical &= payload_bytes(response) == expected
+            sent = sent.union(UidSet.from_tuples(response.batch.uids))
+    return bool(identical)
+
+
+async def shard_sweep(
+    city, shard_counts: list[int], connections: int, steps: int
+) -> dict:
+    """Serve the same city through a shard coordinator per count.
+
+    Every count first proves parity -- one seeded socket tour over the
+    coordinator must deliver byte-identical data to the unsharded
+    in-process server -- then runs a fixed fleet for the throughput
+    row.  The parity conjunction is the pinned
+    ``identical_across_shards`` flag.
+    """
+    identical = True
+    points = []
+    tours = make_tours(SPACE, "tram", count=connections, speed=0.8, steps=steps)
+    for count in shard_counts:
+        with ShardedDatabase.from_database(city, count) as sharded:
+            service = RetrieveService(
+                ShardCoordinator(sharded),
+                ServeConfig(max_connections=connections + 8),
+            )
+            await service.start()
+            try:
+                identical &= await check_shard_parity(service, Server(city))
+                point = await load_point(service, tours)
+            finally:
+                await service.shutdown()
+        points.append({"shards": count, **point})
+    return {
+        "counts": shard_counts,
+        "identical_across_shards": bool(identical),
+        "points": points,
+    }
+
+
+async def run_async(smoke: bool, shard_counts: list[int] | None = None) -> dict:
     if smoke:
         city_config = CityConfig(
             space=SPACE, object_count=16, levels=2, seed=11,
             min_size_frac=0.03, max_size_frac=0.08,
         )
         connection_counts, steps, pipeline_requests = [4, 16], 6, 64
+        if shard_counts is None:
+            shard_counts = [1, 2]
     else:
         city_config = CityConfig(
             space=SPACE, object_count=32, levels=2, seed=11,
             min_size_frac=0.03, max_size_frac=0.08,
         )
         connection_counts, steps, pipeline_requests = [16, 64, 256, 1000], 5, 400
+        if shard_counts is None:
+            shard_counts = [1, 2, 4]
     city = build_city(city_config)
 
     service = RetrieveService(
@@ -214,6 +289,10 @@ async def run_async(smoke: bool) -> dict:
     finally:
         await service.shutdown()
 
+    sharding = await shard_sweep(
+        city, shard_counts, connections=connection_counts[0], steps=steps
+    )
+
     return {
         "config": {
             "object_count": city_config.object_count,
@@ -226,12 +305,13 @@ async def run_async(smoke: bool) -> dict:
         },
         "parity": parity,
         "pipelining": pipelining,
+        "shard_sweep": sharding,
         "curve": curve,
     }
 
 
-def run(smoke: bool) -> dict:
-    return asyncio.run(run_async(smoke))
+def run(smoke: bool, shard_counts: list[int] | None = None) -> dict:
+    return asyncio.run(run_async(smoke, shard_counts))
 
 
 def main() -> int:
@@ -244,14 +324,25 @@ def main() -> int:
         "--json", type=Path, default=None, metavar="PATH",
         help="also write the result document to PATH",
     )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=None, metavar="N",
+        help="shard counts for the coordinator sweep "
+        "(default: 1 2 4, or 1 2 under --smoke)",
+    )
     args = parser.parse_args()
-    result = run(smoke=args.smoke)
+    if args.shards is not None and any(n < 1 for n in args.shards):
+        parser.error("--shards counts must be >= 1")
+    result = run(smoke=args.smoke, shard_counts=args.shards)
     document = json.dumps(result, indent=2)
     print(document)
     if args.json is not None:
         args.json.write_text(document + "\n")
     if not result["parity"]["identical_socket_vs_inprocess"]:
         print("FAIL: socket tour diverged from in-process execution",
+              file=sys.stderr)
+        return 1
+    if not result["shard_sweep"]["identical_across_shards"]:
+        print("FAIL: sharded coordinator diverged from the unsharded server",
               file=sys.stderr)
         return 1
     if not args.smoke:

@@ -7,6 +7,12 @@ from repro.index.access import (
 )
 from repro.index.bulk import bulk_load, str_pack
 from repro.index.columnar import PAGE_BYTES, ColumnarAccessMethod, RowResult
+from repro.index.dynamic import (
+    DynamicAccessMethod,
+    DynamicPackedIndex,
+    EpochView,
+    GridSpec,
+)
 from repro.index.hilbert import hilbert_bulk_load, hilbert_index
 from repro.index.node import Entry, Node
 from repro.index.packed import (
@@ -40,4 +46,8 @@ __all__ = [
     "PackedLevel",
     "PackedCandidates",
     "PackedAccessMethod",
+    "DynamicPackedIndex",
+    "DynamicAccessMethod",
+    "EpochView",
+    "GridSpec",
 ]

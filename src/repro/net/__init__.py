@@ -16,8 +16,10 @@ from repro.net.faults import (
 )
 from repro.net.link import LinkConfig, TransferRecord, WirelessLink
 from repro.net.messages import (
+    LATEST_EPOCH,
     BaseMeshPayload,
     CoefficientBatch,
+    InvalidationFrame,
     RegionRequest,
     RetrieveBatchResponse,
     RetrieveRequest,
@@ -36,6 +38,8 @@ __all__ = [
     "CoefficientBatch",
     "RetrieveBatchResponse",
     "BaseMeshPayload",
+    "InvalidationFrame",
+    "LATEST_EPOCH",
     "FaultWindow",
     "LatencySpike",
     "BandwidthWindow",

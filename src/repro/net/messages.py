@@ -16,7 +16,7 @@ from repro.errors import ProtocolError
 from repro.geometry.box import Box
 from repro.mesh.trimesh import TriMesh
 from repro.store.columns import CoefficientStore
-from repro.store.uids import EMPTY_UIDS, UidSet
+from repro.store.uids import EMPTY_UIDS, UidSet, unpack_uid_arrays
 from repro.wavelets.coefficients import CoefficientRecord
 
 __all__ = [
@@ -26,7 +26,12 @@ __all__ = [
     "CoefficientBatch",
     "RetrieveResponse",
     "RetrieveBatchResponse",
+    "InvalidationFrame",
+    "LATEST_EPOCH",
 ]
+
+#: Sentinel epoch: "answer at whatever the server's current epoch is".
+LATEST_EPOCH = -1
 
 
 @dataclass(frozen=True)
@@ -64,16 +69,27 @@ class RetrieveRequest:
     every delivered uid per frame.  Legacy callers may still pass a
     ``frozenset`` of ``(object_id, level, index)`` triples; it is
     coerced on construction.
+
+    ``epoch`` pins the scene version the query should be answered
+    against: :data:`LATEST_EPOCH` (the default) means "the server's
+    current epoch"; a non-negative value demands a consistent
+    as-of-epoch answer and fails if the server no longer retains that
+    version.  Static databases treat every request as epoch 0.
     """
 
     timestamp: float
     client_id: int
     regions: tuple[RegionRequest, ...]
     exclude_uids: UidSet = EMPTY_UIDS
+    epoch: int = LATEST_EPOCH
 
     def __post_init__(self) -> None:
         if not self.regions:
             raise ProtocolError("a retrieve request needs at least one region")
+        if self.epoch < LATEST_EPOCH:
+            raise ProtocolError(
+                f"request epoch must be >= {LATEST_EPOCH}, got {self.epoch}"
+            )
         if not isinstance(self.exclude_uids, UidSet):
             object.__setattr__(
                 self, "exclude_uids", UidSet.coerce(self.exclude_uids)
@@ -209,6 +225,15 @@ class RetrieveBatchResponse:
     batch: CoefficientBatch
     io_node_reads: int
     filtered_out: int = 0
+    #: The scene epoch this answer is consistent with (0 for static
+    #: databases, which only ever have one version).
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ProtocolError(
+                f"response epoch must be >= 0, got {self.epoch}"
+            )
 
     @property
     def payload_bytes(self) -> int:
@@ -229,3 +254,78 @@ class RetrieveBatchResponse:
             io_node_reads=self.io_node_reads,
             filtered_out=self.filtered_out,
         )
+
+
+@dataclass(frozen=True)
+class InvalidationFrame:
+    """A server-pushed notice that scene geometry changed.
+
+    Broadcast to every connected client when the server advances to
+    ``epoch``: cached data for the ``changed_ids`` objects is stale and
+    must be dropped (and the uids removed from the delivered set so the
+    next request re-fetches them).  ``region_low``/``region_high`` are
+    the per-object dirty bounds -- the union of each object's footprint
+    before and after the change -- letting a client that caches by
+    spatial block invalidate only the touched slices.
+    """
+
+    epoch: int
+    changed_ids: np.ndarray
+    region_low: np.ndarray
+    region_high: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ProtocolError(
+                f"invalidation epoch must be >= 0, got {self.epoch}"
+            )
+        ids = np.asarray(self.changed_ids, dtype=np.int64)
+        low = np.asarray(self.region_low, dtype=np.float64)
+        high = np.asarray(self.region_high, dtype=np.float64)
+        if ids.ndim != 1:
+            raise ProtocolError(
+                f"changed ids must be 1-D, got shape {ids.shape}"
+            )
+        if low.shape != (ids.size, 3) or high.shape != (ids.size, 3):
+            raise ProtocolError(
+                "invalidation bounds must align with changed ids: expected "
+                f"({ids.size}, 3), got {low.shape} / {high.shape}"
+            )
+        object.__setattr__(self, "changed_ids", ids)
+        object.__setattr__(self, "region_low", low)
+        object.__setattr__(self, "region_high", high)
+
+    @property
+    def count(self) -> int:
+        return int(self.changed_ids.size)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InvalidationFrame):
+            return NotImplemented
+        return (
+            self.epoch == other.epoch
+            and bool(np.array_equal(self.changed_ids, other.changed_ids))
+            and bool(np.array_equal(self.region_low, other.region_low))
+            and bool(np.array_equal(self.region_high, other.region_high))
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.epoch,
+                self.changed_ids.tobytes(),
+                self.region_low.tobytes(),
+                self.region_high.tobytes(),
+            )
+        )
+
+    def mask_uids(self, packed: np.ndarray) -> np.ndarray:
+        """Boolean mask of packed uids belonging to a changed object."""
+        keys = np.asarray(packed, dtype=np.int64)
+        if self.changed_ids.size == 0:
+            return np.zeros(keys.shape, dtype=bool)
+        object_ids, _, _ = unpack_uid_arrays(keys)
+        changed = np.sort(self.changed_ids)
+        pos = np.searchsorted(changed, object_ids)
+        pos = np.minimum(pos, changed.size - 1)
+        return np.asarray(changed[pos] == object_ids)

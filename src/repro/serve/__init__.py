@@ -36,10 +36,12 @@ from repro.serve.wire import (
     ErrorCode,
     decode_batch,
     decode_error,
+    decode_invalidation,
     decode_request,
     decode_response,
     encode_batch,
     encode_error,
+    encode_invalidation,
     encode_request,
     encode_response,
     from_bytes,
@@ -65,6 +67,8 @@ __all__ = [
     "decode_response",
     "encode_batch",
     "decode_batch",
+    "encode_invalidation",
+    "decode_invalidation",
     "encode_error",
     "decode_error",
     "ServeEngine",

@@ -13,16 +13,28 @@ Error frames resolve the oldest pending call with a typed
 pending call with :class:`~repro.errors.ServeError`.  The client never
 hangs on a dead server: end-of-stream is detected by the reader task
 and propagated immediately.
+
+The client also maintains the *delivered-data cache* of the paper's
+continuous-retrieval loop: every response's uids are folded into a
+running :class:`~repro.store.uids.UidSet` (so a tour step can exclude
+everything already shipped), and a server-pushed INVALIDATION frame --
+broadcast when the scene advances an epoch -- drops the stale slice of
+that cache mid-tour, so the next request transparently re-fetches the
+changed objects' data.  Both updates happen on the reader task in
+frame-arrival order, which is the server's send order, keeping the
+cache consistent under pipelining.
 """
 
 from __future__ import annotations
 
 import asyncio
 from collections import deque
+from typing import Callable
 
 from repro.errors import RemoteServeError, ServeError
 from repro.geometry.box import Box
 from repro.net.messages import (
+    InvalidationFrame,
     RegionRequest,
     RetrieveBatchResponse,
     RetrieveRequest,
@@ -35,6 +47,7 @@ from repro.serve.framing import (
 )
 from repro.serve.wire import (
     decode_error,
+    decode_invalidation,
     decode_response,
     encode_request,
 )
@@ -53,16 +66,26 @@ class ServeClient:
         *,
         client_id: int,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        on_invalidation: (
+            Callable[[InvalidationFrame], None] | None
+        ) = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._client_id = client_id
         self._max_frame_bytes = max_frame_bytes
+        self._on_invalidation = on_invalidation
         #: In-flight calls, oldest first: ``(expected_tag, future)``.
         self._pending: deque[tuple[int, asyncio.Future]] = deque()
         self._write_lock = asyncio.Lock()
         self._closed = False
         self._conn_error: ServeError | None = None
+        #: Everything the server has shipped and not since invalidated.
+        self._delivered: UidSet = EMPTY_UIDS
+        #: Highest scene epoch seen on any response or invalidation.
+        self._scene_epoch = 0
+        #: Pushed invalidations awaiting :meth:`drain_invalidations`.
+        self._invalidations: deque[InvalidationFrame] = deque()
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
@@ -75,6 +98,9 @@ class ServeClient:
         *,
         client_id: int = 0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        on_invalidation: (
+            Callable[[InvalidationFrame], None] | None
+        ) = None,
     ) -> "ServeClient":
         reader, writer = await asyncio.open_connection(host, port)
         return cls(
@@ -82,6 +108,7 @@ class ServeClient:
             writer,
             client_id=client_id,
             max_frame_bytes=max_frame_bytes,
+            on_invalidation=on_invalidation,
         )
 
     @property
@@ -91,6 +118,22 @@ class ServeClient:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def delivered_uids(self) -> UidSet:
+        """The live cache: shipped uids minus invalidated slices."""
+        return self._delivered
+
+    @property
+    def scene_epoch(self) -> int:
+        """Highest scene epoch seen on any response or invalidation."""
+        return self._scene_epoch
+
+    def drain_invalidations(self) -> tuple[InvalidationFrame, ...]:
+        """Pop every invalidation pushed since the last drain."""
+        frames = tuple(self._invalidations)
+        self._invalidations.clear()
+        return frames
 
     # -- calls -------------------------------------------------------------
 
@@ -131,6 +174,26 @@ class ServeClient:
             timestamp,
             (RegionRequest(region=window, w_min=w_min, w_max=w_max),),
             exclude_uids,
+        )
+
+    async def retrieve_delta(
+        self,
+        timestamp: float,
+        regions: tuple[RegionRequest, ...] | list[RegionRequest],
+    ) -> RetrieveBatchResponse:
+        """One tour step: fetch only what the cache does not hold.
+
+        Excludes the client's live delivered set, so after an epoch
+        invalidation dropped a stale slice the next step re-fetches
+        exactly the changed objects' rows inside the view.
+        """
+        return await self.retrieve(
+            RetrieveRequest(
+                timestamp=timestamp,
+                client_id=self._client_id,
+                regions=tuple(regions),
+                exclude_uids=self._delivered,
+            )
         )
 
     async def ping(self) -> None:
@@ -192,6 +255,12 @@ class ServeClient:
                     self._fail_pending(ServeError("server closed connection"))
                     return
                 tag, payload = frame
+                if tag == MessageTag.INVALIDATION:
+                    # Server push, correlated with no pending call:
+                    # apply it here so cache updates happen in frame
+                    # arrival order even under pipelining.
+                    self._apply_invalidation(decode_invalidation(payload))
+                    continue
                 if tag == MessageTag.ERROR:
                     code, message = decode_error(payload)
                     error = RemoteServeError(message, code=code)
@@ -226,13 +295,36 @@ class ServeClient:
                     future.set_result(None)
                 else:
                     try:
-                        future.set_result(decode_response(payload))
+                        response = decode_response(payload)
                     except Exception as exc:  # typed WireFormatError
                         future.set_exception(exc)
+                        continue
+                    self._record_response(response)
+                    future.set_result(response)
         except (ConnectionError, OSError) as exc:
             self._fail_pending(ServeError(f"connection lost: {exc}"))
         except Exception as exc:  # wire errors from read_frame
             self._fail_pending(ServeError(f"protocol failure: {exc}"))
+
+    def _record_response(self, response: RetrieveBatchResponse) -> None:
+        """Fold a response into the delivered cache (reader task only)."""
+        if response.batch.count:
+            self._delivered = self._delivered.union(response.batch.uids)
+        if response.epoch > self._scene_epoch:
+            self._scene_epoch = response.epoch
+
+    def _apply_invalidation(self, frame: InvalidationFrame) -> None:
+        """Drop the stale cache slice named by a pushed invalidation."""
+        if frame.epoch > self._scene_epoch:
+            self._scene_epoch = frame.epoch
+        delivered = self._delivered.packed
+        if delivered.size and frame.count:
+            stale = delivered[frame.mask_uids(delivered)]
+            if stale.size:
+                self._delivered = self._delivered.difference(stale)
+        self._invalidations.append(frame)
+        if self._on_invalidation is not None:
+            self._on_invalidation(frame)
 
     def _fail_pending(self, error: ServeError) -> None:
         if self._conn_error is None:

@@ -4,7 +4,7 @@ Every message travels inside one *frame*::
 
     offset  size  field
     0       2     magic   b"RW"  (Retrieval Wire)
-    2       1     version protocol version, currently 1
+    2       1     version protocol version, currently 2
     3       1     tag     message type (:class:`MessageTag`)
     4       4     length  payload byte count, unsigned little-endian
     8       n     payload tag-specific binary body (:mod:`repro.serve.wire`)
@@ -44,8 +44,9 @@ __all__ = [
 #: First two bytes of every frame.
 MAGIC = b"RW"
 
-#: Wire protocol version this codec speaks.
-PROTOCOL_VERSION = 1
+#: Wire protocol version this codec speaks.  Version 2 added the epoch
+#: field to requests and responses and the INVALIDATION push frame.
+PROTOCOL_VERSION = 2
 
 _HEADER = struct.Struct("<2sBBI")
 
@@ -65,6 +66,7 @@ class MessageTag(enum.IntEnum):
     PING = 4  #: client -> server, empty liveness probe
     PONG = 5  #: server -> client, empty liveness answer
     BATCH = 6  #: a standalone CoefficientBatch (tooling/replay, not RPC)
+    INVALIDATION = 7  #: server -> client, pushed epoch-change notice
 
 
 def encode_frame(tag: int, payload: bytes) -> bytes:

@@ -44,6 +44,7 @@ from repro.errors import (
     ReproError,
     WireFormatError,
 )
+from repro.net.messages import InvalidationFrame
 from repro.serve.engine import ServeEngine
 from repro.serve.framing import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -51,8 +52,9 @@ from repro.serve.framing import (
     encode_frame,
     read_frame,
 )
-from repro.serve.wire import ErrorCode, encode_error
+from repro.serve.wire import ErrorCode, encode_error, encode_invalidation
 from repro.server.server import Server
+from repro.store.scene import SceneDelta
 
 __all__ = ["ServeConfig", "ServiceStats", "RetrieveService"]
 
@@ -104,6 +106,8 @@ class ServiceStats:
     frames_sent: int = 0
     wire_errors: int = 0
     request_errors: int = 0
+    #: INVALIDATION frames enqueued across all connections.
+    invalidations_sent: int = 0
     #: Highest send-queue depth observed on any connection; bounded by
     #: ``send_queue_frames`` by construction.
     queue_high_water: int = 0
@@ -219,6 +223,43 @@ class RetrieveService:
 
     async def __aexit__(self, *exc_info: object) -> None:
         await self.shutdown()
+
+    # -- epoch push --------------------------------------------------------
+
+    async def advance_epoch(self, delta: SceneDelta) -> InvalidationFrame:
+        """Advance the server one scene epoch and notify every client.
+
+        Runs the full server-side invalidation chain (index patch,
+        planner memos, shipped-base state), then pushes one
+        INVALIDATION frame per live connection so clients drop their
+        stale cache slices mid-tour.  Returns the broadcast frame.
+        """
+        footprint = self._engine.server.advance_epoch(delta)
+        frame = InvalidationFrame(
+            epoch=footprint.epoch,
+            changed_ids=footprint.changed_ids,
+            region_low=footprint.region_low,
+            region_high=footprint.region_high,
+        )
+        await self.broadcast_invalidation(frame)
+        return frame
+
+    async def broadcast_invalidation(self, frame: InvalidationFrame) -> int:
+        """Enqueue one INVALIDATION frame on every live connection.
+
+        Uses the same bounded send queues as responses, so a slow
+        reader backpressures the broadcast instead of buffering
+        unboundedly.  Returns the number of connections notified.
+        """
+        payload = encode_frame(
+            MessageTag.INVALIDATION, encode_invalidation(frame)
+        )
+        notified = 0
+        for conn in list(self._connections):
+            await self._enqueue(conn, payload)
+            notified += 1
+        self.stats.invalidations_sent += notified
+        return notified
 
     # -- connection handling -----------------------------------------------
 

@@ -16,7 +16,7 @@ column of ``n`` doubles)::
 
     region    := u8 ndim, f64[ndim] low, f64[ndim] high,
                  f64 w_min, f64 w_max, u8 half_open
-    request   := f64 timestamp, i64 client_id,
+    request   := f64 timestamp, i64 client_id, i64 epoch,
                  u32 n_regions, region*, u32 n_exclude, i64[n_exclude]
     mesh      := u32 n_vertices, u32 n_faces,
                  f64[n_vertices*3], i64[n_faces*3]
@@ -25,8 +25,17 @@ column of ``n`` doubles)::
                  f64[n*3] sup_high, f64[n*3] position, f64[n*3] payload,
                  i64[n] size_bytes
     response  := request, u32 n_bases, base*, batch,
-                 i64 io_node_reads, i64 filtered_out
+                 i64 io_node_reads, i64 filtered_out, i64 epoch
+    invalidation := i64 epoch, u32 n_changed, i64[n] changed_ids,
+                 f64[n*3] region_low, f64[n*3] region_high
     error     := u16 code, u32 n_bytes, utf8[n_bytes]
+
+The request ``epoch`` pins the scene version the answer must be
+consistent with (:data:`~repro.net.messages.LATEST_EPOCH` = ``-1``
+means "whatever the server is at"); the response ``epoch`` reports
+the version actually answered.  An invalidation payload is the
+server-pushed notice that the scene advanced (see
+:class:`~repro.net.messages.InvalidationFrame`).
 
 Every decoder is *total* over arbitrary bytes: any malformed input --
 truncation, trailing garbage, out-of-range counts, non-finite floats,
@@ -46,8 +55,10 @@ from repro.errors import ReproError, WireFormatError
 from repro.geometry.box import Box
 from repro.mesh.trimesh import TriMesh
 from repro.net.messages import (
+    LATEST_EPOCH,
     BaseMeshPayload,
     CoefficientBatch,
+    InvalidationFrame,
     RegionRequest,
     RetrieveBatchResponse,
     RetrieveRequest,
@@ -71,6 +82,8 @@ __all__ = [
     "decode_response",
     "encode_batch",
     "decode_batch",
+    "encode_invalidation",
+    "decode_invalidation",
     "encode_error",
     "decode_error",
 ]
@@ -189,6 +202,7 @@ def encode_request(request: RetrieveRequest) -> bytes:
     out = bytearray()
     out += _F64S.pack(request.timestamp)
     out += _I64S.pack(request.client_id)
+    out += _I64S.pack(request.epoch)
     out += _U32.pack(len(request.regions))
     for region in request.regions:
         _encode_region(out, region)
@@ -203,6 +217,11 @@ def _decode_request_cursor(cur: _Cursor) -> RetrieveRequest:
     if not np.isfinite(timestamp):
         raise WireFormatError(f"non-finite request timestamp {timestamp}")
     (client_id,) = cur.unpack(_I64S)
+    (epoch,) = cur.unpack(_I64S)
+    if epoch < LATEST_EPOCH:
+        raise WireFormatError(
+            f"request epoch {epoch} below the {LATEST_EPOCH} sentinel"
+        )
     (n_regions,) = cur.unpack(_U32)
     if not 1 <= n_regions <= _MAX_REGIONS:
         raise WireFormatError(
@@ -218,6 +237,7 @@ def _decode_request_cursor(cur: _Cursor) -> RetrieveRequest:
         client_id=int(client_id),
         regions=regions,
         exclude_uids=UidSet.from_packed(exclude),
+        epoch=int(epoch),
     )
 
 
@@ -329,6 +349,7 @@ def encode_response(response: RetrieveBatchResponse) -> bytes:
     _encode_batch(out, response.batch)
     out += _I64S.pack(response.io_node_reads)
     out += _I64S.pack(response.filtered_out)
+    out += _I64S.pack(response.epoch)
     return bytes(out)
 
 
@@ -346,15 +367,59 @@ def decode_response(payload: bytes) -> RetrieveBatchResponse:
         batch = _decode_batch_cursor(cur)
         (io_node_reads,) = cur.unpack(_I64S)
         (filtered_out,) = cur.unpack(_I64S)
+        (epoch,) = cur.unpack(_I64S)
         cur.finish()
         if io_node_reads < 0 or filtered_out < 0:
             raise WireFormatError("negative response accounting counter")
+        if epoch < 0:
+            raise WireFormatError(f"negative response epoch {epoch}")
         return RetrieveBatchResponse(
             request=request,
             base_meshes=bases,
             batch=batch,
             io_node_reads=int(io_node_reads),
             filtered_out=int(filtered_out),
+            epoch=int(epoch),
+        )
+
+
+# -- invalidation frames -----------------------------------------------------
+
+
+def encode_invalidation(frame: InvalidationFrame) -> bytes:
+    """Serialise one :class:`InvalidationFrame` payload (no frame header)."""
+    out = bytearray()
+    out += _I64S.pack(frame.epoch)
+    out += _U32.pack(frame.count)
+    out += _column_bytes(frame.changed_ids, _I64)
+    out += _column_bytes(frame.region_low, _F64)
+    out += _column_bytes(frame.region_high, _F64)
+    return bytes(out)
+
+
+def decode_invalidation(payload: bytes) -> InvalidationFrame:
+    """Parse one invalidation payload; malformed bytes raise typed errors."""
+    with _wire_errors("invalidation"):
+        cur = _Cursor(payload)
+        (epoch,) = cur.unpack(_I64S)
+        if epoch < 0:
+            raise WireFormatError(f"negative invalidation epoch {epoch}")
+        (n,) = cur.unpack(_U32)
+        changed_ids = cur.take_array(_I64, n)
+        if changed_ids.size and int(changed_ids.min()) < 0:
+            raise WireFormatError("negative object id in invalidation")
+        region_low = _finite_or_raise(
+            cur.take_array(_F64, 3 * n), "invalidation bounds"
+        ).reshape(n, 3)
+        region_high = _finite_or_raise(
+            cur.take_array(_F64, 3 * n), "invalidation bounds"
+        ).reshape(n, 3)
+        cur.finish()
+        return InvalidationFrame(
+            epoch=int(epoch),
+            changed_ids=changed_ids,
+            region_low=region_low,
+            region_high=region_high,
         )
 
 
@@ -386,7 +451,12 @@ def decode_error(payload: bytes) -> tuple[int, str]:
 
 
 def to_bytes(
-    message: RetrieveRequest | RetrieveBatchResponse | CoefficientBatch,
+    message: (
+        RetrieveRequest
+        | RetrieveBatchResponse
+        | CoefficientBatch
+        | InvalidationFrame
+    ),
 ) -> bytes:
     """One complete frame (header + payload) for a wire message."""
     if isinstance(message, RetrieveRequest):
@@ -395,6 +465,10 @@ def to_bytes(
         return encode_frame(MessageTag.RESPONSE, encode_response(message))
     if isinstance(message, CoefficientBatch):
         return encode_frame(MessageTag.BATCH, encode_batch(message))
+    if isinstance(message, InvalidationFrame):
+        return encode_frame(
+            MessageTag.INVALIDATION, encode_invalidation(message)
+        )
     raise WireFormatError(
         f"no wire encoding for {type(message).__name__!r}"
     )
@@ -402,7 +476,12 @@ def to_bytes(
 
 def from_bytes(
     frame: bytes, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
-) -> RetrieveRequest | RetrieveBatchResponse | CoefficientBatch:
+) -> (
+    RetrieveRequest
+    | RetrieveBatchResponse
+    | CoefficientBatch
+    | InvalidationFrame
+):
     """Parse one complete frame back into its message object.
 
     The whole buffer must be exactly one frame; unknown tags and
@@ -419,6 +498,8 @@ def from_bytes(
         return decode_response(payload)
     if tag == MessageTag.BATCH:
         return decode_batch(payload)
+    if tag == MessageTag.INVALIDATION:
+        return decode_invalidation(payload)
     raise WireFormatError(f"unknown or non-message frame tag {tag}")
 
 

@@ -32,9 +32,11 @@ from repro.index.access import (
     NaivePointAccessMethod,
 )
 from repro.index.columnar import ColumnarAccessMethod, RowResult
+from repro.index.dynamic import DynamicAccessMethod
 from repro.index.packed import PackedAccessMethod
 from repro.index.stats import IOStats
 from repro.store.columns import CoefficientStore
+from repro.store.scene import FootprintDelta, SceneDelta
 from repro.store.uids import pack_uid
 from repro.wavelets.analysis import WaveletDecomposition
 from repro.wavelets.coefficients import CoefficientRecord
@@ -50,6 +52,7 @@ AnyAccessMethod = (
     | NaivePointAccessMethod
     | ColumnarAccessMethod
     | PackedAccessMethod
+    | DynamicAccessMethod
 )
 
 
@@ -278,19 +281,64 @@ class ObjectDatabase:
                 )
         return self._method
 
-    def packed_access_method(self) -> PackedAccessMethod | None:
+    def packed_access_method(
+        self,
+    ) -> PackedAccessMethod | DynamicAccessMethod | None:
         """The live packed index, or None when this database has none.
 
         The server's frame-delta planner keys its memos off this hook
         instead of :attr:`access_method` so alternative backends (a
         sharded database has *many* packed indexes, none global) can
-        opt out without forcing an index build.
+        opt out without forcing an index build.  A scene database
+        returns its epoch-stepping dynamic index, which exposes the
+        same traversal surface.
         """
         if self._method_name != "packed" or not self._objects:
             return None
         method = self.access_method
-        assert isinstance(method, PackedAccessMethod)
+        assert isinstance(method, (PackedAccessMethod, DynamicAccessMethod))
         return method
+
+    # -- the epoch surface ---------------------------------------------------------
+
+    @property
+    def current_epoch(self) -> int:
+        """The scene version queries run against by default.
+
+        A static database only ever has one version, epoch 0; the
+        epoch-versioned :class:`~repro.server.scene.SceneDatabase`
+        overrides this with its live epoch.
+        """
+        return 0
+
+    def store_at(self, epoch: int) -> CoefficientStore:
+        """The consistent columnar view as of ``epoch``."""
+        if epoch != 0:
+            raise WorkloadError(
+                f"static database has only epoch 0, not {epoch}"
+            )
+        return self.store
+
+    def query_region_rows_at(
+        self, epoch: int, region: Box, w_min: float, w_max: float
+    ) -> RowResult:
+        """The window query answered as of ``epoch``.
+
+        Row ids index into :meth:`store_at` for the same epoch, *not*
+        into the live :attr:`store`.
+        """
+        if epoch != 0:
+            raise WorkloadError(
+                f"static database has only epoch 0, not {epoch}"
+            )
+        return self.query_region_rows(region, w_min, w_max)
+
+    def advance_epoch(self, delta: SceneDelta) -> FootprintDelta:
+        """Apply one scene delta (scene databases only)."""
+        raise WorkloadError(
+            "a static ObjectDatabase cannot advance epochs; build a "
+            "SceneDatabase for dynamic scenes"
+        )
 
     def query_region(
         self, region: Box, w_min: float, w_max: float
@@ -309,7 +357,10 @@ class ObjectDatabase:
         the downstream merge/filter work becomes vectorised.
         """
         method = self.access_method
-        if isinstance(method, (ColumnarAccessMethod, PackedAccessMethod)):
+        if isinstance(
+            method,
+            (ColumnarAccessMethod, PackedAccessMethod, DynamicAccessMethod),
+        ):
             return method.query_rows(region, w_min, w_max)
         result = method.query(region, w_min, w_max)
         if result.records:

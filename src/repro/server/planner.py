@@ -48,9 +48,16 @@ import numpy as np
 from repro.errors import ConfigurationError, IndexError_
 from repro.geometry.box import Box
 from repro.index.columnar import RowResult
+from repro.index.dynamic import DynamicAccessMethod
 from repro.index.packed import PackedAccessMethod
+from repro.store.scene import FootprintDelta
 
 __all__ = ["FrontierPlanner", "PlannerCounters", "DEFAULT_MARGIN_FRAC"]
+
+#: The access-method surface the planner traverses: the static packed
+#: compilation or the epoch-stepping dynamic index (same query/candidate
+#: contract, same stats counter).
+PlannableMethod = PackedAccessMethod | DynamicAccessMethod
 
 #: How far the memo region is inflated beyond the query, per spatial
 #: axis, as a fraction of the query extent on that axis.  Half the
@@ -130,7 +137,7 @@ class FrontierPlanner:
 
     def __init__(
         self,
-        method: PackedAccessMethod,
+        method: PlannableMethod,
         *,
         margin_frac: float = DEFAULT_MARGIN_FRAC,
         max_clients: int = 1024,
@@ -150,7 +157,7 @@ class FrontierPlanner:
         self.counters = PlannerCounters()
 
     @property
-    def method(self) -> PackedAccessMethod:
+    def method(self) -> PlannableMethod:
         return self._method
 
     @property
@@ -168,6 +175,59 @@ class FrontierPlanner:
     def clear(self) -> None:
         """Drop every memo (e.g. after the index was rebuilt)."""
         self._memos.clear()
+
+    def apply_epoch(
+        self,
+        footprint: FootprintDelta,
+        old_uids: np.ndarray,
+        new_uids: np.ndarray,
+    ) -> int:
+        """Invalidate memos for an epoch step; returns how many dropped.
+
+        A memo whose region intersects any dirty footprint (the union
+        of a changed object's bounds before and after the epoch) may
+        hold rows of a changed object, so it is dropped -- its client
+        refreshes cold on the next query.  A memo that misses every
+        dirty region can only hold *unchanged* objects' entries: a
+        changed object's row could enter the memo only by its old
+        support box intersecting the memo region, and that box lies
+        inside the object's dirty footprint.  Such memos survive with
+        their candidate bounds intact; only their store row ids are
+        re-based from the old epoch's row space to the new one (both
+        epochs order rows by ascending packed uid, so the re-base is
+        one ``searchsorted`` per memo).
+        """
+        if footprint.is_empty and old_uids.size == new_uids.size:
+            return 0
+        dropped = 0
+        rebase = not (
+            old_uids.size == new_uids.size
+            and bool(np.array_equal(old_uids, new_uids))
+        )
+        spatial = self._method.spatial_dims
+        for client_id in list(self._memos):
+            memo = self._memos[client_id]
+            hit = footprint.intersects(
+                memo.low[None, :spatial], memo.high[None, :spatial]
+            )
+            if bool(hit[0]):
+                del self._memos[client_id]
+                dropped += 1
+                continue
+            if rebase and memo.rows.size:
+                pos = np.searchsorted(new_uids, old_uids[memo.rows])
+                if (
+                    int(pos.max(initial=0)) >= new_uids.size
+                    or not bool(
+                        np.array_equal(new_uids[pos], old_uids[memo.rows])
+                    )
+                ):
+                    raise IndexError_(
+                        "planner memo survived an epoch step but its rows "
+                        "are not present in the new store"
+                    )
+                memo.rows = pos
+        return dropped
 
     # -- planning --------------------------------------------------------------
 

@@ -47,6 +47,7 @@ import numpy as np
 from repro.errors import ConfigurationError, ProtocolError
 from repro.geometry.box import Box
 from repro.net.messages import (
+    LATEST_EPOCH,
     BaseMeshPayload,
     CoefficientBatch,
     RegionRequest,
@@ -57,6 +58,8 @@ from repro.net.messages import (
 from repro.index.columnar import RowResult
 from repro.server.database import ObjectDatabase
 from repro.server.planner import FrontierPlanner
+from repro.store.columns import CoefficientStore
+from repro.store.scene import FootprintDelta, SceneDelta
 from repro.store.uids import UidSet, pack_uid
 from repro.wavelets.coefficients import CoefficientRecord
 
@@ -137,16 +140,28 @@ class Server:
             self._shipped_bases.move_to_end(client_id)
             return self._shipped_bases[client_id]
         while len(self._shipped_bases) >= self._max_clients:
-            self._shipped_bases.popitem(last=False)
+            evicted, _ = self._shipped_bases.popitem(last=False)
+            self._client_evicted(evicted)
         shipped: set[int] = set()
         self._shipped_bases[client_id] = shipped
         return shipped
 
+    def _client_evicted(self, client_id: int) -> None:
+        """A client left the shipped-bases table; drop derived state.
+
+        Called on explicit resets *and* on LRU eviction, so planner
+        memos (here and, via override, in every shard of a sharded
+        coordinator) never outlive the client slot that anchored them
+        -- an evicted client that reconnects must refresh cold rather
+        than warm-hit a memo built for state the server forgot.
+        """
+        if self._planner is not None:
+            self._planner.forget(client_id)
+
     def reset_client(self, client_id: int) -> None:
         """Forget which base meshes a client already received."""
         self._shipped_bases.pop(client_id, None)
-        if self._planner is not None:
-            self._planner.forget(client_id)
+        self._client_evicted(client_id)
 
     def disconnect(self, client_id: int) -> None:
         """Drop all per-client state (alias of :meth:`reset_client`)."""
@@ -174,26 +189,62 @@ class Server:
             )
         return self._planner
 
-    def _canonical(self, result: RowResult) -> RowResult:
+    def _resolve_epoch(self, request: RetrieveRequest) -> int:
+        """The epoch this request is answered at.
+
+        :data:`~repro.net.messages.LATEST_EPOCH` resolves to the
+        database's current epoch (0 for static databases); a pinned
+        epoch must not lie in the future.
+        """
+        current = self._db.current_epoch
+        if request.epoch == LATEST_EPOCH:
+            return current
+        if request.epoch > current:
+            raise ProtocolError(
+                f"request pins epoch {request.epoch} but the server is "
+                f"at epoch {current}"
+            )
+        return request.epoch
+
+    def _canonical(
+        self, result: RowResult, store: CoefficientStore | None = None
+    ) -> RowResult:
         """Re-order a sub-query's rows into ascending packed-uid order.
 
         The canonical delivery order decouples responses from the
         access method's traversal order: any backend producing the same
         row *set* (monolithic tree, columnar scan, sharded
-        scatter-gather) yields a bit-identical response.
+        scatter-gather) yields a bit-identical response.  ``store`` is
+        the row space the result indexes into -- the live store by
+        default, a pinned epoch's view for as-of-epoch answers.
         """
+        if store is None:
+            store = self._db.store
         rows = result.rows
         if rows.size > 1:
-            order = np.argsort(
-                self._db.store.packed_uids[rows], kind="stable"
-            )
+            order = np.argsort(store.packed_uids[rows], kind="stable")
             rows = rows[order]
         return RowResult(rows=rows, io=result.io)
 
     def _region_rows(
-        self, client_id: int, region: Box, w_min: float, w_max: float
+        self,
+        client_id: int,
+        region: Box,
+        w_min: float,
+        w_max: float,
+        *,
+        epoch: int | None = None,
     ) -> RowResult:
-        """One sub-query: via the client's frontier memo when planning."""
+        """One sub-query: via the client's frontier memo when planning.
+
+        A pinned past epoch bypasses the planner (memos track the live
+        index only) and queries the retained epoch view directly.
+        """
+        if epoch is not None and epoch != self._db.current_epoch:
+            return self._canonical(
+                self._db.query_region_rows_at(epoch, region, w_min, w_max),
+                self._db.store_at(epoch),
+            )
         planner = self.planner
         if planner is not None:
             return self._canonical(
@@ -208,12 +259,14 @@ class Server:
         against the database; a sharded coordinator overrides this with
         a scatter-gather over the intersecting shards.
         """
+        epoch = self._resolve_epoch(request)
         return [
             self._region_rows(
                 request.client_id,
                 region_req.region,
                 region_req.w_min,
                 region_req.w_max,
+                epoch=epoch,
             )
             for region_req in request.regions
         ]
@@ -250,7 +303,8 @@ class Server:
         any fetch strategy that produces the same row sets commits the
         same state.
         """
-        store = self._db.store
+        epoch = self._resolve_epoch(request)
+        store = self._db.store_at(epoch)
         exclude = request.exclude_uids
         kept: list[np.ndarray] = []
         io_total = 0
@@ -270,13 +324,16 @@ class Server:
                 rows = rows[fresh]
             kept.append(rows)
         merged = self._merge_first_occurrence(store.packed_uids, kept)
-        base_meshes = self._base_payloads_rows(request.client_id, merged)
+        base_meshes = self._base_payloads_rows(
+            request.client_id, merged, store
+        )
         return RetrieveBatchResponse(
             request=request,
             base_meshes=base_meshes,
             batch=CoefficientBatch(store=store, rows=merged),
             io_node_reads=io_total,
             filtered_out=filtered,
+            epoch=epoch,
         )
 
     @staticmethod
@@ -296,6 +353,41 @@ class Server:
     def execute(self, request: RetrieveRequest) -> RetrieveResponse:
         """Answer one retrieve request as a legacy per-record response."""
         return self.execute_batch(request).to_response()
+
+    # -- epoch advance ---------------------------------------------------------
+
+    def advance_epoch(self, delta: SceneDelta) -> FootprintDelta:
+        """Apply one scene delta and invalidate every dependent cache.
+
+        Requires an epoch-capable database
+        (:class:`~repro.server.scene.SceneDatabase`); static databases
+        raise.  After the store and index have stepped, :meth:`_on_epoch`
+        walks the server-side caches: planner memos intersecting a
+        changed object's dirty footprint are dropped (survivors are
+        re-based into the new row space), and the changed object ids
+        leave every client's shipped-bases set so re-meshed or moved
+        bases ship again.  Untouched objects' cached state survives.
+        """
+        old_store = self._db.store if self._db.object_count else None
+        footprint = self._db.advance_epoch(delta)
+        self._on_epoch(footprint, old_store, self._db.store)
+        return footprint
+
+    def _on_epoch(
+        self,
+        footprint: FootprintDelta,
+        old_store: CoefficientStore | None,
+        new_store: CoefficientStore,
+    ) -> None:
+        """Scoped cache invalidation for one epoch step."""
+        if self._planner is not None and old_store is not None:
+            self._planner.apply_epoch(
+                footprint, old_store.packed_uids, new_store.packed_uids
+            )
+        if not footprint.is_empty:
+            changed = {int(i) for i in footprint.changed_ids}
+            for shipped in self._shipped_bases.values():
+                shipped -= changed
 
     def execute_per_record(self, request: RetrieveRequest) -> RetrieveResponse:
         """The original object-at-a-time implementation.
@@ -431,10 +523,14 @@ class Server:
     # -- base-mesh shipping ----------------------------------------------------
 
     def _base_payloads_rows(
-        self, client_id: int, rows: np.ndarray
+        self,
+        client_id: int,
+        rows: np.ndarray,
+        store: CoefficientStore | None = None,
     ) -> tuple[BaseMeshPayload, ...]:
         """Base meshes to ship for a merged row batch (first-seen order)."""
-        store = self._db.store
+        if store is None:
+            store = self._db.store
         base_rows = rows[store.levels[rows] == -1]
         if base_rows.size == 0:
             # Still touch the client's LRU slot, as the legacy path did.

@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.shard.coordinator import ShardCoordinator
 from repro.shard.database import ShardedDatabase
 from repro.shard.mapping import TILINGS, ShardMap
+from repro.shard.scene import ShardedSceneDatabase
 from repro.shard.parallel import (
     ProcessShardExecutor,
     SerialShardExecutor,
@@ -27,6 +28,7 @@ __all__ = [
     "ShardMap",
     "TILINGS",
     "ShardedDatabase",
+    "ShardedSceneDatabase",
     "ShardCoordinator",
     "ShardExecutor",
     "ShardSlice",

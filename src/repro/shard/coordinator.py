@@ -27,14 +27,22 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro.errors import ShardError
 from repro.geometry.box import Box
 from repro.index.columnar import RowResult
-from repro.net.messages import RetrieveBatchResponse, RetrieveRequest
+from repro.net.messages import (
+    LATEST_EPOCH,
+    RetrieveBatchResponse,
+    RetrieveRequest,
+)
 from repro.server.planner import FrontierPlanner
 from repro.server.server import DEFAULT_MAX_CLIENTS, Server
 from repro.shard.database import ShardedDatabase
 from repro.shard.parallel import ShardTask
+from repro.store.columns import CoefficientStore
+from repro.store.scene import FootprintDelta
 
 __all__ = ["ShardCoordinator"]
 
@@ -82,14 +90,49 @@ class ShardCoordinator(Server):
         """Live per-shard planners (built lazily; counters for tests)."""
         return self._shard_planners
 
-    def reset_client(self, client_id: int) -> None:
-        super().reset_client(client_id)
+    def _client_evicted(self, client_id: int) -> None:
+        """Resets *and* LRU evictions drop the shard-level memos too."""
+        super()._client_evicted(client_id)
         for planner in self._shard_planners.values():
             planner.forget(client_id)
 
+    def _on_epoch(
+        self,
+        footprint: FootprintDelta,
+        old_store: CoefficientStore | None,
+        new_store: CoefficientStore,
+    ) -> None:
+        """Epoch invalidation runs per shard, on the shard's row space.
+
+        Each shard planner sees only the footprint restricted to its
+        member objects and re-bases surviving memos against the shard's
+        own slice stores -- memos in shards the delta never touched
+        survive verbatim.
+        """
+        super()._on_epoch(footprint, old_store, new_store)
+        db = self.sharded
+        for shard, planner in self._shard_planners.items():
+            planner.apply_epoch(
+                footprint.restricted(db.member_ids(shard)),
+                *db.slice_uid_step(shard),
+            )
+
     def _region_rows(
-        self, client_id: int, region: Box, w_min: float, w_max: float
+        self,
+        client_id: int,
+        region: Box,
+        w_min: float,
+        w_max: float,
+        *,
+        epoch: int | None = None,
     ) -> RowResult:
+        if epoch is not None and epoch != self._db.current_epoch:
+            # Pinned past epochs bypass both the scatter and the shard
+            # planners: the epoch-capable sharded database answers them
+            # from its retained global views.
+            return super()._region_rows(
+                client_id, region, w_min, w_max, epoch=epoch
+            )
         if not self._plan_deltas:
             # The sharded database itself scatters; canonicalisation in
             # _canonical is a no-op on its already-sorted gather.
@@ -121,7 +164,14 @@ class ShardCoordinator(Server):
         :meth:`execute_batch` loop bit for bit.
         """
         requests = list(requests)
-        if self._plan_deltas or len(requests) == 0:
+        current = self._db.current_epoch
+        pinned = any(
+            request.epoch not in (LATEST_EPOCH, current)
+            for request in requests
+        )
+        if self._plan_deltas or pinned or len(requests) == 0:
+            # Frame-delta memos are per-client warm state and pinned
+            # epochs answer from retained views, neither batchable.
             return super().execute_many(requests)
         db = self.sharded
         # Flatten every (request, region) sub-query, then plan the

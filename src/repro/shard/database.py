@@ -38,7 +38,7 @@ frame-delta planner is instead sharded by the coordinator.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -47,7 +47,7 @@ from repro.geometry.box import Box
 from repro.index.access import AccessResult, _spatial_query_box
 from repro.index.columnar import RowResult
 from repro.index.stats import IOStats
-from repro.server.database import AnyAccessMethod, ObjectDatabase
+from repro.server.database import AnyAccessMethod, ObjectDatabase, StoredObject
 from repro.shard.mapping import ShardMap
 from repro.shard.parallel import (
     SerialShardExecutor,
@@ -104,11 +104,8 @@ class ShardedDatabase(ObjectDatabase):
         slices: list[ShardSlice] = []
         for shard in range(shard_map.shard_count):
             members = shard_map.members(shard)
-            slice_db = ObjectDatabase.from_objects(
-                (objects[int(i)] for i in members),
-                encoding=self._encoding,
-                access_method="packed",
-                spatial_dims=self._spatial_dims,
+            slice_db = self._slice_database(
+                objects[int(i)] for i in members
             )
             row_map = np.concatenate(
                 [
@@ -140,6 +137,29 @@ class ShardedDatabase(ObjectDatabase):
         )
         self._executor: ShardExecutor = executor or SerialShardExecutor()
         self._executor.bind(self._slices)
+
+    def _slice_database(
+        self, objects: "Iterable[StoredObject]"
+    ) -> ObjectDatabase:
+        """Build one shard's database; the scene variant overrides this."""
+        return ObjectDatabase.from_objects(
+            objects,
+            encoding=self._encoding,
+            access_method="packed",
+            spatial_dims=self._spatial_dims,
+        )
+
+    def slice_uid_step(self, shard: int) -> tuple[np.ndarray, np.ndarray]:
+        """One shard's (old uids, new uids) across the last epoch step.
+
+        Static sharded databases never step, so there is nothing to
+        report; the epoch-versioned variant overrides this for the
+        coordinator's per-shard planner invalidation.
+        """
+        raise ShardError(
+            "a static sharded database has no epoch steps; build a "
+            "ShardedSceneDatabase for dynamic scenes"
+        )
 
     @classmethod
     def from_database(
@@ -175,6 +195,29 @@ class ShardedDatabase(ObjectDatabase):
     @property
     def executor(self) -> ShardExecutor:
         return self._executor
+
+    def member_ids(self, shard: int) -> np.ndarray:
+        """Sorted object ids assigned to ``shard`` by the shard map.
+
+        Membership is a property of the map, not of the current rows:
+        for an epoch-versioned sharded database this keeps naming a
+        removed object's owning shard, which the coordinator's
+        per-shard cache invalidation relies on.
+        """
+        if not 0 <= shard < self.shard_count:
+            raise ShardError(
+                f"shard {shard} out of range [0, {self.shard_count})"
+            )
+        objects = self.objects
+        return np.unique(
+            np.fromiter(
+                (
+                    objects[int(i)].object_id
+                    for i in self._shard_map.members(shard)
+                ),
+                dtype=np.int64,
+            )
+        )
 
     def shard_bounds(self, shard: int) -> Box:
         """Index-space bounds of one shard's rows."""

@@ -9,13 +9,16 @@ The substrate the serving stack runs on:
   server uplink) whose backlog carries across ticks;
 * :mod:`repro.sim.session` -- the unified :class:`ClientSession` drive
   loop composed from pluggable policy and transport objects;
-* :mod:`repro.sim.streams` -- seeded random-stream derivation.
+* :mod:`repro.sim.streams` -- seeded random-stream derivation;
+* :mod:`repro.sim.epochs` -- periodic scene-epoch advances as kernel
+  events, so dynamic scenes mutate deterministically mid-tour.
 
 Layering: ``sim`` sits below ``core`` (which implements the concrete
 motion-aware/naive/fleet policies) and above ``net`` (whose clock and
 link models it consumes).
 """
 
+from repro.sim.epochs import ApplyDelta, DeltaFactory, EpochEvent, EpochSource
 from repro.sim.kernel import Action, EventKernel, TraceEntry
 from repro.sim.resources import FifoResource, Grant
 from repro.sim.session import (
@@ -39,6 +42,10 @@ __all__ = [
     "Action",
     "EventKernel",
     "TraceEntry",
+    "ApplyDelta",
+    "DeltaFactory",
+    "EpochEvent",
+    "EpochSource",
     "FifoResource",
     "Grant",
     "ClientSession",

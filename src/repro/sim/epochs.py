@@ -1,0 +1,139 @@
+"""Epoch-advance event source for the discrete-event kernel.
+
+A dynamic scene changes *while* clients tour it.  :class:`EpochSource`
+turns a schedule of :class:`~repro.store.scene.SceneDelta` mutations
+into kernel events interleaved deterministically with the session
+ticks: epoch ``k`` fires at ``start_s + k * period_s`` (kernel event
+ordering breaks ties by schedule order, so a tick and an epoch landing
+on the same instant always resolve the same way), applies its delta
+through the injected ``apply`` callable -- typically
+``Server.advance_epoch`` or a sharded coordinator's -- and records the
+resulting :class:`~repro.store.scene.FootprintDelta`.
+
+The source owns no randomness and no scene policy: the ``next_delta``
+factory produces the ``k``-th delta (or ``None`` to stop early), so a
+whole dynamic run stays a pure function of its configuration, exactly
+like every other kernel component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.kernel import EventKernel
+from repro.store.scene import FootprintDelta, SceneDelta
+
+__all__ = ["EpochEvent", "EpochSource", "DeltaFactory", "ApplyDelta"]
+
+#: Produces the ``k``-th scene delta (``k`` counts from 0, i.e. the
+#: delta advancing the scene to epoch ``k + 1``); ``None`` stops the
+#: source early.
+DeltaFactory = Callable[[int], "SceneDelta | None"]
+
+#: Applies one delta to the system under test, returning its footprint
+#: (``Server.advance_epoch``, ``SceneDatabase.advance_epoch``, ...).
+ApplyDelta = Callable[[SceneDelta], FootprintDelta]
+
+
+@dataclass(frozen=True)
+class EpochEvent:
+    """One fired epoch advance, for traces and assertions."""
+
+    time: float
+    epoch: int
+    changed: int
+
+
+class EpochSource:
+    """Schedules periodic scene-epoch advances on an event kernel.
+
+    Parameters
+    ----------
+    apply:
+        Receives each delta; its returned footprint is recorded.
+    next_delta:
+        Factory for the ``k``-th delta; returning ``None`` ends the
+        schedule before ``max_epochs``.
+    period_s:
+        Simulated seconds between consecutive epoch advances.
+    start_s:
+        Absolute time of the first advance (defaults to one period
+        after the kernel's clock when :meth:`attach` runs).
+    max_epochs:
+        Hard bound on fired advances.
+    """
+
+    def __init__(
+        self,
+        apply: ApplyDelta,
+        next_delta: DeltaFactory,
+        *,
+        period_s: float,
+        start_s: float | None = None,
+        max_epochs: int | None = None,
+    ) -> None:
+        if period_s <= 0:
+            raise SimulationError(
+                f"epoch period must be positive, got {period_s}"
+            )
+        if max_epochs is not None and max_epochs < 0:
+            raise SimulationError(
+                f"max_epochs must be >= 0, got {max_epochs}"
+            )
+        self._apply = apply
+        self._next_delta = next_delta
+        self._period_s = float(period_s)
+        self._start_s = start_s
+        self._max_epochs = max_epochs
+        self._events: list[EpochEvent] = []
+        self._footprints: list[FootprintDelta] = []
+        self._attached = False
+
+    @property
+    def fired(self) -> int:
+        """Epoch advances applied so far."""
+        return len(self._events)
+
+    @property
+    def events(self) -> tuple[EpochEvent, ...]:
+        return tuple(self._events)
+
+    @property
+    def footprints(self) -> tuple[FootprintDelta, ...]:
+        """The footprint returned by ``apply`` for each fired epoch."""
+        return tuple(self._footprints)
+
+    def attach(self, kernel: EventKernel) -> None:
+        """Schedule the first advance; later ones self-schedule."""
+        if self._attached:
+            raise SimulationError("epoch source is already attached")
+        self._attached = True
+        if self._max_epochs == 0:
+            return
+        when = (
+            kernel.now + self._period_s
+            if self._start_s is None
+            else self._start_s
+        )
+        kernel.schedule_at(when, self._fire, label="epoch:1")
+
+    def _fire(self, kernel: EventKernel) -> None:
+        delta = self._next_delta(self.fired)
+        if delta is None:
+            return
+        footprint = self._apply(delta)
+        self._events.append(
+            EpochEvent(
+                time=kernel.now,
+                epoch=footprint.epoch,
+                changed=int(footprint.changed_ids.size),
+            )
+        )
+        self._footprints.append(footprint)
+        if self._max_epochs is not None and self.fired >= self._max_epochs:
+            return
+        kernel.schedule_in(
+            self._period_s, self._fire, label=f"epoch:{self.fired + 1}"
+        )

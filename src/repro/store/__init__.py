@@ -10,6 +10,7 @@ time); nothing here imports upward.
 """
 
 from repro.store.columns import COEFF_DTYPE, CoefficientStore
+from repro.store.scene import FootprintDelta, SceneDelta, SceneStore
 from repro.store.uids import (
     EMPTY_UIDS,
     INDEX_LIMIT,
@@ -18,6 +19,7 @@ from repro.store.uids import (
     UidSet,
     pack_uid,
     pack_uid_arrays,
+    uid_span,
     unpack_uid,
     unpack_uid_arrays,
 )
@@ -25,10 +27,14 @@ from repro.store.uids import (
 __all__ = [
     "COEFF_DTYPE",
     "CoefficientStore",
+    "SceneStore",
+    "SceneDelta",
+    "FootprintDelta",
     "UidSet",
     "EMPTY_UIDS",
     "pack_uid",
     "pack_uid_arrays",
+    "uid_span",
     "unpack_uid",
     "unpack_uid_arrays",
     "OBJECT_ID_LIMIT",

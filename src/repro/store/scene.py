@@ -1,0 +1,430 @@
+"""Epoch-versioned scenes over the columnar store.
+
+The serving stack was built around a "build once, query forever"
+invariant: a :class:`~repro.store.columns.CoefficientStore` is frozen at
+construction and every layer above caches derived state (packed index
+arrays, planner memos, per-client shipped uids) without any way to
+invalidate it.  This module introduces the *scene epoch* abstraction
+that lets geometry change while keeping every view consistent:
+
+* :class:`SceneDelta` -- one epoch's worth of column-wise changes:
+  whole-object **add** (new coefficient rows), **remove** (drop every
+  row of an object), **move** (rigid translation applied to the support
+  MBB / position columns, and to the payload of base rows, whose wire
+  payload *is* the base position), and **re-mesh** (replace every row
+  of an existing object with a fresh decomposition's rows).
+* :class:`SceneStore` -- the version chain.  ``apply(delta)`` advances
+  the scene one epoch and returns a :class:`FootprintDelta`;
+  ``at_epoch(e)`` returns an immutable, fully consistent
+  :class:`CoefficientStore` snapshot for any recorded epoch.
+* :class:`FootprintDelta` -- the change summary consumed upstream: the
+  object ids whose footprints changed plus their dirty spatial bounds
+  (the union of the before and after support boxes), which is exactly
+  what the index patcher, the planner memo invalidation and the
+  per-client shipped-uid invalidation need.
+
+Canonical row order
+-------------------
+
+Every epoch view orders its rows by ascending packed uid.  Uid packing
+is order-preserving (see :mod:`repro.store.uids`), so one object's rows
+form one contiguous, internally ordered block and object blocks appear
+in ascending object-id order.  The order is therefore a pure function
+of the *set* of rows -- independent of the sequence of deltas that
+produced it -- which is what makes "apply deltas incrementally" and
+"rebuild from scratch" land on bit-identical columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.geometry.box import Box
+from repro.store.columns import COEFF_DTYPE, CoefficientStore
+from repro.store.uids import pack_uid_arrays, unpack_uid_arrays
+
+__all__ = ["SceneDelta", "FootprintDelta", "SceneStore"]
+
+
+def _as_ids(ids: np.ndarray | None) -> np.ndarray:
+    arr = (
+        np.empty(0, dtype=np.int64)
+        if ids is None
+        else np.asarray(ids, dtype=np.int64)
+    )
+    if arr.ndim != 1:
+        raise StoreError(f"object ids must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def _as_rows(rows: np.ndarray | None) -> np.ndarray:
+    arr = np.empty(0, dtype=COEFF_DTYPE) if rows is None else np.asarray(rows)
+    if arr.dtype != COEFF_DTYPE:
+        raise StoreError(f"delta rows must have COEFF_DTYPE, got {arr.dtype}")
+    if arr.ndim != 1:
+        raise StoreError(f"delta rows must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class SceneDelta:
+    """One epoch's column-wise scene changes.
+
+    Application order within the epoch is **remove, re-mesh, move,
+    add**.  The same object id may appear in ``remove_ids`` and in
+    ``add_rows`` (remove the old incarnation, then add a fresh one --
+    equivalent to a re-mesh), but no id may be named by two *other*
+    operations at once: moving a removed object, or re-meshing a moved
+    one, has no well-defined meaning and raises at validation.
+    """
+
+    add_rows: np.ndarray = field(default_factory=lambda: _as_rows(None))
+    remove_ids: np.ndarray = field(default_factory=lambda: _as_ids(None))
+    move_ids: np.ndarray = field(default_factory=lambda: _as_ids(None))
+    move_offsets: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 3), dtype=np.float64)
+    )
+    remesh_rows: np.ndarray = field(default_factory=lambda: _as_rows(None))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "add_rows", _as_rows(self.add_rows))
+        object.__setattr__(self, "remove_ids", _as_ids(self.remove_ids))
+        object.__setattr__(self, "move_ids", _as_ids(self.move_ids))
+        object.__setattr__(self, "remesh_rows", _as_rows(self.remesh_rows))
+        offsets = np.asarray(self.move_offsets, dtype=np.float64)
+        if offsets.ndim != 2 or offsets.shape[1] != 3:
+            raise StoreError(
+                f"move offsets must have shape (n, 3), got {offsets.shape}"
+            )
+        object.__setattr__(self, "move_offsets", offsets)
+        if self.move_ids.size != offsets.shape[0]:
+            raise StoreError(
+                f"{self.move_ids.size} move ids but {offsets.shape[0]} offsets"
+            )
+        for name in ("remove_ids", "move_ids"):
+            ids = getattr(self, name)
+            if ids.size and np.unique(ids).size != ids.size:
+                raise StoreError(f"duplicate object id in {name}")
+        moved = set(int(i) for i in self.move_ids)
+        removed = set(int(i) for i in self.remove_ids)
+        remeshed = set(int(i) for i in np.unique(self.remesh_rows["object_id"]))
+        if moved & removed:
+            raise StoreError("an object cannot be both moved and removed")
+        if moved & remeshed:
+            raise StoreError("an object cannot be both moved and re-meshed")
+        if removed & remeshed:
+            raise StoreError(
+                "re-mesh replaces an object's rows; do not also remove it"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the epoch changes nothing (a pure epoch tick)."""
+        return (
+            self.add_rows.size == 0
+            and self.remove_ids.size == 0
+            and self.move_ids.size == 0
+            and self.remesh_rows.size == 0
+        )
+
+    @property
+    def touched_ids(self) -> np.ndarray:
+        """Sorted unique object ids named by any operation."""
+        return np.unique(
+            np.concatenate(
+                [
+                    self.add_rows["object_id"],
+                    self.remove_ids,
+                    self.move_ids,
+                    self.remesh_rows["object_id"],
+                ]
+            ).astype(np.int64)
+        )
+
+
+@dataclass(frozen=True)
+class FootprintDelta:
+    """What one epoch changed, as seen by the index and cache layers.
+
+    ``changed_ids`` are the objects whose rows differ between epoch
+    ``epoch - 1`` and ``epoch``; ``region_low``/``region_high`` are the
+    per-object dirty bounds -- the union of the object's support extent
+    before and after the change -- aligned with ``changed_ids``.  An
+    empty delta (pure epoch tick) has zero changed objects.
+    """
+
+    epoch: int
+    changed_ids: np.ndarray
+    region_low: np.ndarray
+    region_high: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "changed_ids", np.asarray(self.changed_ids, dtype=np.int64)
+        )
+        low = np.asarray(self.region_low, dtype=np.float64)
+        high = np.asarray(self.region_high, dtype=np.float64)
+        k = self.changed_ids.size
+        if low.shape != (k, 3) or high.shape != (k, 3):
+            raise StoreError(
+                "dirty bounds must align with changed_ids: expected "
+                f"({k}, 3), got {low.shape} / {high.shape}"
+            )
+        object.__setattr__(self, "region_low", low)
+        object.__setattr__(self, "region_high", high)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.changed_ids.size == 0
+
+    def mask_uids(self, packed: np.ndarray) -> np.ndarray:
+        """Boolean mask of packed uids belonging to a changed object."""
+        keys = np.asarray(packed, dtype=np.int64)
+        if self.changed_ids.size == 0:
+            return np.zeros(keys.shape, dtype=bool)
+        object_ids, _, _ = unpack_uid_arrays(keys)
+        pos = np.searchsorted(self.changed_ids, object_ids)
+        pos = np.minimum(pos, self.changed_ids.size - 1)
+        return self.changed_ids[pos] == object_ids
+
+    def intersects(self, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        """Which of the (n, d) query boxes touch any dirty region.
+
+        The comparison runs over the leading ``d`` axes of the stored
+        3-D bounds, so 2-D planner windows test against the spatial
+        projection of the dirty footprints.
+        """
+        qlow = np.atleast_2d(np.asarray(low, dtype=np.float64))
+        qhigh = np.atleast_2d(np.asarray(high, dtype=np.float64))
+        n, d = qlow.shape
+        if self.changed_ids.size == 0:
+            return np.zeros(n, dtype=bool)
+        rlow = self.region_low[:, :d]
+        rhigh = self.region_high[:, :d]
+        hits = np.logical_and(
+            (qlow[:, None, :] <= rhigh[None, :, :]).all(axis=2),
+            (rlow[None, :, :] <= qhigh[:, None, :]).all(axis=2),
+        )
+        return hits.any(axis=1)
+
+    def restricted(self, object_ids: np.ndarray) -> "FootprintDelta":
+        """The delta as seen by a shard owning ``object_ids`` only."""
+        members = np.asarray(object_ids, dtype=np.int64)
+        keep = np.isin(self.changed_ids, members)
+        return FootprintDelta(
+            epoch=self.epoch,
+            changed_ids=self.changed_ids[keep],
+            region_low=self.region_low[keep],
+            region_high=self.region_high[keep],
+        )
+
+
+def _object_bounds(
+    data: np.ndarray, ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-object support extents ``(k, 3)`` aligned with sorted ``ids``."""
+    low = np.full((ids.size, 3), np.inf)
+    high = np.full((ids.size, 3), -np.inf)
+    if data.size and ids.size:
+        pos = np.searchsorted(ids, data["object_id"])
+        pos = np.minimum(pos, ids.size - 1)
+        hit = ids[pos] == data["object_id"]
+        rows = np.flatnonzero(hit)
+        for axis in range(3):
+            np.minimum.at(low[:, axis], pos[rows], data["sup_low"][rows, axis])
+            np.maximum.at(
+                high[:, axis], pos[rows], data["sup_high"][rows, axis]
+            )
+    return low, high
+
+
+class SceneStore:
+    """An epoch-versioned coefficient store.
+
+    Epoch 0 is the seed snapshot; each :meth:`apply` records one
+    :class:`SceneDelta` and materialises the next epoch's columns.  Any
+    recorded epoch stays addressable through :meth:`at_epoch` -- views
+    are immutable :class:`CoefficientStore` instances, so everything
+    built for a static store (indexes, access methods, servers) runs
+    unchanged against a pinned epoch.
+    """
+
+    __slots__ = ("_views", "_deltas", "_footprints")
+
+    def __init__(self, base: CoefficientStore) -> None:
+        self._views: list[CoefficientStore] = [_canonical_store(base)]
+        self._deltas: list[SceneDelta] = []
+        self._footprints: list[FootprintDelta] = []
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The latest recorded epoch (0 for a fresh scene)."""
+        return len(self._views) - 1
+
+    @property
+    def latest(self) -> CoefficientStore:
+        return self._views[-1]
+
+    def at_epoch(self, epoch: int) -> CoefficientStore:
+        """The consistent columnar view as of ``epoch``."""
+        if not 0 <= epoch <= self.epoch:
+            raise StoreError(
+                f"epoch {epoch} outside recorded range [0, {self.epoch}]"
+            )
+        return self._views[epoch]
+
+    def delta(self, epoch: int) -> SceneDelta:
+        """The delta that produced ``epoch`` from ``epoch - 1``."""
+        if not 1 <= epoch <= self.epoch:
+            raise StoreError(
+                f"no delta recorded for epoch {epoch} (range [1, {self.epoch}])"
+            )
+        return self._deltas[epoch - 1]
+
+    def footprint_delta(self, epoch: int) -> FootprintDelta:
+        """The footprint summary of the delta that produced ``epoch``."""
+        if not 1 <= epoch <= self.epoch:
+            raise StoreError(
+                f"no delta recorded for epoch {epoch} (range [1, {self.epoch}])"
+            )
+        return self._footprints[epoch - 1]
+
+    # -- epoch application -------------------------------------------------
+
+    def apply(self, delta: SceneDelta) -> FootprintDelta:
+        """Advance one epoch; returns the footprint change summary."""
+        prev = self._views[-1]
+        data = prev.data
+        present = np.unique(data["object_id"]) if data.size else _as_ids(None)
+        self._validate_against(present, delta)
+
+        drop_ids = np.union1d(
+            delta.remove_ids, np.unique(delta.remesh_rows["object_id"])
+        ).astype(np.int64)
+        keep = np.ones(data.size, dtype=bool)
+        if drop_ids.size and data.size:
+            keep = ~np.isin(data["object_id"], drop_ids)
+        kept = data[keep].copy()
+
+        if delta.move_ids.size and kept.size:
+            order = np.argsort(delta.move_ids, kind="stable")
+            move_ids = delta.move_ids[order]
+            offsets = delta.move_offsets[order]
+            pos = np.searchsorted(move_ids, kept["object_id"])
+            pos = np.minimum(pos, move_ids.size - 1)
+            hit = move_ids[pos] == kept["object_id"]
+            rows = np.flatnonzero(hit)
+            shift = offsets[pos[rows]]
+            kept["sup_low"][rows] += shift
+            kept["sup_high"][rows] += shift
+            kept["position"][rows] += shift
+            # Detail payloads are displacements -- translation-invariant.
+            # Base payloads carry the base position itself, so they move.
+            base = rows[kept["level"][rows] == -1]
+            kept["payload"][base] += offsets[pos[base]]
+
+        fresh = np.concatenate([kept, delta.remesh_rows, delta.add_rows])
+        uids = pack_uid_arrays(fresh["object_id"], fresh["level"], fresh["index"])
+        if uids.size and np.unique(uids).size != uids.size:
+            raise StoreError("delta application produced duplicate uids")
+        view = CoefficientStore(np.ascontiguousarray(fresh[np.argsort(uids)]))
+
+        footprint = self._footprint(
+            len(self._views), prev.data, view.data, delta
+        )
+        self._views.append(view)
+        self._deltas.append(delta)
+        self._footprints.append(footprint)
+        return footprint
+
+    @staticmethod
+    def _validate_against(present: np.ndarray, delta: SceneDelta) -> None:
+        for name in ("remove_ids", "move_ids"):
+            ids = getattr(delta, name)
+            missing = np.setdiff1d(ids, present)
+            if missing.size:
+                raise StoreError(
+                    f"{name} names absent objects {missing.tolist()}"
+                )
+        remesh_ids = np.unique(delta.remesh_rows["object_id"])
+        missing = np.setdiff1d(remesh_ids, present)
+        if missing.size:
+            raise StoreError(
+                f"re-mesh names absent objects {missing.tolist()}"
+            )
+        add_ids = np.unique(delta.add_rows["object_id"])
+        # Adding over a same-epoch removal re-creates the object; adding
+        # over a still-present object would collide.
+        colliding = np.setdiff1d(
+            np.intersect1d(add_ids, present), delta.remove_ids
+        )
+        if colliding.size:
+            raise StoreError(
+                f"add_rows re-uses live object ids {colliding.tolist()}"
+            )
+
+    @staticmethod
+    def _footprint(
+        epoch: int, before: np.ndarray, after: np.ndarray, delta: SceneDelta
+    ) -> FootprintDelta:
+        changed = delta.touched_ids
+        # An object both removed and re-added may land in exactly the
+        # same rows; it still counts as changed (its identity was cut).
+        old_low, old_high = _object_bounds(before, changed)
+        new_low, new_high = _object_bounds(after, changed)
+        low = np.minimum(old_low, new_low)
+        high = np.maximum(old_high, new_high)
+        # Objects absent on one side contribute only the side they are
+        # on; the min/max against +-inf handles that, but an id absent
+        # from both sides (degenerate empty add) would stay infinite.
+        finite = np.isfinite(low).all(axis=1) & np.isfinite(high).all(axis=1)
+        return FootprintDelta(
+            epoch=epoch,
+            changed_ids=changed[finite],
+            region_low=low[finite],
+            region_high=high[finite],
+        )
+
+    # -- whole-scene helpers ----------------------------------------------
+
+    def rebuilt_at(self, epoch: int) -> CoefficientStore:
+        """Replay every delta from scratch up to ``epoch``.
+
+        Reference implementation for the round-trip property: the
+        result must equal :meth:`at_epoch` bit for bit.
+        """
+        replay = SceneStore(self._views[0])
+        for delta in self._deltas[:epoch]:
+            replay.apply(delta)
+        return replay.at_epoch(epoch)
+
+    def bounds_at(self, epoch: int) -> Box | None:
+        """The support extent of the whole scene at ``epoch``."""
+        view = self.at_epoch(epoch)
+        if len(view) == 0:
+            return None
+        return Box(
+            view.support_low.min(axis=0), view.support_high.max(axis=0)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SceneStore(epoch={self.epoch}, rows={len(self.latest)})"
+        )
+
+
+def _canonical_store(store: CoefficientStore) -> CoefficientStore:
+    """Reorder a store's rows into ascending packed-uid order."""
+    uids = store.packed_uids
+    if uids.size and np.unique(uids).size != uids.size:
+        raise StoreError("scene seed store contains duplicate uids")
+    if uids.size == 0 or bool(np.all(uids[:-1] <= uids[1:])):
+        return store
+    return CoefficientStore(
+        np.ascontiguousarray(store.data[np.argsort(uids)])
+    )

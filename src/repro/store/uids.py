@@ -39,6 +39,7 @@ __all__ = [
     "pack_uid_arrays",
     "unpack_uid",
     "unpack_uid_arrays",
+    "uid_span",
 ]
 
 _LEVEL_BITS = 10
@@ -90,6 +91,25 @@ def pack_uid_arrays(
     ):
         raise StoreError("uid component outside packable range")
     return (oid << _OBJECT_SHIFT) | ((lvl + 1) << _LEVEL_SHIFT) | idx
+
+
+def uid_span(object_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inclusive packed-uid bounds ``[low, high]`` per object id.
+
+    Packing is order-preserving with the object id in the top bits, so
+    every uid of object ``g`` -- any level, any index -- satisfies
+    ``low[i] <= uid <= high[i]``.  A sorted uid column therefore keeps
+    each object's rows contiguous, and membership questions reduce to
+    two ``searchsorted`` probes per object (``side="left"`` on ``low``,
+    ``side="right"`` on ``high``) instead of a full-column unpack.
+    """
+    oid = np.asarray(object_ids, dtype=np.int64)
+    if oid.size and (
+        int(oid.min()) < 0 or int(oid.max()) >= OBJECT_ID_LIMIT
+    ):
+        raise StoreError("object id outside packable range")
+    low = oid << _OBJECT_SHIFT
+    return low, low + ((np.int64(1) << _OBJECT_SHIFT) - 1)
 
 
 def unpack_uid(packed: int) -> tuple[int, int, int]:

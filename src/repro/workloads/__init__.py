@@ -1,6 +1,11 @@
 """Workloads: synthetic city datasets and experiment configuration."""
 
-from repro.workloads.cityscape import CityConfig, build_city, zipf_weights
+from repro.workloads.cityscape import (
+    CityConfig,
+    build_city,
+    populate_city,
+    zipf_weights,
+)
 from repro.workloads.config import (
     PAPER_BUFFER_KB,
     PAPER_QUERY_FRACS,
@@ -8,10 +13,20 @@ from repro.workloads.config import (
     ExperimentScale,
 )
 
+from repro.workloads.dynamics import (
+    construction_site_deltas,
+    dynamic_city,
+    rush_hour_deltas,
+)
+
 __all__ = [
     "CityConfig",
     "build_city",
+    "populate_city",
     "zipf_weights",
+    "dynamic_city",
+    "rush_hour_deltas",
+    "construction_site_deltas",
     "ExperimentScale",
     "PAPER_SPEEDS",
     "PAPER_QUERY_FRACS",

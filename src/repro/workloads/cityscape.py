@@ -25,7 +25,7 @@ from repro.server.database import ObjectDatabase
 from repro.wavelets.analysis import analyze_hierarchy
 from repro.wavelets.encoding import DEFAULT_ENCODING, EncodingModel
 
-__all__ = ["CityConfig", "build_city", "zipf_weights"]
+__all__ = ["CityConfig", "build_city", "populate_city", "zipf_weights"]
 
 
 @dataclass(frozen=True)
@@ -120,13 +120,27 @@ def build_city(
     spatial_dims: int = 2,
 ) -> ObjectDatabase:
     """Generate and decompose every object into a ready database."""
+    return populate_city(
+        ObjectDatabase(
+            encoding=encoding,
+            access_method=access_method,
+            spatial_dims=spatial_dims,
+        ),
+        config,
+    )
+
+
+def populate_city(db: ObjectDatabase, config: CityConfig) -> ObjectDatabase:
+    """Fill any (subclass of) object database with the city's objects.
+
+    The object stream is a pure function of ``config`` -- the target
+    database never touches the generator state -- so a static
+    :class:`ObjectDatabase` and an epoch-versioned
+    :class:`~repro.server.scene.SceneDatabase` built from the same
+    config hold identical epoch-0 geometry.
+    """
     rng = np.random.default_rng(config.seed)
     positions = _object_positions(config, rng)
-    db = ObjectDatabase(
-        encoding=encoding,
-        access_method=access_method,
-        spatial_dims=spatial_dims,
-    )
     extent = float(config.space.extents.min())
     for oid in range(config.object_count):
         child = np.random.default_rng(rng.integers(0, 2**63))

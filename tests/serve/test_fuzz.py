@@ -91,7 +91,7 @@ class TestFramingRejects:
 
     def test_unknown_tags_rejected(self):
         payload = wire.encode_request(simple_request())
-        for tag in (0, 7, 99, 255):
+        for tag in (0, 8, 99, 255):
             assert tag not in KNOWN_TAGS or tag == 0
             with pytest.raises(WireFormatError):
                 wire.from_bytes(encode_frame(tag, payload))
@@ -129,6 +129,7 @@ class TestPayloadDecodersAreTotal:
         wire.decode_request,
         wire.decode_response,
         wire.decode_batch,
+        wire.decode_invalidation,
         wire.decode_error,
     )
 
@@ -172,7 +173,8 @@ class TestPayloadDecodersAreTotal:
 
     def test_region_count_zero_rejected(self):
         good = wire.encode_request(simple_request())
-        payload = good[:16] + struct.pack("<I", 0) + good[20:]
+        # Region count follows timestamp + client_id + epoch.
+        payload = good[:24] + struct.pack("<I", 0) + good[28:]
         with pytest.raises(WireFormatError, match="region count"):
             wire.decode_request(payload)
 
@@ -186,8 +188,8 @@ class TestPayloadDecodersAreTotal:
     def test_inverted_box_rejected(self):
         request = simple_request()
         payload = bytearray(wire.encode_request(request))
-        # Region low/high follow timestamp+client_id+count+ndim byte.
-        offset = 8 + 8 + 4 + 1
+        # Region low/high follow timestamp+client_id+epoch+count+ndim.
+        offset = 8 + 8 + 8 + 4 + 1
         payload[offset : offset + 8] = struct.pack("<d", 1e9)  # low[0] > high[0]
         with pytest.raises(WireFormatError, match="malformed request"):
             wire.decode_request(bytes(payload))

@@ -15,8 +15,10 @@ import pytest
 from repro.geometry.box import Box
 from repro.mesh.trimesh import TriMesh
 from repro.net.messages import (
+    LATEST_EPOCH,
     BaseMeshPayload,
     CoefficientBatch,
+    InvalidationFrame,
     RegionRequest,
     RetrieveBatchResponse,
     RetrieveRequest,
@@ -77,6 +79,7 @@ def random_request(rng: np.random.Generator) -> RetrieveRequest:
         client_id=int(rng.integers(0, 2**31)),
         regions=tuple(random_region(rng) for _ in range(n_regions)),
         exclude_uids=random_uid_set(rng),
+        epoch=int(rng.integers(LATEST_EPOCH, 64)),
     )
 
 
@@ -118,6 +121,18 @@ def random_response(rng: np.random.Generator) -> RetrieveBatchResponse:
         batch=random_batch(rng),
         io_node_reads=int(rng.integers(0, 10_000)),
         filtered_out=int(rng.integers(0, 10_000)),
+        epoch=int(rng.integers(0, 64)),
+    )
+
+
+def random_invalidation(rng: np.random.Generator) -> InvalidationFrame:
+    n = int(rng.integers(0, 16))
+    low = rng.uniform(-500.0, 500.0, (n, 3))
+    return InvalidationFrame(
+        epoch=int(rng.integers(0, 1_000_000)),
+        changed_ids=rng.integers(0, OBJECT_ID_LIMIT, n, dtype=np.int64),
+        region_low=low,
+        region_high=low + rng.uniform(0.0, 200.0, (n, 3)),
     )
 
 
@@ -146,6 +161,10 @@ class TestSeededRoundTrips:
     def test_response(self, seed: int):
         check_roundtrip(random_response(np.random.default_rng(2000 + seed)))
 
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_invalidation(self, seed: int):
+        check_roundtrip(random_invalidation(np.random.default_rng(3000 + seed)))
+
 
 if HAVE_HYPOTHESIS:
 
@@ -166,6 +185,11 @@ if HAVE_HYPOTHESIS:
         @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
         def test_response(self, seed: int):
             check_roundtrip(random_response(np.random.default_rng(seed)))
+
+        @settings(max_examples=60, deadline=None)
+        @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+        def test_invalidation(self, seed: int):
+            check_roundtrip(random_invalidation(np.random.default_rng(seed)))
 
         @settings(max_examples=120, deadline=None)
         @given(
