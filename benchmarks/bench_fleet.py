@@ -13,6 +13,15 @@ deterministic (two runs of the smallest fleet are bit-identical), so
 the reported latencies are reproducible facts of the configuration,
 not sampling noise.
 
+``--drive flat`` switches to the whole-fleet batched tick path: no
+per-client session objects at all -- every tick is one columnar
+:meth:`~repro.shard.coordinator.ShardCoordinator.execute_fleet_tick`
+scatter-gather plus one vectorised
+:func:`~repro.core.fleet.drain_uplink` pass through the shared uplink.
+That is what lets the sweep reach 100k clients per tick::
+
+    python benchmarks/bench_fleet.py --drive flat --clients 100000
+
 Run directly (not under pytest)::
 
     python benchmarks/bench_fleet.py            # full curve, up to 200 clients
@@ -30,10 +39,18 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core.fleet import FleetConfig, simulate_system_fleet
+import numpy as np
+
+from repro.core.fleet import (
+    FleetConfig,
+    drain_uplink,
+    make_flat_ticks,
+    simulate_system_fleet,
+)
 from repro.geometry.box import Box
 from repro.motion.trajectory import make_tours
 from repro.server.server import Server
+from repro.shard import ShardCoordinator, ShardedDatabase
 from repro.workloads.cityscape import CityConfig, build_city
 
 SPACE = Box((0.0, 0.0), (1000.0, 1000.0))
@@ -41,6 +58,11 @@ SPACE = Box((0.0, 0.0), (1000.0, 1000.0))
 #: Tight enough that a large naive fleet saturates it, roomy enough
 #: that a motion-aware fleet keeps its queueing delay bounded.
 UPLINK_BPS = 16_000.0
+
+#: The flat-drive sweep scales the uplink with the fleet (the full-stack
+#: curve's 16 kB/s serves 200 clients, i.e. 80 bytes/s each), so
+#: queueing behaviour stays comparable across fleet sizes.
+PER_CLIENT_UPLINK_BPS = 80.0
 
 
 def make_fleet_config(uplink_bps: float) -> FleetConfig:
@@ -78,6 +100,97 @@ def assert_deterministic(city, config) -> None:
         "fleet simulation is not deterministic"
     )
     assert first.max_queue_delay_s == second.max_queue_delay_s
+
+
+def run_point_flat(
+    city, shards: int, clients: int, ticks_n: int, executor: str
+) -> dict:
+    """One flat-drive point: whole-fleet ticks plus the uplink drain."""
+    ticks = make_flat_ticks(SPACE, clients, ticks_n, seed=7, query_frac=0.12)
+    uplink_bps = PER_CLIENT_UPLINK_BPS * clients
+    response_parts: list[np.ndarray] = []
+    rows = payload = 0
+    backlog = 0.0
+    with ShardedDatabase.from_database(city, shards, executor=executor) as db:
+        fleet = ShardCoordinator(db)
+        shipping = fleet.fleet_shipping(clients)
+        started = time.perf_counter()
+        for tick in ticks:
+            result = fleet.execute_fleet_tick(tick, shipping)
+            rows += result.total_rows
+            payload += result.total_payload_bytes
+            response_s, backlog = drain_uplink(
+                result.payload_bytes, uplink_bps, tick_seconds=1.0,
+                backlog_s=backlog,
+            )
+            response_parts.append(response_s)
+        wall_s = time.perf_counter() - started
+    responses = np.concatenate(response_parts)
+    return {
+        "clients": clients,
+        "ticks": ticks_n,
+        "tick_s": round(wall_s / ticks_n, 4),
+        "rows_per_tick": rows // ticks_n,
+        "payload_bytes_per_tick": payload // ticks_n,
+        "p95_response_s": round(float(np.percentile(responses, 95)), 4),
+        "avg_response_s": round(float(np.mean(responses)), 4),
+        "end_backlog_s": round(backlog, 4),
+        "wall_s": round(wall_s, 3),
+    }
+
+
+def assert_flat_deterministic(city, shards: int) -> None:
+    first = run_point_flat(city, shards, clients=64, ticks_n=3, executor="serial")
+    second = run_point_flat(city, shards, clients=64, ticks_n=3, executor="serial")
+    for key in ("rows_per_tick", "payload_bytes_per_tick", "p95_response_s"):
+        assert first[key] == second[key], (
+            f"flat fleet drive is not deterministic ({key})"
+        )
+
+
+def run_flat(
+    smoke: bool,
+    clients: list[int] | None = None,
+    shards: int = 8,
+    executor: str = "serial",
+) -> dict:
+    """The flat-drive sweep: batched whole-fleet ticks at scale."""
+    if smoke:
+        city_config = CityConfig(
+            space=SPACE, object_count=16, levels=2, seed=11,
+            min_size_frac=0.03, max_size_frac=0.08,
+        )
+        fleet_sizes, ticks_n = [1_000, 2_000], 3
+    else:
+        city_config = CityConfig(
+            space=SPACE, object_count=32, levels=2, seed=11,
+            min_size_frac=0.03, max_size_frac=0.08,
+        )
+        fleet_sizes, ticks_n = [10_000, 50_000, 100_000], 5
+    if clients:
+        fleet_sizes = sorted(clients)
+    city = build_city(city_config)
+    shards = min(shards, city_config.object_count)
+    assert_flat_deterministic(city, shards)
+    curve = [
+        run_point_flat(city, shards, count, ticks_n, executor)
+        for count in fleet_sizes
+    ]
+    return {
+        "config": {
+            "drive": "flat",
+            "object_count": city_config.object_count,
+            "levels": city_config.levels,
+            "records": city.record_count,
+            "dataset_bytes": city.total_bytes,
+            "per_client_uplink_bps": PER_CLIENT_UPLINK_BPS,
+            "tick_seconds": 1.0,
+            "shards": shards,
+            "executor": executor,
+            "smoke": smoke,
+        },
+        "curve": curve,
+    }
 
 
 def run(smoke: bool, clients: list[int] | None = None) -> dict:
@@ -144,16 +257,37 @@ def main() -> int:
     parser.add_argument(
         "--clients", type=int, nargs="+", default=None, metavar="N",
         help="explicit fleet sizes to sweep (overrides the built-in "
-        "curve; the flat tick driver sustains 10k+)",
+        "curve; the flat tick driver sustains 100k+)",
+    )
+    parser.add_argument(
+        "--drive", default="system", choices=("system", "flat"),
+        help="'system' runs full per-client stacks on the event kernel; "
+        "'flat' runs whole-fleet batched ticks through the shard "
+        "coordinator (columnar, scales to 100k clients per tick)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=8, metavar="N",
+        help="shard count of the flat drive's scatter-gather",
+    )
+    parser.add_argument(
+        "--executor", default="serial",
+        choices=("auto", "serial", "process", "shm"),
+        help="shard executor of the flat drive",
     )
     args = parser.parse_args()
-    result = run(smoke=args.smoke, clients=args.clients)
+    if args.drive == "flat":
+        result = run_flat(
+            smoke=args.smoke, clients=args.clients, shards=args.shards,
+            executor=args.executor,
+        )
+    else:
+        result = run(smoke=args.smoke, clients=args.clients)
     document = json.dumps(result, indent=2)
     print(document)
     if args.json is not None:
         args.json.write_text(document + "\n")
     last = result["curve"][-1]
-    if not args.smoke and args.clients is None:
+    if not args.smoke and args.clients is None and args.drive == "system":
         if last["clients"] < 200:
             print("FAIL: full run must scale to 200 clients", file=sys.stderr)
             return 1

@@ -16,6 +16,14 @@ retrieve requests against three server stacks, and reports:
   core.
 * ``shard_scaling`` -- wall time per (shard count x client count)
   combination for both executors: the scaling curve.
+* ``scatter_gather.shm_gather`` -- the zero-copy data plane's receipts:
+  how many bytes of result rows came back through shared-memory rings
+  as descriptors instead of pickled payloads (per gather).
+* ``shard_skew`` -- object/row balance of the headline tiling.
+* ``fleet_tick`` -- whole-fleet batched planning: one
+  ``execute_fleet_tick`` per tick against the per-request loop over
+  identical queries, plus the headline sweep (a 100k-client flat-drive
+  tick at full scale).
 
 Before any timing, responses of every stack are digested and compared,
 so the reported speedups are for *identical* answers.
@@ -39,12 +47,14 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.core.fleet import make_flat_ticks
 from repro.geometry.box import Box
 from repro.net.messages import RegionRequest, RetrieveRequest
 from repro.server.server import Server
 from repro.shard import (
     ProcessShardExecutor,
     SerialShardExecutor,
+    SharedMemoryShardExecutor,
     ShardCoordinator,
     ShardedDatabase,
 )
@@ -123,6 +133,104 @@ def time_sharded(city, requests, shards: int, executor) -> tuple[float, list[tup
         return elapsed, digest(responses)
 
 
+def time_sharded_shm(
+    city, requests, shards: int
+) -> tuple[float, list[tuple], dict]:
+    """Like :func:`time_sharded` over the shm executor, plus gather stats."""
+    with ShardedDatabase.from_database(city, shards, executor="shm") as db:
+        coordinator = ShardCoordinator(db)
+        coordinator.execute_many(requests[:1])  # warm pool / indexes
+        started = time.perf_counter()
+        responses = coordinator.execute_many(requests)
+        elapsed = time.perf_counter() - started
+        stats = db.executor.stats
+        gather = {
+            "gathers": stats.gathers,
+            "tasks": stats.tasks,
+            "shm_payload_bytes": stats.shm_payload_bytes,
+            "pickled_payload_bytes": stats.pickled_payload_bytes,
+            "fallback_tasks": stats.fallback_tasks,
+            "pickle_bytes_avoided": stats.pickle_bytes_avoided,
+            "pickle_bytes_avoided_per_gather": round(
+                stats.pickle_bytes_avoided_per_gather, 1
+            ),
+        }
+        return elapsed, digest(responses), gather
+
+
+def skew_section(city, shards: int) -> dict:
+    """Shard balance of the headline tiling, in objects and store rows."""
+    with ShardedDatabase.from_database(city, shards) as db:
+        rows_of_object = np.fromiter(
+            (len(obj.store) for obj in city.objects),
+            dtype=np.int64,
+            count=city.object_count,
+        )
+        return db.shard_map.skew_stats(rows_of_object)
+
+
+def fleet_parity(city, shards: int, clients: int, tick_count: int) -> bool:
+    """Fleet-tick columns vs a per-request pass: rows, payload, bases, io."""
+    ticks = make_flat_ticks(SPACE, clients, tick_count, seed=9, query_frac=0.2)
+    with ShardedDatabase.from_database(city, shards) as fleet_db, (
+        ShardedDatabase.from_database(city, shards)
+    ) as ref_db:
+        fleet = ShardCoordinator(fleet_db)
+        shipping = fleet.fleet_shipping(clients)
+        reference = ShardCoordinator(ref_db)
+        for tick in ticks:
+            result = fleet.execute_fleet_tick(tick, shipping)
+            for i, resp in enumerate(reference.execute_many(tick.to_requests())):
+                lo, hi = result.offsets[i], result.offsets[i + 1]
+                if not (
+                    np.array_equal(result.rows[lo:hi], resp.batch.rows)
+                    and int(result.payload_bytes[i]) == resp.payload_bytes
+                    and int(result.new_base_counts[i]) == len(resp.base_meshes)
+                    and int(result.io[i, 0]) == resp.io_node_reads
+                ):
+                    return False
+    return True
+
+
+def time_fleet_ticks(
+    city, shards: int, clients: int, tick_count: int, executor
+) -> dict:
+    """Mean wall time per whole-fleet tick through the batched path."""
+    ticks = make_flat_ticks(SPACE, clients, tick_count, seed=9)
+    with ShardedDatabase.from_database(city, shards, executor=executor) as db:
+        fleet = ShardCoordinator(db)
+        shipping = fleet.fleet_shipping(clients)
+        fleet.execute_fleet_tick(ticks[0], fleet.fleet_shipping(clients))
+        rows = payload = 0
+        started = time.perf_counter()
+        for tick in ticks:
+            result = fleet.execute_fleet_tick(tick, shipping)
+            rows += result.total_rows
+            payload += result.total_payload_bytes
+        elapsed = time.perf_counter() - started
+    return {
+        "clients": clients,
+        "ticks": tick_count,
+        "tick_s": round(elapsed / tick_count, 4),
+        "rows_per_tick": rows // tick_count,
+        "payload_bytes_per_tick": payload // tick_count,
+    }
+
+
+def time_fleet_per_request(
+    city, shards: int, clients: int, tick_count: int
+) -> float:
+    """The same ticks through the per-request path, per tick."""
+    ticks = make_flat_ticks(SPACE, clients, tick_count, seed=9)
+    with ShardedDatabase.from_database(city, shards) as db:
+        coordinator = ShardCoordinator(db, max_clients=max(clients, 1024))
+        coordinator.execute_many(ticks[0].to_requests())
+        started = time.perf_counter()
+        for tick in ticks:
+            coordinator.execute_many(tick.to_requests())
+        return (time.perf_counter() - started) / tick_count
+
+
 def run(smoke: bool) -> dict:
     if smoke:
         city_config = CityConfig(
@@ -152,7 +260,14 @@ def run(smoke: bool) -> dict:
         )
     else:  # pragma: no cover - fork is available on every CI platform
         process_s, process_digest = serial_s, serial_digest
-    identical = reference == serial_digest == process_digest
+    shm_ok = SharedMemoryShardExecutor.available()
+    if shm_ok:
+        shm_s, shm_digest, shm_gather = time_sharded_shm(
+            city, requests, headline_shards
+        )
+    else:  # pragma: no cover - spawn is available everywhere
+        shm_s, shm_digest, shm_gather = serial_s, serial_digest, {}
+    identical = reference == serial_digest == process_digest == shm_digest
     scatter_gather = {
         "shards": headline_shards,
         "requests": len(requests),
@@ -160,9 +275,12 @@ def run(smoke: bool) -> dict:
         "baseline_single_process_s": round(baseline_s, 4),
         "sharded_serial_s": round(serial_s, 4),
         "sharded_process_s": round(process_s, 4),
+        "sharded_shm_s": round(shm_s, 4),
         "batched_serial_speedup": round(baseline_s / serial_s, 2),
         "speedup": round(baseline_s / process_s, 2),
+        "shm_speedup": round(baseline_s / shm_s, 2),
         "identical_responses": identical,
+        "shm_gather": shm_gather,
     }
 
     curve = []
@@ -184,6 +302,37 @@ def run(smoke: bool) -> dict:
                 point["process_s"] = round(process_point_s, 4)
             curve.append(point)
 
+    # Whole-fleet flat-drive ticks: the batched columnar path vs the
+    # per-request loop over the same queries, plus the headline sweep
+    # (100k clients per tick at full scale).
+    parity_clients, ratio_clients = (32, 256) if smoke else (64, 2048)
+    sweep_clients = [2_000] if smoke else [10_000, 100_000]
+    tick_count = 3
+    per_request_s = time_fleet_per_request(
+        city, headline_shards, ratio_clients, tick_count
+    )
+    batched = time_fleet_ticks(
+        city, headline_shards, ratio_clients, tick_count, SerialShardExecutor()
+    )
+    fleet_tick = {
+        "shards": headline_shards,
+        "parity_clients": parity_clients,
+        "identical_fleet_tick": fleet_parity(
+            city, headline_shards, parity_clients, tick_count
+        ),
+        "ratio_clients": ratio_clients,
+        "per_request_s": round(per_request_s, 4),
+        "fleet_tick_s": batched["tick_s"],
+        "tick_speedup": round(per_request_s / batched["tick_s"], 2),
+        "sweep": [
+            time_fleet_ticks(
+                city, headline_shards, count, tick_count,
+                SerialShardExecutor(),
+            )
+            for count in sweep_clients
+        ],
+    }
+
     return {
         "config": {
             "object_count": city_config.object_count,
@@ -195,7 +344,9 @@ def run(smoke: bool) -> dict:
             "smoke": smoke,
         },
         "scatter_gather": scatter_gather,
+        "shard_skew": skew_section(city, headline_shards),
         "shard_scaling": curve,
+        "fleet_tick": fleet_tick,
     }
 
 
@@ -218,6 +369,12 @@ def main() -> int:
     headline = result["scatter_gather"]
     if not headline["identical_responses"]:
         print("FAIL: sharded responses diverged from baseline", file=sys.stderr)
+        return 1
+    if not result["fleet_tick"]["identical_fleet_tick"]:
+        print(
+            "FAIL: fleet-tick responses diverged from the per-request path",
+            file=sys.stderr,
+        )
         return 1
     if not args.smoke and headline["speedup"] < 1.0:
         print(

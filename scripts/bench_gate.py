@@ -33,7 +33,14 @@ DEFAULT_TOLERANCE = 0.5
 
 
 def iter_metrics(document: dict) -> list[tuple[str, str, object]]:
-    """Flatten ``section.key`` leaves we gate on: speedups and flags."""
+    """Flatten ``section.key`` leaves we gate on: speedups and flags.
+
+    Sections nest (``scatter_gather.shm_gather``,
+    ``fleet_tick.sweep[...]``): dict values recurse with dotted section
+    paths so a gated ratio can live at any depth.  Lists are skipped --
+    scaling-curve points carry machine-specific absolute times, never
+    gated ratios.
+    """
     out: list[tuple[str, str, object]] = []
     for section, body in document.items():
         if not isinstance(body, dict):
@@ -43,6 +50,13 @@ def iter_metrics(document: dict) -> list[tuple[str, str, object]]:
                 out.append((section, key, float(value)))
             elif key.startswith("identical_"):
                 out.append((section, key, bool(value)))
+            elif isinstance(value, dict):
+                out.extend(
+                    (f"{section}.{sub_section}", sub_key, sub_value)
+                    for sub_section, sub_key, sub_value in iter_metrics(
+                        {key: value}
+                    )
+                )
     return out
 
 

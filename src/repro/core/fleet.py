@@ -47,6 +47,7 @@ from repro.geometry.box import Box
 from repro.motion.trajectory import Trajectory
 from repro.net.faults import FaultInjector, FaultSchedule
 from repro.net.link import LinkConfig, WirelessLink
+from repro.net.messages import RegionRequest, RetrieveRequest
 from repro.net.simclock import SimClock
 from repro.server.server import Server
 from repro.sim.kernel import Action, EventKernel
@@ -54,12 +55,21 @@ from repro.sim.resources import FifoResource
 from repro.sim.session import ClientSession, LinkTransport, Transport
 from repro.sim.streams import (
     BACKOFF_STREAM,
+    FLEET_TOUR_STREAM,
     LINK_FAULTS_STREAM,
     LINK_LOSS_STREAM,
     derive_rng,
 )
 
-__all__ = ["FleetConfig", "FleetResult", "simulate_fleet", "simulate_system_fleet"]
+__all__ = [
+    "FleetConfig",
+    "FleetResult",
+    "FleetTick",
+    "make_flat_ticks",
+    "drain_uplink",
+    "simulate_fleet",
+    "simulate_system_fleet",
+]
 
 
 @dataclass(frozen=True)
@@ -201,6 +211,175 @@ class FleetResult:
         if not self.response_times:
             return 0.0
         return float(np.percentile(self.response_times, 95))
+
+
+@dataclass(frozen=True)
+class FleetTick:
+    """One tick of an entire flat-drive fleet, as columns not objects.
+
+    Row ``i`` is client ``client_ids[i]``'s query for this tick: the
+    window ``[low[i], high[i]]`` at value band ``[w_min[i], w_max[i]]``
+    (closed, single region, no excludes -- the cold flat-drive shape).
+    The coordinator's whole-fleet path
+    (:meth:`~repro.shard.coordinator.ShardCoordinator.execute_fleet_tick`)
+    consumes these columns directly: one plan broadcast and one scatter
+    per shard for the *whole fleet*, instead of one coordinator entry
+    per client.  :meth:`to_requests` lowers a tick to the equivalent
+    per-client :class:`~repro.net.messages.RetrieveRequest` objects,
+    which is what the parity tests diff against.
+    """
+
+    timestamp: int
+    client_ids: np.ndarray  # (C,) int64, unique within the tick
+    low: np.ndarray  # (C, d) query-window corners
+    high: np.ndarray  # (C, d)
+    w_min: np.ndarray  # (C,)
+    w_max: np.ndarray  # (C,)
+
+    def __post_init__(self) -> None:
+        count = int(self.client_ids.shape[0])
+        if self.low.shape != self.high.shape or self.low.ndim != 2:
+            raise ConfigurationError(
+                f"tick corners must be matching (C, d) stacks, got "
+                f"{self.low.shape} and {self.high.shape}"
+            )
+        if self.low.shape[0] != count or self.w_min.shape != (count,) or (
+            self.w_max.shape != (count,)
+        ):
+            raise ConfigurationError(
+                f"tick columns disagree on client count {count}"
+            )
+        if count and np.unique(self.client_ids).size != count:
+            raise ConfigurationError(
+                "tick client ids must be unique (one query per client)"
+            )
+        bad_band = (
+            (self.w_min < 0.0) | (self.w_max > 1.0) | (self.w_min > self.w_max)
+        )
+        if bool(bad_band.any()):
+            i = int(np.flatnonzero(bad_band)[0])
+            raise ConfigurationError(
+                f"invalid value band [{self.w_min[i]}, {self.w_max[i]}] for "
+                f"client {int(self.client_ids[i])}; need 0 <= min <= max <= 1"
+            )
+        if bool((self.low > self.high).any()):
+            raise ConfigurationError("tick windows must have low <= high")
+
+    @property
+    def count(self) -> int:
+        return int(self.client_ids.shape[0])
+
+    def to_requests(self) -> list[RetrieveRequest]:
+        """This tick as per-client requests (the parity reference)."""
+        return [
+            RetrieveRequest(
+                timestamp=self.timestamp,
+                client_id=int(self.client_ids[i]),
+                regions=(
+                    RegionRequest(
+                        region=Box(self.low[i], self.high[i]),
+                        w_min=float(self.w_min[i]),
+                        w_max=float(self.w_max[i]),
+                    ),
+                ),
+            )
+            for i in range(self.count)
+        ]
+
+
+def make_flat_ticks(
+    space: Box,
+    clients: int,
+    ticks: int,
+    *,
+    seed: int,
+    query_frac: float = 0.08,
+    w_max_range: tuple[float, float] = (0.5, 1.0),
+) -> list[FleetTick]:
+    """Synthesise a whole fleet's linear tours as per-tick columns.
+
+    Every client walks a straight tour between two seeded points of
+    ``space`` and queries the ``query_frac``-sized window centred on
+    its position with a fixed per-client band ``[0, w_max]`` -- the
+    cold flat-drive workload at fleet scale, built entirely with
+    vectorised numpy (no per-client Python objects, which is what lets
+    ``bench_fleet --drive flat`` reach 100k+ clients).  Draws come from
+    one derived stream in a single ``(C, 5)`` block, so a larger fleet
+    extends a smaller one's tours rather than reshuffling them.
+
+    Per-client bands are quantised to eight resolution stops over
+    ``w_max_range`` -- clients request discrete resolutions, exactly as
+    the speed-resolution mapper hands them out -- so the top stop (the
+    full band, which is what pulls base rows and hence base-mesh
+    shipping) is actually reachable, not a measure-zero draw.
+    """
+    if clients < 1:
+        raise ConfigurationError(f"fleet needs >= 1 client, got {clients}")
+    if ticks < 1:
+        raise ConfigurationError(f"fleet needs >= 1 tick, got {ticks}")
+    if not 0.0 < query_frac <= 1.0:
+        raise ConfigurationError("query_frac must be in (0, 1]")
+    lo, hi = w_max_range
+    if not 0.0 <= lo <= hi <= 1.0:
+        raise ConfigurationError(
+            f"w_max_range must satisfy 0 <= lo <= hi <= 1, got {w_max_range}"
+        )
+    rng = derive_rng(seed, 0, FLEET_TOUR_STREAM)
+    draws = rng.random((clients, 5))
+    span = space.high - space.low
+    starts = space.low + draws[:, 0:2] * span
+    ends = space.low + draws[:, 2:4] * span
+    stops = 8
+    w_max = lo + np.ceil(draws[:, 4] * stops) / stops * (hi - lo)
+    w_min = np.zeros(clients, dtype=np.float64)
+    half = 0.5 * query_frac * span
+    client_ids = np.arange(clients, dtype=np.int64)
+    out: list[FleetTick] = []
+    for t in range(ticks):
+        frac = 0.0 if ticks == 1 else t / (ticks - 1)
+        centres = starts + frac * (ends - starts)
+        low = np.clip(centres - half, space.low, space.high)
+        high = np.clip(centres + half, space.low, space.high)
+        out.append(
+            FleetTick(
+                timestamp=t,
+                client_ids=client_ids,
+                low=low,
+                high=high,
+                w_min=w_min,
+                w_max=w_max,
+            )
+        )
+    return out
+
+
+def drain_uplink(
+    payload_bytes: np.ndarray,
+    uplink_bps: float,
+    tick_seconds: float,
+    backlog_s: float = 0.0,
+) -> tuple[np.ndarray, float]:
+    """FIFO-serialise one tick's responses through the shared uplink.
+
+    The vectorised twin of queueing the tick's transfers through a
+    :class:`~repro.sim.resources.FifoResource` in client order:
+    response ``i`` finishes at ``backlog + cumsum(bytes / bps)[i]``
+    after its query fired, and whatever has not drained within
+    ``tick_seconds`` carries into the next tick's backlog.  Returns
+    ``(response_s, new_backlog_s)``.
+    """
+    if uplink_bps <= 0:
+        raise ConfigurationError("server uplink must be positive")
+    if tick_seconds <= 0:
+        raise ConfigurationError("tick duration must be positive")
+    if backlog_s < 0:
+        raise ConfigurationError("backlog must be non-negative")
+    transfer_s = np.asarray(payload_bytes, dtype=np.float64) / uplink_bps
+    if transfer_s.ndim != 1:
+        raise ConfigurationError("payload_bytes must be a flat array")
+    response_s = backlog_s + np.cumsum(transfer_s)
+    end = float(response_s[-1]) if response_s.size else backlog_s
+    return response_s, max(0.0, end - tick_seconds)
 
 
 def _tick_action(session: ClientSession, tour: Trajectory, t: int) -> Action:

@@ -60,7 +60,66 @@ __all__ = [
     "PackedCandidates",
     "PackedIndex",
     "PackedAccessMethod",
+    "query_corner_box",
+    "subquery_corners",
+    "corners_query_batch",
 ]
+
+
+def query_corner_box(
+    region: Box, w_min: float, w_max: float, spatial_dims: int
+) -> Box:
+    """The full index-space box of ``Q(region, w_min, w_max)``."""
+    if not 0.0 <= w_min <= w_max <= 1.0:
+        raise IndexError_(
+            f"invalid value band [{w_min}, {w_max}]; need 0 <= min <= max <= 1"
+        )
+    spatial = _spatial_query_box(region, spatial_dims)
+    return spatial.augment([w_min], [w_max])
+
+
+def subquery_corners(
+    subqueries: Sequence[tuple[Box, float, float]], spatial_dims: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lower ``(region, w_min, w_max)`` sub-queries to corner stacks.
+
+    Returns the ``(Q, spatial_dims + 1)`` query-box corner matrices
+    :meth:`PackedIndex.query_slots_many` consumes -- the same boxes
+    :meth:`PackedAccessMethod.query_box` builds per sub-query, with the
+    same band validation.  This is the shared lowering step the serial
+    executor, the shared-memory workers, and the whole-fleet planner
+    all run, so every path queries bit-identical corners.
+    """
+    boxes = [
+        query_corner_box(region, w_min, w_max, spatial_dims)
+        for region, w_min, w_max in subqueries
+    ]
+    if not boxes:
+        empty = np.empty((0, spatial_dims + 1), dtype=np.float64)
+        return empty, empty.copy()
+    return (
+        np.vstack([box.low for box in boxes]),
+        np.vstack([box.high for box in boxes]),
+    )
+
+
+def corners_query_batch(
+    packed: "PackedIndex", qlow: np.ndarray, qhigh: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compact batch answer over pre-lowered corners: ``(rows, counts, io)``.
+
+    The single source of truth behind
+    :meth:`PackedAccessMethod.query_batch` and the shared-memory shard
+    workers: one shared frontier walk, rows grouped by ascending
+    sub-query index, ``(Q, 3)`` per-sub-query I/O.  Running the same
+    function on the same arrays is what makes the executors
+    bit-identical by construction.
+    """
+    slots, slot_qid, io = packed.query_slots_many(qlow, qhigh)
+    counts = np.bincount(slot_qid, minlength=int(qlow.shape[0])).astype(
+        np.int64
+    )
+    return packed.rows[slots], counts, io
 
 
 @dataclass(frozen=True)
@@ -471,12 +530,7 @@ class PackedAccessMethod:
 
     def query_box(self, region: Box, w_min: float, w_max: float) -> Box:
         """The full index-space box of ``Q(region, w_min, w_max)``."""
-        if not 0.0 <= w_min <= w_max <= 1.0:
-            raise IndexError_(
-                f"invalid value band [{w_min}, {w_max}]; need 0 <= min <= max <= 1"
-            )
-        spatial = _spatial_query_box(region, self._spatial_dims)
-        return spatial.augment([w_min], [w_max])
+        return query_corner_box(region, w_min, w_max, self._spatial_dims)
 
     def query_rows(
         self,
@@ -510,15 +564,8 @@ class PackedAccessMethod:
         if not subqueries:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty, np.zeros((0, 3), dtype=np.int64)
-        boxes = [
-            self.query_box(region, w_min, w_max)
-            for region, w_min, w_max in subqueries
-        ]
-        qlow = np.vstack([box.low for box in boxes])
-        qhigh = np.vstack([box.high for box in boxes])
-        slots, slot_qid, io = self._packed.query_slots_many(qlow, qhigh)
-        counts = np.bincount(slot_qid, minlength=len(boxes)).astype(np.int64)
-        return self._packed.rows[slots], counts, io
+        qlow, qhigh = subquery_corners(subqueries, self._spatial_dims)
+        return corners_query_batch(self._packed, qlow, qhigh)
 
     def query_rows_many(
         self, subqueries: Sequence[tuple[Box, float, float]]

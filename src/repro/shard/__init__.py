@@ -11,18 +11,24 @@ the single-index path.  See DESIGN.md section 13.
 
 from __future__ import annotations
 
-from repro.shard.coordinator import ShardCoordinator
-from repro.shard.database import ShardedDatabase
+from repro.shard.coordinator import (
+    FleetShipping,
+    FleetTickResult,
+    ShardCoordinator,
+)
+from repro.shard.database import ExecutorSpec, FlatGather, ShardedDatabase
 from repro.shard.mapping import TILINGS, ShardMap
 from repro.shard.scene import ShardedSceneDatabase
 from repro.shard.parallel import (
     ProcessShardExecutor,
     SerialShardExecutor,
     ShardBatchResult,
+    ShardCornerTask,
     ShardExecutor,
     ShardSlice,
     ShardTask,
 )
+from repro.shard.shm import GatherStats, SharedArena, SharedMemoryShardExecutor
 
 __all__ = [
     "ShardMap",
@@ -33,7 +39,15 @@ __all__ = [
     "ShardExecutor",
     "ShardSlice",
     "ShardTask",
+    "ShardCornerTask",
     "ShardBatchResult",
     "SerialShardExecutor",
     "ProcessShardExecutor",
+    "SharedMemoryShardExecutor",
+    "SharedArena",
+    "GatherStats",
+    "ExecutorSpec",
+    "FlatGather",
+    "FleetShipping",
+    "FleetTickResult",
 ]

@@ -25,10 +25,12 @@ What the coordinator adds over a plain ``Server(sharded_db)``:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
 
+from repro.core.fleet import FleetTick
 from repro.errors import ShardError
 from repro.geometry.box import Box
 from repro.index.columnar import RowResult
@@ -40,11 +42,105 @@ from repro.net.messages import (
 from repro.server.planner import FrontierPlanner
 from repro.server.server import DEFAULT_MAX_CLIENTS, Server
 from repro.shard.database import ShardedDatabase
-from repro.shard.parallel import ShardTask
+from repro.shard.parallel import AnyShardTask, ShardCornerTask, ShardTask
 from repro.store.columns import CoefficientStore
 from repro.store.scene import FootprintDelta
 
-__all__ = ["ShardCoordinator"]
+__all__ = ["ShardCoordinator", "FleetShipping", "FleetTickResult"]
+
+
+class FleetShipping:
+    """Vectorised shipped-bases state for whole-fleet ticks.
+
+    The server's per-client shipped-base sets are an LRU table of
+    Python sets -- correct, but 100k dictionary touches per tick would
+    dominate an otherwise fully vectorised fleet path.  This is the
+    same state as one boolean ``(clients, objects)`` matrix: cell
+    ``[c, o]`` says client ``c`` has object ``o``'s base mesh, and a
+    whole tick's worth of first-sightings flips in one fancy-indexed
+    assignment.  Unlike the server table it never evicts, so it matches
+    the per-request path exactly whenever the fleet fits the server's
+    ``max_clients`` (the parity tests pin this).
+    """
+
+    def __init__(
+        self,
+        client_count: int,
+        object_ids: np.ndarray,
+        base_bytes: np.ndarray,
+    ) -> None:
+        if client_count < 1:
+            raise ShardError(
+                f"shipping table needs >= 1 client, got {client_count}"
+            )
+        self._object_ids = np.asarray(object_ids, dtype=np.int64)
+        if self._object_ids.size == 0 or np.unique(
+            self._object_ids
+        ).size != self._object_ids.size or bool(
+            (np.diff(self._object_ids) <= 0).any()
+        ):
+            raise ShardError(
+                "shipping table needs strictly ascending unique object ids"
+            )
+        self.base_bytes = np.asarray(base_bytes, dtype=np.int64)
+        if self.base_bytes.shape != self._object_ids.shape:
+            raise ShardError("one base-mesh byte size per object required")
+        self.shipped = np.zeros(
+            (client_count, self._object_ids.size), dtype=bool
+        )
+
+    @property
+    def client_count(self) -> int:
+        return int(self.shipped.shape[0])
+
+    @property
+    def object_count(self) -> int:
+        return int(self._object_ids.size)
+
+    def object_index(self, object_ids: np.ndarray) -> np.ndarray:
+        """Dense column indices of (known) object ids."""
+        idx = np.searchsorted(self._object_ids, object_ids)
+        if bool((idx >= self._object_ids.size).any()) or not np.array_equal(
+            self._object_ids[idx], object_ids
+        ):
+            raise ShardError("shipping table asked about unknown object ids")
+        return idx
+
+
+@dataclass(frozen=True)
+class FleetTickResult:
+    """One whole-fleet tick's responses, kept columnar end to end.
+
+    Client ``i`` of the tick owns ``rows[offsets[i]:offsets[i + 1]]``
+    (global store rows in the canonical ascending packed-uid order --
+    the exact row sequence its
+    :class:`~repro.net.messages.RetrieveBatchResponse` batch would
+    carry), shipped ``payload_bytes[i]`` (coefficient payload plus
+    first-shipped base-mesh connectivity, matching
+    ``RetrieveBatchResponse.payload_bytes``), billed
+    ``io[i] = (node_reads, leaf_reads, entries_scanned)`` over
+    ``consulted[i]`` shards, and received ``new_base_counts[i]`` base
+    meshes it had not seen before.
+    """
+
+    rows: np.ndarray
+    offsets: np.ndarray
+    io: np.ndarray
+    consulted: np.ndarray
+    payload_bytes: np.ndarray
+    new_base_counts: np.ndarray
+
+    @property
+    def client_count(self) -> int:
+        return int(self.offsets.size - 1)
+
+    @property
+    def total_rows(self) -> int:
+        return int(self.rows.size)
+
+    @property
+    def total_payload_bytes(self) -> int:
+        return int(self.payload_bytes.sum())
 
 
 class ShardCoordinator(Server):
@@ -209,3 +305,131 @@ class ShardCoordinator(Server):
             )
             for req_idx, request in enumerate(requests)
         ]
+
+    # -- whole-fleet batched planning ------------------------------------------
+
+    def fleet_shipping(self, client_count: int) -> FleetShipping:
+        """A fresh shipped-bases table over this database's objects."""
+        object_ids = np.sort(
+            np.fromiter(
+                (obj.object_id for obj in self._db.objects),
+                dtype=np.int64,
+                count=self._db.object_count,
+            )
+        )
+        base_bytes = np.fromiter(
+            (
+                max(self._base_connectivity_bytes(int(oid)), 1)
+                for oid in object_ids
+            ),
+            dtype=np.int64,
+            count=object_ids.size,
+        )
+        return FleetShipping(client_count, object_ids, base_bytes)
+
+    def execute_fleet_tick(
+        self, tick: FleetTick, shipping: FleetShipping
+    ) -> FleetTickResult:
+        """Answer an entire flat-drive tick as one scatter-gather.
+
+        The fleet-scale sibling of :meth:`execute_many`: one
+        :meth:`~repro.shard.database.ShardedDatabase.plan_corners`
+        broadcast plans every client's query at once, one
+        :class:`~repro.shard.parallel.ShardCornerTask` per shard
+        scatters the whole tick, and the response stage (payload
+        pricing, first-shipment base-mesh accounting) runs as numpy
+        reductions over the flat gather.  Per client, the rows, their
+        order, the I/O counters and the payload bytes are identical to
+        an :meth:`execute_many` pass over :meth:`FleetTick.to_requests`
+        -- with base shipments tracked in ``shipping`` (build one via
+        :meth:`fleet_shipping`) instead of the server's LRU table.
+
+        Not available under frame-delta planning (per-client memos are
+        not batchable); ticks always run at the current epoch.
+        """
+        if self._plan_deltas:
+            raise ShardError(
+                "execute_fleet_tick needs cold planning; frame-delta memos "
+                "are per-client warm state"
+            )
+        db = self.sharded
+        count = tick.count
+        if count == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return FleetTickResult(
+                rows=empty,
+                offsets=np.zeros(1, dtype=np.int64),
+                io=np.zeros((0, 3), dtype=np.int64),
+                consulted=empty,
+                payload_bytes=empty,
+                new_base_counts=empty,
+            )
+        if bool((tick.client_ids < 0).any()) or bool(
+            (tick.client_ids >= shipping.client_count).any()
+        ):
+            raise ShardError(
+                f"tick client ids must fall in [0, {shipping.client_count}) "
+                "to index the shipping table"
+            )
+        sd = db.spatial_dims
+        if tick.low.shape[1] != sd:
+            raise ShardError(
+                f"tick windows are {tick.low.shape[1]}-D, database expects "
+                f"{sd}-D"
+            )
+        # Plan: one broadcast over pre-lowered (x, y[, z], w) corners.
+        qlow = np.concatenate([tick.low, tick.w_min[:, None]], axis=1)
+        qhigh = np.concatenate([tick.high, tick.w_max[:, None]], axis=1)
+        hits = db.plan_corners(qlow, qhigh)
+        # Scatter: one corner task per consulted shard, ascending.
+        tasks: list[AnyShardTask] = []
+        assignments: list[np.ndarray] = []
+        for shard in range(db.shard_count):
+            indices = np.flatnonzero(hits[:, shard])
+            if indices.size:
+                tasks.append(
+                    ShardCornerTask(
+                        shard=shard, qlow=qlow[indices], qhigh=qhigh[indices]
+                    )
+                )
+                assignments.append(indices)
+        batches = db.executor.run(tasks)
+        gather = db.assemble_flat(assignments, batches, count)
+        # Response stage, columnar.  Single closed-band region per
+        # client with no excludes: nothing to filter, and rows are
+        # already uid-unique per client (each store row occurs in
+        # exactly one shard), so the first-occurrence merge is the
+        # identity and payloads price straight off the size column.
+        store = db.store
+        rows = gather.rows
+        per_client = np.diff(gather.offsets)
+        qid = np.repeat(np.arange(count, dtype=np.int64), per_client)
+        payload = np.bincount(
+            qid, weights=store.sizes[rows], minlength=count
+        ).astype(np.int64)
+        # Base meshes: connectivity bytes for (client, object) pairs the
+        # shipping table has not seen, committed in one assignment.
+        base_mask = store.levels[rows] == -1
+        base_qid = qid[base_mask]
+        base_cols = shipping.object_index(store.object_ids[rows[base_mask]])
+        pair_keys = np.unique(base_qid * shipping.object_count + base_cols)
+        pair_qid = pair_keys // shipping.object_count
+        pair_cols = pair_keys % shipping.object_count
+        pair_clients = tick.client_ids[pair_qid]
+        fresh = ~shipping.shipped[pair_clients, pair_cols]
+        new_qid = pair_qid[fresh]
+        new_cols = pair_cols[fresh]
+        payload += np.bincount(
+            new_qid, weights=shipping.base_bytes[new_cols], minlength=count
+        ).astype(np.int64)
+        shipping.shipped[tick.client_ids[new_qid], new_cols] = True
+        return FleetTickResult(
+            rows=rows,
+            offsets=gather.offsets,
+            io=gather.io,
+            consulted=gather.consulted,
+            payload_bytes=payload,
+            new_base_counts=np.bincount(new_qid, minlength=count).astype(
+                np.int64
+            ),
+        )

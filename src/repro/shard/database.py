@@ -38,7 +38,9 @@ frame-delta planner is instead sharded by the coordinator.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import os
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
@@ -50,15 +52,54 @@ from repro.index.stats import IOStats
 from repro.server.database import AnyAccessMethod, ObjectDatabase, StoredObject
 from repro.shard.mapping import ShardMap
 from repro.shard.parallel import (
+    DEFAULT_OVERHEAD_BUDGET_S,
+    ProcessShardExecutor,
     SerialShardExecutor,
     ShardBatchResult,
     ShardExecutor,
     ShardSlice,
     ShardTask,
+    measure_batch_overhead,
 )
+from repro.shard.shm import SharedMemoryShardExecutor
 from repro.wavelets.analysis import WaveletDecomposition
 
-__all__ = ["ShardedDatabase"]
+__all__ = ["ShardedDatabase", "ExecutorSpec", "FlatGather"]
+
+#: An executor instance, or one of the named policies ``"serial"``,
+#: ``"process"``, ``"shm"``, ``"auto"`` (``None`` means serial).
+ExecutorSpec = Union[ShardExecutor, str, None]
+
+_EXECUTOR_NAMES = ("auto", "serial", "process", "shm")
+
+
+def _usable_cpus() -> int:
+    """Cores this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class FlatGather:
+    """A whole scatter batch gathered as flat arrays, not per-query objects.
+
+    Sub-query ``q`` owns ``rows[offsets[q]:offsets[q + 1]]``, already in
+    the canonical ascending packed-uid order; ``io`` is the ``(Q, 3)``
+    per-sub-query ``(node_reads, leaf_reads, entries_scanned)`` matrix
+    and ``consulted[q]`` the number of shards that answered ``q`` (the
+    per-query ``IOStats.queries`` of the object path).
+    """
+
+    rows: np.ndarray
+    offsets: np.ndarray
+    io: np.ndarray
+    consulted: np.ndarray
+
+    @property
+    def query_count(self) -> int:
+        return int(self.offsets.size - 1)
 
 
 class ShardedDatabase(ObjectDatabase):
@@ -73,7 +114,8 @@ class ShardedDatabase(ObjectDatabase):
         source: ObjectDatabase,
         shard_map: ShardMap,
         *,
-        executor: ShardExecutor | None = None,
+        executor: ExecutorSpec = None,
+        overhead_budget_s: float = DEFAULT_OVERHEAD_BUDGET_S,
     ) -> None:
         super().__init__(
             encoding=source.encoding,
@@ -135,8 +177,65 @@ class ShardedDatabase(ObjectDatabase):
         self._bounds_high = np.vstack(
             [high_cols[sl.row_map].max(axis=0) for sl in slices]
         )
-        self._executor: ShardExecutor = executor or SerialShardExecutor()
-        self._executor.bind(self._slices)
+        self._executor: ShardExecutor = self._bind_executor(
+            executor, overhead_budget_s
+        )
+
+    def _bind_executor(
+        self, spec: ExecutorSpec, overhead_budget_s: float
+    ) -> ShardExecutor:
+        """Resolve an executor spec and bind it to the slices.
+
+        An explicit :class:`~repro.shard.parallel.ShardExecutor`
+        instance always wins; the named policies are ``"serial"``
+        (also ``None``), ``"process"``, ``"shm"``, and ``"auto"`` --
+        the measured policy of :meth:`_auto_executor`.
+        """
+        if isinstance(spec, str) and spec not in _EXECUTOR_NAMES:
+            raise ShardError(
+                f"unknown executor policy {spec!r}; expected one of "
+                f"{', '.join(_EXECUTOR_NAMES)} or a ShardExecutor instance"
+            )
+        if spec == "auto":
+            return self._auto_executor(overhead_budget_s)
+        executor: ShardExecutor
+        if spec is None or spec == "serial":
+            executor = SerialShardExecutor()
+        elif spec == "process":
+            executor = ProcessShardExecutor()
+        elif spec == "shm":
+            executor = SharedMemoryShardExecutor()
+        else:
+            executor = spec
+        executor.bind(self._slices)
+        return executor
+
+    def _auto_executor(self, overhead_budget_s: float) -> ShardExecutor:
+        """Measured policy: pay for a pool only where it can pay back.
+
+        One shard (nothing to scatter in parallel) or one usable core
+        never constructs a pool at all -- the 1-shard workload must not
+        pay a microsecond of pool overhead.  Otherwise the shm pool is
+        kept only when its measured per-batch round-trip overhead
+        (:func:`~repro.shard.parallel.measure_batch_overhead`) fits the
+        budget; a pool that costs more per scatter than the budget is
+        torn down again in favour of the serial engine.
+        """
+        serial = SerialShardExecutor()
+        if self.shard_count == 1 or _usable_cpus() < 2:
+            serial.bind(self._slices)
+            return serial
+        pool = SharedMemoryShardExecutor()
+        pool.bind(self._slices)
+        try:
+            overhead = measure_batch_overhead(pool)
+        except ShardError:  # pragma: no cover - pool died during probe
+            overhead = float("inf")
+        if overhead > overhead_budget_s:
+            pool.close()
+            serial.bind(self._slices)
+            return serial
+        return pool
 
     def _slice_database(
         self, objects: "Iterable[StoredObject]"
@@ -168,7 +267,8 @@ class ShardedDatabase(ObjectDatabase):
         shard_count: int,
         *,
         tiling: str = "str",
-        executor: ShardExecutor | None = None,
+        executor: ExecutorSpec = None,
+        overhead_budget_s: float = DEFAULT_OVERHEAD_BUDGET_S,
     ) -> "ShardedDatabase":
         """Shard ``source`` by tiling its object footprints."""
         shard_map = ShardMap.build(
@@ -176,7 +276,12 @@ class ShardedDatabase(ObjectDatabase):
             shard_count,
             tiling=tiling,
         )
-        return cls(source, shard_map, executor=executor)
+        return cls(
+            source,
+            shard_map,
+            executor=executor,
+            overhead_budget_s=overhead_budget_s,
+        )
 
     # -- topology --------------------------------------------------------------
 
@@ -319,12 +424,28 @@ class ShardedDatabase(ObjectDatabase):
             # Pruning bypass, see :meth:`plan`.
             return [np.zeros(1, dtype=np.int64) for _ in subqueries]
         qlow, qhigh = self._query_corners(subqueries)
-        hits = np.all(
+        hits = self.plan_corners(qlow, qhigh)
+        return [np.flatnonzero(row) for row in hits]
+
+    def plan_corners(
+        self, qlow: np.ndarray, qhigh: np.ndarray
+    ) -> np.ndarray:
+        """Boolean ``(Q, S)`` consult matrix over pre-lowered corners.
+
+        The whole-fleet planning primitive: one broadcast intersection
+        of every query box against every shard's bounds, no per-query
+        Python at all.  With one shard every query consults it
+        unconditionally (the :meth:`plan` pruning bypass, kept for
+        exact ``S == 1`` I/O parity).
+        """
+        nq = int(qlow.shape[0])
+        if self.shard_count == 1:
+            return np.ones((nq, 1), dtype=bool)
+        return np.all(
             (self._bounds_low[None, :, :] <= qhigh[:, None, :])
             & (self._bounds_high[None, :, :] >= qlow[:, None, :]),
             axis=2,
         )
-        return [np.flatnonzero(row) for row in hits]
 
     def assemble(
         self,
@@ -364,6 +485,11 @@ class ShardedDatabase(ObjectDatabase):
             )
             if rows.size > 1:
                 rows = rows[np.argsort(uids[rows], kind="stable")]
+            elif len(groups) == 1:
+                # Sole-group short results are views into the batch --
+                # which may be shared-memory ring space recycled by the
+                # next scatter -- so detach them.
+                rows = rows.copy()
             out.append(
                 RowResult(
                     rows=rows,
@@ -376,6 +502,48 @@ class ShardedDatabase(ObjectDatabase):
                 )
             )
         return out
+
+    def assemble_flat(
+        self,
+        assignments: Sequence[np.ndarray],
+        batches: Sequence[ShardBatchResult],
+        total: int,
+    ) -> FlatGather:
+        """Gather a whole scatter batch into flat arrays in one pass.
+
+        The vectorised sibling of :meth:`assemble` for fleet-scale
+        batches: instead of building ``total`` :class:`RowResult`
+        objects it sorts the concatenated rows once by ``(sub-query,
+        packed uid)`` -- the same canonical per-query ascending-uid
+        order, since uids are globally unique -- and returns the flat
+        :class:`FlatGather` arrays.  Row-for-row identical to
+        :meth:`assemble` (and detached from any executor ring memory).
+        """
+        uids = self.store.packed_uids
+        io = np.zeros((total, 3), dtype=np.int64)
+        consulted = np.zeros(total, dtype=np.int64)
+        row_parts: list[np.ndarray] = []
+        qid_parts: list[np.ndarray] = []
+        for indices, batch in zip(assignments, batches):
+            index_arr = np.asarray(indices, dtype=np.int64)
+            row_parts.append(batch.rows)
+            qid_parts.append(np.repeat(index_arr, batch.counts))
+            if index_arr.size:
+                io[index_arr] += batch.io
+                consulted[index_arr] += 1
+        if row_parts:
+            all_rows = np.concatenate(row_parts)
+            all_qid = np.concatenate(qid_parts)
+        else:
+            all_rows = np.empty(0, dtype=np.int64)
+            all_qid = np.empty(0, dtype=np.int64)
+        order = np.lexsort((uids[all_rows], all_qid))
+        rows = all_rows[order]
+        offsets = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(np.bincount(all_qid, minlength=total), out=offsets[1:])
+        return FlatGather(
+            rows=rows, offsets=offsets, io=io, consulted=consulted
+        )
 
     def gather_rows(self, parts: Sequence[RowResult]) -> RowResult:
         """Merge per-shard partials into one canonical result.

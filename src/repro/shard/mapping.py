@@ -91,6 +91,41 @@ class ShardMap:
         """Effective number of (non-empty) shards."""
         return int(self.shard_of.max()) + 1 if self.shard_of.size else 0
 
+    def skew_stats(
+        self, rows_of_object: np.ndarray | None = None
+    ) -> dict[str, object]:
+        """Balance diagnostics: per-shard object (and row) populations.
+
+        Returns a plain dict (JSON-ready, for ``bench_shard``) with the
+        per-shard object counts and their max/mean imbalance ratio; when
+        ``rows_of_object`` gives the store-row count of each object
+        position, the same statistics are reported in rows -- the
+        quantity that actually prices scatter work.
+        """
+        if self.shard_of.size == 0:
+            raise ShardError("skew_stats of an empty shard map")
+        objects = np.bincount(self.shard_of, minlength=self.shard_count)
+        stats: dict[str, object] = {
+            "shard_count": self.shard_count,
+            "objects_per_shard": objects.astype(int).tolist(),
+            "object_imbalance": float(objects.max() / objects.mean()),
+        }
+        if rows_of_object is not None:
+            rows_of_object = np.asarray(rows_of_object, dtype=np.int64)
+            if rows_of_object.shape != self.shard_of.shape:
+                raise ShardError(
+                    "rows_of_object must align with shard_of: "
+                    f"{rows_of_object.shape} vs {self.shard_of.shape}"
+                )
+            rows = np.bincount(
+                self.shard_of,
+                weights=rows_of_object,
+                minlength=self.shard_count,
+            ).astype(np.int64)
+            stats["rows_per_shard"] = rows.astype(int).tolist()
+            stats["row_imbalance"] = float(rows.max() / rows.mean())
+        return stats
+
     def members(self, shard: int) -> np.ndarray:
         """Object positions owned by ``shard``, in insertion order."""
         if not 0 <= shard < self.shard_count:

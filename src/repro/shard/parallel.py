@@ -24,14 +24,19 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Protocol, Sequence
+from typing import TYPE_CHECKING, Protocol, Sequence, Union
 
 import numpy as np
 
 from repro.errors import ShardError
 from repro.geometry.box import Box
-from repro.index.packed import PackedAccessMethod
+from repro.index.packed import (
+    PackedAccessMethod,
+    corners_query_batch,
+    subquery_corners,
+)
 
 if TYPE_CHECKING:
     from repro.server.database import ObjectDatabase
@@ -39,10 +44,15 @@ if TYPE_CHECKING:
 __all__ = [
     "ShardSlice",
     "ShardTask",
+    "ShardCornerTask",
+    "AnyShardTask",
+    "task_corners",
     "ShardBatchResult",
     "ShardExecutor",
     "SerialShardExecutor",
     "ProcessShardExecutor",
+    "measure_batch_overhead",
+    "DEFAULT_OVERHEAD_BUDGET_S",
 ]
 
 
@@ -70,6 +80,38 @@ class ShardTask:
 
     shard: int
     subqueries: tuple[tuple[Box, float, float], ...]
+
+
+@dataclass(frozen=True)
+class ShardCornerTask:
+    """A shard's sub-queries pre-lowered to index-space corner stacks.
+
+    The whole-fleet path plans thousands of sub-queries at once; boxing
+    each into a :class:`~repro.geometry.box.Box` tuple just to unbox it
+    in the worker would dominate the scatter.  ``qlow``/``qhigh`` are
+    the ``(Q, spatial_dims + 1)`` matrices
+    :meth:`~repro.index.packed.PackedIndex.query_slots_many` consumes
+    directly (spatial corners augmented with the value band), produced
+    by :func:`~repro.index.packed.subquery_corners` or sliced from a
+    fleet-wide corner stack.  Executors answer both task kinds through
+    the same :func:`~repro.index.packed.corners_query_batch` walk.
+    """
+
+    shard: int
+    qlow: np.ndarray
+    qhigh: np.ndarray
+
+
+AnyShardTask = Union[ShardTask, ShardCornerTask]
+
+
+def task_corners(
+    task: AnyShardTask, spatial_dims: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """A task's query-box corners, lowering boxed sub-queries on demand."""
+    if isinstance(task, ShardCornerTask):
+        return task.qlow, task.qhigh
+    return subquery_corners(task.subqueries, spatial_dims)
 
 
 @dataclass(frozen=True)
@@ -103,7 +145,7 @@ def _compiled_method(shard_slice: ShardSlice) -> PackedAccessMethod:
 
 
 def _execute_task(
-    slices: Sequence[ShardSlice], task: ShardTask
+    slices: Sequence[ShardSlice], task: AnyShardTask
 ) -> ShardBatchResult:
     """Run one task against its slice, mapping rows to global ids."""
     if not 0 <= task.shard < len(slices):
@@ -111,9 +153,9 @@ def _execute_task(
             f"task targets shard {task.shard}, only {len(slices)} bound"
         )
     shard_slice = slices[task.shard]
-    rows, counts, io = _compiled_method(shard_slice).query_batch(
-        list(task.subqueries)
-    )
+    method = _compiled_method(shard_slice)
+    qlow, qhigh = task_corners(task, method.spatial_dims)
+    rows, counts, io = corners_query_batch(method.packed, qlow, qhigh)
     return ShardBatchResult(
         shard=task.shard,
         rows=shard_slice.row_map[rows],
@@ -128,7 +170,7 @@ def _execute_task(
 _POOL_SLICES: tuple[ShardSlice, ...] | None = None
 
 
-def _pool_run_task(task: ShardTask) -> ShardBatchResult:
+def _pool_run_task(task: AnyShardTask) -> ShardBatchResult:
     """Worker-side entry point: execute against the inherited slices."""
     slices = _POOL_SLICES
     if slices is None:
@@ -142,7 +184,7 @@ class ShardExecutor(Protocol):
     def bind(self, slices: Sequence[ShardSlice]) -> None:
         """Attach to a database's slices (compiling their indexes)."""
 
-    def run(self, tasks: Sequence[ShardTask]) -> list[ShardBatchResult]:
+    def run(self, tasks: Sequence[AnyShardTask]) -> list[ShardBatchResult]:
         """Execute tasks, one compact batch result per task."""
 
     def close(self) -> None:
@@ -161,7 +203,7 @@ class SerialShardExecutor:
             _compiled_method(shard_slice)
         self._slices = bound
 
-    def run(self, tasks: Sequence[ShardTask]) -> list[ShardBatchResult]:
+    def run(self, tasks: Sequence[AnyShardTask]) -> list[ShardBatchResult]:
         if self._slices is None:
             raise ShardError("executor is not bound to a sharded database")
         return [_execute_task(self._slices, task) for task in tasks]
@@ -217,7 +259,7 @@ class ProcessShardExecutor:
         )
         self._pool = multiprocessing.get_context("fork").Pool(processes=size)
 
-    def run(self, tasks: Sequence[ShardTask]) -> list[ShardBatchResult]:
+    def run(self, tasks: Sequence[AnyShardTask]) -> list[ShardBatchResult]:
         if self._pool is None:
             raise ShardError("executor is not bound to a sharded database")
         if not tasks:
@@ -235,3 +277,35 @@ class ProcessShardExecutor:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+#: Per-batch pool overhead (seconds) above which "auto" executor
+#: selection keeps the serial engine: a pool that costs more than this
+#: per scatter round-trip only pays off on batches larger than the
+#: coordinator typically sees, and loses outright on one shard or one
+#: core.  Override via ``ShardedDatabase(..., overhead_budget_s=...)``.
+DEFAULT_OVERHEAD_BUDGET_S = 2e-3
+
+
+def measure_batch_overhead(
+    executor: ShardExecutor, *, shard: int = 0, repeats: int = 3
+) -> float:
+    """Measured per-batch round-trip overhead of a bound executor.
+
+    Scatters a zero-query corner task to one shard ``repeats`` times
+    and returns the *fastest* wall-clock round trip -- pure dispatch,
+    pickling, and gather cost with no index work behind it, which is
+    exactly the fixed tax a pooled executor adds to every scatter.
+    The minimum (not the mean) is the right estimator: scheduling
+    noise only ever inflates a round trip.
+    """
+    if repeats < 1:
+        raise ShardError(f"repeats must be >= 1, got {repeats}")
+    empty = np.empty((0, 0), dtype=np.float64)
+    probe = ShardCornerTask(shard=shard, qlow=empty, qhigh=empty)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()  # reprolint: disable=RL001
+        executor.run([probe])
+        best = min(best, time.perf_counter() - start)  # reprolint: disable=RL001
+    return best

@@ -13,7 +13,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["derive_rng", "LINK_FAULTS_STREAM", "LINK_LOSS_STREAM", "BACKOFF_STREAM"]
+__all__ = [
+    "derive_rng",
+    "LINK_FAULTS_STREAM",
+    "LINK_LOSS_STREAM",
+    "BACKOFF_STREAM",
+    "FLEET_TOUR_STREAM",
+]
 
 #: Conventional role ids for the per-client link stack, shared by
 #: :class:`~repro.core.system.SystemConfig` and the fleet so a client
@@ -21,6 +27,10 @@ __all__ = ["derive_rng", "LINK_FAULTS_STREAM", "LINK_LOSS_STREAM", "BACKOFF_STRE
 LINK_FAULTS_STREAM = 1
 LINK_LOSS_STREAM = 2
 BACKOFF_STREAM = 3
+#: Whole-fleet tour synthesis (:func:`repro.core.fleet.make_flat_ticks`):
+#: one stream for the entire fleet's tours, drawn client-major so a
+#: bigger fleet extends -- never reshuffles -- a smaller one's tours.
+FLEET_TOUR_STREAM = 4
 
 
 def derive_rng(*key: int) -> np.random.Generator:
